@@ -1,0 +1,29 @@
+//! In-situ analyses for the FLASH Sedov runs.
+//!
+//! | Paper id | Kernel | Cost shape |
+//! |---|---|---|
+//! | F1 | vorticity | O(cells), finite differences over every cell — the heavy one (3.5 s/step in the paper) |
+//! | F2 | L1 error norms of density and pressure vs the Sedov reference | O(cells), two reductions (1.25 s/step) |
+//! | F3 | L2 norms of the velocity components, strided sampling | O(cells/stride³) (2.3 ms/step) |
+
+pub mod norms;
+pub mod vorticity;
+
+pub use norms::{L1ErrorNorm, L2VelocityNorm};
+pub use vorticity::Vorticity;
+
+/// Builds the paper's F1 analysis.
+pub fn f1_vorticity() -> Vorticity {
+    Vorticity::new("vorticity (F1)")
+}
+
+/// Builds the paper's F2 analysis.
+pub fn f2_l1_norm() -> L1ErrorNorm {
+    L1ErrorNorm::new("L1 error norm (F2)")
+}
+
+/// Builds the paper's F3 analysis (stride 8 reproduces the paper's
+/// three-orders-of-magnitude F2→F3 cost drop).
+pub fn f3_l2_norm() -> L2VelocityNorm {
+    L2VelocityNorm::new("L2 error norm (F3)", 8)
+}

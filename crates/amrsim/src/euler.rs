@@ -1,0 +1,340 @@
+//! First-order HLL finite-volume solver for the 3-D compressible Euler
+//! equations on the block-structured mesh.
+//!
+//! State is kept in primitive variables (ρ, u, v, w, p) in the block
+//! storage; each step converts to conservative form, accumulates HLL face
+//! fluxes along all three axes (unsplit), and converts back. First-order
+//! accuracy suffices: the scheduler consumes analysis *cost shapes*, and
+//! the Sedov shock physics (self-similar expansion) is captured.
+
+use crate::block::{FlowVar, GHOST};
+use crate::mesh::Mesh;
+
+/// Ratio of specific heats (FLASH's default ideal gamma for Sedov).
+pub const GAMMA: f64 = 1.4;
+
+/// Floor applied to density and pressure to keep the state physical.
+pub const FLOOR: f64 = 1e-10;
+
+/// Conservative state vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cons {
+    rho: f64,
+    mx: f64,
+    my: f64,
+    mz: f64,
+    e: f64,
+}
+
+/// Primitive state vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Prim {
+    rho: f64,
+    u: f64,
+    v: f64,
+    w: f64,
+    p: f64,
+}
+
+impl Prim {
+    fn to_cons(self) -> Cons {
+        let ke = 0.5 * self.rho * (self.u * self.u + self.v * self.v + self.w * self.w);
+        Cons {
+            rho: self.rho,
+            mx: self.rho * self.u,
+            my: self.rho * self.v,
+            mz: self.rho * self.w,
+            e: self.p / (GAMMA - 1.0) + ke,
+        }
+    }
+
+    fn sound_speed(self) -> f64 {
+        (GAMMA * self.p / self.rho).sqrt()
+    }
+}
+
+impl Cons {
+    fn to_prim(self) -> Prim {
+        let rho = self.rho.max(FLOOR);
+        let u = self.mx / rho;
+        let v = self.my / rho;
+        let w = self.mz / rho;
+        let ke = 0.5 * rho * (u * u + v * v + w * w);
+        let p = ((self.e - ke) * (GAMMA - 1.0)).max(FLOOR);
+        Prim { rho, u, v, w, p }
+    }
+}
+
+/// Physical flux of the Euler equations along `axis` (0/1/2).
+fn flux(q: Prim, axis: usize) -> Cons {
+    let vel = [q.u, q.v, q.w][axis];
+    let c = q.to_cons();
+    let mut f = Cons {
+        rho: c.rho * vel,
+        mx: c.mx * vel,
+        my: c.my * vel,
+        mz: c.mz * vel,
+        e: (c.e + q.p) * vel,
+    };
+    match axis {
+        0 => f.mx += q.p,
+        1 => f.my += q.p,
+        _ => f.mz += q.p,
+    }
+    f
+}
+
+/// HLL approximate Riemann flux between left and right states along `axis`.
+fn hll(left: Prim, right: Prim, axis: usize) -> Cons {
+    let ul = [left.u, left.v, left.w][axis];
+    let ur = [right.u, right.v, right.w][axis];
+    let cl = left.sound_speed();
+    let cr = right.sound_speed();
+    let sl = (ul - cl).min(ur - cr);
+    let sr = (ul + cl).max(ur + cr);
+    if sl >= 0.0 {
+        return flux(left, axis);
+    }
+    if sr <= 0.0 {
+        return flux(right, axis);
+    }
+    let fl = flux(left, axis);
+    let fr = flux(right, axis);
+    let qcl = left.to_cons();
+    let qcr = right.to_cons();
+    let inv = 1.0 / (sr - sl);
+    Cons {
+        rho: (sr * fl.rho - sl * fr.rho + sl * sr * (qcr.rho - qcl.rho)) * inv,
+        mx: (sr * fl.mx - sl * fr.mx + sl * sr * (qcr.mx - qcl.mx)) * inv,
+        my: (sr * fl.my - sl * fr.my + sl * sr * (qcr.my - qcl.my)) * inv,
+        mz: (sr * fl.mz - sl * fr.mz + sl * sr * (qcr.mz - qcl.mz)) * inv,
+        e: (sr * fl.e - sl * fr.e + sl * sr * (qcr.e - qcl.e)) * inv,
+    }
+}
+
+fn prim_at(block: &crate::block::Block, gi: usize, gj: usize, gk: usize) -> Prim {
+    Prim {
+        rho: block.at(FlowVar::Dens, gi, gj, gk).max(FLOOR),
+        u: block.at(FlowVar::Velx, gi, gj, gk),
+        v: block.at(FlowVar::Vely, gi, gj, gk),
+        w: block.at(FlowVar::Velz, gi, gj, gk),
+        p: block.at(FlowVar::Pres, gi, gj, gk).max(FLOOR),
+    }
+}
+
+/// Largest stable time step at CFL number `cfl`.
+pub fn cfl_dt(mesh: &Mesh, cfl: f64) -> f64 {
+    let d = mesh.dx();
+    let mut max_rate = 0.0f64;
+    for b in &mesh.blocks {
+        for k in 0..b.n {
+            for j in 0..b.n {
+                for i in 0..b.n {
+                    let q = prim_at(b, i + GHOST, j + GHOST, k + GHOST);
+                    let c = q.sound_speed();
+                    let rate = (q.u.abs() + c) / d[0]
+                        + (q.v.abs() + c) / d[1]
+                        + (q.w.abs() + c) / d[2];
+                    max_rate = max_rate.max(rate);
+                }
+            }
+        }
+    }
+    if max_rate > 0.0 {
+        cfl / max_rate
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Advances the mesh by `dt` with one unsplit first-order HLL step.
+/// Ghost layers must be current; they are refreshed at the end.
+pub fn step(mesh: &mut Mesh, dt: f64) {
+    mesh.exchange_ghosts();
+    let d = mesh.dx();
+    let n = mesh.block_cells;
+    for b in &mut mesh.blocks {
+        // snapshot conservative update per interior cell
+        let mut delta: Vec<Cons> = Vec::with_capacity(n * n * n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (gi, gj, gk) = (i + GHOST, j + GHOST, k + GHOST);
+                    let centre = prim_at(b, gi, gj, gk);
+                    let mut du = Cons {
+                        rho: 0.0,
+                        mx: 0.0,
+                        my: 0.0,
+                        mz: 0.0,
+                        e: 0.0,
+                    };
+                    for axis in 0..3 {
+                        let (li, lj, lk, ri, rj, rk) = match axis {
+                            0 => (gi - 1, gj, gk, gi + 1, gj, gk),
+                            1 => (gi, gj - 1, gk, gi, gj + 1, gk),
+                            _ => (gi, gj, gk - 1, gi, gj, gk + 1),
+                        };
+                        let left = prim_at(b, li, lj, lk);
+                        let right = prim_at(b, ri, rj, rk);
+                        let f_minus = hll(left, centre, axis);
+                        let f_plus = hll(centre, right, axis);
+                        let inv_dx = 1.0 / d[axis];
+                        du.rho -= (f_plus.rho - f_minus.rho) * inv_dx;
+                        du.mx -= (f_plus.mx - f_minus.mx) * inv_dx;
+                        du.my -= (f_plus.my - f_minus.my) * inv_dx;
+                        du.mz -= (f_plus.mz - f_minus.mz) * inv_dx;
+                        du.e -= (f_plus.e - f_minus.e) * inv_dx;
+                    }
+                    delta.push(du);
+                }
+            }
+        }
+        // apply updates
+        let mut idx = 0;
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (gi, gj, gk) = (i + GHOST, j + GHOST, k + GHOST);
+                    let q = prim_at(b, gi, gj, gk);
+                    let mut c = q.to_cons();
+                    let du = delta[idx];
+                    idx += 1;
+                    c.rho += dt * du.rho;
+                    c.mx += dt * du.mx;
+                    c.my += dt * du.my;
+                    c.mz += dt * du.mz;
+                    c.e += dt * du.e;
+                    let p = c.to_prim();
+                    *b.at_mut(FlowVar::Dens, gi, gj, gk) = p.rho;
+                    *b.at_mut(FlowVar::Velx, gi, gj, gk) = p.u;
+                    *b.at_mut(FlowVar::Vely, gi, gj, gk) = p.v;
+                    *b.at_mut(FlowVar::Velz, gi, gj, gk) = p.w;
+                    *b.at_mut(FlowVar::Pres, gi, gj, gk) = p.p;
+                    let ke = 0.5 * (p.u * p.u + p.v * p.v + p.w * p.w);
+                    let eint = p.p / ((GAMMA - 1.0) * p.rho);
+                    *b.at_mut(FlowVar::Ener, gi, gj, gk) = eint + ke;
+                    *b.at_mut(FlowVar::Eint, gi, gj, gk) = eint;
+                    *b.at_mut(FlowVar::Temp, gi, gj, gk) = p.p / p.rho;
+                    *b.at_mut(FlowVar::Gamc, gi, gj, gk) = GAMMA;
+                }
+            }
+        }
+    }
+    mesh.exchange_ghosts();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FlowVar;
+
+    fn uniform_mesh(rho: f64, p: f64) -> Mesh {
+        let mut m = Mesh::new([2, 1, 1], 8, [2.0, 1.0, 1.0]);
+        for b in &mut m.blocks {
+            b.fill(FlowVar::Dens, rho);
+            b.fill(FlowVar::Pres, p);
+            b.fill(FlowVar::Velx, 0.0);
+            b.fill(FlowVar::Vely, 0.0);
+            b.fill(FlowVar::Velz, 0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn uniform_state_is_stationary() {
+        let mut m = uniform_mesh(1.0, 1.0);
+        let dt = cfl_dt(&m, 0.4);
+        for _ in 0..5 {
+            step(&mut m, dt);
+        }
+        m.for_each_cell(|b, i, j, k, _| {
+            assert!((m.blocks[b].cell(FlowVar::Dens, i, j, k) - 1.0).abs() < 1e-12);
+            assert!(m.blocks[b].cell(FlowVar::Velx, i, j, k).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn cfl_dt_scales_with_sound_speed() {
+        let slow = uniform_mesh(1.0, 0.1);
+        let fast = uniform_mesh(1.0, 10.0);
+        assert!(cfl_dt(&slow, 0.4) > cfl_dt(&fast, 0.4));
+    }
+
+    #[test]
+    fn sod_like_shock_moves_right() {
+        // left half high pressure, right half low: a shock should move into
+        // the low-pressure side and the interface density should smear
+        let mut m = Mesh::new([2, 1, 1], 8, [2.0, 1.0, 1.0]);
+        m.for_each_cell(|_, _, _, _, _| {});
+        for bi in 0..m.blocks.len() {
+            for k in 0..8 {
+                for j in 0..8 {
+                    for i in 0..8 {
+                        let x = m.cell_center(bi, i, j, k)[0];
+                        let (rho, p) = if x < 1.0 { (1.0, 1.0) } else { (0.125, 0.1) };
+                        let b = &mut m.blocks[bi];
+                        *b.cell_mut(FlowVar::Dens, i, j, k) = rho;
+                        *b.cell_mut(FlowVar::Pres, i, j, k) = p;
+                    }
+                }
+            }
+        }
+        let mass0 = m.integral(FlowVar::Dens);
+        let mut t = 0.0;
+        while t < 0.2 {
+            let dt = cfl_dt(&m, 0.4).min(0.2 - t);
+            step(&mut m, dt);
+            t += dt;
+        }
+        // mass conserved (nothing reached the outflow boundary yet)
+        let mass1 = m.integral(FlowVar::Dens);
+        assert!((mass1 - mass0).abs() / mass0 < 1e-6, "mass {mass0} -> {mass1}");
+        // fluid moves right at the old interface
+        let mut u_mid = 0.0;
+        let mut rho_right_edge = 0.0;
+        for bi in 0..m.blocks.len() {
+            for i in 0..8 {
+                let x = m.cell_center(bi, i, 4, 4)[0];
+                if (x - 1.05).abs() < 0.07 {
+                    u_mid = m.blocks[bi].cell(FlowVar::Velx, i, 4, 4);
+                }
+                if (x - 1.95).abs() < 0.07 {
+                    rho_right_edge = m.blocks[bi].cell(FlowVar::Dens, i, 4, 4);
+                }
+            }
+        }
+        assert!(u_mid > 0.1, "post-shock velocity {u_mid} must point right");
+        assert!((rho_right_edge - 0.125).abs() < 1e-3, "far field undisturbed");
+        // positivity everywhere
+        m.for_each_cell(|b, i, j, k, _| {
+            assert!(m.blocks[b].cell(FlowVar::Dens, i, j, k) > 0.0);
+            assert!(m.blocks[b].cell(FlowVar::Pres, i, j, k) > 0.0);
+        });
+    }
+
+    #[test]
+    fn momentum_conserved_in_closed_pulse() {
+        // symmetric pressure pulse: net momentum must stay ~0
+        let mut m = Mesh::new([1, 1, 1], 16, [1.0, 1.0, 1.0]);
+        for k in 0..16 {
+            for j in 0..16 {
+                for i in 0..16 {
+                    let c = m.cell_center(0, i, j, k);
+                    let r2 = (c[0] - 0.5).powi(2) + (c[1] - 0.5).powi(2) + (c[2] - 0.5).powi(2);
+                    let b = &mut m.blocks[0];
+                    *b.cell_mut(FlowVar::Dens, i, j, k) = 1.0;
+                    *b.cell_mut(FlowVar::Pres, i, j, k) = if r2 < 0.01 { 10.0 } else { 0.1 };
+                }
+            }
+        }
+        for _ in 0..10 {
+            let dt = cfl_dt(&m, 0.4);
+            step(&mut m, dt);
+        }
+        let mut px = 0.0;
+        m.for_each_cell(|b, i, j, k, _| {
+            px += m.blocks[b].cell(FlowVar::Dens, i, j, k) * m.blocks[b].cell(FlowVar::Velx, i, j, k);
+        });
+        assert!(px.abs() < 1e-9, "net x momentum {px}");
+    }
+}

@@ -1,0 +1,260 @@
+//! The block-structured mesh: block grid, ghost exchange, boundaries.
+
+use crate::block::{Block, FlowVar, GHOST, NVARS};
+
+/// A block-structured uniform mesh over an orthorhombic domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    /// Blocks per axis.
+    pub block_dims: [usize; 3],
+    /// Cells per block edge.
+    pub block_cells: usize,
+    /// Physical domain edge lengths.
+    pub domain: [f64; 3],
+    /// Blocks in x-fastest order.
+    pub blocks: Vec<Block>,
+}
+
+/// Variables that participate in ghost exchange (the hydro state).
+const EXCHANGED: [FlowVar; 6] = [
+    FlowVar::Dens,
+    FlowVar::Velx,
+    FlowVar::Vely,
+    FlowVar::Velz,
+    FlowVar::Pres,
+    FlowVar::Ener,
+];
+
+impl Mesh {
+    /// Creates a zeroed mesh of `block_dims` blocks with `block_cells`
+    /// cells per block edge over `domain`.
+    pub fn new(block_dims: [usize; 3], block_cells: usize, domain: [f64; 3]) -> Self {
+        let mut blocks = Vec::with_capacity(block_dims.iter().product());
+        for bz in 0..block_dims[2] {
+            for by in 0..block_dims[1] {
+                for bx in 0..block_dims[0] {
+                    blocks.push(Block::new(block_cells, [bx, by, bz]));
+                }
+            }
+        }
+        Mesh {
+            block_dims,
+            block_cells,
+            domain,
+            blocks,
+        }
+    }
+
+    /// Cell size along each axis.
+    pub fn dx(&self) -> [f64; 3] {
+        [
+            self.domain[0] / (self.block_dims[0] * self.block_cells) as f64,
+            self.domain[1] / (self.block_dims[1] * self.block_cells) as f64,
+            self.domain[2] / (self.block_dims[2] * self.block_cells) as f64,
+        ]
+    }
+
+    /// Total interior cells.
+    pub fn total_cells(&self) -> usize {
+        self.blocks.len() * self.block_cells.pow(3)
+    }
+
+    /// Cell volume.
+    pub fn cell_volume(&self) -> f64 {
+        let d = self.dx();
+        d[0] * d[1] * d[2]
+    }
+
+    /// Linear block index from block coordinates.
+    pub fn block_index(&self, bx: usize, by: usize, bz: usize) -> usize {
+        (bz * self.block_dims[1] + by) * self.block_dims[0] + bx
+    }
+
+    /// Physical centre of interior cell `(i, j, k)` of block `b`.
+    pub fn cell_center(&self, b: usize, i: usize, j: usize, k: usize) -> [f64; 3] {
+        let d = self.dx();
+        let c = self.blocks[b].coords;
+        [
+            (c[0] * self.block_cells + i) as f64 * d[0] + 0.5 * d[0],
+            (c[1] * self.block_cells + j) as f64 * d[1] + 0.5 * d[1],
+            (c[2] * self.block_cells + k) as f64 * d[2] + 0.5 * d[2],
+        ]
+    }
+
+    /// Applies `f` to every interior cell of every block:
+    /// `f(block_index, i, j, k, centre)`.
+    pub fn for_each_cell(&self, mut f: impl FnMut(usize, usize, usize, usize, [f64; 3])) {
+        for b in 0..self.blocks.len() {
+            for k in 0..self.block_cells {
+                for j in 0..self.block_cells {
+                    for i in 0..self.block_cells {
+                        f(b, i, j, k, self.cell_center(b, i, j, k));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Volume integral of a variable over the whole domain.
+    pub fn integral(&self, var: FlowVar) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| b.interior_sum(var))
+            .sum::<f64>()
+            * self.cell_volume()
+    }
+
+    /// Fills the ghost layers of every block: interior faces copy the
+    /// neighbouring block's edge cells; domain faces use outflow
+    /// (zero-gradient) boundaries.
+    pub fn exchange_ghosts(&mut self) {
+        let n = self.block_cells;
+        let [nbx, nby, nbz] = self.block_dims;
+        // process per face direction to keep borrows simple: take a copy of
+        // the source plane values first, then write.
+        for var in EXCHANGED {
+            for bz in 0..nbz {
+                for by in 0..nby {
+                    for bx in 0..nbx {
+                        let b = self.block_index(bx, by, bz);
+                        // six faces: (axis, negative side?)
+                        for (axis, neg) in
+                            [(0, true), (0, false), (1, true), (1, false), (2, true), (2, false)]
+                        {
+                            let nb_coord = |c: usize, dim: usize| -> Option<usize> {
+                                if neg {
+                                    c.checked_sub(1)
+                                } else if c + 1 < dim {
+                                    Some(c + 1)
+                                } else {
+                                    None
+                                }
+                            };
+                            let neighbor = match axis {
+                                0 => nb_coord(bx, nbx).map(|x| self.block_index(x, by, bz)),
+                                1 => nb_coord(by, nby).map(|y| self.block_index(bx, y, bz)),
+                                _ => nb_coord(bz, nbz).map(|z| self.block_index(bx, by, z)),
+                            };
+                            // gather the source plane
+                            let mut plane = vec![0.0; n * n];
+                            match neighbor {
+                                Some(src) => {
+                                    // neighbour's far interior plane
+                                    let sc = if neg { n - 1 } else { 0 };
+                                    let sb = &self.blocks[src];
+                                    for v in 0..n {
+                                        for u in 0..n {
+                                            let (i, j, k) = match axis {
+                                                0 => (sc, u, v),
+                                                1 => (u, sc, v),
+                                                _ => (u, v, sc),
+                                            };
+                                            plane[v * n + u] = sb.cell(var, i, j, k);
+                                        }
+                                    }
+                                }
+                                None => {
+                                    // outflow: copy own boundary interior plane
+                                    let sc = if neg { 0 } else { n - 1 };
+                                    let sb = &self.blocks[b];
+                                    for v in 0..n {
+                                        for u in 0..n {
+                                            let (i, j, k) = match axis {
+                                                0 => (sc, u, v),
+                                                1 => (u, sc, v),
+                                                _ => (u, v, sc),
+                                            };
+                                            plane[v * n + u] = sb.cell(var, i, j, k);
+                                        }
+                                    }
+                                }
+                            }
+                            // scatter into the ghost plane
+                            let gc = if neg { 0 } else { n + GHOST };
+                            let db = &mut self.blocks[b];
+                            for v in 0..n {
+                                for u in 0..n {
+                                    let (gi, gj, gk) = match axis {
+                                        0 => (gc, u + GHOST, v + GHOST),
+                                        1 => (u + GHOST, gc, v + GHOST),
+                                        _ => (u + GHOST, v + GHOST, gc),
+                                    };
+                                    *db.at_mut(var, gi, gj, gk) = plane[v * n + u];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let _ = NVARS; // (documented: only the hydro state is exchanged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let m = Mesh::new([2, 1, 1], 4, [2.0, 1.0, 1.0]);
+        assert_eq!(m.blocks.len(), 2);
+        assert_eq!(m.dx(), [0.25, 0.25, 0.25]);
+        assert_eq!(m.total_cells(), 128);
+        // first cell of second block starts at x = 1.0
+        let c = m.cell_center(1, 0, 0, 0);
+        assert!((c[0] - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_exchange_copies_neighbor_interior() {
+        let mut m = Mesh::new([2, 1, 1], 4, [2.0, 1.0, 1.0]);
+        // block 0 density 1, block 1 density 2
+        m.blocks[0].fill(FlowVar::Dens, 1.0);
+        m.blocks[1].fill(FlowVar::Dens, 2.0);
+        m.exchange_ghosts();
+        // block 0's +x ghost plane must hold 2.0 (from block 1)
+        let b0 = &m.blocks[0];
+        assert_eq!(b0.at(FlowVar::Dens, 4 + GHOST, GHOST, GHOST), 2.0);
+        // block 1's -x ghost plane must hold 1.0
+        let b1 = &m.blocks[1];
+        assert_eq!(b1.at(FlowVar::Dens, 0, GHOST, GHOST), 1.0);
+    }
+
+    #[test]
+    fn outflow_boundaries_copy_edge() {
+        let mut m = Mesh::new([1, 1, 1], 4, [1.0, 1.0, 1.0]);
+        // gradient in x: cell value = i
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    *m.blocks[0].cell_mut(FlowVar::Pres, i, j, k) = i as f64;
+                }
+            }
+        }
+        m.exchange_ghosts();
+        let b = &m.blocks[0];
+        assert_eq!(b.at(FlowVar::Pres, 0, GHOST, GHOST), 0.0); // -x ghost = cell 0
+        assert_eq!(b.at(FlowVar::Pres, 5, GHOST, GHOST), 3.0); // +x ghost = cell 3
+    }
+
+    #[test]
+    fn integral_scales_with_volume() {
+        let mut m = Mesh::new([2, 2, 2], 4, [1.0, 1.0, 1.0]);
+        for b in &mut m.blocks {
+            b.fill(FlowVar::Dens, 3.0);
+        }
+        assert!((m.integral(FlowVar::Dens) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_each_cell_covers_all() {
+        let m = Mesh::new([2, 1, 1], 3, [1.0, 1.0, 1.0]);
+        let mut count = 0;
+        m.for_each_cell(|_, _, _, _, c| {
+            count += 1;
+            assert!(c[0] > 0.0 && c[0] < 1.0);
+        });
+        assert_eq!(count, m.total_cells());
+    }
+}

@@ -1,0 +1,254 @@
+//! PARAMESH-style refinement machinery: flagging, prolongation,
+//! restriction.
+//!
+//! FLASH marks blocks for refinement with a normalized second-derivative
+//! (Löhner) criterion and moves data between levels with prolongation
+//! (parent → children, here trilinear injection) and restriction (children
+//! → parent, volume averaging). This module implements and tests those
+//! operators; the time integrator runs on the base level (see crate docs
+//! for the fidelity note).
+
+use crate::block::{Block, FlowVar, GHOST};
+use crate::mesh::Mesh;
+
+/// Normalized second-derivative refinement estimator of one block for one
+/// variable: `max |Δ²q| / (|Δq⁺| + |Δq⁻| + ε·|q|)` over interior cells and
+/// axes — the Löhner error estimator used by FLASH/PARAMESH.
+pub fn lohner_estimator(block: &Block, var: FlowVar, eps: f64) -> f64 {
+    let n = block.n;
+    let mut worst = 0.0f64;
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let (gi, gj, gk) = (i + GHOST, j + GHOST, k + GHOST);
+                for axis in 0..3 {
+                    let (pi, pj, pk, mi, mj, mk) = match axis {
+                        0 => (gi + 1, gj, gk, gi - 1, gj, gk),
+                        1 => (gi, gj + 1, gk, gi, gj - 1, gk),
+                        _ => (gi, gj, gk + 1, gi, gj, gk - 1),
+                    };
+                    let qc = block.at(var, gi, gj, gk);
+                    let qp = block.at(var, pi, pj, pk);
+                    let qm = block.at(var, mi, mj, mk);
+                    let num = (qp - 2.0 * qc + qm).abs();
+                    let den = (qp - qc).abs() + (qc - qm).abs() + eps * qc.abs();
+                    if den > 0.0 {
+                        worst = worst.max(num / den);
+                    }
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// Flags blocks whose density estimator exceeds `threshold`.
+pub fn flag_for_refinement(mesh: &Mesh, threshold: f64) -> Vec<bool> {
+    mesh.blocks
+        .iter()
+        .map(|b| lohner_estimator(b, FlowVar::Dens, 0.01) > threshold)
+        .collect()
+}
+
+/// Prolongation: fills 8 child blocks (2× finer) from a parent block by
+/// piecewise-constant injection (each parent cell maps to a 2×2×2 child
+/// cell group). Children are returned in z-major octant order.
+pub fn prolong(parent: &Block) -> [Block; 8] {
+    let n = parent.n;
+    assert!(n % 2 == 0, "block size must be even to refine");
+    let mut children: Vec<Block> = (0..8)
+        .map(|o| {
+            let mut c = Block::new(n, parent.coords);
+            c.level = parent.level + 1;
+            let _ = o;
+            c
+        })
+        .collect();
+    for var_idx in 0..crate::block::NVARS {
+        let var = [
+            FlowVar::Dens,
+            FlowVar::Velx,
+            FlowVar::Vely,
+            FlowVar::Velz,
+            FlowVar::Pres,
+            FlowVar::Ener,
+            FlowVar::Eint,
+            FlowVar::Temp,
+            FlowVar::Gamc,
+            FlowVar::Vort,
+        ][var_idx];
+        for (o, child) in children.iter_mut().enumerate() {
+            let ox = (o & 1) * n / 2;
+            let oy = ((o >> 1) & 1) * n / 2;
+            let oz = ((o >> 2) & 1) * n / 2;
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        let v = parent.cell(var, ox + i / 2, oy + j / 2, oz + k / 2);
+                        *child.cell_mut(var, i, j, k) = v;
+                    }
+                }
+            }
+        }
+    }
+    children.try_into().expect("exactly 8 children")
+}
+
+/// Restriction: rebuilds a parent block from its 8 children by volume
+/// averaging (the adjoint of piecewise-constant prolongation).
+pub fn restrict(children: &[Block; 8]) -> Block {
+    let n = children[0].n;
+    let mut parent = Block::new(n, children[0].coords);
+    parent.level = children[0].level.saturating_sub(1);
+    for var in [
+        FlowVar::Dens,
+        FlowVar::Velx,
+        FlowVar::Vely,
+        FlowVar::Velz,
+        FlowVar::Pres,
+        FlowVar::Ener,
+        FlowVar::Eint,
+        FlowVar::Temp,
+        FlowVar::Gamc,
+        FlowVar::Vort,
+    ] {
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    // which octant does this parent cell come from?
+                    let o = (i >= n / 2) as usize
+                        + 2 * ((j >= n / 2) as usize)
+                        + 4 * ((k >= n / 2) as usize);
+                    let ci = (i % (n / 2)) * 2;
+                    let cj = (j % (n / 2)) * 2;
+                    let ck = (k % (n / 2)) * 2;
+                    let child = &children[o];
+                    let mut sum = 0.0;
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                sum += child.cell(var, ci + dx, cj + dy, ck + dz);
+                            }
+                        }
+                    }
+                    *parent.cell_mut(var, i, j, k) = sum / 8.0;
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_field_not_flagged() {
+        let mut b = Block::new(8, [0, 0, 0]);
+        // linear field: zero second derivative
+        for k in 0..10 {
+            for j in 0..10 {
+                for i in 0..10 {
+                    *b.at_mut(FlowVar::Dens, i, j, k) = 1.0 + 0.1 * i as f64;
+                }
+            }
+        }
+        assert!(lohner_estimator(&b, FlowVar::Dens, 0.01) < 1e-9);
+    }
+
+    #[test]
+    fn discontinuity_flagged() {
+        let mut b = Block::new(8, [0, 0, 0]);
+        for k in 0..10 {
+            for j in 0..10 {
+                for i in 0..10 {
+                    *b.at_mut(FlowVar::Dens, i, j, k) = if i < 5 { 1.0 } else { 6.0 };
+                }
+            }
+        }
+        assert!(lohner_estimator(&b, FlowVar::Dens, 0.01) > 0.5);
+    }
+
+    #[test]
+    fn flagging_targets_shock_blocks() {
+        use crate::sedov::SedovSetup;
+        let mut m = Mesh::new([4, 4, 4], 8, [1.0, 1.0, 1.0]);
+        let s = SedovSetup::default();
+        s.init(&mut m);
+        // evolve a little so a shock shell exists
+        for _ in 0..20 {
+            let dt = crate::euler::cfl_dt(&m, 0.4);
+            crate::euler::step(&mut m, dt);
+        }
+        let flags = flag_for_refinement(&m, 0.6);
+        let flagged = flags.iter().filter(|&&f| f).count();
+        assert!(flagged > 0, "shock must flag blocks");
+        assert!(
+            flagged < m.blocks.len(),
+            "far-field blocks must stay unflagged"
+        );
+        // the central blocks (blast) should be among the flagged ones
+        let centre_flagged = (0..m.blocks.len())
+            .filter(|&b| flags[b])
+            .any(|b| m.blocks[b].coords.iter().all(|&c| c == 1 || c == 2));
+        assert!(centre_flagged);
+    }
+
+    #[test]
+    fn prolong_restrict_round_trips_constants() {
+        let mut parent = Block::new(8, [2, 3, 4]);
+        parent.fill(FlowVar::Dens, 5.0);
+        parent.fill(FlowVar::Pres, 2.0);
+        let children = prolong(&parent);
+        assert!(children.iter().all(|c| c.level == 1));
+        let back = restrict(&children);
+        for k in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    assert_eq!(back.cell(FlowVar::Dens, i, j, k), 5.0);
+                    assert_eq!(back.cell(FlowVar::Pres, i, j, k), 2.0);
+                }
+            }
+        }
+        assert_eq!(back.coords, [2, 3, 4]);
+        assert_eq!(back.level, 0);
+    }
+
+    #[test]
+    fn restriction_conserves_mean() {
+        // arbitrary pattern: restriction of prolongation preserves means,
+        // and restriction alone averages children exactly
+        let mut parent = Block::new(4, [0, 0, 0]);
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    *parent.cell_mut(FlowVar::Dens, i, j, k) = (i + 10 * j + 100 * k) as f64;
+                }
+            }
+        }
+        let children = prolong(&parent);
+        let back = restrict(&children);
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    assert_eq!(
+                        back.cell(FlowVar::Dens, i, j, k),
+                        parent.cell(FlowVar::Dens, i, j, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn octant_geometry() {
+        // child octant 0 covers the low corner of the parent
+        let mut parent = Block::new(4, [0, 0, 0]);
+        *parent.cell_mut(FlowVar::Dens, 0, 0, 0) = 9.0;
+        let children = prolong(&parent);
+        assert_eq!(children[0].cell(FlowVar::Dens, 0, 0, 0), 9.0);
+        assert_eq!(children[0].cell(FlowVar::Dens, 1, 1, 1), 9.0);
+        assert_eq!(children[7].cell(FlowVar::Dens, 0, 0, 0), parent.cell(FlowVar::Dens, 2, 2, 2));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench: the hydro substrate itself (cost per mesh step at two
+//! block counts, and one MD force step) — the simulation side of the
+//! coupling whose per-step time defines the Table-5 threshold base.
+
+use amrsim::euler::{cfl_dt, step};
+use amrsim::sedov::SedovSetup;
+use amrsim::FlashSim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdsim::{water_ions, BuilderParams};
+
+fn bench_hydro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_steps");
+    for &bps in &[2usize, 3] {
+        let mut sim = FlashSim::sedov(bps, 12, SedovSetup::default());
+        let dt = cfl_dt(&sim.mesh, 0.4);
+        g.bench_with_input(
+            BenchmarkId::new("euler_step_blocks", bps * bps * bps),
+            &dt,
+            |b, &dt| {
+                b.iter(|| step(&mut sim.mesh, dt));
+            },
+        );
+    }
+    for &n in &[4_000usize, 12_000] {
+        let mut sys = water_ions(&BuilderParams {
+            n_particles: n,
+            ..Default::default()
+        });
+        g.bench_with_input(BenchmarkId::new("md_step_atoms", n), &n, |b, _| {
+            b.iter(|| sys.step());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hydro
+}
+criterion_main!(benches);

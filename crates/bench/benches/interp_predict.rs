@@ -1,0 +1,55 @@
+//! Criterion bench: bilinear-interpolation prediction queries (Figure 2's
+//! machinery must be cheap enough to evaluate for every candidate scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfmodel::laws::{KernelLaw, MemoryLaw};
+use perfmodel::{KernelMeasurement, PerfPredictor};
+
+fn synth_grid() -> Vec<KernelMeasurement> {
+    let compute = KernelLaw::scalable(2e-6, 0.0);
+    let comm = KernelLaw {
+        a: 0.0,
+        b: 3e-4,
+        c: 1e-3,
+        d: 0.0,
+    };
+    let mem = MemoryLaw {
+        base: 1e6,
+        per_elem: 16.0,
+    };
+    let mut out = Vec::new();
+    for &p in &[256.0f64, 1024.0, 4096.0, 16384.0] {
+        let diameter = 4.0 + p.log2();
+        for &n in &[1e6, 4e6, 16e6, 64e6] {
+            out.push(KernelMeasurement {
+                problem_size: n,
+                procs: p,
+                diameter,
+                compute_time: compute.time(n, p),
+                comm_time: comm.time(n, p) + 1e-5 * diameter,
+                mem_bytes: mem.aggregate(n, p),
+            });
+        }
+    }
+    out
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let grid = synth_grid();
+    c.bench_function("predictor_build_4x4", |b| {
+        b.iter(|| PerfPredictor::from_measurements(std::hint::black_box(&grid)))
+    });
+    let pred = PerfPredictor::from_measurements(&grid);
+    c.bench_function("predictor_query", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                pred.compute_time(1e8, 32768.0)
+                    + pred.comm_time(1e8, 20.0)
+                    + pred.memory(1e8, 32768.0),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: solver time on the paper's scheduling instances.
+//!
+//! §5.3 reports CPLEX 12.6.1 solve times of 0.17–1.36 s across all the
+//! paper's instances. This bench times our from-scratch solver on the same
+//! instances (aggregate form); the reproduction claim is "well inside the
+//! paper's envelope".
+
+use bench::scale::paper_quoted;
+use criterion::{criterion_group, criterion_main, Criterion};
+use insitu_core::aggregate::solve_aggregate_counts;
+use insitu_types::{ResourceConfig, ScheduleProblem, GIB};
+use milp::SolveOptions;
+
+fn bench_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp_paper_instances");
+    let cases: Vec<(&str, ScheduleProblem)> = vec![
+        (
+            "table5_10pct",
+            ScheduleProblem::new(
+                paper_quoted::waterions_table5(),
+                ResourceConfig::from_total_threshold(1000, 64.69, 1024.0 * GIB, GIB),
+            )
+            .unwrap(),
+        ),
+        (
+            "table6_100s",
+            ScheduleProblem::new(
+                paper_quoted::rhodopsin_table6(),
+                ResourceConfig::from_total_threshold(1000, 100.0, 1024.0 * GIB, GIB),
+            )
+            .unwrap(),
+        ),
+        (
+            "table8_weighted",
+            ScheduleProblem::new(
+                paper_quoted::flash_table8([2.0, 1.0, 2.0]),
+                ResourceConfig::from_total_threshold(1000, 43.5, 1024.0 * GIB, GIB),
+            )
+            .unwrap(),
+        ),
+    ];
+    for (name, problem) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                solve_aggregate_counts(std::hint::black_box(&problem), &SolveOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_instances
+}
+criterion_main!(benches);

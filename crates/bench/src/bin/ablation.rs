@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the design-choice ablation report.
+fn main() {
+    println!("{}", bench::experiments::ablation::run().report);
+}

@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the fig2_interp experiment report.
+fn main() {
+    println!("{}", bench::experiments::fig2_interp::run().report);
+}

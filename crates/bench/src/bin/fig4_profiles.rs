@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the fig4_profiles experiment report.
+fn main() {
+    println!("{}", bench::experiments::fig4_profiles::run().report);
+}

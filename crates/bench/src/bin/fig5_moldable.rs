@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the fig5_moldable experiment report.
+fn main() {
+    println!("{}", bench::experiments::fig5_moldable::run().report);
+}

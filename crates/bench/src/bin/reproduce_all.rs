@@ -1,0 +1,4 @@
+//! Runs every table/figure reproduction and prints the combined report.
+fn main() {
+    println!("{}", bench::experiments::run_all());
+}

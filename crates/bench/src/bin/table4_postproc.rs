@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the table4_postproc experiment report.
+fn main() {
+    println!("{}", bench::experiments::table4_postproc::run().report);
+}

@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the table5_threshold experiment report.
+fn main() {
+    println!("{}", bench::experiments::table5_threshold::run().report);
+}

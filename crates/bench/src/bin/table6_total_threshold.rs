@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the Table-6 (total threshold) report.
+fn main() {
+    println!("{}", bench::experiments::table6_total::run().report);
+}

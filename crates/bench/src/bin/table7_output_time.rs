@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the Table-7 (output time) report.
+fn main() {
+    println!("{}", bench::experiments::table7_output::run().report);
+}

@@ -1,0 +1,4 @@
+//! Reproduction binary: prints the table8_weights experiment report.
+fn main() {
+    println!("{}", bench::experiments::table8_weights::run().report);
+}

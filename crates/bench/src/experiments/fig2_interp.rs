@@ -1,0 +1,211 @@
+//! Figure 2: bilinear-interpolation prediction accuracy.
+//!
+//! The paper measures a few (problem size × process count) points, fills
+//! the rest by bilinear interpolation, and reports <6 % compute-time and
+//! <8 % communication-time prediction error. We do the same with the real
+//! RDF kernel: measure it at a coarse grid of *local* problem sizes (a
+//! rank's share of the atoms), train the predictor, and validate against
+//! held-out measurements at intermediate scales. Communication times come
+//! from the machine model across the BG/Q partition diameters.
+
+use crate::table::TextTable;
+use machine::{Machine, Torus};
+use mdsim::analysis::a1_hydronium_rdf;
+use mdsim::{water_ions, BuilderParams};
+use perfmodel::{KernelMeasurement, PerfPredictor, PredictionErrors, Stopwatch};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+static CACHE: Mutex<Option<HashMap<usize, f64>>> = Mutex::new(None);
+
+fn cache_lock() -> MutexGuard<'static, Option<HashMap<usize, f64>>> {
+    CACHE.lock().expect("cache lock")
+}
+
+/// Seeds the measurement cache — lets tests drive the full pipeline with
+/// deterministic "measurements" instead of live (noisy) timings.
+pub fn seed_measurement(local_atoms: usize, seconds: f64) {
+    cache_lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(local_atoms, seconds);
+}
+
+/// The set of rank-local sizes `run_with_reps` will query, exposed so
+/// tests can seed all of them.
+pub fn local_sizes_queried() -> Vec<usize> {
+    let machine = Machine::mira();
+    let mut out = Vec::new();
+    for (sizes, nodes) in [
+        (TRAIN_SIZES.as_slice(), TRAIN_NODES.as_slice()),
+        (HOLDOUT_SIZES.as_slice(), HOLDOUT_NODES.as_slice()),
+    ] {
+        for &n in nodes {
+            let procs = machine.partition(n, 16).expect("block").ranks() as f64;
+            for &s in sizes {
+                out.push(((s / procs) as usize).max(256));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+const TRAIN_SIZES: [f64; 3] = [128.0e6, 256.0e6, 512.0e6];
+const TRAIN_NODES: [usize; 3] = [128, 512, 2048];
+const HOLDOUT_SIZES: [f64; 2] = [192.0e6, 384.0e6];
+const HOLDOUT_NODES: [usize; 2] = [256, 1024];
+
+/// Measures the RDF accumulate time at a given local atom count (min of
+/// `reps`), memoized per local size so the same rank-local workload
+/// always maps to one consistent measurement (as a profiling database
+/// would).
+fn measure_rdf(local_atoms: usize, reps: usize) -> f64 {
+    let mut guard = cache_lock();
+    let cache = guard.get_or_insert_with(std::collections::HashMap::new);
+    if let Some(&t) = cache.get(&local_atoms) {
+        return t;
+    }
+    let sys = water_ions(&BuilderParams {
+        n_particles: local_atoms,
+        ..Default::default()
+    });
+    let mut rdf = a1_hydronium_rdf();
+    rdf.accumulate(&sys); // warm-up
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let sw = Stopwatch::start();
+            rdf.accumulate(&sys);
+            sw.elapsed()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // min-of-reps: the most repeatable statistic for short timings (noise
+    // is strictly additive), which is what a profiling database would keep
+    let best = samples[0];
+    cache.insert(local_atoms, best);
+    best
+}
+
+fn grid(total_sizes: &[f64], node_counts: &[usize], machine: &Machine, reps: usize) -> Vec<KernelMeasurement> {
+    let mut out = Vec::new();
+    for &nodes in node_counts {
+        let part = machine.partition(nodes, 16).expect("BG/Q block");
+        let procs = part.ranks() as f64;
+        let diameter = part.topology.diameter() as f64;
+        for &n in total_sizes {
+            let local = (n / procs) as usize;
+            let compute = measure_rdf(local.max(256), reps);
+            let comm = machine.allreduce_time(3.0 * 100.0 * 8.0, &part);
+            // memory: histogram + cell-list bookkeeping per rank, aggregated
+            let mem = (3.0 * 100.0 * 8.0 + 32.0 * local as f64) * procs;
+            out.push(KernelMeasurement {
+                problem_size: n,
+                procs,
+                diameter,
+                compute_time: compute,
+                comm_time: comm,
+                mem_bytes: mem,
+            });
+        }
+    }
+    out
+}
+
+/// Experiment result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Compute-time prediction errors.
+    pub compute: PredictionErrors,
+    /// Communication-time prediction errors.
+    pub comm: PredictionErrors,
+    /// Memory prediction errors.
+    pub memory: PredictionErrors,
+    /// Printable report.
+    pub report: String,
+}
+
+/// Runs the experiment.
+pub fn run() -> Outcome {
+    run_with_reps(7)
+}
+
+/// Runs with a given number of timing repetitions (tests shrink this).
+pub fn run_with_reps(reps: usize) -> Outcome {
+    let machine = Machine::mira();
+    // train: coarse grid, validate: intermediate points. Sizes and node
+    // counts are chosen so every rank-local share stays >= ~4k atoms —
+    // below that, fixed cell-list overheads bend the power law exactly
+    // like sub-second kernels polluted the paper's own measurements.
+    let train = grid(&TRAIN_SIZES, &TRAIN_NODES, &machine, reps);
+    let holdout = grid(&HOLDOUT_SIZES, &HOLDOUT_NODES, &machine, reps);
+    let predictor = PerfPredictor::from_measurements(&train);
+    let (compute, comm, memory) = predictor.validate(&holdout);
+
+    let mut t = TextTable::new(&["quantity", "mean err %", "max err %", "paper bound %"]);
+    t.row(&[
+        "compute time".into(),
+        format!("{:.2}", compute.mean_percent()),
+        format!("{:.2}", compute.max_percent()),
+        "< 6".into(),
+    ]);
+    t.row(&[
+        "communication time".into(),
+        format!("{:.2}", comm.mean_percent()),
+        format!("{:.2}", comm.max_percent()),
+        "< 8".into(),
+    ]);
+    t.row(&[
+        "memory".into(),
+        format!("{:.2}", memory.mean_percent()),
+        format!("{:.2}", memory.max_percent()),
+        "(none quoted)".into(),
+    ]);
+    let report = format!(
+        "RDF kernel measured at {} train points (real executions of the\n\
+         rank-local share), validated on {} held-out points; communication\n\
+         via the BG/Q torus model over partition diameters {:?}.\n{}",
+        train.len(),
+        holdout.len(),
+        TRAIN_NODES
+            .iter()
+            .map(|&n| Torus::bgq_partition(n).unwrap().diameter())
+            .collect::<Vec<_>>(),
+        t.render()
+    );
+    Outcome {
+        compute,
+        comm,
+        memory,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_errors_in_paper_regime() {
+        // Seed the measurement cache with a deterministic kernel law plus
+        // 2% deterministic "measurement noise" — the test then checks the
+        // full pipeline (grid building, diameters, holdout validation)
+        // without depending on live wall-clock timings, which are noisy on
+        // shared CI boxes. The binary performs live measurements.
+        for local in local_sizes_queried() {
+            let noise = 1.0 + 0.02 * ((local as f64).sqrt().sin());
+            seed_measurement(local, 4.1e-6 * local as f64 * noise);
+        }
+        let o = run_with_reps(1);
+        assert!(
+            o.compute.max_percent() < 6.0,
+            "compute err {}%",
+            o.compute.max_percent()
+        );
+        // the comm model is analytic: interpolation over diameters must be
+        // well inside the paper's 8%
+        assert!(o.comm.max_percent() < 8.0, "comm err {}%", o.comm.max_percent());
+        assert!(o.memory.max_percent() < 12.0, "mem err {}%", o.memory.max_percent());
+        assert!(!o.compute.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 4: relative execution-time and memory profiles of all analyses.
+//!
+//! The paper's Figure 4 is a qualitative scatter of the ten analyses on a
+//! (time × memory) plane: A4 in the heavy corner, R1/F3 in the trivial
+//! corner, the RDFs and norms in between. We reproduce it from the
+//! paper-scale modeled profiles and render an ASCII scatter plus the raw
+//! numbers.
+
+use crate::scale::modeled;
+use crate::table::TextTable;
+use insitu_types::units::{fmt_bytes, fmt_seconds};
+use insitu_types::AnalysisProfile;
+use machine::Machine;
+
+/// One analysis point on the (time, memory) plane.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Analysis name.
+    pub name: String,
+    /// Per-analysis-step time (ct + amortized ot), seconds.
+    pub time: f64,
+    /// Peak memory footprint, bytes.
+    pub memory: f64,
+}
+
+/// Experiment result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All ten analyses.
+    pub points: Vec<Point>,
+    /// Printable report.
+    pub report: String,
+}
+
+fn point(p: &AnalysisProfile) -> Point {
+    Point {
+        name: p.name.clone(),
+        time: p.compute_time + p.output_time,
+        memory: p.fixed_mem + p.compute_mem + p.output_mem + p.step_mem * 100.0,
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Outcome {
+    let machine = Machine::mira();
+    let p16k = machine.partition_for_ranks(16_384).expect("partition");
+    let p32k = machine.partition_for_ranks(32_768).expect("partition");
+    let mut points: Vec<Point> = Vec::new();
+    points.extend(modeled::waterions(100e6, &p16k, &machine).iter().map(point));
+    points.extend(modeled::rhodopsin(1e9, &p32k, &machine).iter().map(point));
+    points.extend(
+        modeled::flash(4096.0 * 4096.0, &p16k, &machine)
+            .iter()
+            .map(point),
+    );
+
+    // numeric table
+    let mut t = TextTable::new(&["analysis", "time/step", "memory"]);
+    for p in &points {
+        t.row(&[p.name.clone(), fmt_seconds(p.time), fmt_bytes(p.memory)]);
+    }
+
+    // ASCII scatter (log-log), 48x14
+    const W: usize = 48;
+    const H: usize = 14;
+    let lt: Vec<f64> = points.iter().map(|p| p.time.max(1e-6).log10()).collect();
+    let lm: Vec<f64> = points.iter().map(|p| p.memory.max(1.0).log10()).collect();
+    let (t0, t1) = (
+        lt.iter().cloned().fold(f64::INFINITY, f64::min),
+        lt.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (m0, m1) = (
+        lm.iter().cloned().fold(f64::INFINITY, f64::min),
+        lm.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let mut canvas = vec![vec![' '; W]; H];
+    let labels = ["A1", "A2", "A3", "A4", "R1", "R2", "R3", "F1", "F2", "F3"];
+    for (i, p) in points.iter().enumerate() {
+        let x = (((lt[i] - t0) / (t1 - t0).max(1e-9)) * (W - 3) as f64) as usize;
+        let y = (((lm[i] - m0) / (m1 - m0).max(1e-9)) * (H - 1) as f64) as usize;
+        let row = H - 1 - y;
+        let label = labels.get(i).unwrap_or(&"??");
+        for (k, ch) in label.chars().enumerate() {
+            if x + k < W {
+                canvas[row][x + k] = ch;
+            }
+        }
+        let _ = p;
+    }
+    let mut scatter = String::from("memory ^ (log)  time -> (log)\n");
+    for row in canvas {
+        scatter.push('|');
+        scatter.extend(row);
+        scatter.push('\n');
+    }
+    scatter.push_str(&format!("+{}\n", "-".repeat(W)));
+
+    let report = format!(
+        "Per-analysis (time, memory) at paper scale (modeled from measured\n\
+         kernel unit costs):\n{}\n{}",
+        t.render(),
+        scatter
+    );
+    Outcome { points, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_profile_matches_figure4() {
+        let o = run();
+        assert_eq!(o.points.len(), 10);
+        let by_name = |needle: &str| {
+            o.points
+                .iter()
+                .find(|p| p.name.contains(needle))
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
+        let a1 = by_name("A1");
+        let a4 = by_name("A4");
+        let r1 = by_name("R1");
+        let f1 = by_name("F1");
+        let f2 = by_name("F2");
+        let f3 = by_name("F3");
+        // A4 sits in the heavy corner: more time AND more memory than A1
+        assert!(a4.time > a1.time * 10.0);
+        assert!(a4.memory > a1.memory);
+        // R1 is the cheapest of the rhodopsin analyses
+        assert!(r1.time < by_name("R2").time / 100.0);
+        // FLASH ordering F1 > F2 > F3
+        assert!(f1.time > f2.time && f2.time > f3.time);
+        assert!(o.report.contains("A4"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 5: strong scaling of the scheduled analyses (moldable jobs).
+//!
+//! 100 M-atom water+ions run at five sizes, 2048 → 32 768 cores; the
+//! threshold is fixed at 10 % of the (shrinking) simulation time, so the
+//! analysis budget shrinks as the job scales out. A1/A2 strong-scale, so
+//! they stay at frequency 10 throughout; A4 does not scale, so its
+//! frequency collapses from 10 at 2 048 cores to 1 at 32 768 — that is
+//! exactly the stacked-bar shape of the paper's Figure 5.
+//!
+//! This experiment exercises the full pipeline: measured kernel unit
+//! costs → machine model → profiles → optimizer.
+
+use crate::scale::modeled;
+use crate::table::TextTable;
+use insitu_core::{Advisor, AdvisorOptions};
+use insitu_types::{ResourceConfig, ScheduleProblem};
+use machine::Machine;
+
+/// Paper inputs: (cores, simulation seconds per step).
+pub const CORE_COUNTS: [(usize, f64); 5] = [
+    (2048, 4.16),
+    (4096, 2.12),
+    (8192, 1.08),
+    (16384, 0.61),
+    (32768, 0.40),
+];
+
+/// Paper's recommended A4 frequencies at those core counts (10 → 1).
+pub const PAPER_A4: [usize; 5] = [10, 8, 4, 2, 1];
+
+/// Number of atoms in the problem.
+pub const N_ATOMS: f64 = 100e6;
+
+/// One reproduced bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Core count.
+    pub cores: usize,
+    /// Counts of (A1, A2, A4).
+    pub counts: [usize; 3],
+    /// Stacked per-analysis total seconds (A1, A2, A4).
+    pub times: [f64; 3],
+    /// Budget at this scale.
+    pub budget: f64,
+}
+
+/// Experiment result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// One bar per core count.
+    pub bars: Vec<Bar>,
+    /// Printable report.
+    pub report: String,
+}
+
+/// Runs the experiment.
+pub fn run() -> Outcome {
+    let machine = Machine::mira();
+    let advisor = Advisor::new(AdvisorOptions::default());
+    let mut bars = Vec::new();
+    let mut t = TextTable::new(&[
+        "cores",
+        "budget (s)",
+        "A1",
+        "A2",
+        "A4",
+        "tA1 (s)",
+        "tA2 (s)",
+        "tA4 (s)",
+        "| paper A4",
+    ]);
+    for (idx, &(cores, step_time)) in CORE_COUNTS.iter().enumerate() {
+        let part = machine
+            .partition_for_ranks(cores)
+            .expect("paper core counts map to BG/Q partitions");
+        let mut profiles = modeled::waterions(N_ATOMS, &part, &machine);
+        // Figure 5 schedules A1, A2 and A4 (A3 is not shown)
+        profiles.remove(2);
+        let sim_time = step_time * 1000.0;
+        let budget = 0.10 * sim_time;
+        let problem = ScheduleProblem::new(
+            profiles.clone(),
+            ResourceConfig::from_total_threshold(
+                1000,
+                budget,
+                machine.analysis_memory(&part, 8.0 * 1024.0f64.powi(3)),
+                machine.write_bandwidth(&part, machine::StorageTier::ParallelFs),
+            ),
+        )
+        .expect("valid problem");
+        let rec = advisor.recommend(&problem).expect("solvable");
+        let times: Vec<f64> = (0..3)
+            .map(|i| {
+                profiles[i].total_time(1000, rec.counts[i], rec.output_counts[i])
+            })
+            .collect();
+        let bar = Bar {
+            cores,
+            counts: [rec.counts[0], rec.counts[1], rec.counts[2]],
+            times: [times[0], times[1], times[2]],
+            budget,
+        };
+        t.row(&[
+            cores.to_string(),
+            format!("{budget:.1}"),
+            bar.counts[0].to_string(),
+            bar.counts[1].to_string(),
+            bar.counts[2].to_string(),
+            format!("{:.2}", bar.times[0]),
+            format!("{:.2}", bar.times[1]),
+            format!("{:.2}", bar.times[2]),
+            format!("| {}", PAPER_A4[idx]),
+        ]);
+        bars.push(bar);
+    }
+    let report = format!(
+        "Water+ions, 100M atoms, threshold = 10% of simulation time; profiles\n\
+         modeled from measured kernel unit costs + the Mira machine model.\n{}",
+        t.render()
+    );
+    Outcome { bars, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a4_frequency_collapses_with_scale() {
+        let o = run();
+        assert_eq!(o.bars.len(), 5);
+        // A1/A2 strong-scale: max frequency everywhere
+        for b in &o.bars {
+            assert_eq!(b.counts[0], 10, "A1 @ {} cores", b.cores);
+            assert_eq!(b.counts[1], 10, "A2 @ {} cores", b.cores);
+            // within budget
+            let total: f64 = b.times.iter().sum();
+            assert!(total <= b.budget * 1.001, "{total} > {}", b.budget);
+        }
+        let a4: Vec<usize> = o.bars.iter().map(|b| b.counts[2]).collect();
+        assert!(a4.windows(2).all(|w| w[0] >= w[1]), "A4 decays: {a4:?}");
+        assert!(
+            a4[0] >= 5,
+            "large budget at 2048 cores fits many A4 runs: {a4:?}"
+        );
+        assert!(a4[4] <= 2, "tight budget at 32768 cores: {a4:?}");
+        assert!(a4[0] > a4[4], "the collapse is the Figure-5 story");
+    }
+
+    #[test]
+    fn a4_time_is_flat_while_budget_shrinks() {
+        // the paper's explanation: "the MSD analyses (A4) does not scale
+        // and takes similar times on all core counts"
+        let o = run();
+        let per_run_small = o.bars[0].times[2] / o.bars[0].counts[2].max(1) as f64;
+        let per_run_large = o.bars[4].times[2] / o.bars[4].counts[2].max(1) as f64;
+        assert!(
+            (per_run_small / per_run_large - 1.0).abs() < 0.25,
+            "A4 per-run time flat: {per_run_small} vs {per_run_large}"
+        );
+    }
+}

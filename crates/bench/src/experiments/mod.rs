@@ -1,0 +1,45 @@
+//! One module per paper table/figure. Each returns a structured result
+//! plus a printable report, so the `src/bin` wrappers stay thin and the
+//! integration tests can assert on the *shape* of every experiment.
+
+pub mod ablation;
+pub mod fig2_interp;
+pub mod fig4_profiles;
+pub mod fig5_moldable;
+pub mod table4_postproc;
+pub mod table5_threshold;
+pub mod table6_total;
+pub mod table7_output;
+pub mod table8_weights;
+
+/// Runs every experiment and concatenates the reports (the
+/// `reproduce_all` binary).
+pub fn run_all() -> String {
+    let mut out = String::new();
+    let sections: [(&str, fn() -> String); 9] = [
+        ("Figure 2 (interpolation accuracy)", || {
+            fig2_interp::run().report
+        }),
+        ("Figure 4 (relative analysis profiles)", || {
+            fig4_profiles::run().report
+        }),
+        ("Table 4 (post-processing vs in-situ)", || {
+            table4_postproc::run().report
+        }),
+        ("Table 5 (threshold % sweep)", || table5_threshold::run().report),
+        ("Figure 5 (moldable jobs / strong scaling)", || {
+            fig5_moldable::run().report
+        }),
+        ("Table 6 (total threshold sweep)", || table6_total::run().report),
+        ("Table 7 (output time vs analyses)", || {
+            table7_output::run().report
+        }),
+        ("Table 8 (importance weights)", || table8_weights::run().report),
+        ("Ablations (design choices)", || ablation::run().report),
+    ];
+    for (title, f) in sections {
+        out.push_str(&format!("\n=== {title} ===\n"));
+        out.push_str(&f());
+    }
+    out
+}

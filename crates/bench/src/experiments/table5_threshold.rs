@@ -1,0 +1,122 @@
+//! Table 5: analyses frequencies vs threshold (% of simulation time).
+//!
+//! 100 M-atom water+ions on 16 384 cores of Mira, 1000 steps, equal
+//! weights, `itv = 100`. The paper's total simulation time is 646.78 s;
+//! thresholds 20/10/5/1 % of that. Expected shape: A1–A3 pinned at 10
+//! (max frequency), A4 decaying with the threshold and dropping to 0 at
+//! 1 %, actual analysis time always within the threshold.
+
+use crate::scale::paper_quoted;
+use crate::table::TextTable;
+use insitu_core::{Advisor, AdvisorOptions};
+use insitu_types::{ResourceConfig, ScheduleProblem, GIB};
+
+/// Paper's Table 5 rows: (threshold %, A1, A2, A3, A4, analyses time, % within).
+pub const PAPER_ROWS: [(f64, usize, usize, usize, usize, f64, f64); 4] = [
+    (20.0, 10, 10, 10, 4, 103.47, 80.0),
+    (10.0, 10, 10, 10, 2, 52.79, 81.6),
+    (5.0, 10, 10, 10, 1, 27.45, 84.87),
+    (1.0, 10, 10, 10, 0, 2.11, 32.66),
+];
+
+/// Total simulation time for 1000 steps on 16 384 cores (paper §5.3.2).
+pub const SIM_TIME: f64 = 646.78;
+
+/// One reproduced row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Threshold as a percentage of simulation time.
+    pub threshold_pct: f64,
+    /// Recommended counts for A1..A4.
+    pub counts: [usize; 4],
+    /// Predicted total analyses time.
+    pub analyses_time: f64,
+    /// Percentage of the threshold actually used.
+    pub within_pct: f64,
+}
+
+/// Experiment result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Reproduced rows, same order as [`PAPER_ROWS`].
+    pub rows: Vec<Row>,
+    /// Printable report.
+    pub report: String,
+}
+
+/// Runs the experiment.
+pub fn run() -> Outcome {
+    let advisor = Advisor::new(AdvisorOptions::default());
+    let mut rows = Vec::new();
+    let mut t = TextTable::new(&[
+        "Threshold % (s)",
+        "A1",
+        "A2",
+        "A3",
+        "A4",
+        "time (s)",
+        "% within",
+        "| paper A1-A4",
+        "paper time",
+        "paper %",
+    ]);
+    for &(pct, pa1, pa2, pa3, pa4, ptime, ppct) in &PAPER_ROWS {
+        let budget = SIM_TIME * pct / 100.0;
+        let problem = ScheduleProblem::new(
+            paper_quoted::waterions_table5(),
+            ResourceConfig::from_total_threshold(1000, budget, 1024.0 * GIB, GIB),
+        )
+        .expect("valid problem");
+        let rec = advisor.recommend(&problem).expect("solvable");
+        let row = Row {
+            threshold_pct: pct,
+            counts: [rec.counts[0], rec.counts[1], rec.counts[2], rec.counts[3]],
+            analyses_time: rec.predicted_time,
+            within_pct: rec.budget_utilization_percent(),
+        };
+        t.row(&[
+            format!("{pct} ({budget:.2})"),
+            row.counts[0].to_string(),
+            row.counts[1].to_string(),
+            row.counts[2].to_string(),
+            row.counts[3].to_string(),
+            format!("{:.2}", row.analyses_time),
+            format!("{:.1}", row.within_pct),
+            format!("| {pa1} {pa2} {pa3} {pa4}"),
+            format!("{ptime:.2}"),
+            format!("{ppct}"),
+        ]);
+        rows.push(row);
+    }
+    let report = format!(
+        "Water+ions, 100M atoms, 16384 cores, 1000 steps, itv=100.\n\
+         Inputs reverse-engineered from the paper's own Table 5 (see scale::paper_quoted).\n{}",
+        t.render()
+    );
+    Outcome { rows, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let o = run();
+        assert_eq!(o.rows.len(), 4);
+        for r in &o.rows {
+            // A1–A3 always at max frequency
+            assert_eq!(r.counts[0], 10, "A1 @ {}%", r.threshold_pct);
+            assert_eq!(r.counts[1], 10);
+            assert_eq!(r.counts[2], 10);
+            // never exceeds the threshold
+            assert!(r.within_pct <= 100.0 + 1e-9);
+        }
+        // A4 decays monotonically and hits 0 at 1%
+        let a4: Vec<usize> = o.rows.iter().map(|r| r.counts[3]).collect();
+        assert!(a4.windows(2).all(|w| w[0] >= w[1]), "A4 decays: {a4:?}");
+        assert!(a4[0] >= 4, "generous threshold fits at least the paper's 4");
+        assert_eq!(a4[3], 0, "A4 infeasible at 1%");
+        assert!(o.report.contains("A4"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmark & reproduction harness.
+//!
+//! One binary per paper table/figure (see `src/bin/`), backed by this
+//! library:
+//!
+//! * [`measure`] — runs the *real* mdsim/amrsim kernels at laptop scale and
+//!   extracts per-element unit costs (the workspace's HPM profiling pass),
+//! * [`scale`] — combines those unit costs with the [`machine`] model
+//!   (partition sizes, network diameters, collective and I/O costs) to
+//!   produce paper-scale [`insitu_types::AnalysisProfile`]s — the same
+//!   measure-small/predict-big methodology as the paper's §4,
+//! * [`table`] — text-table formatting for the reproduction reports.
+//!
+//! Absolute numbers will differ from the paper (its substrate was a Blue
+//! Gene/Q; ours is a calibrated model), but each binary prints the paper's
+//! values next to ours so the *shape* — who wins, what decays, where the
+//! crossovers sit — can be compared directly.
+
+pub mod experiments;
+pub mod measure;
+pub mod scale;
+pub mod table;

@@ -1,0 +1,313 @@
+//! Paper-scale profile construction.
+//!
+//! Two independent sources for the Table-1 inputs of each experiment:
+//!
+//! * [`paper_quoted`] — the values the paper itself states (Table 5's
+//!   implied per-analysis costs, Table 6's "0.003 / 17.193 / 17.194 sec",
+//!   Table 8's "3.5 s / 1.25 s / 2.3 ms"). Feeding these into OUR solver
+//!   isolates the scheduling formulation: its recommendations can be
+//!   compared row-by-row against the paper's tables.
+//! * [`modeled`] — profiles synthesized from the measured unit costs of
+//!   the real mini-app kernels ([`crate::measure`]) extrapolated through
+//!   the [`machine`] model (partition size, network diameter, collective
+//!   and storage costs). Feeding these exercises the full pipeline:
+//!   measurement → performance model → machine model → scheduler.
+
+use insitu_types::{AnalysisProfile, Seconds, GIB, KIB, MIB};
+use machine::{Machine, Partition, StorageTier};
+
+use crate::measure::unit_costs;
+
+/// The paper's standard run length.
+pub const STEPS: usize = 1000;
+/// The paper's standard minimum interval between analyses.
+pub const ITV: usize = 100;
+
+/// Profiles built from values the paper states directly.
+pub mod paper_quoted {
+    use super::*;
+
+    /// Table 5's four water+ions analyses (100 M atoms, 16 384 cores).
+    /// Unit costs reverse-engineered from the table itself: A1–A3 cost
+    /// ~2.11 s for 30 executions total; A4's marginal cost is ~25.3 s
+    /// (e.g. 52.79 − 27.45 ≈ 25.3 between the A4=2 and A4=1 rows).
+    pub fn waterions_table5() -> Vec<AnalysisProfile> {
+        let mk = |name: &str, ct: Seconds, ot: Seconds, cm: f64| {
+            AnalysisProfile::new(name)
+                .with_compute(ct, cm)
+                .with_output(ot, cm / 4.0, 1)
+                .with_interval(ITV)
+        };
+        vec![
+            mk("hydronium rdf (A1)", 0.065, 0.005, 0.1 * GIB),
+            mk("ion rdf (A2)", 0.065, 0.005, 0.1 * GIB),
+            mk("vacf (A3)", 0.066, 0.005, 0.2 * GIB),
+            mk("msd (A4)", 20.0, 5.34, 8.0 * GIB),
+        ]
+    }
+
+    /// Table 6's three rhodopsin analyses (1 B atoms, 32 768 cores): the
+    /// paper quotes analysis+output times 0.003 / 17.193 / 17.194 s.
+    pub fn rhodopsin_table6() -> Vec<AnalysisProfile> {
+        let mk = |name: &str, ct: Seconds, ot: Seconds, cm: f64| {
+            AnalysisProfile::new(name)
+                .with_compute(ct, cm)
+                .with_output(ot, cm / 4.0, 1)
+                .with_interval(ITV)
+        };
+        vec![
+            mk("radius of gyration (R1)", 0.002, 0.001, MIB),
+            mk("membrane histogram (R2)", 12.0, 5.193, 2.0 * GIB),
+            mk("protein histogram (R3)", 12.0, 5.194, 2.0 * GIB),
+        ]
+    }
+
+    /// Table 8's three FLASH analyses (16 384 cores): compute times
+    /// 3.5 s / 1.25 s / 2.3 ms, output costs chosen as in §5.3.6's
+    /// "taking into account the analyses and output times".
+    pub fn flash_table8(weights: [f64; 3]) -> Vec<AnalysisProfile> {
+        let mk = |name: &str, ct: Seconds, ot: Seconds, w: f64| {
+            AnalysisProfile::new(name)
+                .with_compute(ct, 0.5 * GIB)
+                .with_output(ot, 0.1 * GIB, 1)
+                .with_interval(ITV)
+                .with_weight(w)
+        };
+        vec![
+            mk("vorticity (F1)", 3.5, 0.5, weights[0]),
+            mk("L1 error norm (F2)", 1.25, 1.25, weights[1]),
+            mk("L2 error norm (F3)", 0.0023, 0.0027, weights[2]),
+        ]
+    }
+}
+
+/// Profiles synthesized from measured kernel unit costs + machine model.
+pub mod modeled {
+    use super::*;
+
+    /// Fraction of water+ions atoms that are tracked ionic species
+    /// (hydronium + ions, ~4 % per the builder).
+    const IONIC_FRACTION: f64 = 0.04;
+
+    /// Water+ions analyses (A1–A4) at `n_atoms` on `part`.
+    pub fn waterions(n_atoms: f64, part: &Partition, mach: &Machine) -> Vec<AnalysisProfile> {
+        let u = unit_costs();
+        let ranks = part.ranks() as f64;
+        let local = n_atoms / ranks;
+        let tracked = n_atoms * IONIC_FRACTION;
+
+        // A1/A2: RDF — embarrassingly parallel pass + histogram allreduce.
+        let hist_bytes = 3.0 * 100.0 * 8.0;
+        let rdf_ct = u.rdf_per_particle * local + mach.allreduce_time(hist_bytes, part);
+        let rdf_out_bytes = 16.0 * KIB;
+        let rdf = |name: &str| {
+            AnalysisProfile::new(name)
+                .with_compute(rdf_ct, 64.0 * MIB)
+                .with_output(
+                    mach.write_time(rdf_out_bytes, part, StorageTier::ParallelFs),
+                    rdf_out_bytes,
+                    1,
+                )
+                .with_interval(ITV)
+        };
+
+        // A3: VACF — per-step velocity copy (it/im), windowed correlation.
+        let window = 16.0;
+        let copy_bytes_rank = 3.0 * 8.0 * local;
+        let mem_bw = 8.0e9; // bytes/s per rank for the history memcpy
+        let vacf_it = copy_bytes_rank / mem_bw;
+        let vacf_im = 3.0 * 8.0 * n_atoms; // aggregate bytes appended per step
+        let vacf_ct =
+            u.vacf_per_particle * local * window + mach.allreduce_time(8.0 * window, part);
+        let vacf_out = 64.0 * KIB;
+        let vacf = AnalysisProfile::new("vacf (A3)")
+            .with_per_step(vacf_it, vacf_im / STEPS as f64)
+            .with_compute(vacf_ct, 0.0)
+            .with_output(
+                mach.write_time(vacf_out, part, StorageTier::ParallelFs),
+                vacf_out,
+                1,
+            )
+            .with_interval(ITV);
+
+        // A4: MSD — the non-scaling kernel: per-molecule displacement
+        // series are gathered and correlated over ALL tracked particles
+        // against many time origins (multiple-origin averaging is what
+        // makes production MSD expensive), so the cost is O(tracked ×
+        // origins) independent of the core count (§5.3.3: "takes similar
+        // times on all core counts").
+        let origins = 512.0;
+        let msd_ct = u.msd_per_particle * tracked * origins;
+        let msd_fm = 3.0 * 8.0 * tracked; // reference positions, aggregate
+        let msd_out_bytes = 8.0 * tracked / 100.0;
+        let msd = AnalysisProfile::new("msd (A4)")
+            .with_fixed(0.0, msd_fm)
+            .with_compute(msd_ct, 0.5 * msd_fm)
+            .with_output(
+                mach.write_time(msd_out_bytes, part, StorageTier::ParallelFs),
+                msd_out_bytes,
+                1,
+            )
+            .with_interval(ITV);
+
+        vec![
+            rdf("hydronium rdf (A1)"),
+            rdf("ion rdf (A2)"),
+            vacf,
+            msd,
+        ]
+    }
+
+    /// Rhodopsin analyses (R1–R3) at `n_atoms` on `part`.
+    pub fn rhodopsin(n_atoms: f64, part: &Partition, mach: &Machine) -> Vec<AnalysisProfile> {
+        let u = unit_costs();
+        let ranks = part.ranks() as f64;
+        // builder geometry: ~0.7% protein, ~20% membrane of all atoms
+        let protein = n_atoms * 0.007;
+        let membrane = n_atoms * 0.20;
+
+        let r1_ct = u.gyration_per_particle * protein / ranks + mach.allreduce_time(32.0, part);
+        let r1 = AnalysisProfile::new("radius of gyration (R1)")
+            .with_compute(r1_ct, MIB)
+            .with_output(
+                mach.write_time(KIB, part, StorageTier::ParallelFs),
+                KIB,
+                1,
+            )
+            .with_interval(ITV);
+
+        // R2/R3: high-resolution stacked 2-D histograms; the dominant cost
+        // at scale is the grid reduction + output of the full grid stack.
+        let grid_bytes = 4096.0 * 4096.0 * 8.0; // one plane
+        let planes = 16.0; // slab-resolved stack
+        let hist = |name: &str, subset: f64| {
+            let ct = u.histogram_per_particle * subset / ranks
+                + mach.allreduce_time(grid_bytes, part) * planes;
+            let out_bytes = grid_bytes * planes;
+            AnalysisProfile::new(name)
+                .with_compute(ct, grid_bytes * planes)
+                .with_output(
+                    mach.write_time(out_bytes, part, StorageTier::ParallelFs),
+                    out_bytes,
+                    1,
+                )
+                .with_interval(ITV)
+        };
+        vec![
+            r1,
+            hist("membrane histogram (R2)", membrane),
+            hist("protein histogram (R3)", protein),
+        ]
+    }
+
+    /// FLASH Sedov analyses (F1–F3) at `n_cells` on `part`.
+    pub fn flash(n_cells: f64, part: &Partition, mach: &Machine) -> Vec<AnalysisProfile> {
+        let u = unit_costs();
+        let ranks = part.ranks() as f64;
+        let local = n_cells / ranks;
+        let f1_ct = u.vorticity_per_cell * local + mach.allreduce_time(16.0, part);
+        let f2_ct = u.l1_per_cell * local + mach.allreduce_time(16.0, part);
+        let f3_ct = u.l2_per_cell * local / 512.0 + mach.allreduce_time(24.0, part);
+        let mk = |name: &str, ct: f64, out_bytes: f64| {
+            AnalysisProfile::new(name)
+                .with_compute(ct, 8.0 * local)
+                .with_output(
+                    mach.write_time(out_bytes, part, StorageTier::ParallelFs),
+                    out_bytes,
+                    1,
+                )
+                .with_interval(ITV)
+        };
+        vec![
+            mk("vorticity (F1)", f1_ct, 8.0 * n_cells / 64.0),
+            mk("L1 error norm (F2)", f2_ct, 4.0 * KIB),
+            mk("L2 error norm (F3)", f3_ct, 4.0 * KIB),
+        ]
+    }
+
+    /// MD simulation time per step at `n_atoms` on `part` (for thresholds
+    /// expressed as a fraction of simulation time).
+    pub fn md_step_time(n_atoms: f64, part: &Partition) -> Seconds {
+        unit_costs().md_step_per_particle * n_atoms / part.ranks() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mira_16k() -> (Machine, Partition) {
+        let m = Machine::mira();
+        let p = m.partition_for_ranks(16_384).unwrap();
+        (m, p)
+    }
+
+    #[test]
+    fn modeled_waterions_shape_matches_paper() {
+        let (m, p) = mira_16k();
+        let profiles = modeled::waterions(100e6, &p, &m);
+        assert_eq!(profiles.len(), 4);
+        let a1 = &profiles[0];
+        let a4 = &profiles[3];
+        // A4 is the expensive, memory-hungry one (paper §5.3.2)
+        assert!(
+            a4.compute_time > 10.0 * a1.compute_time,
+            "A4 {} vs A1 {}",
+            a4.compute_time,
+            a1.compute_time
+        );
+        assert!(a4.fixed_mem > a1.compute_mem);
+        for pr in &profiles {
+            pr.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn a4_does_not_scale_with_cores() {
+        // Fig. 5: A4 takes similar times on all core counts
+        let m = Machine::mira();
+        let p_small = m.partition_for_ranks(2048 * 16 / 16).unwrap(); // 2048 ranks? use 2048 cores
+        let p_small = {
+            let _ = p_small;
+            m.partition(128, 16).unwrap() // 2048 ranks
+        };
+        let p_big = m.partition(2048, 16).unwrap(); // 32768 ranks
+        let small = modeled::waterions(100e6, &p_small, &m);
+        let big = modeled::waterions(100e6, &p_big, &m);
+        let ratio_a4 = small[3].compute_time / big[3].compute_time;
+        let ratio_a1 = small[0].compute_time / big[0].compute_time;
+        assert!((ratio_a4 - 1.0).abs() < 0.05, "A4 must be flat: {ratio_a4}");
+        assert!(ratio_a1 > 4.0, "A1 must strong-scale: {ratio_a1}");
+    }
+
+    #[test]
+    fn rhodopsin_r1_is_cheapest() {
+        let m = Machine::mira();
+        let p = m.partition(2048, 16).unwrap();
+        let profiles = modeled::rhodopsin(1e9, &p, &m);
+        let unit = |a: &AnalysisProfile| a.compute_time + a.output_time;
+        assert!(unit(&profiles[0]) < unit(&profiles[1]) / 100.0);
+        assert!(unit(&profiles[1]) > 1.0, "R2 in the seconds regime at 1B atoms");
+    }
+
+    #[test]
+    fn flash_cost_ordering_f1_f2_f3() {
+        let (m, p) = mira_16k();
+        // paper-scale-ish cell count: 16384^... use 4096 blocks of 16^3
+        let profiles = modeled::flash(4096.0 * 4096.0, &p, &m);
+        assert!(profiles[0].compute_time > profiles[1].compute_time);
+        assert!(profiles[1].compute_time > profiles[2].compute_time);
+    }
+
+    #[test]
+    fn paper_quoted_sets_validate() {
+        for p in paper_quoted::waterions_table5()
+            .into_iter()
+            .chain(paper_quoted::rhodopsin_table6())
+            .chain(paper_quoted::flash_table8([1.0, 1.0, 1.0]))
+        {
+            p.validate().unwrap();
+            assert_eq!(p.min_interval, ITV);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The high-level API: "given these analyses and this machine, what should
+//! I run in-situ, how often, and when should it write output?"
+
+use insitu_types::{Schedule, ScheduleProblem};
+use milp::{SolveError, SolveOptions};
+
+use crate::aggregate::solve_aggregate_counts;
+use crate::formulation::solve_exact;
+use crate::placement::place_schedule;
+use crate::validate::{validate_schedule, ValidationReport};
+
+/// Advisor configuration.
+#[derive(Debug, Clone)]
+pub struct AdvisorOptions {
+    /// Options forwarded to the MILP solver.
+    pub solver: SolveOptions,
+    /// Use the exact time-indexed formulation whenever
+    /// `Steps <= exact_steps_limit`; otherwise the aggregate reformulation.
+    /// The aggregate path is exact for the model (see its module docs) and
+    /// vastly cheaper, so the default keeps this low.
+    pub exact_steps_limit: usize,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> Self {
+        AdvisorOptions {
+            solver: SolveOptions::default(),
+            exact_steps_limit: 0,
+        }
+    }
+}
+
+/// Errors surfaced by the advisor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvisorError {
+    /// The underlying MILP failed (infeasible models are reported as an
+    /// empty recommendation instead, not an error).
+    Solver(SolveError),
+    /// A solved schedule failed independent certification — indicates a
+    /// solver or formulation bug and should never occur.
+    CertificationFailed(Vec<String>),
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::Solver(e) => write!(f, "solver error: {e}"),
+            AdvisorError::CertificationFailed(v) => {
+                write!(f, "schedule failed certification: {v:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// A certified scheduling recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The concrete schedule (which steps each analysis runs/outputs at).
+    pub schedule: Schedule,
+    /// `|C_i|` per analysis — the "frequency" columns of the paper's tables.
+    pub counts: Vec<usize>,
+    /// `|O_i|` per analysis.
+    pub output_counts: Vec<usize>,
+    /// Objective value (Eq. 1).
+    pub objective: f64,
+    /// Predicted total in-situ analysis time (LHS of Eq. 4).
+    pub predicted_time: f64,
+    /// Full certification report.
+    pub report: ValidationReport,
+}
+
+impl Recommendation {
+    /// The paper's "% within threshold" metric.
+    pub fn budget_utilization_percent(&self) -> f64 {
+        self.report.budget_utilization() * 100.0
+    }
+
+    /// Total number of analysis executions across all analyses (Table 7's
+    /// "Number of analyses" column).
+    pub fn total_analyses(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// The scheduling advisor.
+#[derive(Debug, Clone, Default)]
+pub struct Advisor {
+    opts: AdvisorOptions,
+}
+
+impl Advisor {
+    /// Creates an advisor with the given options.
+    pub fn new(opts: AdvisorOptions) -> Self {
+        Advisor { opts }
+    }
+
+    /// Solves the scheduling problem and returns a certified
+    /// recommendation.
+    pub fn recommend(&self, problem: &ScheduleProblem) -> Result<Recommendation, AdvisorError> {
+        let schedule = if problem.resources.steps <= self.opts.exact_steps_limit {
+            let (s, _) = solve_exact(problem, &self.opts.solver).map_err(AdvisorError::Solver)?;
+            s
+        } else {
+            let agg = solve_aggregate_counts(problem, &self.opts.solver)
+                .map_err(AdvisorError::Solver)?;
+            place_schedule(problem, &agg.counts, &agg.output_counts)
+        };
+        let report = validate_schedule(problem, &schedule);
+        if !report.is_feasible() {
+            return Err(AdvisorError::CertificationFailed(report.violations));
+        }
+        let counts: Vec<usize> = schedule.per_analysis.iter().map(|s| s.count()).collect();
+        let output_counts: Vec<usize> = schedule
+            .per_analysis
+            .iter()
+            .map(|s| s.output_count())
+            .collect();
+        Ok(Recommendation {
+            objective: report.objective,
+            predicted_time: report.total_time,
+            counts,
+            output_counts,
+            report,
+            schedule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{AnalysisProfile, ResourceConfig, GIB};
+
+    fn table5_like(budget: f64) -> ScheduleProblem {
+        // Four analyses calibrated to the paper's Table-5 arithmetic:
+        // A1–A3 together cost ~2.11 s for 30 executions (~0.07 s/unit),
+        // A4 ~25.3 s per execution (103.47 s total at 20 % minus the rest).
+        let mk = |name: &str, ct: f64, ot: f64| {
+            AnalysisProfile::new(name)
+                .with_compute(ct, 0.5 * GIB)
+                .with_output(ot, 0.1 * GIB, 1)
+                .with_interval(100)
+        };
+        ScheduleProblem::new(
+            vec![
+                mk("A1", 0.065, 0.005),
+                mk("A2", 0.065, 0.005),
+                mk("A3", 0.066, 0.005),
+                mk("A4", 20.0, 5.34),
+            ],
+            ResourceConfig::from_total_threshold(1000, budget, 100.0 * GIB, GIB),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recommendation_is_certified_and_within_budget() {
+        let p = table5_like(64.7);
+        let rec = Advisor::default().recommend(&p).unwrap();
+        assert!(rec.report.is_feasible());
+        assert!(rec.predicted_time <= 64.7 + 1e-9);
+        assert_eq!(rec.counts[0], 10);
+        assert_eq!(rec.counts[1], 10);
+        assert_eq!(rec.counts[2], 10);
+        assert!(rec.counts[3] < 10);
+        assert!(rec.budget_utilization_percent() <= 100.0);
+    }
+
+    #[test]
+    fn threshold_sweep_reproduces_table5_shape() {
+        // A4's frequency decays as the threshold tightens; A1–A3 hold at 10
+        let mut a4_counts = Vec::new();
+        for budget in [129.35, 64.69, 32.34, 6.46] {
+            let p = table5_like(budget);
+            let rec = Advisor::default().recommend(&p).unwrap();
+            assert_eq!(rec.counts[0], 10, "A1 @ {budget}");
+            a4_counts.push(rec.counts[3]);
+        }
+        assert!(
+            a4_counts.windows(2).all(|w| w[0] >= w[1]),
+            "A4 must decay: {a4_counts:?}"
+        );
+        assert_eq!(*a4_counts.last().unwrap(), 0, "A4 infeasible at 1%");
+        assert!(a4_counts[0] > 0);
+    }
+
+    #[test]
+    fn exact_and_aggregate_agree_on_small_instances() {
+        let p = ScheduleProblem::new(
+            vec![
+                AnalysisProfile::new("a")
+                    .with_compute(1.0, 0.0)
+                    .with_output(0.5, 0.0, 1)
+                    .with_interval(4),
+                AnalysisProfile::new("b")
+                    .with_compute(3.0, 0.0)
+                    .with_output(0.5, 0.0, 1)
+                    .with_interval(6)
+                    .with_weight(2.0),
+            ],
+            ResourceConfig::from_total_threshold(24, 12.0, 1e9, 1e9),
+        )
+        .unwrap();
+        // Both weights are integers, so the objective is integral and an
+        // absolute gap just under 1 is still exact — it lets branch & bound
+        // prune the plateau of fractional nodes whose LP bound sits between
+        // the integer optimum and optimum+1.
+        let integral_gap = milp::SolveOptions {
+            abs_gap: 0.999,
+            ..Default::default()
+        };
+        let exact = Advisor::new(AdvisorOptions {
+            exact_steps_limit: 1000,
+            solver: integral_gap.clone(),
+        })
+        .recommend(&p)
+        .unwrap();
+        let agg = Advisor::new(AdvisorOptions {
+            solver: integral_gap,
+            ..Default::default()
+        })
+        .recommend(&p)
+        .unwrap();
+        assert_eq!(
+            exact.objective, agg.objective,
+            "exact {:?} vs aggregate {:?}",
+            exact.counts, agg.counts
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_yields_empty_recommendation() {
+        let p = table5_like(0.0);
+        let rec = Advisor::default().recommend(&p).unwrap();
+        assert_eq!(rec.total_analyses(), 0);
+        assert_eq!(rec.objective, 0.0);
+    }
+
+    #[test]
+    fn weights_flip_the_chosen_set() {
+        // Table-8 shape: paper step times (F1 3.5 s, F2 1.25 s, F3 2.3 ms)
+        // plus output costs chosen so the per-second value ordering flips
+        // between I1 = (1,1,1) and I2 = (2,1,2): under I2 the optimizer
+        // shifts budget from F2 to F1, the paper's headline observation.
+        let mk = |w1: f64, w2: f64, w3: f64| {
+            ScheduleProblem::new(
+                vec![
+                    AnalysisProfile::new("F1")
+                        .with_compute(3.5, 0.0)
+                        .with_output(0.5, 0.0, 1)
+                        .with_interval(100)
+                        .with_weight(w1),
+                    AnalysisProfile::new("F2")
+                        .with_compute(1.25, 0.0)
+                        .with_output(1.25, 0.0, 1)
+                        .with_interval(100)
+                        .with_weight(w2),
+                    AnalysisProfile::new("F3")
+                        .with_compute(0.0023, 0.0)
+                        .with_output(0.0027, 0.0, 1)
+                        .with_interval(100)
+                        .with_weight(w3),
+                ],
+                ResourceConfig::from_total_threshold(1000, 43.5, 1e12, 1e9),
+            )
+            .unwrap()
+        };
+        let equal = Advisor::default().recommend(&mk(1.0, 1.0, 1.0)).unwrap();
+        let biased = Advisor::default().recommend(&mk(2.0, 1.0, 2.0)).unwrap();
+        // under I2, F1 gains frequency at F2's expense (paper: 5, 0, 10)
+        assert!(
+            biased.counts[0] > equal.counts[0],
+            "F1: {} !> {}",
+            biased.counts[0],
+            equal.counts[0]
+        );
+        assert!(
+            biased.counts[1] < equal.counts[1],
+            "F2: {} !< {}",
+            biased.counts[1],
+            equal.counts[1]
+        );
+        assert_eq!(biased.counts[2], 10, "cheap F3 always at max frequency");
+    }
+}

@@ -1,0 +1,382 @@
+//! Count-based reformulation of the scheduling MILP.
+//!
+//! # Why it is equivalent
+//!
+//! The exact formulation's time constraint (Eq. 4) telescopes to a function
+//! of the *counts* only: `Σ_i (ft_i + Steps·it_i)·run_i + ct_i·k_i +
+//! ot_i·q_i <= cth·Steps`, where `k_i = |C_i|` and `q_i = |O_i|`. The
+//! interval constraint (Eq. 9) admits any `k_i <= ⌊Steps/itv_i⌋` via even
+//! placement, and the objective (Eq. 1) depends only on `run_i` and `k_i`.
+//! Only the per-step memory constraint (Eq. 8) depends on *positions*; the
+//! aggregate model bounds each analysis's peak memory by the peak reached
+//! under the even placement that [`crate::placement`] will emit, which is
+//! **conservative**: any count vector accepted here maps to a concrete
+//! schedule whose step-by-step memory the [`crate::validate`] module then
+//! re-certifies against Eqs. 5–8. The reduction is therefore certified
+//! per-instance rather than assumed.
+//!
+//! For an analysis with accumulating per-step memory (`im > 0`) the peak
+//! between resets depends on the output spacing `Steps/q_i` — nonlinear in
+//! `q_i`. Because the paper's instances have small `k_max = ⌊Steps/itv⌋`
+//! (10 for `Steps=1000, itv=100`), we linearize exactly with a unary
+//! ("SOS1-style") expansion over the possible `(k, q)` output counts when
+//! `k_max <= EXPANSION_LIMIT`, and fall back to the safe worst-case
+//! (`im·Steps`) bound above that.
+
+use insitu_types::{Schedule, ScheduleProblem};
+use milp::{Cmp, LinExpr, Model, Sense, SolveError, SolveOptions, Var};
+
+use crate::placement::place_schedule;
+
+/// Above this `k_max` the unary memory expansion is replaced by the
+/// conservative whole-run accumulation bound.
+pub const EXPANSION_LIMIT: usize = 64;
+
+/// Result of the aggregate solve: per-analysis counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSolution {
+    /// `k_i` — number of analysis steps per analysis.
+    pub counts: Vec<usize>,
+    /// `q_i` — number of output steps per analysis.
+    pub output_counts: Vec<usize>,
+    /// Objective value (Eq. 1).
+    pub objective: f64,
+    /// Branch-and-bound nodes used.
+    pub nodes: usize,
+}
+
+/// Peak memory of analysis `i` under the even placement that
+/// [`crate::placement::place_schedule`] will emit for counts `(k, q)`,
+/// computed by simulating the Eq. 5–7 recursion on the placed positions —
+/// exact, so the aggregate model's memory constraint matches what the
+/// validator will later check.
+pub fn peak_memory(problem: &ScheduleProblem, i: usize, k: usize, q: usize) -> f64 {
+    crate::placement::exact_peak_memory(problem, i, k, q)
+}
+
+/// Builds and solves the aggregate model, returning optimal counts.
+pub fn solve_aggregate_counts(
+    problem: &ScheduleProblem,
+    opts: &SolveOptions,
+) -> Result<AggregateSolution, SolveError> {
+    problem
+        .validate()
+        .map_err(|e| SolveError::BadModel(e.to_string()))?;
+    let steps = problem.resources.steps;
+    let n = problem.len();
+    if n == 0 {
+        return Ok(AggregateSolution {
+            counts: vec![],
+            output_counts: vec![],
+            objective: 0.0,
+            nodes: 0,
+        });
+    }
+    let mut m = Model::new(Sense::Maximize);
+
+    // Per analysis: run binary; unary selection y_{i,(k,q)} over feasible
+    // (k, q) pairs when small, otherwise integer k, q with linear bounds.
+    struct PerAnalysis {
+        run: Var,
+        /// `Some(pairs)` when unary-expanded: (k, q, y-var).
+        unary: Option<Vec<(usize, usize, Var)>>,
+        /// `Some((k, q))` when integer-modelled.
+        ints: Option<(Var, Var)>,
+    }
+    let mut pa: Vec<PerAnalysis> = Vec::with_capacity(n);
+    for (i, a) in problem.analyses.iter().enumerate() {
+        let run = m.binary(&format!("run_{i}"));
+        let kmax = a.max_analysis_steps(steps);
+        if kmax == 0 {
+            // interval longer than the run: the analysis can never fire
+            m.add_con(LinExpr::var(run), Cmp::Le, 0.0);
+            pa.push(PerAnalysis {
+                run,
+                unary: None,
+                ints: None,
+            });
+            continue;
+        }
+        let needs_expansion = a.step_mem > 0.0 && kmax <= EXPANSION_LIMIT;
+        if needs_expansion {
+            // enumerate feasible (k, q): q bounded by k, and q must satisfy
+            // the output cadence (output_every*q >= k) when declared.
+            let mut pairs = Vec::new();
+            for k in 1..=kmax {
+                let qmin = if a.output_every > 0 {
+                    k.div_ceil(a.output_every)
+                } else {
+                    0
+                };
+                let qmax = if a.output_every > 0 { k } else { 0 };
+                for q in qmin..=qmax.max(qmin) {
+                    let y = m.binary(&format!("y_{i}_{k}_{q}"));
+                    pairs.push((k, q, y));
+                }
+            }
+            // Σ y = run
+            let mut sel = LinExpr::new().term(run, -1.0);
+            for &(_, _, y) in &pairs {
+                sel = sel.term(y, 1.0);
+            }
+            m.add_con(sel, Cmp::Eq, 0.0);
+            pa.push(PerAnalysis {
+                run,
+                unary: Some(pairs),
+                ints: None,
+            });
+        } else {
+            let k = m.int_var(&format!("k_{i}"), 0.0, kmax as f64);
+            let q = m.int_var(&format!("q_{i}"), 0.0, kmax as f64);
+            // k <= kmax * run
+            m.add_con(LinExpr::var(k).term(run, -(kmax as f64)), Cmp::Le, 0.0);
+            // run <= k (an active analysis must fire at least once)
+            m.add_con(LinExpr::var(run).term(k, -1.0), Cmp::Le, 0.0);
+            // q <= k
+            m.add_con(LinExpr::var(q).term(k, -1.0), Cmp::Le, 0.0);
+            if a.output_every > 0 {
+                // output_every * q >= k
+                m.add_con(
+                    LinExpr::var(q).scale(a.output_every as f64).term(k, -1.0),
+                    Cmp::Ge,
+                    0.0,
+                );
+            } else {
+                m.add_con(LinExpr::var(q), Cmp::Le, 0.0);
+            }
+            pa.push(PerAnalysis {
+                run,
+                unary: None,
+                ints: Some((k, q)),
+            });
+        }
+    }
+
+    // k_i and q_i as expressions
+    let k_expr = |i: usize| -> LinExpr {
+        match (&pa[i].unary, &pa[i].ints) {
+            (Some(pairs), _) => {
+                LinExpr::sum(pairs.iter().map(|&(k, _, y)| (y, k as f64)))
+            }
+            (_, Some((k, _))) => LinExpr::var(*k),
+            _ => LinExpr::new(),
+        }
+    };
+    let q_expr = |i: usize| -> LinExpr {
+        match (&pa[i].unary, &pa[i].ints) {
+            (Some(pairs), _) => {
+                LinExpr::sum(pairs.iter().map(|&(_, q, y)| (y, q as f64)))
+            }
+            (_, Some((_, q))) => LinExpr::var(*q),
+            _ => LinExpr::new(),
+        }
+    };
+
+    // --- objective (Eq. 1): Σ run_i + Σ w_i k_i ---
+    let mut obj = LinExpr::new();
+    for (i, a) in problem.analyses.iter().enumerate() {
+        obj = obj.term(pa[i].run, 1.0);
+        obj = obj.add_expr(&k_expr(i).scale(a.weight));
+    }
+    m.set_objective(obj);
+
+    // --- time (Eq. 4) ---
+    let mut time = LinExpr::new();
+    for (i, a) in problem.analyses.iter().enumerate() {
+        time = time.term(pa[i].run, a.fixed_time + a.step_time * steps as f64);
+        time = time.add_expr(&k_expr(i).scale(a.compute_time));
+        time = time.add_expr(&q_expr(i).scale(a.output_time));
+    }
+    m.add_con(time, Cmp::Le, problem.resources.total_threshold());
+
+    // --- memory (Eq. 8, conservative peak form) ---
+    let any_mem = problem.analyses.iter().any(|a| {
+        a.fixed_mem > 0.0 || a.step_mem > 0.0 || a.compute_mem > 0.0 || a.output_mem > 0.0
+    });
+    if any_mem {
+        // express the row in units of mth: raw byte coefficients (1e9+)
+        // against an O(1) objective wreck the simplex tolerances
+        let mem_scale = problem.resources.mem_threshold.max(1.0);
+        let mut mem = LinExpr::new();
+        for (i, a) in problem.analyses.iter().enumerate() {
+            match &pa[i].unary {
+                Some(pairs) => {
+                    for &(k, q, y) in pairs {
+                        mem = mem.term(y, peak_memory(problem, i, k, q) / mem_scale);
+                    }
+                }
+                None => {
+                    // no accumulation (im == 0) or fallback: peak is
+                    // fm + cm + om (+ im*Steps worst case when im > 0)
+                    let worst = a.fixed_mem
+                        + a.compute_mem
+                        + a.output_mem
+                        + a.step_mem * steps as f64;
+                    mem = mem.term(pa[i].run, worst / mem_scale);
+                }
+            }
+        }
+        m.add_con(mem, Cmp::Le, problem.resources.mem_threshold / mem_scale);
+    }
+
+    let sol = milp::solve(&m, opts)?;
+    let mut counts = vec![0usize; n];
+    let mut output_counts = vec![0usize; n];
+    for i in 0..n {
+        counts[i] = k_expr(i).eval(&sol.values).round() as usize;
+        output_counts[i] = q_expr(i).eval(&sol.values).round() as usize;
+    }
+    Ok(AggregateSolution {
+        counts,
+        output_counts,
+        objective: sol.objective,
+        nodes: sol.nodes,
+    })
+}
+
+/// Solves the aggregate model and places the counts into a concrete
+/// [`Schedule`] (even spacing, outputs distributed across analyses).
+pub fn solve_aggregate(
+    problem: &ScheduleProblem,
+    opts: &SolveOptions,
+) -> Result<(Schedule, f64), SolveError> {
+    let agg = solve_aggregate_counts(problem, opts)?;
+    let schedule = place_schedule(problem, &agg.counts, &agg.output_counts);
+    Ok((schedule, agg.objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{AnalysisProfile, ResourceConfig};
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default()
+    }
+
+    #[test]
+    fn paper_scale_instance_solves_fast() {
+        // Table-5-like: 4 analyses, 1000 steps, itv = 100 => kmax = 10
+        let mk = |name: &str, ct: f64, ot: f64, cm: f64| {
+            AnalysisProfile::new(name)
+                .with_compute(ct, cm)
+                .with_output(ot, cm / 2.0, 1)
+                .with_interval(100)
+        };
+        let p = ScheduleProblem::new(
+            vec![
+                mk("A1", 0.8, 0.2, 1e9),
+                mk("A2", 0.9, 0.2, 1e9),
+                mk("A3", 1.2, 0.3, 2e9),
+                mk("A4", 8.0, 3.0, 8e9),
+            ],
+            ResourceConfig::from_total_threshold(1000, 64.7, 100e9, 1e9),
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let agg = solve_aggregate_counts(&p, &opts()).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        // cheap analyses at max frequency, expensive A4 squeezed
+        assert_eq!(agg.counts[0], 10);
+        assert_eq!(agg.counts[1], 10);
+        assert_eq!(agg.counts[2], 10);
+        assert!(agg.counts[3] < 10, "A4 got {}", agg.counts[3]);
+        // well under the paper's 0.17–1.36 s CPLEX time
+        assert!(elapsed < 5.0, "solve took {elapsed}s");
+    }
+
+    #[test]
+    fn counts_map_to_valid_schedule() {
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_compute(1.0, 0.0)
+                .with_output(0.1, 0.0, 2)
+                .with_interval(10)],
+            ResourceConfig::from_total_threshold(100, 50.0, 1e9, 1e9),
+        )
+        .unwrap();
+        let (s, _) = solve_aggregate(&p, &opts()).unwrap();
+        assert!(s.validate_structure(&p).is_ok());
+        assert_eq!(s.per_analysis[0].count(), 10);
+        // output every 2 analyses => 5 outputs
+        assert_eq!(s.per_analysis[0].output_count(), 5);
+        assert!(s.per_analysis[0].min_gap().unwrap() >= 10);
+    }
+
+    #[test]
+    fn memory_expansion_bounds_accumulation() {
+        // im = 1 unit/step, mth allows at most ~250 steps of accumulation:
+        // the solver must pick enough outputs to keep the peak under mth.
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("temporal")
+                .with_per_step(0.0, 1.0)
+                .with_compute(0.1, 0.0)
+                .with_output(0.1, 0.0, 1)
+                .with_interval(100)],
+            ResourceConfig::from_total_threshold(1000, 100.0, 250.0, 1e9),
+        )
+        .unwrap();
+        let agg = solve_aggregate_counts(&p, &opts()).unwrap();
+        assert!(agg.counts[0] > 0);
+        let q = agg.output_counts[0];
+        assert!(q >= 4, "need >= 4 outputs to reset 1000 steps under 250, got {q}");
+        let peak = peak_memory(&p, 0, agg.counts[0], q);
+        assert!(peak <= 250.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_kmax_analysis_never_runs() {
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("rare").with_compute(0.1, 0.0).with_interval(50)],
+            ResourceConfig::from_total_threshold(10, 100.0, 1e9, 1e9),
+        )
+        .unwrap();
+        let agg = solve_aggregate_counts(&p, &opts()).unwrap();
+        assert_eq!(agg.counts[0], 0);
+        assert_eq!(agg.objective, 0.0);
+    }
+
+    #[test]
+    fn peak_memory_shapes() {
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("x")
+                .with_fixed(0.0, 10.0)
+                .with_per_step(0.0, 2.0)
+                .with_compute(0.0, 5.0)
+                .with_output(0.0, 3.0, 1)],
+            ResourceConfig::from_total_threshold(100, 1.0, 1e9, 1e9),
+        )
+        .unwrap();
+        assert_eq!(peak_memory(&p, 0, 0, 0), 0.0);
+        // no outputs: im accumulates all 100 steps, and the cm buffers of
+        // all 5 analysis steps pile up too (Eq. 6 only frees at outputs)
+        assert_eq!(peak_memory(&p, 0, 5, 0), 10.0 + 200.0 + 25.0);
+        // 4 outputs: gaps of 25
+        assert_eq!(peak_memory(&p, 0, 4, 4), 10.0 + 50.0 + 5.0 + 3.0);
+    }
+
+    #[test]
+    fn tighter_budget_monotonically_fewer_analyses() {
+        let mk = || {
+            vec![
+                AnalysisProfile::new("cheap").with_compute(0.5, 0.0).with_interval(100),
+                AnalysisProfile::new("dear")
+                    .with_compute(5.0, 0.0)
+                    .with_output(2.0, 0.0, 1)
+                    .with_interval(100),
+            ]
+        };
+        let mut last_total = usize::MAX;
+        for budget in [100.0, 50.0, 20.0, 5.0] {
+            let p = ScheduleProblem::new(
+                mk(),
+                ResourceConfig::from_total_threshold(1000, budget, 1e12, 1e9),
+            )
+            .unwrap();
+            let agg = solve_aggregate_counts(&p, &opts()).unwrap();
+            let total: usize = agg.counts.iter().sum();
+            assert!(total <= last_total, "budget {budget}: {total} > {last_total}");
+            last_total = total;
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Co-scheduling extension: in-situ vs in-transit placement.
+//!
+//! The paper's conclusion names this as future work: "we will extend this
+//! work to optimally schedule the analyses computations on different
+//! resources. This requires transferring huge data in some cases." This
+//! module implements that extension on top of the same MILP machinery.
+//!
+//! Each analysis may now run
+//!
+//! * **in-situ** — on the simulation partition, exactly as in the base
+//!   formulation: its compute time counts against the simulation-side
+//!   threshold `cth·Steps`, its memory against `mth`; or
+//! * **in-transit** — on dedicated staging nodes: the simulation only pays
+//!   the *transfer* time (input bytes over the machine network per
+//!   analysis step), while the analysis compute time counts against the
+//!   staging partition's own time budget and its memory against staging
+//!   memory.
+//!
+//! Decision variables per analysis: placement binary `site_i` (0 =
+//! in-situ, 1 = staging), activation `run_i`, counts `k_i`, `q_i`. The
+//! model stays linear because the per-execution costs are constants per
+//! site; products like `site_i · k_i` are linearized through split count
+//! variables `k_i = k_i^{situ} + k_i^{transit}` with big-M activation.
+
+use insitu_types::{AnalysisProfile, Schedule, ScheduleProblem, Seconds};
+use milp::{Cmp, LinExpr, Model, Sense, SolveError, SolveOptions};
+
+use crate::placement::place_schedule;
+use crate::validate::validate_schedule;
+
+/// Where an analysis was placed by the co-scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// On the simulation partition (blocks the simulation).
+    InSitu,
+    /// On the staging partition (simulation only pays the transfer).
+    InTransit,
+}
+
+/// Per-analysis co-scheduling inputs beyond the base profile.
+#[derive(Debug, Clone)]
+pub struct TransferProfile {
+    /// Bytes that must move to the staging nodes per analysis step.
+    pub input_bytes: f64,
+    /// Compute time per analysis step when run on the staging partition
+    /// (staging nodes are typically fewer, so this is usually larger than
+    /// the in-situ `ct`).
+    pub staging_compute_time: Seconds,
+    /// Memory per analysis step on the staging partition.
+    pub staging_mem: f64,
+}
+
+/// The staging resource block.
+#[derive(Debug, Clone)]
+pub struct StagingConfig {
+    /// Network bandwidth from the simulation partition to staging
+    /// (bytes/s) — determines the simulation-side transfer cost.
+    pub network_bw: f64,
+    /// Per-transfer latency/synchronization overhead (seconds).
+    pub transfer_overhead: Seconds,
+    /// Total staging compute budget over the whole run (seconds).
+    pub time_budget: Seconds,
+    /// Staging memory capacity (bytes).
+    pub mem_capacity: f64,
+}
+
+impl StagingConfig {
+    /// Simulation-side cost of shipping `bytes` once.
+    pub fn transfer_time(&self, bytes: f64) -> Seconds {
+        if self.network_bw > 0.0 {
+            self.transfer_overhead + bytes / self.network_bw
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A co-scheduling problem: the base problem plus transfer profiles and a
+/// staging configuration.
+#[derive(Debug, Clone)]
+pub struct CoschedProblem {
+    /// The base in-situ scheduling problem (time/memory thresholds apply
+    /// to the simulation site).
+    pub base: ScheduleProblem,
+    /// Per-analysis transfer/staging costs, parallel to `base.analyses`.
+    pub transfers: Vec<TransferProfile>,
+    /// Staging resources.
+    pub staging: StagingConfig,
+}
+
+/// Result of a co-scheduling solve.
+#[derive(Debug, Clone)]
+pub struct CoschedRecommendation {
+    /// Placement per analysis.
+    pub sites: Vec<Site>,
+    /// Analysis counts per analysis.
+    pub counts: Vec<usize>,
+    /// Output counts per analysis.
+    pub output_counts: Vec<usize>,
+    /// Objective value (Eq. 1 semantics).
+    pub objective: f64,
+    /// Simulation-side time consumed (in-situ compute + transfers).
+    pub sim_side_time: Seconds,
+    /// Staging-side compute time consumed.
+    pub staging_time: Seconds,
+    /// Concrete schedule (placement of steps is site-agnostic).
+    pub schedule: Schedule,
+}
+
+/// Effective in-situ per-execution cost (compute + amortized output).
+fn insitu_unit(a: &AnalysisProfile) -> f64 {
+    a.compute_time
+}
+
+/// Solves the co-scheduling problem.
+pub fn solve_cosched(
+    problem: &CoschedProblem,
+    opts: &SolveOptions,
+) -> Result<CoschedRecommendation, SolveError> {
+    problem
+        .base
+        .validate()
+        .map_err(|e| SolveError::BadModel(e.to_string()))?;
+    if problem.transfers.len() != problem.base.len() {
+        return Err(SolveError::BadModel(
+            "one TransferProfile per analysis required".into(),
+        ));
+    }
+    let steps = problem.base.resources.steps;
+    let n = problem.base.len();
+    let mut m = Model::new(Sense::Maximize);
+
+    struct Vars {
+        run: milp::Var,
+        k_situ: milp::Var,
+        k_transit: milp::Var,
+        q: milp::Var,
+        site: milp::Var, // 1 = in-transit
+    }
+    let mut vars = Vec::with_capacity(n);
+    for (i, a) in problem.base.analyses.iter().enumerate() {
+        let kmax = a.max_analysis_steps(steps) as f64;
+        let run = m.binary(&format!("run_{i}"));
+        let site = m.binary(&format!("site_{i}"));
+        let k_situ = m.int_var(&format!("ks_{i}"), 0.0, kmax);
+        let k_transit = m.int_var(&format!("kt_{i}"), 0.0, kmax);
+        let q = m.int_var(&format!("q_{i}"), 0.0, kmax);
+        // total count bounded; split activates by site:
+        //   k_situ <= kmax*(1 - site),  k_transit <= kmax*site
+        m.add_con(
+            LinExpr::var(k_situ).term(site, kmax),
+            Cmp::Le,
+            kmax,
+        );
+        m.add_con(
+            LinExpr::var(k_transit).term(site, -kmax),
+            Cmp::Le,
+            0.0,
+        );
+        // k_situ + k_transit <= kmax * run ; run <= k_situ + k_transit
+        m.add_con(
+            LinExpr::var(k_situ)
+                .term(k_transit, 1.0)
+                .term(run, -kmax),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_con(
+            LinExpr::var(run)
+                .term(k_situ, -1.0)
+                .term(k_transit, -1.0),
+            Cmp::Le,
+            0.0,
+        );
+        // outputs: q <= k, cadence when declared
+        m.add_con(
+            LinExpr::var(q).term(k_situ, -1.0).term(k_transit, -1.0),
+            Cmp::Le,
+            0.0,
+        );
+        if a.output_every > 0 {
+            m.add_con(
+                LinExpr::var(q)
+                    .scale(a.output_every as f64)
+                    .term(k_situ, -1.0)
+                    .term(k_transit, -1.0),
+                Cmp::Ge,
+                0.0,
+            );
+        } else {
+            m.add_con(LinExpr::var(q), Cmp::Le, 0.0);
+        }
+        vars.push(Vars {
+            run,
+            k_situ,
+            k_transit,
+            q,
+            site,
+        });
+    }
+
+    // objective: Eq. 1 over total counts
+    let mut obj = LinExpr::new();
+    for (i, a) in problem.base.analyses.iter().enumerate() {
+        obj = obj
+            .term(vars[i].run, 1.0)
+            .term(vars[i].k_situ, a.weight)
+            .term(vars[i].k_transit, a.weight);
+    }
+    m.set_objective(obj);
+
+    // simulation-side time: fixed costs + in-situ compute + transfers +
+    // output writes (outputs are written from wherever the analysis ran;
+    // the storage path is shared, so ot stays on the simulation budget)
+    let mut sim_time = LinExpr::new();
+    for (i, a) in problem.base.analyses.iter().enumerate() {
+        let t = &problem.transfers[i];
+        let ttime = problem.staging.transfer_time(t.input_bytes);
+        let ttime = if ttime.is_finite() {
+            ttime
+        } else {
+            // unroutable transfer (no network): forbid in-transit outright
+            m.add_con(LinExpr::var(vars[i].k_transit), Cmp::Le, 0.0);
+            m.add_con(LinExpr::var(vars[i].site), Cmp::Le, 0.0);
+            0.0
+        };
+        sim_time = sim_time
+            .term(vars[i].run, a.fixed_time + a.step_time * steps as f64)
+            .term(vars[i].k_situ, insitu_unit(a))
+            .term(vars[i].k_transit, ttime)
+            .term(vars[i].q, a.output_time);
+    }
+    m.add_con(sim_time, Cmp::Le, problem.base.resources.total_threshold());
+
+    // staging-side time and memory
+    let mut st_time = LinExpr::new();
+    let mut st_mem = LinExpr::new();
+    let mem_scale = problem.staging.mem_capacity.max(1.0);
+    for (i, _a) in problem.base.analyses.iter().enumerate() {
+        let t = &problem.transfers[i];
+        st_time = st_time.term(vars[i].k_transit, t.staging_compute_time);
+        st_mem = st_mem.term(vars[i].site, t.staging_mem / mem_scale);
+    }
+    m.add_con(st_time, Cmp::Le, problem.staging.time_budget);
+    m.add_con(st_mem, Cmp::Le, problem.staging.mem_capacity / mem_scale);
+
+    // simulation-site memory: in-situ analyses only (conservative peaks)
+    let any_mem = problem
+        .base
+        .analyses
+        .iter()
+        .any(|a| a.fixed_mem + a.compute_mem + a.output_mem + a.step_mem > 0.0);
+    if any_mem {
+        let mscale = problem.base.resources.mem_threshold.max(1.0);
+        let mut mem = LinExpr::new();
+        for (i, a) in problem.base.analyses.iter().enumerate() {
+            let worst =
+                a.fixed_mem + a.compute_mem + a.output_mem + a.step_mem * steps as f64;
+            // only in-situ placements consume simulation memory: gate on
+            // (run - site) which is 1 exactly for active in-situ analyses
+            mem = mem
+                .term(vars[i].run, worst / mscale)
+                .term(vars[i].site, -worst / mscale);
+        }
+        m.add_con(mem, Cmp::Le, problem.base.resources.mem_threshold / mscale);
+    }
+
+    let sol = milp::solve(&m, opts)?;
+    let mut sites = Vec::with_capacity(n);
+    let mut counts = Vec::with_capacity(n);
+    let mut output_counts = Vec::with_capacity(n);
+    let mut sim_side_time = 0.0;
+    let mut staging_time = 0.0;
+    for (i, a) in problem.base.analyses.iter().enumerate() {
+        let ks = sol.int_value(vars[i].k_situ).max(0) as usize;
+        let kt = sol.int_value(vars[i].k_transit).max(0) as usize;
+        let q = sol.int_value(vars[i].q).max(0) as usize;
+        let site = if sol.is_one(vars[i].site) {
+            Site::InTransit
+        } else {
+            Site::InSitu
+        };
+        let k = ks + kt;
+        sites.push(site);
+        counts.push(k);
+        output_counts.push(q);
+        if k > 0 {
+            sim_side_time += a.fixed_time + a.step_time * steps as f64 + a.output_time * q as f64;
+            sim_side_time += insitu_unit(a) * ks as f64;
+            sim_side_time +=
+                problem.staging.transfer_time(problem.transfers[i].input_bytes) * kt as f64;
+            staging_time += problem.transfers[i].staging_compute_time * kt as f64;
+        }
+    }
+    let schedule = place_schedule(&problem.base, &counts, &output_counts);
+    Ok(CoschedRecommendation {
+        sites,
+        counts,
+        output_counts,
+        objective: sol.objective,
+        sim_side_time,
+        staging_time,
+        schedule,
+    })
+}
+
+impl CoschedRecommendation {
+    /// Validates the *in-situ subset* of the schedule against the base
+    /// problem (in-transit analyses don't consume simulation memory, so
+    /// they are excluded from the Eq. 5–8 check).
+    pub fn validate_insitu_subset(&self, problem: &CoschedProblem) -> bool {
+        let mut insitu_only = self.schedule.clone();
+        for (i, site) in self.sites.iter().enumerate() {
+            if *site == Site::InTransit {
+                insitu_only.per_analysis[i] = Default::default();
+            }
+        }
+        let mut base = problem.base.clone();
+        // the time budget check is handled by sim_side_time (transfers are
+        // not representable in the base validator); only memory + interval
+        // structure are re-checked here
+        base.resources.step_threshold = f64::INFINITY;
+        validate_schedule(&base, &insitu_only).is_feasible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{AnalysisProfile, ResourceConfig};
+
+    fn opts() -> SolveOptions {
+        SolveOptions {
+            abs_gap: 0.999,
+            ..SolveOptions::default()
+        }
+    }
+
+    fn base(budget: f64, mem: f64) -> ScheduleProblem {
+        ScheduleProblem::new(
+            vec![
+                AnalysisProfile::new("cheap")
+                    .with_compute(0.5, 1e9)
+                    .with_output(0.1, 0.0, 1)
+                    .with_interval(100),
+                AnalysisProfile::new("heavy")
+                    .with_compute(10.0, 8e9)
+                    .with_output(0.5, 0.0, 1)
+                    .with_interval(100),
+            ],
+            ResourceConfig::from_total_threshold(1000, budget, mem, 1e9),
+        )
+        .unwrap()
+    }
+
+    fn transfers(fast_net: bool) -> (Vec<TransferProfile>, StagingConfig) {
+        let t = vec![
+            TransferProfile {
+                input_bytes: 1e9,
+                staging_compute_time: 1.0,
+                staging_mem: 1e9,
+            },
+            TransferProfile {
+                input_bytes: 4e9,
+                staging_compute_time: 20.0,
+                staging_mem: 8e9,
+            },
+        ];
+        let staging = StagingConfig {
+            network_bw: if fast_net { 20e9 } else { 0.1e9 },
+            transfer_overhead: 0.01,
+            time_budget: 1000.0,
+            mem_capacity: 64e9,
+        };
+        (t, staging)
+    }
+
+    #[test]
+    fn offloads_heavy_analysis_when_network_is_fast() {
+        // simulation budget fits the cheap analysis but not the heavy one;
+        // a fast network makes the transfer (4e9/20e9 = 0.2s) << ct (10s)
+        let (tr, st) = transfers(true);
+        let p = CoschedProblem {
+            base: base(10.0, 1e12),
+            transfers: tr,
+            staging: st,
+        };
+        let rec = solve_cosched(&p, &opts()).unwrap();
+        assert_eq!(rec.sites[1], Site::InTransit, "heavy must offload");
+        assert!(rec.counts[1] > 0, "heavy now affordable: {:?}", rec.counts);
+        assert!(rec.sim_side_time <= 10.0 + 1e-6);
+        assert!(rec.staging_time > 0.0);
+        assert!(rec.validate_insitu_subset(&p));
+    }
+
+    #[test]
+    fn stays_insitu_when_network_is_slow() {
+        // 4e9 bytes over 0.1e9 B/s = 40 s per transfer > 10 s in-situ cost
+        let (tr, st) = transfers(false);
+        let p = CoschedProblem {
+            base: base(200.0, 1e12),
+            transfers: tr,
+            staging: st,
+        };
+        let rec = solve_cosched(&p, &opts()).unwrap();
+        assert_eq!(rec.sites[1], Site::InSitu, "slow network keeps it local");
+        assert!(rec.counts[1] > 0);
+    }
+
+    #[test]
+    fn memory_pressure_forces_offload() {
+        // simulation memory too small for the heavy analysis (8e9 > 4e9),
+        // but staging has room: offload even though the network is slow
+        let (tr, st) = transfers(false);
+        let p = CoschedProblem {
+            base: base(1000.0, 4e9),
+            transfers: tr,
+            staging: st,
+        };
+        let rec = solve_cosched(&p, &opts()).unwrap();
+        assert!(rec.counts[1] > 0, "heavy must still run: {:?}", rec.counts);
+        assert_eq!(rec.sites[1], Site::InTransit, "memory forces offload");
+    }
+
+    #[test]
+    fn staging_budget_limits_offloaded_count() {
+        let (tr, mut st) = transfers(true);
+        st.time_budget = 45.0; // fits 2 heavy staging executions (20s each)
+        let p = CoschedProblem {
+            base: base(10.0, 1e12),
+            transfers: tr,
+            staging: st,
+        };
+        let rec = solve_cosched(&p, &opts()).unwrap();
+        assert!(rec.counts[1] <= 2, "staging budget caps heavy: {:?}", rec.counts);
+        assert!(rec.staging_time <= 45.0 + 1e-9);
+    }
+
+    #[test]
+    fn mismatched_transfer_profiles_rejected() {
+        let (mut tr, st) = transfers(true);
+        tr.pop();
+        let p = CoschedProblem {
+            base: base(10.0, 1e12),
+            transfers: tr,
+            staging: st,
+        };
+        assert!(matches!(
+            solve_cosched(&p, &opts()),
+            Err(SolveError::BadModel(_))
+        ));
+    }
+
+    #[test]
+    fn reduces_to_base_problem_without_staging() {
+        // zero network bandwidth => transfers impossible => the co-scheduler
+        // must reproduce the pure in-situ aggregate solution
+        let (tr, mut st) = transfers(true);
+        st.network_bw = 0.0;
+        let base_p = base(30.0, 1e12);
+        let p = CoschedProblem {
+            base: base_p.clone(),
+            transfers: tr,
+            staging: st,
+        };
+        let rec = solve_cosched(&p, &opts()).unwrap();
+        let (_, agg_obj) = crate::aggregate::solve_aggregate(&base_p, &opts()).unwrap();
+        assert!((rec.objective - agg_obj).abs() < 1e-6,
+            "cosched {} vs base {}", rec.objective, agg_obj);
+        assert!(rec.sites.iter().all(|&s| s == Site::InSitu));
+    }
+}

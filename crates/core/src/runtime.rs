@@ -1,0 +1,326 @@
+//! The in-situ runtime coupler: executes a [`Schedule`] against a live
+//! simulation (Figure 1's interleaving, for real).
+//!
+//! The coupler drives `S` steps of a [`Simulator`], and after each step
+//! invokes, per the schedule, each analysis's per-step hook (the `it` cost:
+//! e.g. copying state into a history buffer), its analyze hook (`ct`) and
+//! its output hook (`ot`). All four phases are wall-clock timed per
+//! analysis so a run can be compared against the model's predictions and
+//! the threshold the schedule was solved for.
+
+use insitu_types::{CouplingTrace, Schedule};
+use perfmodel::Stopwatch;
+
+/// A simulation that can be advanced one time step at a time.
+pub trait Simulator {
+    /// The state handed to analyses (particle store, mesh, ...).
+    type State;
+
+    /// Read access to the current state.
+    fn state(&self) -> &Self::State;
+
+    /// Advances the simulation by one time step.
+    fn advance(&mut self);
+
+    /// Writes the simulation's own output (`O_S` in Figure 1).
+    fn write_output(&mut self) {}
+}
+
+/// An in-situ analysis attached to a simulation with state `S`.
+pub trait Analysis<S> {
+    /// Display name (matched against the problem's profile names).
+    fn name(&self) -> &str;
+
+    /// One-time setup at simulation start (the `ft`/`fm` cost).
+    fn setup(&mut self, _state: &S) {}
+
+    /// Called after *every* simulation step while the analysis is active
+    /// (the `it`/`im` cost, e.g. appending to a history buffer).
+    fn per_step(&mut self, _state: &S) {}
+
+    /// The analysis computation itself (the `ct`/`cm` cost).
+    fn analyze(&mut self, state: &S);
+
+    /// Writes the analysis results (the `ot`/`om` cost) and frees buffers.
+    fn output(&mut self, _state: &S) {}
+}
+
+/// Coupler configuration.
+#[derive(Debug, Clone)]
+pub struct CouplerConfig {
+    /// Number of simulation steps to run.
+    pub steps: usize,
+    /// Simulation output cadence (`O_S` every this many steps; 0 = never).
+    pub sim_output_every: usize,
+}
+
+/// Measured wall-clock cost of one analysis across a coupled run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisTimes {
+    /// Analysis name.
+    pub name: String,
+    /// Setup bracket (seconds).
+    pub setup: f64,
+    /// Sum of per-step brackets.
+    pub per_step: f64,
+    /// Sum of analyze brackets.
+    pub analyze: f64,
+    /// Sum of output brackets.
+    pub output: f64,
+    /// Number of analyze invocations.
+    pub analyze_count: usize,
+    /// Number of output invocations.
+    pub output_count: usize,
+}
+
+impl AnalysisTimes {
+    /// Total in-situ overhead attributable to this analysis.
+    pub fn total(&self) -> f64 {
+        self.setup + self.per_step + self.analyze + self.output
+    }
+}
+
+/// Result of a coupled run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Pure simulation time (stepping + simulation output).
+    pub sim_time: f64,
+    /// Per-analysis measured costs, parallel to the analyses slice.
+    pub analysis_times: Vec<AnalysisTimes>,
+    /// The executed coupling trace.
+    pub trace: CouplingTrace,
+}
+
+impl RunReport {
+    /// Total in-situ analysis overhead across all analyses.
+    pub fn total_analysis_time(&self) -> f64 {
+        self.analysis_times.iter().map(AnalysisTimes::total).sum()
+    }
+
+    /// Analysis overhead as a fraction of simulation time.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.sim_time > 0.0 {
+            self.total_analysis_time() / self.sim_time
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `sim` for `cfg.steps` steps with `analyses` coupled in-situ
+/// according to `schedule`.
+///
+/// Analyses whose schedule entry is empty are fully inactive (no setup, no
+/// per-step cost) — exactly the `run_i = 0` semantics of the formulation.
+pub fn run_coupled<Sim: Simulator>(
+    sim: &mut Sim,
+    analyses: &mut [Box<dyn Analysis<Sim::State> + '_>],
+    schedule: &Schedule,
+    cfg: &CouplerConfig,
+) -> RunReport {
+    assert_eq!(
+        analyses.len(),
+        schedule.per_analysis.len(),
+        "one schedule entry per analysis"
+    );
+    let mut times: Vec<AnalysisTimes> = analyses
+        .iter()
+        .map(|a| AnalysisTimes {
+            name: a.name().to_string(),
+            ..AnalysisTimes::default()
+        })
+        .collect();
+    let active: Vec<bool> = schedule
+        .per_analysis
+        .iter()
+        .map(|s| s.count() > 0)
+        .collect();
+
+    // one-time setup (ft)
+    for (i, a) in analyses.iter_mut().enumerate() {
+        if active[i] {
+            let sw = Stopwatch::start();
+            a.setup(sim.state());
+            times[i].setup = sw.elapsed();
+        }
+    }
+
+    let mut sim_time = 0.0;
+    for j in 1..=cfg.steps {
+        let sw = Stopwatch::start();
+        sim.advance();
+        if cfg.sim_output_every > 0 && j % cfg.sim_output_every == 0 {
+            sim.write_output();
+        }
+        sim_time += sw.elapsed();
+
+        for (i, a) in analyses.iter_mut().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            let sched = &schedule.per_analysis[i];
+            let sw = Stopwatch::start();
+            a.per_step(sim.state());
+            times[i].per_step += sw.elapsed();
+            if sched.runs_at(j) {
+                let sw = Stopwatch::start();
+                a.analyze(sim.state());
+                times[i].analyze += sw.elapsed();
+                times[i].analyze_count += 1;
+                if sched.outputs_at(j) {
+                    let sw = Stopwatch::start();
+                    a.output(sim.state());
+                    times[i].output += sw.elapsed();
+                    times[i].output_count += 1;
+                }
+            }
+        }
+    }
+
+    RunReport {
+        sim_time,
+        analysis_times: times,
+        trace: CouplingTrace::from_schedule(schedule, cfg.steps, cfg.sim_output_every),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::AnalysisSchedule;
+
+    /// Counts its own steps; state is the current step index.
+    struct CounterSim {
+        step: usize,
+        outputs: usize,
+    }
+    impl Simulator for CounterSim {
+        type State = usize;
+        fn state(&self) -> &usize {
+            &self.step
+        }
+        fn advance(&mut self) {
+            self.step += 1;
+        }
+        fn write_output(&mut self) {
+            self.outputs += 1;
+        }
+    }
+
+    /// Records which steps it was invoked at.
+    #[derive(Default)]
+    struct Recorder {
+        name: String,
+        per_steps: Vec<usize>,
+        analyzed: Vec<usize>,
+        outputs: Vec<usize>,
+    }
+    impl Analysis<usize> for Recorder {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn per_step(&mut self, state: &usize) {
+            self.per_steps.push(*state);
+        }
+        fn analyze(&mut self, state: &usize) {
+            self.analyzed.push(*state);
+        }
+        fn output(&mut self, state: &usize) {
+            self.outputs.push(*state);
+        }
+    }
+
+    #[test]
+    fn coupler_follows_schedule() {
+        let mut sim = CounterSim { step: 0, outputs: 0 };
+        let mut schedule = Schedule::empty(2);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![4, 8], vec![8]);
+        // analysis 1 inactive
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> = vec![
+            Box::new(Recorder { name: "a".into(), ..Default::default() }),
+            Box::new(Recorder { name: "b".into(), ..Default::default() }),
+        ];
+        let report = run_coupled(
+            &mut sim,
+            &mut analyses,
+            &schedule,
+            &CouplerConfig { steps: 10, sim_output_every: 5 },
+        );
+        assert_eq!(sim.step, 10);
+        assert_eq!(sim.outputs, 2);
+        assert_eq!(report.analysis_times[0].analyze_count, 2);
+        assert_eq!(report.analysis_times[0].output_count, 1);
+        assert_eq!(report.analysis_times[1].analyze_count, 0);
+        assert_eq!(report.trace.sim_steps(), 10);
+        assert!(report.sim_time >= 0.0);
+        assert!(report.total_analysis_time() >= 0.0);
+    }
+
+    #[test]
+    fn inactive_analyses_never_called() {
+        let mut sim = CounterSim { step: 0, outputs: 0 };
+        let schedule = Schedule::empty(1);
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> =
+            vec![Box::new(Recorder { name: "idle".into(), ..Default::default() })];
+        let report = run_coupled(
+            &mut sim,
+            &mut analyses,
+            &schedule,
+            &CouplerConfig { steps: 5, sim_output_every: 0 },
+        );
+        assert_eq!(report.analysis_times[0].total(), 0.0);
+        assert_eq!(report.analysis_times[0].analyze_count, 0);
+    }
+
+    #[test]
+    fn per_step_called_every_step_for_active() {
+        let mut sim = CounterSim { step: 0, outputs: 0 };
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![3], vec![]);
+        let mut rec = Recorder { name: "a".into(), ..Default::default() };
+        {
+            let mut analyses: Vec<Box<dyn Analysis<usize>>> = vec![Box::new(&mut rec)];
+            run_coupled(
+                &mut sim,
+                &mut analyses,
+                &schedule,
+                &CouplerConfig { steps: 6, sim_output_every: 0 },
+            );
+        }
+        assert_eq!(rec.per_steps, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(rec.analyzed, vec![3]);
+        assert!(rec.outputs.is_empty());
+    }
+
+    impl<'a, S, T: Analysis<S>> Analysis<S> for &'a mut T {
+        fn name(&self) -> &str {
+            T::name(self)
+        }
+        fn setup(&mut self, state: &S) {
+            T::setup(self, state)
+        }
+        fn per_step(&mut self, state: &S) {
+            T::per_step(self, state)
+        }
+        fn analyze(&mut self, state: &S) {
+            T::analyze(self, state)
+        }
+        fn output(&mut self, state: &S) {
+            T::output(self, state)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one schedule entry per analysis")]
+    fn arity_mismatch_panics() {
+        let mut sim = CounterSim { step: 0, outputs: 0 };
+        let schedule = Schedule::empty(2);
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> = vec![];
+        run_coupled(
+            &mut sim,
+            &mut analyses,
+            &schedule,
+            &CouplerConfig { steps: 1, sim_output_every: 0 },
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Independent schedule certification.
+//!
+//! Re-checks a concrete [`Schedule`] against the paper's constraints by
+//! literally running the recursions of Eqs. 2–8 step by step — no shared
+//! code with the MILP formulations, so a bug in either is caught by the
+//! other. Every schedule the advisor returns has passed this check.
+
+use insitu_types::{Schedule, ScheduleProblem, Seconds};
+
+/// Outcome of certifying one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Total in-situ analysis time (LHS of Eq. 4).
+    pub total_time: Seconds,
+    /// The budget (RHS of Eq. 4, `cth * Steps`).
+    pub time_budget: Seconds,
+    /// Peak over steps of `Σ_i mStart_{i,j}` (LHS of Eq. 8).
+    pub peak_memory: f64,
+    /// Objective value (Eq. 1).
+    pub objective: f64,
+    /// Human-readable violations; empty = certified feasible.
+    pub violations: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True when no constraint is violated.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fraction of the time budget actually used (the paper's "% within
+    /// threshold" column).
+    pub fn budget_utilization(&self) -> f64 {
+        if self.time_budget > 0.0 {
+            self.total_time / self.time_budget
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Certifies `schedule` against `problem` (Eqs. 2–9 plus structure).
+pub fn validate_schedule(problem: &ScheduleProblem, schedule: &Schedule) -> ValidationReport {
+    let steps = problem.resources.steps;
+    let mut violations = Vec::new();
+
+    if schedule.per_analysis.len() != problem.len() {
+        violations.push(format!(
+            "schedule covers {} analyses, problem has {}",
+            schedule.per_analysis.len(),
+            problem.len()
+        ));
+        return ValidationReport {
+            total_time: 0.0,
+            time_budget: problem.resources.total_threshold(),
+            peak_memory: 0.0,
+            objective: 0.0,
+            violations,
+        };
+    }
+    if let Err(e) = schedule.validate_structure(problem) {
+        violations.push(e.to_string());
+    }
+
+    // --- interval constraint (Eq. 9 / §3.2 "running total") ---
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        let a = &problem.analyses[i];
+        let itv = a.min_interval.max(1);
+        let mut last = 0usize; // running total counts from simulation start
+        for &j in &s.analysis_steps {
+            if j - last < itv {
+                violations.push(format!(
+                    "analysis `{}`: steps {last} -> {j} violate interval {itv}",
+                    a.name
+                ));
+            }
+            last = j;
+        }
+        if s.count() > a.max_analysis_steps(steps) {
+            violations.push(format!(
+                "analysis `{}`: {} analysis steps exceed Steps/itv = {}",
+                a.name,
+                s.count(),
+                a.max_analysis_steps(steps)
+            ));
+        }
+    }
+
+    // --- time recursion (Eqs. 2–4) ---
+    let mut total_time = 0.0;
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        let a = &problem.analyses[i];
+        if s.count() == 0 {
+            continue;
+        }
+        let mut t = a.fixed_time; // Eq. 3
+        for j in 1..=steps {
+            t += a.step_time;
+            if s.runs_at(j) {
+                t += a.compute_time;
+            }
+            if s.outputs_at(j) {
+                t += a.output_time;
+            }
+        }
+        total_time += t;
+    }
+    let time_budget = problem.resources.total_threshold();
+    if total_time > time_budget * (1.0 + 1e-9) + 1e-9 {
+        violations.push(format!(
+            "total analysis time {total_time:.6} exceeds budget {time_budget:.6}"
+        ));
+    }
+
+    // --- memory recursion (Eqs. 5–8) ---
+    let mut mem_end: Vec<f64> = schedule
+        .per_analysis
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if s.count() > 0 {
+                problem.analyses[i].fixed_mem
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut peak_memory = mem_end.iter().sum::<f64>();
+    for j in 1..=steps {
+        let mut step_total = 0.0;
+        for (i, s) in schedule.per_analysis.iter().enumerate() {
+            let a = &problem.analyses[i];
+            if s.count() == 0 {
+                continue;
+            }
+            let mut m_start = mem_end[i] + a.step_mem;
+            if s.runs_at(j) {
+                m_start += a.compute_mem;
+            }
+            if s.outputs_at(j) {
+                m_start += a.output_mem;
+            }
+            mem_end[i] = if s.outputs_at(j) { a.fixed_mem } else { m_start };
+            step_total += m_start;
+        }
+        if step_total > problem.resources.mem_threshold * (1.0 + 1e-9) + 1e-9 {
+            violations.push(format!(
+                "step {j}: memory {step_total:.3e} exceeds mth {:.3e}",
+                problem.resources.mem_threshold
+            ));
+        }
+        peak_memory = peak_memory.max(step_total);
+    }
+
+    ValidationReport {
+        total_time,
+        time_budget,
+        peak_memory,
+        objective: schedule.objective(problem),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{AnalysisProfile, AnalysisSchedule, ResourceConfig};
+
+    fn problem() -> ScheduleProblem {
+        ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_fixed(1.0, 100.0)
+                .with_per_step(0.01, 1.0)
+                .with_compute(2.0, 10.0)
+                .with_output(0.5, 5.0, 1)
+                .with_interval(10)],
+            ResourceConfig::from_total_threshold(100, 20.0, 1000.0, 1e9),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feasible_schedule_certifies() {
+        let p = problem();
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(vec![20, 40, 60, 80, 100], vec![100]);
+        let r = validate_schedule(&p, &s);
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        // time: ft 1 + 100*0.01 + 5*2 + 1*0.5 = 12.5
+        assert!((r.total_time - 12.5).abs() < 1e-9);
+        assert!(r.budget_utilization() > 0.6 && r.budget_utilization() < 0.63);
+        assert_eq!(r.objective, 6.0); // 1 + 5
+    }
+
+    #[test]
+    fn detects_time_violation() {
+        let p = problem();
+        let mut s = Schedule::empty(1);
+        // ft 1 + it 1 + 9 analyses * 2 s + 1 output * 0.5 = 20.5 > 20 budget
+        s.per_analysis[0] = AnalysisSchedule::new(
+            vec![10, 20, 30, 40, 50, 60, 70, 80, 90],
+            vec![90],
+        );
+        let r = validate_schedule(&p, &s);
+        assert!(!r.is_feasible());
+        assert!(r.violations.iter().any(|v| v.contains("exceeds budget")));
+    }
+
+    #[test]
+    fn detects_interval_violation() {
+        let p = problem();
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(vec![10, 15], vec![]);
+        let r = validate_schedule(&p, &s);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("violate interval")));
+    }
+
+    #[test]
+    fn detects_early_first_analysis() {
+        let p = problem();
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(vec![5], vec![]);
+        let r = validate_schedule(&p, &s);
+        assert!(!r.is_feasible(), "first analysis before itv must fail");
+    }
+
+    #[test]
+    fn detects_memory_violation() {
+        // accumulate 1/step with no outputs: by step 100 memory > 1000? no
+        // (100*1 + 100 fm + 10 cm = 210). Shrink mth to trigger.
+        let mut p = problem();
+        p.resources.mem_threshold = 150.0;
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(vec![50, 100], vec![]);
+        let r = validate_schedule(&p, &s);
+        assert!(r.violations.iter().any(|v| v.contains("memory")));
+    }
+
+    #[test]
+    fn outputs_reset_memory() {
+        let mut p = problem();
+        p.resources.mem_threshold = 170.0;
+        let mut s = Schedule::empty(1);
+        // outputs at every analysis keep peak low: fm100 + im*50 + cm10 + om5 = 165
+        s.per_analysis[0] = AnalysisSchedule::new(vec![50, 100], vec![50, 100]);
+        let r = validate_schedule(&p, &s);
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        assert!((r.peak_memory - 165.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_schedule_is_feasible_and_free() {
+        let p = problem();
+        let s = Schedule::empty(1);
+        let r = validate_schedule(&p, &s);
+        assert!(r.is_feasible());
+        assert_eq!(r.total_time, 0.0);
+        assert_eq!(r.peak_memory, 0.0);
+    }
+
+    #[test]
+    fn wrong_arity_reported() {
+        let p = problem();
+        let s = Schedule::empty(3);
+        let r = validate_schedule(&p, &s);
+        assert!(!r.is_feasible());
+    }
+}

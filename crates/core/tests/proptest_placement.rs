@@ -1,0 +1,74 @@
+//! Property tests: the placement engine's output always satisfies the
+//! constraints the aggregate model assumed.
+
+use insitu_core::placement::{analysis_positions, exact_peak_memory, output_positions, place_schedule};
+use insitu_core::validate_schedule;
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn positions_respect_interval_and_range(steps in 4usize..500, itv in 1usize..50) {
+        let kmax = steps / itv;
+        for k in 1..=kmax.max(1).min(steps) {
+            let pos = analysis_positions(steps, k);
+            prop_assert_eq!(pos.len(), k);
+            prop_assert!(*pos.last().unwrap() == steps);
+            let mut last = 0usize;
+            for &j in &pos {
+                prop_assert!(j >= 1 && j <= steps);
+                if k <= kmax && k > 0 {
+                    prop_assert!(j - last >= steps / k, "gap {} < {}", j - last, steps / k);
+                }
+                last = j;
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_subset_and_include_last(steps in 10usize..300, k in 1usize..20, q in 0usize..25) {
+        prop_assume!(k <= steps);
+        let pos = analysis_positions(steps, k);
+        let out = output_positions(&pos, q);
+        prop_assert!(out.len() <= q.min(k));
+        for &o in &out {
+            prop_assert!(pos.contains(&o));
+        }
+        if q > 0 {
+            prop_assert_eq!(*out.last().unwrap(), steps, "last analysis must flush");
+        }
+    }
+
+    #[test]
+    fn placed_schedules_always_certify(
+        steps in 20usize..200,
+        itv in 1usize..20,
+        ct in 0u32..5,
+        im in 0u32..4,
+        q_frac in 0.0f64..1.0,
+    ) {
+        let profile = AnalysisProfile::new("a")
+            .with_per_step(0.0, im as f64)
+            .with_compute(ct as f64, 1.0)
+            .with_output(0.1, 1.0, 1)
+            .with_interval(itv);
+        let kmax = profile.max_analysis_steps(steps);
+        prop_assume!(kmax > 0);
+        let k = kmax;
+        let q = ((k as f64 * q_frac) as usize).clamp(1, k);
+        // choose mth exactly at the placement's computed peak: the
+        // validator must agree the placement fits
+        let problem = ScheduleProblem::new(
+            vec![profile],
+            ResourceConfig::from_total_threshold(steps, 1e9, 0.0, 1e9),
+        ).unwrap();
+        let peak = exact_peak_memory(&problem, 0, k, q);
+        let mut problem = problem;
+        problem.resources.mem_threshold = peak;
+        let sched = place_schedule(&problem, &[k], &[q]);
+        let report = validate_schedule(&problem, &sched);
+        prop_assert!(report.is_feasible(), "violations: {:?}", report.violations);
+        prop_assert!((report.peak_memory - peak).abs() < 1e-9,
+            "validator peak {} vs placement peak {}", report.peak_memory, peak);
+    }
+}

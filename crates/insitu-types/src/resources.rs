@@ -1,0 +1,159 @@
+//! Global resource configuration — the bottom rows of Table 1.
+
+use crate::error::TypeError;
+use crate::units::{Bytes, Seconds, GIB};
+
+/// System-side inputs to the scheduling problem.
+///
+/// The paper expresses the analysis-time budget either as a *per-step*
+/// threshold `cth` (Table 5: a percentage of simulation time divided by the
+/// number of steps) or as a *total* threshold (Table 6). We store the
+/// per-step form; [`ResourceConfig::total_threshold`] gives the product
+/// `cth * Steps` used by Eq. 4.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ResourceConfig {
+    /// `Steps` — number of simulation time steps.
+    pub steps: usize,
+    /// `cth` — maximum analysis time allowed per simulation step (seconds).
+    pub step_threshold: Seconds,
+    /// `mth` — maximum memory available for analyses (bytes).
+    pub mem_threshold: Bytes,
+    /// `bw` — average write bandwidth from the simulation site to storage
+    /// (bytes/second). Used to derive `ot = om / bw` when an analysis gives
+    /// only its output size.
+    pub io_bandwidth: f64,
+}
+
+impl ResourceConfig {
+    /// Creates a configuration from the raw Table-1 quantities.
+    pub fn new(steps: usize, step_threshold: Seconds, mem_threshold: Bytes, io_bandwidth: f64) -> Self {
+        ResourceConfig {
+            steps,
+            step_threshold,
+            mem_threshold,
+            io_bandwidth,
+        }
+    }
+
+    /// Convenience: budget expressed as a *fraction of the simulation time*
+    /// (the Table-5 use case: "allow 10% overhead"). `sim_time` is the
+    /// total simulation time for `steps` steps.
+    pub fn from_overhead_fraction(
+        steps: usize,
+        sim_time: Seconds,
+        fraction: f64,
+        mem_threshold: Bytes,
+        io_bandwidth: f64,
+    ) -> Self {
+        ResourceConfig::new(steps, sim_time * fraction / steps as f64, mem_threshold, io_bandwidth)
+    }
+
+    /// Convenience: budget expressed as a *total* number of seconds (the
+    /// Table-6 use case: "at most 200 s of in-situ analysis").
+    pub fn from_total_threshold(
+        steps: usize,
+        total: Seconds,
+        mem_threshold: Bytes,
+        io_bandwidth: f64,
+    ) -> Self {
+        ResourceConfig::new(steps, total / steps as f64, mem_threshold, io_bandwidth)
+    }
+
+    /// `cth * Steps` — the right-hand side of Eq. 4.
+    pub fn total_threshold(&self) -> Seconds {
+        self.step_threshold * self.steps as f64
+    }
+
+    /// Time to write `bytes` of analysis output through the storage path.
+    pub fn write_time(&self, bytes: Bytes) -> Seconds {
+        if self.io_bandwidth > 0.0 {
+            bytes / self.io_bandwidth
+        } else {
+            0.0
+        }
+    }
+
+    /// Validates invariants (positive step count, finite non-negative caps).
+    pub fn validate(&self) -> Result<(), TypeError> {
+        if self.steps == 0 {
+            return Err(TypeError::ZeroSteps);
+        }
+        for (name, v) in [
+            ("cth", self.step_threshold),
+            ("mth", self.mem_threshold),
+            ("bw", self.io_bandwidth),
+        ] {
+            if !v.is_finite() {
+                return Err(TypeError::NonFiniteParameter {
+                    analysis: "<resources>".into(),
+                    parameter: match name {
+                        "cth" => "cth",
+                        "mth" => "mth",
+                        _ => "bw",
+                    },
+                });
+            }
+            if v < 0.0 {
+                return Err(TypeError::NegativeParameter {
+                    analysis: "<resources>".into(),
+                    parameter: match name {
+                        "cth" => "cth",
+                        "mth" => "mth",
+                        _ => "bw",
+                    },
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ResourceConfig {
+    /// 1000 steps, 0.1 s/step analysis budget, 16 GiB of analysis memory and
+    /// 1 GiB/s of storage bandwidth — a reasonable single-node default.
+    fn default() -> Self {
+        ResourceConfig::new(1000, 0.1, 16.0 * GIB, GIB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction_matches_table5_arithmetic() {
+        // Table 5: 1000 steps, total sim time 646.78 s, 10% threshold
+        // => 64.678 s total => 0.064678 s per step.
+        let rc = ResourceConfig::from_overhead_fraction(1000, 646.78, 0.10, GIB, GIB);
+        assert!((rc.step_threshold - 0.064678).abs() < 1e-9);
+        assert!((rc.total_threshold() - 64.678).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_threshold_round_trips() {
+        let rc = ResourceConfig::from_total_threshold(1000, 200.0, GIB, GIB);
+        assert!((rc.total_threshold() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_time_uses_bandwidth() {
+        let rc = ResourceConfig::new(10, 1.0, GIB, 2.0 * GIB);
+        assert!((rc.write_time(GIB) - 0.5).abs() < 1e-12);
+        let rc0 = ResourceConfig::new(10, 1.0, GIB, 0.0);
+        assert_eq!(rc0.write_time(GIB), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_zero_steps() {
+        let mut rc = ResourceConfig::default();
+        rc.steps = 0;
+        assert!(matches!(rc.validate(), Err(TypeError::ZeroSteps)));
+    }
+
+    #[test]
+    fn default_validates() {
+        assert!(ResourceConfig::default().validate().is_ok());
+    }
+}

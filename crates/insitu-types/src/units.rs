@@ -1,0 +1,71 @@
+//! Unit conventions used across the workspace.
+//!
+//! Times are plain `f64` seconds and memory sizes plain `f64` bytes: the
+//! optimization model is a *linear* program over these quantities, so
+//! arithmetic-friendly floats beat strongly-typed wrappers here. The aliases
+//! document intent at API boundaries.
+
+/// A duration in seconds.
+pub type Seconds = f64;
+
+/// A memory size in bytes (fractional bytes arise from model arithmetic).
+pub type Bytes = f64;
+
+/// One kibibyte in bytes.
+pub const KIB: Bytes = 1024.0;
+/// One mebibyte in bytes.
+pub const MIB: Bytes = 1024.0 * 1024.0;
+/// One gibibyte in bytes.
+pub const GIB: Bytes = 1024.0 * 1024.0 * 1024.0;
+
+/// Formats a byte count with a human-friendly binary suffix.
+pub fn fmt_bytes(b: Bytes) -> String {
+    let abs = b.abs();
+    if abs >= GIB {
+        format!("{:.2} GiB", b / GIB)
+    } else if abs >= MIB {
+        format!("{:.2} MiB", b / MIB)
+    } else if abs >= KIB {
+        format!("{:.2} KiB", b / KIB)
+    } else {
+        format!("{:.0} B", b)
+    }
+}
+
+/// Formats a duration with a sensible unit (s / ms / µs).
+pub fn fmt_seconds(s: Seconds) -> String {
+    let abs = s.abs();
+    if abs >= 1.0 {
+        format!("{:.2} s", s)
+    } else if abs >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting_picks_unit() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+        assert_eq!(fmt_bytes(3.5 * MIB), "3.50 MiB");
+        assert_eq!(fmt_bytes(91.0 * GIB), "91.00 GiB");
+    }
+
+    #[test]
+    fn second_formatting_picks_unit() {
+        assert_eq!(fmt_seconds(2.3), "2.30 s");
+        assert_eq!(fmt_seconds(0.0023), "2.30 ms");
+        assert_eq!(fmt_seconds(0.0000023), "2.30 µs");
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MIB, KIB * 1024.0);
+        assert_eq!(GIB, MIB * 1024.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Discrete-event replay of a coupled simulation+analysis run.
+//!
+//! The analytic formulation (Eq. 4) accounts for in-situ analysis time as
+//! a straight sum because in-situ analyses *block* the simulation. This
+//! module replays a [`Schedule`] through a small discrete-event engine
+//! with three resources —
+//!
+//! * the **simulation partition** (sequential: steps, in-situ analyses,
+//!   output writes and transfer sends serialize on it),
+//! * the **network link** to staging (FIFO),
+//! * the **staging partition** (a parallel server pool),
+//!
+//! — which (a) independently validates the analytic accounting for pure
+//! in-situ schedules, and (b) quantifies the *overlap* benefit when
+//! analyses are offloaded in-transit (the [`crate::machine`]-level view of
+//! the co-scheduling extension): staging compute runs concurrently with
+//! the simulation, so the makespan can beat the serialized sum.
+
+use insitu_types::Schedule;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Where an analysis executes during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaySite {
+    /// Blocks the simulation (base paper model).
+    InSitu,
+    /// Ships input over the link, computes on staging.
+    InTransit,
+}
+
+/// Per-analysis replay costs.
+#[derive(Debug, Clone)]
+pub struct ReplayCost {
+    /// Where it runs.
+    pub site: ReplaySite,
+    /// Blocking per-simulation-step cost (`it`).
+    pub step_time: f64,
+    /// In-situ compute (`ct`) or, for in-transit, the *staging* compute.
+    pub compute_time: f64,
+    /// Output write time (`ot`, always paid by the simulation side).
+    pub output_time: f64,
+    /// Transfer time per analysis step (in-transit only; paid by the
+    /// simulation while sending, then the link is released).
+    pub transfer_time: f64,
+}
+
+/// Aggregate replay outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// When the simulation partition finished its last action.
+    pub sim_finish: f64,
+    /// When staging finished its last analysis.
+    pub staging_finish: f64,
+    /// Total busy time of the simulation partition spent on analyses,
+    /// transfers and analysis output (the Eq.-4 LHS analog).
+    pub sim_analysis_busy: f64,
+    /// Total staging busy time.
+    pub staging_busy: f64,
+    /// Peak number of queued-but-unstarted staging jobs.
+    pub staging_queue_peak: usize,
+}
+
+impl ReplayReport {
+    /// End-to-end makespan.
+    pub fn makespan(&self) -> f64 {
+        self.sim_finish.max(self.staging_finish)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StagingDone {
+    at: f64,
+}
+impl Eq for StagingDone {}
+impl PartialOrd for StagingDone {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for StagingDone {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap by completion time
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Replays `schedule` over `steps` simulation steps.
+///
+/// * `sim_step_time` — seconds per simulation step,
+/// * `costs` — one [`ReplayCost`] per analysis (parallel to the schedule),
+/// * `staging_slots` — number of concurrent staging servers (>= 1 when any
+///   analysis is in-transit).
+pub fn replay(
+    schedule: &Schedule,
+    steps: usize,
+    sim_step_time: f64,
+    costs: &[ReplayCost],
+    staging_slots: usize,
+) -> ReplayReport {
+    assert_eq!(
+        costs.len(),
+        schedule.per_analysis.len(),
+        "one ReplayCost per analysis"
+    );
+    let active: Vec<bool> = schedule
+        .per_analysis
+        .iter()
+        .map(|s| s.count() > 0)
+        .collect();
+    let mut clock = 0.0f64; // simulation partition clock
+    let mut sim_analysis_busy = 0.0f64;
+    let mut staging_busy = 0.0f64;
+    let mut staging_finish = 0.0f64;
+    // running staging jobs as a min-heap of completion times
+    let mut running: BinaryHeap<StagingDone> = BinaryHeap::new();
+    let mut queued: Vec<f64> = Vec::new(); // durations waiting for a slot
+    let mut staging_queue_peak = 0usize;
+
+    let mut start_ready_jobs = |clock: f64,
+                                running: &mut BinaryHeap<StagingDone>,
+                                queued: &mut Vec<f64>,
+                                staging_busy: &mut f64,
+                                staging_finish: &mut f64| {
+        // free finished servers
+        while let Some(top) = running.peek() {
+            if top.at <= clock {
+                running.pop();
+            } else {
+                break;
+            }
+        }
+        while running.len() < staging_slots && !queued.is_empty() {
+            let dur = queued.remove(0);
+            let done = clock + dur;
+            *staging_busy += dur;
+            *staging_finish = staging_finish.max(done);
+            running.push(StagingDone { at: done });
+        }
+    };
+
+    for j in 1..=steps {
+        clock += sim_step_time;
+        // per-step facilitation costs of active analyses
+        for (i, c) in costs.iter().enumerate() {
+            if active[i] && c.step_time > 0.0 {
+                clock += c.step_time;
+                sim_analysis_busy += c.step_time;
+            }
+        }
+        for (i, sched) in schedule.per_analysis.iter().enumerate() {
+            if !sched.runs_at(j) {
+                continue;
+            }
+            let c = &costs[i];
+            match c.site {
+                ReplaySite::InSitu => {
+                    clock += c.compute_time;
+                    sim_analysis_busy += c.compute_time;
+                }
+                ReplaySite::InTransit => {
+                    // the simulation blocks while sending, then hands off
+                    clock += c.transfer_time;
+                    sim_analysis_busy += c.transfer_time;
+                    queued.push(c.compute_time);
+                }
+            }
+            if sched.outputs_at(j) {
+                clock += c.output_time;
+                sim_analysis_busy += c.output_time;
+            }
+            start_ready_jobs(
+                clock,
+                &mut running,
+                &mut queued,
+                &mut staging_busy,
+                &mut staging_finish,
+            );
+            staging_queue_peak = staging_queue_peak.max(queued.len());
+        }
+    }
+    // drain the staging queue after the simulation ends
+    let mut drain_clock = clock;
+    while !queued.is_empty() || !running.is_empty() {
+        start_ready_jobs(
+            drain_clock,
+            &mut running,
+            &mut queued,
+            &mut staging_busy,
+            &mut staging_finish,
+        );
+        match running.peek() {
+            Some(top) => drain_clock = drain_clock.max(top.at),
+            None if queued.is_empty() => break,
+            None => {}
+        }
+        // free at least the earliest completion each iteration
+        if let Some(top) = running.pop() {
+            drain_clock = drain_clock.max(top.at);
+        }
+    }
+
+    ReplayReport {
+        sim_finish: clock,
+        staging_finish,
+        sim_analysis_busy,
+        staging_busy,
+        staging_queue_peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::AnalysisSchedule;
+
+    fn schedule(steps: Vec<usize>, outputs: Vec<usize>) -> Schedule {
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(steps, outputs);
+        s
+    }
+
+    fn insitu_cost(ct: f64, ot: f64) -> ReplayCost {
+        ReplayCost {
+            site: ReplaySite::InSitu,
+            step_time: 0.0,
+            compute_time: ct,
+            output_time: ot,
+            transfer_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_pure_simulation() {
+        let r = replay(&Schedule::empty(1), 100, 0.5, &[insitu_cost(9.0, 9.0)], 1);
+        assert!((r.sim_finish - 50.0).abs() < 1e-12);
+        assert_eq!(r.sim_analysis_busy, 0.0);
+        assert_eq!(r.makespan(), r.sim_finish);
+    }
+
+    #[test]
+    fn insitu_replay_matches_analytic_sum() {
+        // 10 analyses at 2 s, 5 outputs at 1 s, it = 0.01 every step
+        let sched = schedule((1..=10).map(|t| t * 10).collect(), vec![20, 40, 60, 80, 100]);
+        let mut cost = insitu_cost(2.0, 1.0);
+        cost.step_time = 0.01;
+        let r = replay(&sched, 100, 0.5, &[cost], 1);
+        let expected_busy = 100.0 * 0.01 + 10.0 * 2.0 + 5.0 * 1.0;
+        assert!((r.sim_analysis_busy - expected_busy).abs() < 1e-9);
+        assert!((r.sim_finish - (50.0 + expected_busy)).abs() < 1e-9);
+        assert_eq!(r.staging_busy, 0.0);
+    }
+
+    #[test]
+    fn intransit_overlaps_staging_with_simulation() {
+        // 5 offloaded analyses: transfer 0.1 s blocks the sim, compute 5 s
+        // runs on staging concurrently
+        let sched = schedule(vec![20, 40, 60, 80, 100], vec![]);
+        let cost = ReplayCost {
+            site: ReplaySite::InTransit,
+            step_time: 0.0,
+            compute_time: 5.0,
+            output_time: 0.0,
+            transfer_time: 0.1,
+        };
+        let r = replay(&sched, 100, 0.5, &[cost], 2);
+        // sim only pays transfers
+        assert!((r.sim_analysis_busy - 0.5).abs() < 1e-9);
+        assert!((r.sim_finish - 50.5).abs() < 1e-9);
+        // staging did 25 s of work...
+        assert!((r.staging_busy - 25.0).abs() < 1e-9);
+        // ...but the makespan is far below the serialized 75.5 s
+        assert!(r.makespan() < 60.0, "makespan {}", r.makespan());
+        // equivalent in-situ run would take 50 + 25 = 75 s
+        let insitu = replay(&sched, 100, 0.5, &[insitu_cost(5.0, 0.0)], 1);
+        assert!(r.makespan() < insitu.makespan());
+    }
+
+    #[test]
+    fn staging_tail_extends_makespan() {
+        // one slot, analyses arrive faster than staging drains: the last
+        // jobs finish after the simulation
+        let sched = schedule(vec![2, 4, 6, 8, 10], vec![]);
+        let cost = ReplayCost {
+            site: ReplaySite::InTransit,
+            step_time: 0.0,
+            compute_time: 10.0,
+            output_time: 0.0,
+            transfer_time: 0.0,
+        };
+        let r = replay(&sched, 10, 0.1, &[cost], 1);
+        assert!(r.staging_queue_peak >= 1, "queue built up");
+        assert!(r.staging_finish > r.sim_finish);
+        // 5 jobs x 10 s on one server, first starts ~0.2 s
+        assert!((r.staging_finish - 50.2).abs() < 0.2, "{}", r.staging_finish);
+    }
+
+    #[test]
+    fn more_staging_slots_shrink_makespan() {
+        let sched = schedule(vec![2, 4, 6, 8, 10], vec![]);
+        let cost = ReplayCost {
+            site: ReplaySite::InTransit,
+            step_time: 0.0,
+            compute_time: 10.0,
+            output_time: 0.0,
+            transfer_time: 0.0,
+        };
+        let one = replay(&sched, 10, 0.1, &[cost.clone()], 1);
+        let four = replay(&sched, 10, 0.1, &[cost], 4);
+        assert!(four.makespan() < one.makespan());
+        assert_eq!(four.staging_busy, one.staging_busy, "same total work");
+    }
+
+    #[test]
+    #[should_panic(expected = "one ReplayCost per analysis")]
+    fn arity_mismatch_panics() {
+        replay(&Schedule::empty(2), 5, 0.1, &[insitu_cost(1.0, 0.0)], 1);
+    }
+}

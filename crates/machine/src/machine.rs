@@ -1,0 +1,184 @@
+//! Whole-machine composition: nodes, partitions, interconnect, storage.
+
+use crate::collectives::CollectiveModel;
+use crate::io::{IoSubsystem, StorageTier};
+use crate::topology::Torus;
+
+/// Per-node hardware description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Cores per node.
+    pub cores: usize,
+    /// Memory per node, bytes.
+    pub mem_bytes: f64,
+    /// Peak floating-point rate per node, flop/s.
+    pub flops: f64,
+}
+
+/// A job partition: a topological block of nodes with a rank layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Topology of the allocated block.
+    pub topology: Torus,
+    /// MPI ranks per node.
+    pub ranks_per_node: usize,
+}
+
+impl Partition {
+    /// Number of nodes in the partition.
+    pub fn nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    /// Total MPI ranks.
+    pub fn ranks(&self) -> usize {
+        self.nodes() * self.ranks_per_node
+    }
+}
+
+/// A complete machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Node hardware.
+    pub node: NodeSpec,
+    /// Total nodes in the machine.
+    pub total_nodes: usize,
+    /// Collective-communication cost model.
+    pub collectives: CollectiveModel,
+    /// Storage model.
+    pub io: IoSubsystem,
+}
+
+impl Machine {
+    /// The Mira preset: IBM Blue Gene/Q, 49 152 nodes, 16 cores and 16 GB
+    /// per node, 204.8 GF/node, 240 GB/s GPFS.
+    pub fn mira() -> Self {
+        Machine {
+            name: "Mira (BG/Q model)".to_string(),
+            node: NodeSpec {
+                cores: 16,
+                mem_bytes: 16.0 * 1024.0 * 1024.0 * 1024.0,
+                flops: 204.8e9,
+            },
+            total_nodes: 49_152,
+            collectives: CollectiveModel::default(),
+            io: IoSubsystem::default(),
+        }
+    }
+
+    /// Mira with an added NVRAM tier (Table-7 what-if).
+    pub fn mira_with_nvram(per_node_bw: f64) -> Self {
+        let mut m = Self::mira();
+        m.io = m.io.with_nvram(per_node_bw);
+        m.name = "Mira + NVRAM (model)".to_string();
+        m
+    }
+
+    /// Allocates a partition of `nodes` nodes with `ranks_per_node` ranks.
+    /// Node counts must match a known BG/Q block shape.
+    pub fn partition(&self, nodes: usize, ranks_per_node: usize) -> Option<Partition> {
+        if nodes > self.total_nodes || ranks_per_node == 0 {
+            return None;
+        }
+        Torus::bgq_partition(nodes).map(|topology| Partition {
+            topology,
+            ranks_per_node,
+        })
+    }
+
+    /// A partition sized by total rank count at 16 ranks/node (the paper's
+    /// layout: "16384 processes (1024 nodes, 16 ranks per node)").
+    pub fn partition_for_ranks(&self, ranks: usize) -> Option<Partition> {
+        let rpn = self.node.cores;
+        if ranks % rpn != 0 {
+            return None;
+        }
+        self.partition(ranks / rpn, rpn)
+    }
+
+    /// Memory available for in-situ analyses on a partition, after the
+    /// simulation has claimed `sim_bytes_per_node`.
+    pub fn analysis_memory(&self, part: &Partition, sim_bytes_per_node: f64) -> f64 {
+        ((self.node.mem_bytes - sim_bytes_per_node) * part.nodes() as f64).max(0.0)
+    }
+
+    /// Aggregate write bandwidth a partition sees to `tier`.
+    pub fn write_bandwidth(&self, part: &Partition, tier: StorageTier) -> f64 {
+        self.io.aggregate_bw(part.nodes(), tier)
+    }
+
+    /// Time to write `bytes` from a partition to `tier`.
+    pub fn write_time(&self, bytes: f64, part: &Partition, tier: StorageTier) -> f64 {
+        self.io.write_time(bytes, part.nodes(), tier)
+    }
+
+    /// Time for an allreduce of `bytes` per rank on a partition.
+    pub fn allreduce_time(&self, bytes: f64, part: &Partition) -> f64 {
+        self.collectives.allreduce(bytes, part.ranks(), &part.topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mira_preset_matches_published_specs() {
+        let m = Machine::mira();
+        assert_eq!(m.node.cores, 16);
+        assert_eq!(m.total_nodes, 49_152);
+        assert_eq!(m.node.mem_bytes, 16.0 * 1024.0f64.powi(3));
+        assert_eq!(m.io.fs_peak_bw, 240.0e9);
+    }
+
+    #[test]
+    fn paper_partitions_resolve() {
+        let m = Machine::mira();
+        // the paper's runs: 16384 cores = 1024 nodes, 32768 cores = 2048 nodes
+        let p = m.partition_for_ranks(16_384).unwrap();
+        assert_eq!(p.nodes(), 1024);
+        assert_eq!(p.ranks(), 16_384);
+        let p = m.partition_for_ranks(32_768).unwrap();
+        assert_eq!(p.nodes(), 2048);
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        let m = Machine::mira();
+        assert!(m.partition(100, 16).is_none()); // not a block shape
+        assert!(m.partition(512, 0).is_none());
+        assert!(m.partition_for_ranks(100).is_none()); // not /16
+        assert!(m.partition(1 << 20, 16).is_none()); // larger than machine
+    }
+
+    #[test]
+    fn analysis_memory_subtracts_simulation() {
+        let m = Machine::mira();
+        let p = m.partition(512, 16).unwrap();
+        let avail = m.analysis_memory(&p, 12.0 * 1024.0f64.powi(3));
+        assert!((avail - 512.0 * 4.0 * 1024.0f64.powi(3)).abs() < 1.0);
+        // over-subscribed simulation leaves zero, not negative
+        assert_eq!(m.analysis_memory(&p, 20.0 * 1024.0f64.powi(3)), 0.0);
+    }
+
+    #[test]
+    fn bigger_partitions_see_more_io_until_peak() {
+        let m = Machine::mira();
+        let small = m.partition(512, 16).unwrap();
+        let large = m.partition(8192, 16).unwrap();
+        let bw_s = m.write_bandwidth(&small, StorageTier::ParallelFs);
+        let bw_l = m.write_bandwidth(&large, StorageTier::ParallelFs);
+        assert!(bw_l >= bw_s);
+        assert!(bw_l <= m.io.fs_peak_bw);
+    }
+
+    #[test]
+    fn allreduce_time_reasonable() {
+        let m = Machine::mira();
+        let p = m.partition(1024, 16).unwrap();
+        let t = m.allreduce_time(8.0 * 1024.0, &p);
+        assert!(t > 0.0 && t < 1e-2, "allreduce time {t}");
+    }
+}

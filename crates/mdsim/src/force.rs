@@ -1,0 +1,115 @@
+//! Pairwise force field: truncated & shifted Lennard-Jones.
+//!
+//! A single (ε, σ) pair for all species keeps the engine lean; what the
+//! scheduler cares about is the *cost shape* of the force loop and the
+//! analyses, not chemical accuracy.
+
+/// Lennard-Jones parameters with a finite cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForceField {
+    /// Well depth ε.
+    pub epsilon: f64,
+    /// Length scale σ.
+    pub sigma: f64,
+    /// Interaction cutoff radius.
+    pub cutoff: f64,
+    /// Potential value at the cutoff (subtracted so E(cutoff) = 0).
+    pub shift: f64,
+}
+
+impl ForceField {
+    /// LJ force field with given parameters; the shift is derived.
+    pub fn new(epsilon: f64, sigma: f64, cutoff: f64) -> Self {
+        let sr6 = (sigma / cutoff).powi(6);
+        let shift = 4.0 * epsilon * (sr6 * sr6 - sr6);
+        ForceField {
+            epsilon,
+            sigma,
+            cutoff,
+            shift,
+        }
+    }
+
+    /// A force field with no pairwise interaction (bonds only).
+    pub fn none() -> Self {
+        ForceField {
+            epsilon: 0.0,
+            sigma: 1.0,
+            cutoff: 0.5,
+            shift: 0.0,
+        }
+    }
+
+    /// `(f/r, energy)` for a pair at squared distance `r2`; both zero past
+    /// the cutoff. `f/r` is the scalar such that the force vector on `i`
+    /// is `(f/r) * (r_i - r_j)` (positive = repulsive).
+    #[inline]
+    pub fn lj_pair(&self, r2: f64) -> (f64, f64) {
+        if r2 >= self.cutoff * self.cutoff || self.epsilon == 0.0 {
+            return (0.0, 0.0);
+        }
+        let inv_r2 = 1.0 / r2.max(1e-12);
+        let sr2 = self.sigma * self.sigma * inv_r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        let energy = 4.0 * self.epsilon * (sr12 - sr6) - self.shift;
+        let fscale = 24.0 * self.epsilon * (2.0 * sr12 - sr6) * inv_r2;
+        (fscale, energy)
+    }
+}
+
+impl Default for ForceField {
+    /// ε = 1, σ = 1, cutoff 2.5σ — the canonical reduced-unit LJ fluid.
+    fn default() -> Self {
+        ForceField::new(1.0, 1.0, 2.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_beyond_cutoff() {
+        let ff = ForceField::default();
+        let (f, e) = ff.lj_pair(2.5 * 2.5 + 0.01);
+        assert_eq!((f, e), (0.0, 0.0));
+    }
+
+    #[test]
+    fn energy_continuous_at_cutoff() {
+        let ff = ForceField::default();
+        let (_, e) = ff.lj_pair((2.5f64 - 1e-6).powi(2));
+        assert!(e.abs() < 1e-4, "shifted potential must vanish at cutoff, got {e}");
+    }
+
+    #[test]
+    fn minimum_at_two_pow_sixth_sigma() {
+        let ff = ForceField::default();
+        let rmin: f64 = 2.0f64.powf(1.0 / 6.0);
+        let (f, _) = ff.lj_pair(rmin * rmin);
+        assert!(f.abs() < 1e-9, "force at minimum {f}");
+        // repulsive inside, attractive outside
+        assert!(ff.lj_pair((rmin - 0.1) * (rmin - 0.1)).0 > 0.0);
+        assert!(ff.lj_pair((rmin + 0.1) * (rmin + 0.1)).0 < 0.0);
+    }
+
+    #[test]
+    fn force_is_negative_energy_gradient() {
+        let ff = ForceField::default();
+        let r = 1.3;
+        let h = 1e-6;
+        let (_, e1) = ff.lj_pair((r - h) * (r - h));
+        let (_, e2) = ff.lj_pair((r + h) * (r + h));
+        let dedr = (e2 - e1) / (2.0 * h);
+        let (fscale, _) = ff.lj_pair(r * r);
+        // F = -dE/dr along r, fscale = F/r
+        assert!((fscale * r + dedr).abs() < 1e-4, "fscale*r {} vs -dE/dr {}", fscale * r, -dedr);
+    }
+
+    #[test]
+    fn none_field_is_inert() {
+        let ff = ForceField::none();
+        assert_eq!(ff.lj_pair(0.01), (0.0, 0.0));
+    }
+}

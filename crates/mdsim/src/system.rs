@@ -1,0 +1,487 @@
+//! Particle store, periodic box and time integration.
+//!
+//! Structure-of-arrays layout per the Rust performance guide: the hot force
+//! and integration loops stream over contiguous `Vec<f64>` coordinates.
+
+use crate::force::ForceField;
+use crate::neighbor::CellList;
+use insitu_core::runtime::Simulator;
+
+/// Number of species understood by the builders/analyses.
+pub const NUM_SPECIES: usize = 5;
+
+/// Particle species, mirroring the paper's two LAMMPS problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Species {
+    /// Water (single-site, water+ions problem; solvent in rhodopsin).
+    Water = 0,
+    /// Hydronium ion (water+ions problem).
+    Hydronium = 1,
+    /// Dissolved ion (both problems).
+    Ion = 2,
+    /// Membrane lipid site (rhodopsin problem).
+    Membrane = 3,
+    /// Protein site (rhodopsin problem).
+    Protein = 4,
+}
+
+impl Species {
+    /// All species in index order.
+    pub const ALL: [Species; NUM_SPECIES] = [
+        Species::Water,
+        Species::Hydronium,
+        Species::Ion,
+        Species::Membrane,
+        Species::Protein,
+    ];
+
+    /// Species from its index.
+    pub fn from_index(i: usize) -> Species {
+        Species::ALL[i]
+    }
+
+    /// Index of the species.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Orthorhombic periodic simulation box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBox {
+    /// Edge lengths.
+    pub lengths: [f64; 3],
+}
+
+impl SimBox {
+    /// Cubic box of edge `l`.
+    pub fn cubic(l: f64) -> Self {
+        SimBox {
+            lengths: [l, l, l],
+        }
+    }
+
+    /// Box volume.
+    pub fn volume(&self) -> f64 {
+        self.lengths[0] * self.lengths[1] * self.lengths[2]
+    }
+
+    /// Minimum-image displacement component along dimension `d`.
+    #[inline]
+    pub fn min_image(&self, d: usize, dx: f64) -> f64 {
+        let l = self.lengths[d];
+        dx - l * (dx / l).round()
+    }
+
+    /// Minimum-image vector between two positions.
+    #[inline]
+    pub fn displacement(&self, a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        [
+            self.min_image(0, a[0] - b[0]),
+            self.min_image(1, a[1] - b[1]),
+            self.min_image(2, a[2] - b[2]),
+        ]
+    }
+
+    /// Squared minimum-image distance.
+    #[inline]
+    pub fn dist2(&self, a: [f64; 3], b: [f64; 3]) -> f64 {
+        let d = self.displacement(a, b);
+        d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+    }
+
+    /// Wraps a coordinate into `[0, L)` along dimension `d`.
+    #[inline]
+    pub fn wrap(&self, d: usize, x: f64) -> f64 {
+        let l = self.lengths[d];
+        x.rem_euclid(l)
+    }
+}
+
+/// A harmonic bond between two particles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bond {
+    /// First particle index.
+    pub i: usize,
+    /// Second particle index.
+    pub j: usize,
+    /// Equilibrium length.
+    pub r0: f64,
+    /// Spring constant.
+    pub k: f64,
+}
+
+/// The full MD system: SoA particle state + box + force field.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Periodic box.
+    pub bounds: SimBox,
+    /// Positions, wrapped into the box. `pos[d][i]`.
+    pub pos: [Vec<f64>; 3],
+    /// Velocities. `vel[d][i]`.
+    pub vel: [Vec<f64>; 3],
+    /// Forces (scratch). `force[d][i]`.
+    pub force: [Vec<f64>; 3],
+    /// Per-particle accumulated periodic image shifts (for unwrapped
+    /// positions, needed by MSD). `image[d][i]` counts box crossings.
+    pub image: [Vec<i32>; 3],
+    /// Species index per particle.
+    pub species: Vec<u8>,
+    /// Mass per species.
+    pub masses: [f64; NUM_SPECIES],
+    /// Harmonic bonds (intramolecular structure).
+    pub bonds: Vec<Bond>,
+    /// Pairwise force field.
+    pub ff: ForceField,
+    /// Integration time step.
+    pub dt: f64,
+    /// Target temperature for the Berendsen thermostat (0 = NVE).
+    pub target_temp: f64,
+    /// Thermostat coupling constant (fraction per step).
+    pub thermostat_coupling: f64,
+    /// Completed time steps.
+    pub step_count: usize,
+    cells: Option<CellList>,
+}
+
+impl System {
+    /// Creates an empty system in `bounds` with force field `ff`.
+    pub fn new(bounds: SimBox, ff: ForceField, dt: f64) -> Self {
+        System {
+            bounds,
+            pos: [Vec::new(), Vec::new(), Vec::new()],
+            vel: [Vec::new(), Vec::new(), Vec::new()],
+            force: [Vec::new(), Vec::new(), Vec::new()],
+            image: [Vec::new(), Vec::new(), Vec::new()],
+            species: Vec::new(),
+            masses: [1.0; NUM_SPECIES],
+            bonds: Vec::new(),
+            ff,
+            dt,
+            target_temp: 0.0,
+            thermostat_coupling: 0.1,
+            step_count: 0,
+            cells: None,
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// True when the system has no particles.
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Appends a particle; returns its index.
+    pub fn add_particle(&mut self, species: Species, pos: [f64; 3], vel: [f64; 3]) -> usize {
+        for d in 0..3 {
+            self.pos[d].push(self.bounds.wrap(d, pos[d]));
+            self.vel[d].push(vel[d]);
+            self.force[d].push(0.0);
+            self.image[d].push(0);
+        }
+        self.species.push(species.index() as u8);
+        self.species.len() - 1
+    }
+
+    /// Position of particle `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> [f64; 3] {
+        [self.pos[0][i], self.pos[1][i], self.pos[2][i]]
+    }
+
+    /// Velocity of particle `i`.
+    #[inline]
+    pub fn velocity(&self, i: usize) -> [f64; 3] {
+        [self.vel[0][i], self.vel[1][i], self.vel[2][i]]
+    }
+
+    /// Unwrapped position (adds accumulated image shifts), for MSD.
+    #[inline]
+    pub fn unwrapped_position(&self, i: usize) -> [f64; 3] {
+        [
+            self.pos[0][i] + self.image[0][i] as f64 * self.bounds.lengths[0],
+            self.pos[1][i] + self.image[1][i] as f64 * self.bounds.lengths[1],
+            self.pos[2][i] + self.image[2][i] as f64 * self.bounds.lengths[2],
+        ]
+    }
+
+    /// Mass of particle `i`.
+    #[inline]
+    pub fn mass(&self, i: usize) -> f64 {
+        self.masses[self.species[i] as usize]
+    }
+
+    /// Indices of all particles of `species`.
+    pub fn of_species(&self, species: Species) -> Vec<usize> {
+        let s = species.index() as u8;
+        (0..self.len()).filter(|&i| self.species[i] == s).collect()
+    }
+
+    /// Count of particles of `species`.
+    pub fn species_count(&self, species: Species) -> usize {
+        let s = species.index() as u8;
+        self.species.iter().filter(|&&x| x == s).count()
+    }
+
+    /// Kinetic energy `Σ ½ m v²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.len())
+            .map(|i| {
+                let v = self.velocity(i);
+                0.5 * self.mass(i) * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+            })
+            .sum()
+    }
+
+    /// Instantaneous temperature (k_B = 1 units): `2 KE / (3 N)`.
+    pub fn temperature(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * self.kinetic_energy() / (3.0 * self.len() as f64)
+        }
+    }
+
+    /// Recomputes forces (pairwise + bonds) into `self.force`; returns the
+    /// potential energy.
+    pub fn compute_forces(&mut self) -> f64 {
+        for d in 0..3 {
+            self.force[d].iter_mut().for_each(|f| *f = 0.0);
+        }
+        let cutoff = self.ff.cutoff;
+        let mut potential = 0.0;
+        let ff = self.ff;
+        let bounds = self.bounds;
+        // accumulate pairwise LJ; an inert force field (ε = 0) skips the
+        // cell list entirely — bonds-only systems in huge boxes would
+        // otherwise allocate millions of empty cells every step
+        let mut fx = std::mem::take(&mut self.force[0]);
+        let mut fy = std::mem::take(&mut self.force[1]);
+        let mut fz = std::mem::take(&mut self.force[2]);
+        if ff.epsilon != 0.0 {
+            let cells = CellList::build(&self.bounds, &self.pos, cutoff);
+            cells.for_each_pair(&self.bounds, &self.pos, |i, j, r2| {
+                let (fscale, e) = ff.lj_pair(r2);
+                potential += e;
+                let dx = bounds.min_image(0, self.pos[0][i] - self.pos[0][j]);
+                let dy = bounds.min_image(1, self.pos[1][i] - self.pos[1][j]);
+                let dz = bounds.min_image(2, self.pos[2][i] - self.pos[2][j]);
+                fx[i] += fscale * dx;
+                fy[i] += fscale * dy;
+                fz[i] += fscale * dz;
+                fx[j] -= fscale * dx;
+                fy[j] -= fscale * dy;
+                fz[j] -= fscale * dz;
+            });
+            self.cells = Some(cells);
+        }
+        // bonds
+        for b in &self.bonds {
+            let pi = [self.pos[0][b.i], self.pos[1][b.i], self.pos[2][b.i]];
+            let pj = [self.pos[0][b.j], self.pos[1][b.j], self.pos[2][b.j]];
+            let d = bounds.displacement(pi, pj);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt().max(1e-12);
+            let fmag = -b.k * (r - b.r0) / r; // force per unit displacement
+            potential += 0.5 * b.k * (r - b.r0) * (r - b.r0);
+            fx[b.i] += fmag * d[0];
+            fy[b.i] += fmag * d[1];
+            fz[b.i] += fmag * d[2];
+            fx[b.j] -= fmag * d[0];
+            fy[b.j] -= fmag * d[1];
+            fz[b.j] -= fmag * d[2];
+        }
+        self.force[0] = fx;
+        self.force[1] = fy;
+        self.force[2] = fz;
+        potential
+    }
+
+    /// One velocity-Verlet step (with optional Berendsen velocity rescale).
+    pub fn step(&mut self) {
+        let n = self.len();
+        if self.step_count == 0 {
+            self.compute_forces();
+        }
+        let dt = self.dt;
+        // half kick + drift
+        for i in 0..n {
+            let inv_m = 1.0 / self.mass(i);
+            for d in 0..3 {
+                self.vel[d][i] += 0.5 * dt * self.force[d][i] * inv_m;
+                let mut x = self.pos[d][i] + dt * self.vel[d][i];
+                let l = self.bounds.lengths[d];
+                if x < 0.0 {
+                    x += l;
+                    self.image[d][i] -= 1;
+                } else if x >= l {
+                    x -= l;
+                    self.image[d][i] += 1;
+                }
+                // guard against large excursions (should not happen at sane dt)
+                self.pos[d][i] = self.bounds.wrap(d, x);
+            }
+        }
+        self.compute_forces();
+        // second half kick
+        for i in 0..n {
+            let inv_m = 1.0 / self.mass(i);
+            for d in 0..3 {
+                self.vel[d][i] += 0.5 * dt * self.force[d][i] * inv_m;
+            }
+        }
+        // Berendsen thermostat
+        if self.target_temp > 0.0 {
+            let t = self.temperature();
+            if t > 1e-12 {
+                let lambda =
+                    (1.0 + self.thermostat_coupling * (self.target_temp / t - 1.0)).sqrt();
+                for d in 0..3 {
+                    self.vel[d].iter_mut().for_each(|v| *v *= lambda);
+                }
+            }
+        }
+        self.step_count += 1;
+    }
+}
+
+impl Simulator for System {
+    type State = System;
+
+    fn state(&self) -> &System {
+        self
+    }
+
+    fn advance(&mut self) {
+        self.step();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::ForceField;
+
+    fn two_body() -> System {
+        let mut s = System::new(SimBox::cubic(20.0), ForceField::default(), 0.001);
+        s.add_particle(Species::Water, [9.0, 10.0, 10.0], [0.0; 3]);
+        s.add_particle(Species::Water, [11.0, 10.0, 10.0], [0.0; 3]);
+        s
+    }
+
+    #[test]
+    fn min_image_wraps() {
+        let b = SimBox::cubic(10.0);
+        assert_eq!(b.min_image(0, 9.0), -1.0);
+        assert_eq!(b.min_image(0, -9.0), 1.0);
+        assert_eq!(b.min_image(0, 3.0), 3.0);
+        assert!((b.dist2([0.5, 0.0, 0.0], [9.5, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_into_box() {
+        let b = SimBox::cubic(10.0);
+        assert!((b.wrap(0, -0.5) - 9.5).abs() < 1e-12);
+        assert!((b.wrap(0, 10.5) - 0.5).abs() < 1e-12);
+        assert_eq!(b.volume(), 1000.0);
+    }
+
+    #[test]
+    fn newtons_third_law() {
+        let mut s = two_body();
+        s.compute_forces();
+        for d in 0..3 {
+            assert!(
+                (s.force[d][0] + s.force[d][1]).abs() < 1e-9,
+                "dim {d}: {} vs {}",
+                s.force[d][0],
+                s.force[d][1]
+            );
+        }
+        // particles at r=2 sigma=1: attractive => f on particle 0 points +x
+        assert!(s.force[0][0] > 0.0);
+    }
+
+    #[test]
+    fn energy_roughly_conserved_nve() {
+        let mut s = two_body();
+        // give them a gentle approach velocity
+        s.vel[0][0] = 0.2;
+        s.vel[0][1] = -0.2;
+        let e0 = s.compute_forces() + s.kinetic_energy();
+        for _ in 0..500 {
+            s.step();
+        }
+        let e1 = s.compute_forces() + s.kinetic_energy();
+        assert!(
+            (e1 - e0).abs() < 2e-3 * e0.abs().max(1.0),
+            "energy drift {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn thermostat_drives_temperature() {
+        let mut s = System::new(SimBox::cubic(12.0), ForceField::default(), 0.002);
+        // small lattice with random-ish velocities
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let phase = (i * 16 + j * 4 + k) as f64;
+                    s.add_particle(
+                        Species::Water,
+                        [1.5 * i as f64 + 0.75, 1.5 * j as f64 + 0.75, 1.5 * k as f64 + 0.75],
+                        [0.1 * phase.sin(), 0.1 * phase.cos(), 0.05],
+                    );
+                }
+            }
+        }
+        s.target_temp = 0.8;
+        s.thermostat_coupling = 0.5;
+        for _ in 0..300 {
+            s.step();
+        }
+        let t = s.temperature();
+        assert!((t - 0.8).abs() < 0.25, "temperature {t} not near 0.8");
+    }
+
+    #[test]
+    fn unwrapped_positions_track_crossings() {
+        let mut s = System::new(SimBox::cubic(5.0), ForceField::none(), 0.1);
+        s.add_particle(Species::Ion, [4.9, 2.5, 2.5], [1.0, 0.0, 0.0]);
+        for _ in 0..20 {
+            s.step();
+        }
+        // travelled 2.0 in x from 4.9 => unwrapped 6.9
+        let u = s.unwrapped_position(0);
+        assert!((u[0] - 6.9).abs() < 1e-9, "unwrapped {}", u[0]);
+        assert!(s.position(0)[0] < 5.0);
+    }
+
+    #[test]
+    fn species_bookkeeping() {
+        let mut s = two_body();
+        s.add_particle(Species::Ion, [1.0, 1.0, 1.0], [0.0; 3]);
+        assert_eq!(s.species_count(Species::Water), 2);
+        assert_eq!(s.species_count(Species::Ion), 1);
+        assert_eq!(s.of_species(Species::Ion), vec![2]);
+        assert_eq!(Species::from_index(4), Species::Protein);
+    }
+
+    #[test]
+    fn bonds_pull_particles_together() {
+        let mut s = System::new(SimBox::cubic(20.0), ForceField::none(), 0.01);
+        s.add_particle(Species::Protein, [8.0, 10.0, 10.0], [0.0; 3]);
+        s.add_particle(Species::Protein, [12.0, 10.0, 10.0], [0.0; 3]);
+        s.bonds.push(Bond { i: 0, j: 1, r0: 1.0, k: 10.0 });
+        let d0 = s.bounds.dist2(s.position(0), s.position(1)).sqrt();
+        for _ in 0..100 {
+            s.step();
+        }
+        let d1 = s.bounds.dist2(s.position(0), s.position(1)).sqrt();
+        assert!(d1 < d0, "bond must contract: {d0} -> {d1}");
+    }
+}

@@ -1,0 +1,397 @@
+//! Branch & bound for mixed-integer programs.
+//!
+//! Best-first search on LP-relaxation bounds with most-fractional
+//! branching. Each node re-solves its LP from scratch — fine at the scale
+//! of the scheduling formulations this crate exists for (the paper's own
+//! CPLEX solves took 0.17–1.36 s; ours are far smaller after the aggregate
+//! reduction).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::SolveError;
+use crate::model::{Model, Sense};
+use crate::options::SolveOptions;
+use crate::simplex::solve_lp_relaxation;
+use crate::solution::Solution;
+
+/// A live search node: bound overrides relative to the original model plus
+/// the LP optimum of the node.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(var, lower, upper)` overrides accumulated from the root.
+    overrides: Vec<(usize, f64, f64)>,
+    /// LP relaxation optimum of this node.
+    relax: Solution,
+    /// Sense-adjusted priority (larger = explored first).
+    key: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.partial_cmp(&other.key).unwrap_or(Ordering::Equal)
+    }
+}
+
+fn apply_overrides(model: &Model, overrides: &[(usize, f64, f64)]) -> Model {
+    let mut m = model.clone();
+    for &(v, lo, hi) in overrides {
+        m.vars[v].lower = m.vars[v].lower.max(lo);
+        m.vars[v].upper = m.vars[v].upper.min(hi);
+    }
+    m
+}
+
+/// Most fractional integer variable of a solution, if any.
+fn fractional_var(model: &Model, sol: &Solution, tol: f64) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None; // (var, value, dist-to-half)
+    for i in model.integer_vars() {
+        let v = sol.values[i];
+        let frac = v - v.floor();
+        if frac > tol && frac < 1.0 - tol {
+            let dist = (frac - 0.5).abs();
+            match best {
+                Some((_, _, d)) if d <= dist => {}
+                _ => best = Some((i, v, dist)),
+            }
+        }
+    }
+    best.map(|(i, v, _)| (i, v))
+}
+
+/// Rounds the integer variables of an LP point and keeps it if feasible.
+fn rounded_candidate(model: &Model, sol: &Solution, tol: f64) -> Option<Solution> {
+    let mut values = sol.values.clone();
+    for i in model.integer_vars() {
+        values[i] = values[i].round();
+    }
+    if model.is_feasible(&values, tol * 10.0) {
+        let objective = model.objective_value(&values);
+        Some(Solution {
+            values,
+            objective,
+            iterations: 0,
+            nodes: 0,
+            proven_optimal: false,
+        })
+    } else {
+        None
+    }
+}
+
+/// Solves a mixed-integer linear program to proven optimality (within
+/// `opts.abs_gap`).
+///
+/// Errors with [`SolveError::Infeasible`] / [`SolveError::Unbounded`] when
+/// the instance has no optimum, and [`SolveError::NodeLimit`] when the node
+/// budget runs out first.
+pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    model.validate()?;
+    let presolved;
+    let model = if opts.presolve {
+        let mut reduced = model.clone();
+        crate::presolve::presolve(&mut reduced, opts.tol)?;
+        presolved = reduced;
+        &presolved
+    } else {
+        model
+    };
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let root = solve_lp_relaxation(model, opts)?;
+    let mut incumbent: Option<Solution> = None;
+    let mut total_iters = root.iterations;
+    if opts.rounding_heuristic {
+        incumbent = rounded_candidate(model, &root, opts.tol);
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        overrides: Vec::new(),
+        key: sign * root.objective,
+        relax: root,
+    });
+    let mut nodes = 0usize;
+
+    // Best-first with plunging: from every node popped off the heap we dive
+    // straight down (always following the better-bound child, parking the
+    // sibling on the heap) until reaching an integral or pruned leaf. The
+    // dive finds incumbents early, which is what makes bound pruning bite —
+    // pure best-first crawls objective plateaus breadth-first and can go
+    // exponential before finding its first feasible point.
+    'search: while let Some(node) = heap.pop() {
+        // best-first invariant: if the best remaining bound can't beat the
+        // incumbent, the whole search is done.
+        if let Some(inc) = &incumbent {
+            if sign * node.relax.objective <= sign * inc.objective + opts.abs_gap {
+                break;
+            }
+        }
+        let mut cur = Some(node);
+        while let Some(node) = cur.take() {
+            nodes += 1;
+            if nodes > opts.max_nodes {
+                return Err(SolveError::NodeLimit {
+                    nodes,
+                    incumbent: incumbent.map(|s| s.objective),
+                });
+            }
+            if let Some(inc) = &incumbent {
+                if sign * node.relax.objective <= sign * inc.objective + opts.abs_gap {
+                    continue 'search; // this dive is dominated; pick next best
+                }
+            }
+            match fractional_var(model, &node.relax, opts.tol) {
+                None => {
+                    // integral: candidate incumbent (snap values to integers)
+                    let mut values = node.relax.values.clone();
+                    for i in model.integer_vars() {
+                        values[i] = values[i].round();
+                    }
+                    let objective = model.objective_value(&values);
+                    let better = incumbent
+                        .as_ref()
+                        .map_or(true, |inc| model.better(objective, inc.objective));
+                    if better {
+                        incumbent = Some(Solution {
+                            values,
+                            objective,
+                            iterations: 0,
+                            nodes: 0,
+                            proven_optimal: false,
+                        });
+                    }
+                }
+                Some((var, value)) => {
+                    let floor = value.floor();
+                    let mut children: Vec<Node> = Vec::with_capacity(2);
+                    for (lo, hi) in
+                        [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)]
+                    {
+                        let mut overrides = node.overrides.clone();
+                        overrides.push((var, lo, hi));
+                        let child_model = apply_overrides(model, &overrides);
+                        if child_model.vars[var].lower > child_model.vars[var].upper {
+                            continue;
+                        }
+                        match solve_lp_relaxation(&child_model, opts) {
+                            Ok(relax) => {
+                                total_iters += relax.iterations;
+                                // bound-based pruning at generation time
+                                if let Some(inc) = &incumbent {
+                                    if sign * relax.objective
+                                        <= sign * inc.objective + opts.abs_gap
+                                    {
+                                        continue;
+                                    }
+                                }
+                                children.push(Node {
+                                    overrides,
+                                    key: sign * relax.objective,
+                                    relax,
+                                });
+                            }
+                            Err(SolveError::Infeasible) => continue,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    // dive into the better child, park the other (or park
+                    // both when plunging is disabled — pure best-first)
+                    children.sort_by(|a, b| {
+                        b.key.partial_cmp(&a.key).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let mut it = children.into_iter();
+                    if opts.plunge {
+                        cur = it.next();
+                    }
+                    for sibling in it {
+                        heap.push(sibling);
+                    }
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(mut sol) => {
+            sol.iterations = total_iters;
+            sol.nodes = nodes;
+            sol.proven_optimal = true;
+            Ok(sol)
+        }
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::Cmp;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default()
+    }
+
+    #[test]
+    fn knapsack_exact() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary => a=0? enumerate:
+        // (1,0,1)=17 w5; (0,1,1)=20 w6 best; (1,1,0)=23 w7 infeasible
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.add_con(
+            LinExpr::new().term(a, 3.0).term(b, 4.0).term(c, 2.0),
+            Cmp::Le,
+            6.0,
+        );
+        m.set_objective(LinExpr::new().term(a, 10.0).term(b, 13.0).term(c, 7.0));
+        let s = solve(&m, &opts()).unwrap();
+        assert_eq!(s.objective.round(), 20.0);
+        assert!(s.is_one(b) && s.is_one(c) && !s.is_one(a));
+        assert!(s.proven_optimal);
+    }
+
+    #[test]
+    fn integer_rounding_is_not_assumed() {
+        // max x + y, 2x + 2y <= 5, int => LP opt 2.5, IP opt 2
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Le, 5.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let s = solve(&m, &opts()).unwrap();
+        assert_eq!(s.objective.round(), 2.0);
+    }
+
+    #[test]
+    fn minimization_sense() {
+        // min 5x + 4y s.t. x + y >= 3, 2x + y >= 4, integers
+        // candidates: x=1,y=2 => 13; x=2,y=1 =>14; x=0,y=4 => 16; x=1,y=2 best
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.0);
+        m.add_con(LinExpr::new().term(x, 2.0).term(y, 1.0), Cmp::Ge, 4.0);
+        m.set_objective(LinExpr::new().term(x, 5.0).term(y, 4.0));
+        let s = solve(&m, &opts()).unwrap();
+        assert_eq!(s.objective.round(), 13.0);
+        assert_eq!(s.int_value(x), 1);
+        assert_eq!(s.int_value(y), 2);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max y + 2z, y integer <= 3.7-ish constraint, z continuous <= 0.5
+        let mut m = Model::new(Sense::Maximize);
+        let y = m.int_var("y", 0.0, 100.0);
+        let z = m.num_var("z", 0.0, 0.5);
+        m.add_con(LinExpr::new().term(y, 1.0).term(z, 1.0), Cmp::Le, 3.7);
+        m.set_objective(LinExpr::new().term(y, 1.0).term(z, 2.0));
+        let s = solve(&m, &opts()).unwrap();
+        // y=3, z=0.5 => 4.0
+        assert!((s.objective - 4.0).abs() < 1e-5);
+        assert_eq!(s.int_value(y), 3);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 0.4 <= x <= 0.6, x integer
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 1.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 0.4);
+        m.add_con(LinExpr::var(x), Cmp::Le, 0.6);
+        m.set_objective(LinExpr::var(x));
+        assert_eq!(solve(&m, &opts()).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn weighted_choice_mirrors_paper_structure() {
+        // Two "analyses" with counts k1, k2 <= 10, activation binaries,
+        // time budget: 2*k1 + 5*k2 <= 20, maximize (r1 + r2) + (k1 + 2*k2).
+        // Mirrors Eq. 1's |A| + w|C| structure.
+        let mut m = Model::new(Sense::Maximize);
+        let r1 = m.binary("run1");
+        let r2 = m.binary("run2");
+        let k1 = m.int_var("k1", 0.0, 10.0);
+        let k2 = m.int_var("k2", 0.0, 10.0);
+        // k_i <= 10 * run_i  (activation linking)
+        m.add_con(LinExpr::new().term(k1, 1.0).term(r1, -10.0), Cmp::Le, 0.0);
+        m.add_con(LinExpr::new().term(k2, 1.0).term(r2, -10.0), Cmp::Le, 0.0);
+        m.add_con(LinExpr::new().term(k1, 2.0).term(k2, 5.0), Cmp::Le, 20.0);
+        m.set_objective(
+            LinExpr::new()
+                .term(r1, 1.0)
+                .term(r2, 1.0)
+                .term(k1, 1.0)
+                .term(k2, 2.0),
+        );
+        let s = solve(&m, &opts()).unwrap();
+        // best: k1=10 (cost 20), k2=0 but then r2 can still be 1 with k2=0:
+        // obj = 1 + 1 + 10 + 0 = 12. Alternative k1=5,k2=2: 1+1+5+4=11.
+        assert_eq!(s.objective.round(), 12.0);
+        assert_eq!(s.int_value(k1), 10);
+    }
+
+    #[test]
+    fn plunging_and_pure_best_first_agree() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.binary(&format!("x{i}"))).collect();
+        let w = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0, 6.0, 2.5];
+        let p = [9.0, 12.0, 4.0, 15.0, 8.0, 2.0, 11.0, 5.0];
+        m.add_con(
+            LinExpr::sum(vars.iter().zip(w).map(|(&v, w)| (v, w))),
+            Cmp::Le,
+            14.0,
+        );
+        m.set_objective(LinExpr::sum(vars.iter().zip(p).map(|(&v, p)| (v, p))));
+        let with = solve(&m, &opts()).unwrap();
+        let without = solve(
+            &m,
+            &SolveOptions {
+                plunge: false,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert!((with.objective - without.objective).abs() < 1e-9);
+        assert!(with.proven_optimal && without.proven_optimal);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let mut obj = LinExpr::new();
+        let mut row = LinExpr::new();
+        for i in 0..14 {
+            let v = m.int_var(&format!("x{i}"), 0.0, 1.0);
+            obj = obj.term(v, 1.0 + (i as f64) * 0.01);
+            row = row.term(v, 2.0);
+        }
+        m.add_con(row, Cmp::Le, 13.0); // forces fractionality
+        m.set_objective(obj);
+        let tight = SolveOptions {
+            max_nodes: 2,
+            rounding_heuristic: false,
+            ..opts()
+        };
+        match solve(&m, &tight) {
+            Err(SolveError::NodeLimit { nodes, .. }) => assert!(nodes >= 2),
+            Ok(s) => panic!("expected node limit, got obj {}", s.objective),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Brute-force enumeration oracle for PURE-INTEGER models.
+//!
+//! Exists so the test suites (unit, property and integration) can certify
+//! branch-and-bound optimality on small instances: enumerate every integer
+//! assignment inside the variable bounds, keep the feasible ones, return the
+//! best objective. Exponential, guarded by an explicit enumeration cap.
+
+use crate::error::SolveError;
+use crate::model::{Model, VarKind};
+
+/// Result of a brute-force enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteResult {
+    /// Best feasible assignment found.
+    pub values: Vec<f64>,
+    /// Its objective value.
+    pub objective: f64,
+    /// Number of assignments enumerated.
+    pub enumerated: usize,
+}
+
+/// Exhaustively solves a pure-integer model. Fails on models with
+/// continuous variables, unbounded integer domains, or more than
+/// `max_points` candidate assignments.
+pub fn brute_force(model: &Model, max_points: usize) -> Result<BruteResult, SolveError> {
+    model.validate()?;
+    let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(model.vars.len());
+    let mut points: usize = 1;
+    for v in &model.vars {
+        if v.kind != VarKind::Integer {
+            return Err(SolveError::BadModel(
+                "brute force handles pure-integer models only".into(),
+            ));
+        }
+        if !v.lower.is_finite() || !v.upper.is_finite() {
+            return Err(SolveError::BadModel(
+                "brute force needs finite integer bounds".into(),
+            ));
+        }
+        let lo = v.lower.ceil() as i64;
+        let hi = v.upper.floor() as i64;
+        if lo > hi {
+            return Err(SolveError::Infeasible);
+        }
+        ranges.push((lo, hi));
+        points = points.saturating_mul((hi - lo + 1) as usize);
+        if points > max_points {
+            return Err(SolveError::BadModel(format!(
+                "enumeration would exceed {max_points} points"
+            )));
+        }
+    }
+    let n = ranges.len();
+    let mut current: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut enumerated = 0usize;
+    loop {
+        enumerated += 1;
+        let values: Vec<f64> = current.iter().map(|&v| v as f64).collect();
+        if model.is_feasible(&values, 1e-7) {
+            let obj = model.objective_value(&values);
+            let better = best
+                .as_ref()
+                .map_or(true, |(_, b)| model.better(obj, *b));
+            if better {
+                best = Some((values, obj));
+            }
+        }
+        // odometer increment
+        let mut i = 0;
+        loop {
+            if i == n {
+                return match best {
+                    Some((values, objective)) => Ok(BruteResult {
+                        values,
+                        objective,
+                        enumerated,
+                    }),
+                    None => Err(SolveError::Infeasible),
+                };
+            }
+            if current[i] < ranges[i].1 {
+                current[i] += 1;
+                break;
+            }
+            current[i] = ranges[i].0;
+            i += 1;
+        }
+        if n == 0 {
+            // no variables: single (empty) assignment already evaluated
+            return match best {
+                Some((values, objective)) => Ok(BruteResult {
+                    values,
+                    objective,
+                    enumerated,
+                }),
+                None => Err(SolveError::Infeasible),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Cmp, Sense};
+    use crate::options::SolveOptions;
+
+    #[test]
+    fn agrees_with_branch_and_bound_on_knapsack() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| m.binary(&format!("x{i}"))).collect();
+        let weights = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0];
+        let profits = [9.0, 12.0, 4.0, 15.0, 8.0, 2.0];
+        m.add_con(
+            LinExpr::sum(vars.iter().zip(weights).map(|(&v, w)| (v, w))),
+            Cmp::Le,
+            11.0,
+        );
+        m.set_objective(LinExpr::sum(vars.iter().zip(profits).map(|(&v, p)| (v, p))));
+        let exact = brute_force(&m, 1 << 20).unwrap();
+        let bb = crate::solve(&m, &SolveOptions::default()).unwrap();
+        assert!((exact.objective - bb.objective).abs() < 1e-6);
+        assert_eq!(exact.enumerated, 64);
+    }
+
+    #[test]
+    fn rejects_continuous_models() {
+        let mut m = Model::new(Sense::Maximize);
+        m.num_var("x", 0.0, 1.0);
+        assert!(matches!(
+            brute_force(&m, 100),
+            Err(SolveError::BadModel(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_enumerations() {
+        let mut m = Model::new(Sense::Maximize);
+        for i in 0..40 {
+            m.binary(&format!("x{i}"));
+        }
+        assert!(matches!(
+            brute_force(&m, 1000),
+            Err(SolveError::BadModel(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_when_no_assignment_fits() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.binary("x");
+        m.add_con(LinExpr::var(x), Cmp::Ge, 2.0);
+        assert_eq!(brute_force(&m, 100).unwrap_err(), SolveError::Infeasible);
+    }
+}

@@ -1,0 +1,62 @@
+//! Solver error/status types.
+
+use std::fmt;
+
+/// Terminal failure modes of the LP/MILP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (likely numerical trouble).
+    IterationLimit {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Branch & bound exhausted its node budget before proving optimality.
+    NodeLimit {
+        /// Nodes explored.
+        nodes: usize,
+        /// Best integer-feasible objective found so far, if any.
+        incumbent: Option<f64>,
+    },
+    /// The model is malformed (bad bounds, NaN coefficients, ...).
+    BadModel(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "problem is unbounded"),
+            SolveError::IterationLimit { iterations } => {
+                write!(f, "simplex exceeded iteration limit ({iterations})")
+            }
+            SolveError::NodeLimit { nodes, incumbent } => write!(
+                f,
+                "branch & bound exceeded node limit ({nodes} nodes, incumbent {incumbent:?})"
+            ),
+            SolveError::BadModel(msg) => write!(f, "bad model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert!(SolveError::NodeLimit {
+            nodes: 5,
+            incumbent: Some(1.0)
+        }
+        .to_string()
+        .contains("5 nodes"));
+        assert!(SolveError::BadModel("x".into()).to_string().contains("x"));
+    }
+}

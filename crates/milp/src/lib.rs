@@ -1,0 +1,53 @@
+//! An exact mixed-integer linear programming (MILP) solver, from scratch.
+//!
+//! This crate stands in for the GAMS + CPLEX stack the paper used to solve
+//! its scheduling formulation. It provides:
+//!
+//! * a [`Model`] builder with continuous, integer and binary variables,
+//!   linear constraints and a linear objective,
+//! * a bounded-variable, two-phase primal **simplex** solver for the LP
+//!   relaxation ([`simplex`]),
+//! * **branch & bound** with best-first node selection and
+//!   most-fractional branching for integrality ([`branch`]),
+//! * a brute-force enumeration oracle ([`brute`]) used by the test suite to
+//!   certify optimality on small instances.
+//!
+//! The solver is exact (optimality gap 0) on the instances produced by the
+//! in-situ scheduling formulation; it is not intended to compete with
+//! commercial solvers on industrial LPs.
+//!
+//! # Example
+//!
+//! ```
+//! use milp::{Model, Sense, Cmp, solve, SolveOptions};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2, x,y integer >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.int_var("x", 0.0, 2.0);
+//! let y = m.int_var("y", 0.0, f64::INFINITY);
+//! m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 4.0);
+//! m.set_objective(LinExpr::new().term(x, 3.0).term(y, 2.0));
+//! let sol = solve(&m, &SolveOptions::default()).unwrap();
+//! assert_eq!(sol.objective.round(), 10.0); // x=2, y=2
+//! # use milp::LinExpr;
+//! ```
+
+pub mod branch;
+pub mod brute;
+pub mod error;
+pub mod expr;
+pub mod model;
+pub mod options;
+pub mod presolve;
+pub mod simplex;
+pub mod solution;
+pub mod standard;
+
+pub use branch::solve;
+pub use error::SolveError;
+pub use expr::{LinExpr, Var};
+pub use model::{Cmp, Model, Sense, VarKind};
+pub use options::SolveOptions;
+pub use presolve::{presolve, PresolveStats};
+pub use simplex::solve_lp_relaxation;
+pub use solution::Solution;

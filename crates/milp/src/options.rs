@@ -1,0 +1,66 @@
+//! Solver configuration knobs.
+
+/// Tunable limits and tolerances for [`crate::solve`].
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Feasibility / integrality tolerance.
+    pub tol: f64,
+    /// Maximum simplex iterations per LP solve.
+    pub max_simplex_iters: usize,
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Stop as soon as the incumbent is within this absolute gap of the
+    /// best bound (0 = prove optimality exactly).
+    pub abs_gap: f64,
+    /// Try rounding the LP relaxation to seed an incumbent.
+    pub rounding_heuristic: bool,
+    /// Dive from each popped node to an integral leaf (best-first with
+    /// plunging). Disabling reverts to pure best-first — exposed for the
+    /// ablation bench; leave on for real solves.
+    pub plunge: bool,
+    /// Run bound-propagation presolve on the root model.
+    pub presolve: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tol: 1e-6,
+            max_simplex_iters: 200_000,
+            max_nodes: 200_000,
+            abs_gap: 1e-9,
+            rounding_heuristic: true,
+            plunge: true,
+            presolve: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// A cheaper preset for large time-indexed formulations: a small
+    /// optimality gap is accepted to cut tail nodes.
+    pub fn fast() -> Self {
+        SolveOptions {
+            abs_gap: 1e-6,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = SolveOptions::default();
+        assert!(o.tol > 0.0 && o.tol < 1e-3);
+        assert!(o.max_nodes > 1000);
+        assert!(o.rounding_heuristic);
+    }
+
+    #[test]
+    fn fast_preset_loosens_gap() {
+        assert!(SolveOptions::fast().abs_gap > SolveOptions::default().abs_gap);
+    }
+}

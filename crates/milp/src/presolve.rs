@@ -1,0 +1,309 @@
+//! Presolve: constraint propagation before the search starts.
+//!
+//! Three classic, always-safe reductions run to a fixed point:
+//!
+//! 1. **Activity-based infeasibility**: if a row's minimum possible
+//!    activity already exceeds its rhs (`<=` rows) the model is infeasible.
+//! 2. **Redundant-row elimination**: if a row's maximum possible activity
+//!    cannot violate it, the row is dropped.
+//! 3. **Bound tightening**: for each variable in a row, the residual
+//!    activity of the other variables implies a bound; integer variables'
+//!    bounds are rounded inward.
+//!
+//! Variables are never eliminated, so solutions map back one-to-one.
+
+use crate::error::SolveError;
+use crate::model::{Cmp, Model, VarKind};
+
+/// What presolve did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Constraints removed as redundant.
+    pub rows_dropped: usize,
+    /// Individual bound tightenings applied.
+    pub bounds_tightened: usize,
+    /// Variables whose domain collapsed to a single value.
+    pub vars_fixed: usize,
+    /// Propagation sweeps executed.
+    pub passes: usize,
+}
+
+/// Minimum/maximum possible activity of a row under current bounds.
+fn activity_bounds(model: &Model, row: usize) -> (f64, f64) {
+    let mut lo = 0.0f64;
+    let mut hi = 0.0f64;
+    for &(v, c) in &model.cons[row].expr.terms {
+        let (l, u) = (model.vars[v.index()].lower, model.vars[v.index()].upper);
+        if c >= 0.0 {
+            lo += c * l;
+            hi += c * u;
+        } else {
+            lo += c * u;
+            hi += c * l;
+        }
+    }
+    (lo, hi)
+}
+
+/// Runs presolve in place. Returns statistics, or an infeasibility proof.
+pub fn presolve(model: &mut Model, tol: f64) -> Result<PresolveStats, SolveError> {
+    let mut stats = PresolveStats::default();
+    let max_passes = 20;
+    loop {
+        stats.passes += 1;
+        let mut changed = false;
+        let mut keep = vec![true; model.cons.len()];
+        for r in 0..model.cons.len() {
+            let cmp = model.cons[r].cmp;
+            let rhs = model.cons[r].rhs;
+            let (lo, hi) = activity_bounds(model, r);
+            if !lo.is_finite() && !hi.is_finite() {
+                continue; // unbounded both ways: nothing provable
+            }
+            // infeasibility / redundancy
+            match cmp {
+                Cmp::Le => {
+                    if lo > rhs + tol {
+                        return Err(SolveError::Infeasible);
+                    }
+                    if hi <= rhs + tol {
+                        keep[r] = false;
+                        continue;
+                    }
+                }
+                Cmp::Ge => {
+                    if hi < rhs - tol {
+                        return Err(SolveError::Infeasible);
+                    }
+                    if lo >= rhs - tol {
+                        keep[r] = false;
+                        continue;
+                    }
+                }
+                Cmp::Eq => {
+                    if lo > rhs + tol || hi < rhs - tol {
+                        return Err(SolveError::Infeasible);
+                    }
+                }
+            }
+            // bound tightening per variable
+            let terms = model.cons[r].expr.terms.clone();
+            for &(v, c) in &terms {
+                if c.abs() < 1e-12 {
+                    continue;
+                }
+                let i = v.index();
+                let (vl, vu) = (model.vars[i].lower, model.vars[i].upper);
+                // residual activity of the other variables
+                let (res_lo, res_hi) = {
+                    let mut lo2 = 0.0;
+                    let mut hi2 = 0.0;
+                    for &(w, d) in &terms {
+                        if w == v {
+                            continue;
+                        }
+                        let (l, u) =
+                            (model.vars[w.index()].lower, model.vars[w.index()].upper);
+                        if d >= 0.0 {
+                            lo2 += d * l;
+                            hi2 += d * u;
+                        } else {
+                            lo2 += d * u;
+                            hi2 += d * l;
+                        }
+                    }
+                    (lo2, hi2)
+                };
+                // derive implied bounds per constraint sense
+                let mut new_upper = vu;
+                let mut new_lower = vl;
+                let imply_le = |limit: f64| limit; // c*v <= limit
+                match cmp {
+                    Cmp::Le => {
+                        if res_lo.is_finite() {
+                            let limit = imply_le(rhs - res_lo);
+                            if c > 0.0 {
+                                new_upper = new_upper.min(limit / c);
+                            } else {
+                                new_lower = new_lower.max(limit / c);
+                            }
+                        }
+                    }
+                    Cmp::Ge => {
+                        if res_hi.is_finite() {
+                            let limit = rhs - res_hi; // c*v >= limit
+                            if c > 0.0 {
+                                new_lower = new_lower.max(limit / c);
+                            } else {
+                                new_upper = new_upper.min(limit / c);
+                            }
+                        }
+                    }
+                    Cmp::Eq => {
+                        if res_lo.is_finite() {
+                            let limit = rhs - res_lo;
+                            if c > 0.0 {
+                                new_upper = new_upper.min(limit / c);
+                            } else {
+                                new_lower = new_lower.max(limit / c);
+                            }
+                        }
+                        if res_hi.is_finite() {
+                            let limit = rhs - res_hi;
+                            if c > 0.0 {
+                                new_lower = new_lower.max(limit / c);
+                            } else {
+                                new_upper = new_upper.min(limit / c);
+                            }
+                        }
+                    }
+                }
+                // integer rounding
+                if model.vars[i].kind == VarKind::Integer {
+                    if new_upper.is_finite() {
+                        new_upper = (new_upper + tol).floor();
+                    }
+                    if new_lower.is_finite() {
+                        new_lower = (new_lower - tol).ceil();
+                    }
+                }
+                if new_upper < vu - tol {
+                    model.vars[i].upper = new_upper;
+                    stats.bounds_tightened += 1;
+                    changed = true;
+                }
+                if new_lower > vl + tol {
+                    model.vars[i].lower = new_lower;
+                    stats.bounds_tightened += 1;
+                    changed = true;
+                }
+                if model.vars[i].lower > model.vars[i].upper + tol {
+                    return Err(SolveError::Infeasible);
+                }
+            }
+        }
+        if keep.iter().any(|&k| !k) {
+            let mut idx = 0;
+            model.cons.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                if !k {
+                    stats.rows_dropped += 1;
+                }
+                k
+            });
+            changed = true;
+        }
+        if !changed || stats.passes >= max_passes {
+            break;
+        }
+    }
+    stats.vars_fixed = model
+        .vars
+        .iter()
+        .filter(|v| (v.upper - v.lower).abs() <= tol)
+        .count();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::Sense;
+
+    #[test]
+    fn tightens_knapsack_bounds() {
+        // 5x + 2y <= 8, x,y integer in [0, 10] => x <= 1, y <= 4
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 5.0).term(y, 2.0), Cmp::Le, 8.0);
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(m.vars[x.index()].upper, 1.0);
+        assert_eq!(m.vars[y.index()].upper, 4.0);
+        assert!(stats.bounds_tightened >= 2);
+    }
+
+    #[test]
+    fn detects_infeasible_row() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 1.0);
+        let y = m.num_var("y", 0.0, 1.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.0);
+        assert_eq!(presolve(&mut m, 1e-9).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn drops_redundant_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 1.0);
+        m.add_con(LinExpr::var(x), Cmp::Le, 5.0); // can never bind
+        m.add_con(LinExpr::var(x), Cmp::Ge, -1.0); // can never bind
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(m.cons.len(), 0);
+        assert_eq!(stats.rows_dropped, 2);
+    }
+
+    #[test]
+    fn equality_fixes_variables() {
+        // x + y = 2 with x,y in [0,1] => both forced to 1
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 1.0);
+        let y = m.num_var("y", 0.0, 1.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Eq, 2.0);
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(m.vars[x.index()].lower, 1.0);
+        assert_eq!(m.vars[y.index()].lower, 1.0);
+        assert_eq!(stats.vars_fixed, 2);
+    }
+
+    #[test]
+    fn integer_rounding_cuts_fractional_bounds() {
+        // 2x <= 7, x integer => x <= 3 (not 3.5)
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 100.0);
+        m.add_con(LinExpr::new().term(x, 2.0), Cmp::Le, 7.0);
+        presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(m.vars[x.index()].upper, 3.0);
+    }
+
+    #[test]
+    fn propagation_chains_through_rows() {
+        // x <= 2 (row), y <= x - 1 => y <= 1, then z <= y => z <= 1
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        let z = m.int_var("z", 0.0, 10.0);
+        m.add_con(LinExpr::var(x), Cmp::Le, 2.0);
+        m.add_con(LinExpr::new().term(y, 1.0).term(x, -1.0), Cmp::Le, -1.0);
+        m.add_con(LinExpr::new().term(z, 1.0).term(y, -1.0), Cmp::Le, 0.0);
+        presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(m.vars[y.index()].upper, 1.0);
+        assert_eq!(m.vars[z.index()].upper, 1.0);
+    }
+
+    #[test]
+    fn preserves_optimal_solutions() {
+        // presolve then solve == solve directly
+        let build = || {
+            let mut m = Model::new(Sense::Maximize);
+            let a = m.binary("a");
+            let b = m.binary("b");
+            let c = m.int_var("c", 0.0, 9.0);
+            m.add_con(
+                LinExpr::new().term(a, 3.0).term(b, 4.0).term(c, 1.0),
+                Cmp::Le,
+                9.0,
+            );
+            m.add_con(LinExpr::new().term(c, 2.0).term(b, 1.0), Cmp::Ge, 3.0);
+            m.set_objective(LinExpr::new().term(a, 5.0).term(b, 4.0).term(c, 1.0));
+            m
+        };
+        let direct = crate::solve(&build(), &crate::SolveOptions::default()).unwrap();
+        let mut pre = build();
+        presolve(&mut pre, 1e-9).unwrap();
+        let solved = crate::solve(&pre, &crate::SolveOptions::default()).unwrap();
+        assert!((direct.objective - solved.objective).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,507 @@
+//! Bounded-variable, two-phase primal simplex on a dense tableau.
+//!
+//! The implementation follows the textbook upper-bounded simplex method
+//! (see e.g. Chvátal, "Linear Programming", ch. 8):
+//!
+//! * nonbasic variables rest at their lower *or* upper bound,
+//! * the ratio test accounts for basic variables hitting either bound and
+//!   for the entering variable reaching its opposite bound (a "bound flip"
+//!   that changes no basis),
+//! * phase 1 minimizes the sum of per-row artificial variables; rows are
+//!   pre-scaled so every artificial starts basic at a non-negative value,
+//! * Dantzig pricing with an automatic switch to Bland's rule after an
+//!   iteration threshold guarantees termination despite degeneracy.
+
+use crate::error::SolveError;
+use crate::options::SolveOptions;
+use crate::solution::Solution;
+use crate::standard::{Dense, StandardForm};
+use crate::Model;
+
+/// Minimum absolute pivot element accepted.
+const PIVOT_TOL: f64 = 1e-9;
+/// Reduced-cost threshold for entering eligibility.
+const COST_TOL: f64 = 1e-7;
+/// Residual threshold for phase-1 feasibility.
+const FEAS_TOL: f64 = 1e-6;
+
+/// Raw LP solution in standard-form coordinates.
+#[derive(Debug, Clone)]
+pub struct LpPoint {
+    /// Value per standard-form column.
+    pub x: Vec<f64>,
+    /// Objective in the ORIGINAL model sense (incl. constant).
+    pub objective: f64,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// Working state of the tableau simplex.
+struct Tableau {
+    /// `B⁻¹ A` for all columns, artificials included; one extra column at
+    /// the end holds `B⁻¹ b`.
+    t: Dense,
+    /// Column index of the basic variable for each row.
+    basis: Vec<usize>,
+    /// Nonbasic-at-upper flags (meaningless for basic columns).
+    at_upper: Vec<bool>,
+    /// Per-column lower bounds (artificials included).
+    lower: Vec<f64>,
+    /// Per-column upper bounds.
+    upper: Vec<f64>,
+    /// First artificial column index.
+    art_start: usize,
+    /// Columns banned from entering (artificials that left the basis).
+    banned: Vec<bool>,
+    /// Total pivots + bound flips performed.
+    iterations: usize,
+}
+
+impl Tableau {
+    fn ncols(&self) -> usize {
+        self.t.ncols - 1 // last column is rhs
+    }
+
+    fn nrows(&self) -> usize {
+        self.t.nrows
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.t.at(r, self.t.ncols - 1)
+    }
+
+    /// Current value of every column: basic from the tableau, nonbasic from
+    /// its resting bound.
+    fn values(&self) -> Vec<f64> {
+        let n = self.ncols();
+        let mut x = vec![0.0; n];
+        let mut is_basic = vec![false; n];
+        for &bj in &self.basis {
+            is_basic[bj] = true;
+        }
+        for j in 0..n {
+            if !is_basic[j] {
+                x[j] = if self.at_upper[j] {
+                    self.upper[j]
+                } else {
+                    self.lower[j]
+                };
+            }
+        }
+        // xB = B^-1 b - sum_j nonbasic T[:,j] * x_j
+        for r in 0..self.nrows() {
+            let mut v = self.rhs(r);
+            let row = self.t.row(r);
+            for j in 0..n {
+                if !is_basic[j] && x[j] != 0.0 {
+                    v -= row[j] * x[j];
+                }
+            }
+            x[self.basis[r]] = v;
+        }
+        x
+    }
+
+    /// Performs a Gaussian pivot on `(row, col)`, updating the cost row too.
+    fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
+        let ncols = self.t.ncols;
+        let piv = self.t.at(row, col);
+        debug_assert!(piv.abs() > PIVOT_TOL);
+        let inv = 1.0 / piv;
+        for v in self.t.row_mut(row) {
+            *v *= inv;
+        }
+        // snapshot pivot row to avoid aliasing
+        let prow: Vec<f64> = self.t.row(row).to_vec();
+        for r in 0..self.nrows() {
+            if r == row {
+                continue;
+            }
+            let factor = self.t.at(r, col);
+            if factor != 0.0 {
+                let rrow = self.t.row_mut(r);
+                for k in 0..ncols {
+                    rrow[k] -= factor * prow[k];
+                }
+            }
+        }
+        let cfac = cost[col];
+        if cfac != 0.0 {
+            for k in 0..ncols - 1 {
+                cost[k] -= cfac * prow[k];
+            }
+        }
+        self.basis[row] = col;
+        self.iterations += 1;
+    }
+
+    /// One simplex phase: minimize `cost · x` until optimal.
+    /// `cost` is the current reduced-cost row (updated in place).
+    fn run(&mut self, cost: &mut [f64], opts: &SolveOptions) -> Result<(), SolveError> {
+        let n = self.ncols();
+        let bland_after = 20 * (self.nrows() + n) + 200;
+        let mut local_iters = 0usize;
+        loop {
+            if self.iterations >= opts.max_simplex_iters {
+                return Err(SolveError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            local_iters += 1;
+            let bland = local_iters > bland_after;
+            let x = self.values();
+            let mut is_basic = vec![false; n];
+            for &bj in &self.basis {
+                is_basic[bj] = true;
+            }
+            // --- pricing ---
+            let mut enter: Option<(usize, f64, bool)> = None; // (col, |score|, from_upper)
+            for j in 0..n {
+                if is_basic[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let d = cost[j];
+                let (eligible, from_upper) = if self.at_upper[j] {
+                    (d > COST_TOL, true)
+                } else {
+                    (d < -COST_TOL, false)
+                };
+                if eligible {
+                    if bland {
+                        enter = Some((j, d.abs(), from_upper));
+                        break;
+                    }
+                    match enter {
+                        Some((_, best, _)) if d.abs() <= best => {}
+                        _ => enter = Some((j, d.abs(), from_upper)),
+                    }
+                }
+            }
+            let Some((j, _, from_upper)) = enter else {
+                return Ok(()); // optimal for this phase
+            };
+            let dir = if from_upper { -1.0 } else { 1.0 };
+            // --- ratio test ---
+            let span = self.upper[j] - self.lower[j]; // may be inf
+            let mut delta = span;
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            let mut best_piv = 0.0;
+            for r in 0..self.nrows() {
+                let t = self.t.at(r, j) * dir;
+                let bj = self.basis[r];
+                let xb = x[bj];
+                if t > PIVOT_TOL {
+                    let limit = ((xb - self.lower[bj]) / t).max(0.0);
+                    if limit < delta - 1e-12
+                        || (limit < delta + 1e-12 && t.abs() > best_piv && !bland)
+                    {
+                        delta = limit.min(delta);
+                        leave = Some((r, false));
+                        best_piv = t.abs();
+                    }
+                } else if t < -PIVOT_TOL {
+                    if self.upper[bj].is_infinite() {
+                        continue;
+                    }
+                    let limit = ((self.upper[bj] - xb) / -t).max(0.0);
+                    if limit < delta - 1e-12
+                        || (limit < delta + 1e-12 && t.abs() > best_piv && !bland)
+                    {
+                        delta = limit.min(delta);
+                        leave = Some((r, true));
+                        best_piv = t.abs();
+                    }
+                }
+            }
+            if delta.is_infinite() {
+                return Err(SolveError::Unbounded);
+            }
+            match leave {
+                None => {
+                    // bound flip: entering runs across its whole span
+                    self.at_upper[j] = !self.at_upper[j];
+                    self.iterations += 1;
+                }
+                Some((r, leaves_at_upper)) => {
+                    let leaving = self.basis[r];
+                    self.at_upper[leaving] = leaves_at_upper;
+                    if leaving >= self.art_start {
+                        self.banned[leaving] = true;
+                    }
+                    self.pivot(r, j, cost);
+                }
+            }
+        }
+    }
+}
+
+/// Solves the standard-form LP. Returns values for all structural + slack
+/// columns and the objective in the original model sense.
+pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint, SolveError> {
+    let m = sf.nrows();
+    let n = sf.ncols();
+    let n_total = n + m; // + artificials
+    let mut t = Dense::zeros(m, n_total + 1);
+    // residuals with all columns at their (finite) lower bounds
+    let mut lower = sf.lower.clone();
+    let mut upper = sf.upper.clone();
+    lower.extend(std::iter::repeat(0.0).take(m));
+    upper.extend(std::iter::repeat(f64::INFINITY).take(m));
+    for r in 0..m {
+        let mut resid = sf.b[r];
+        for j in 0..n {
+            resid -= sf.a.at(r, j) * sf.lower[j];
+        }
+        let sign = if resid < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            *t.at_mut(r, j) = sign * sf.a.at(r, j);
+        }
+        *t.at_mut(r, n + r) = 1.0; // artificial
+        *t.at_mut(r, n_total) = sign * sf.b[r];
+    }
+    let mut tab = Tableau {
+        t,
+        basis: (n..n_total).collect(),
+        at_upper: vec![false; n_total],
+        lower,
+        upper,
+        art_start: n,
+        banned: vec![false; n_total],
+        iterations: 0,
+    };
+    // --- phase 1: minimize sum of artificials ---
+    // reduced costs: d_j = c1_j - 1' T[:,j]; artificials basic => d_art = 0
+    let mut cost = vec![0.0; n_total];
+    for j in 0..n {
+        let mut s = 0.0;
+        for r in 0..m {
+            s += tab.t.at(r, j);
+        }
+        cost[j] = -s;
+    }
+    tab.run(&mut cost, opts)?;
+    let x = tab.values();
+    let art_sum: f64 = x[n..n_total].iter().sum();
+    if art_sum > FEAS_TOL {
+        return Err(SolveError::Infeasible);
+    }
+    // drive basic artificials out (degenerate pivots) or pin them at zero
+    for r in 0..m {
+        if tab.basis[r] >= n {
+            let mut pivoted = false;
+            for j in 0..n {
+                let basic_elsewhere = tab.basis.iter().any(|&b| b == j);
+                if !basic_elsewhere && tab.t.at(r, j).abs() > 1e-7 {
+                    tab.pivot(r, j, &mut cost);
+                    pivoted = true;
+                    break;
+                }
+            }
+            if !pivoted {
+                // redundant row: pin the artificial so it can never move
+                let a = tab.basis[r];
+                tab.lower[a] = 0.0;
+                tab.upper[a] = 0.0;
+            }
+        }
+    }
+    // ban all artificials from re-entering
+    for j in n..n_total {
+        tab.banned[j] = true;
+    }
+    // --- phase 2: real objective ---
+    // reduced costs d = c - c_B' T
+    let mut cost2 = vec![0.0; n_total];
+    cost2[..n].copy_from_slice(&sf.c);
+    let cb: Vec<f64> = tab
+        .basis
+        .iter()
+        .map(|&bj| if bj < n { sf.c[bj] } else { 0.0 })
+        .collect();
+    for j in 0..n_total {
+        let mut s = 0.0;
+        for r in 0..m {
+            if cb[r] != 0.0 {
+                s += cb[r] * tab.t.at(r, j);
+            }
+        }
+        cost2[j] -= s;
+    }
+    tab.run(&mut cost2, opts)?;
+    let xfull = tab.values();
+    let x: Vec<f64> = xfull[..n].to_vec();
+    let objective = sf.model_objective(&x);
+    Ok(LpPoint {
+        x,
+        objective,
+        iterations: tab.iterations,
+    })
+}
+
+/// Solves the LP relaxation of `model` (integrality dropped) and maps the
+/// optimum back to model-variable space.
+pub fn solve_lp_relaxation(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    let sf = StandardForm::from_model(model)?;
+    let point = solve_standard(&sf, opts)?;
+    let values = sf.extract(&point.x);
+    Ok(Solution {
+        values,
+        objective: point.objective,
+        iterations: point.iterations,
+        nodes: 0,
+        proven_optimal: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default()
+    }
+
+    #[test]
+    fn simple_max_lp() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 (classic; opt 36 @ (2,6))
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        let y = m.num_var("y", 0.0, f64::INFINITY);
+        m.add_con(LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_con(LinExpr::new().term(y, 2.0), Cmp::Le, 12.0);
+        m.add_con(LinExpr::new().term(x, 3.0).term(y, 2.0), Cmp::Le, 18.0);
+        m.set_objective(LinExpr::new().term(x, 3.0).term(y, 5.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y >= 3, x - y = 1, x,y >= 0 => x=2, y=1, obj 3
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        let y = m.num_var("y", 0.0, f64::INFINITY);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Eq, 1.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bounded_variables_flip() {
+        // max x + y with x,y in [0, 1], x + y <= 1.5 => obj 1.5
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 1.0);
+        let y = m.num_var("y", 0.0, 1.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 1.5);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", 0.0, 1.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 2.0);
+        assert_eq!(
+            solve_lp_relaxation(&m, &opts()).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::var(x));
+        assert_eq!(
+            solve_lp_relaxation(&m, &opts()).unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5 (bound), x + 3 >= 0 => x = -3
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", -5.0, 5.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, -3.0);
+        m.set_objective(LinExpr::var(x));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |shape|: min x s.t. x >= -7, x free => -7
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.add_con(LinExpr::var(x), Cmp::Ge, -7.0);
+        m.set_objective(LinExpr::var(x));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective + 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negated_variable_with_finite_upper_only() {
+        // max x s.t. x <= 9 (bound), x >= 1 => 9
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", f64::NEG_INFINITY, 9.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 1.0);
+        m.set_objective(LinExpr::var(x));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 9.0).abs() < 1e-6);
+        assert!((s.values[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // many redundant constraints through the same vertex
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        let y = m.num_var("y", 0.0, f64::INFINITY);
+        for k in 1..=6 {
+            m.add_con(
+                LinExpr::new().term(x, k as f64).term(y, k as f64),
+                Cmp::Le,
+                k as f64 * 4.0,
+            );
+        }
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 2.0, 2.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 5.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.values[0] - 2.0).abs() < 1e-9);
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows_ok() {
+        // x + y = 2 twice (linearly dependent) — phase 1 must cope
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Eq, 2.0);
+        m.add_con(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Eq, 4.0);
+        m.set_objective(LinExpr::var(x));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,55 @@
+//! Solver results.
+
+use crate::expr::Var;
+
+/// Result of an LP or MILP solve, in model-variable space.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// One value per model variable, in creation order.
+    pub values: Vec<f64>,
+    /// Objective value in the model's own sense (constant included).
+    pub objective: f64,
+    /// Total simplex iterations across all LP solves.
+    pub iterations: usize,
+    /// Branch-and-bound nodes explored (0 for a pure LP solve).
+    pub nodes: usize,
+    /// True when optimality was proven (vs. stopping on a gap/limit).
+    pub proven_optimal: bool,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Value of an integer variable rounded to the nearest integer.
+    pub fn int_value(&self, v: Var) -> i64 {
+        self.values[v.index()].round() as i64
+    }
+
+    /// True if the variable is (numerically) 1.
+    pub fn is_one(&self, v: Var) -> bool {
+        (self.values[v.index()] - 1.0).abs() < 1e-4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution {
+            values: vec![0.9999999, 2.0000001, 0.0],
+            objective: 3.0,
+            iterations: 10,
+            nodes: 2,
+            proven_optimal: true,
+        };
+        assert!(s.is_one(Var(0)));
+        assert_eq!(s.int_value(Var(1)), 2);
+        assert!(!s.is_one(Var(2)));
+        assert_eq!(s.value(Var(2)), 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Conversion of a [`Model`] to computational standard form.
+//!
+//! Standard form used by the simplex solver:
+//!
+//! ```text
+//!   minimize  c' x
+//!   s.t.      A x = b          (one slack column per original row)
+//!             l <= x <= u      (every column has a FINITE lower bound)
+//! ```
+//!
+//! `>=` rows are negated into `<=` rows; `<=` rows get a slack in `[0, ∞)`
+//! and `=` rows a fixed slack in `[0, 0]`. Variables with an infinite lower
+//! bound are negated (if the upper bound is finite) or split into a
+//! difference of two non-negative columns, so the finite-lower-bound
+//! invariant always holds.
+
+use crate::error::SolveError;
+use crate::expr::LinExpr;
+use crate::model::{Cmp, Model, Sense, VarKind};
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row-major storage, `nrows * ncols` entries.
+    pub data: Vec<f64>,
+}
+
+impl Dense {
+    /// All-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.ncols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.ncols + c]
+    }
+
+    /// Immutable view of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Mutable view of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+}
+
+/// How a model variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColMap {
+    /// `x = col`.
+    Direct(usize),
+    /// `x = -col` (variable had `lower = -inf`, finite upper).
+    Negated(usize),
+    /// `x = pos - neg` (free variable).
+    Split {
+        /// Column for the positive part.
+        pos: usize,
+        /// Column for the negative part.
+        neg: usize,
+    },
+}
+
+/// A model lowered to standard form, with the bookkeeping needed to map a
+/// standard-form point back to model-variable space.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Constraint matrix including slack columns.
+    pub a: Dense,
+    /// Right-hand sides.
+    pub b: Vec<f64>,
+    /// Objective (always MINIMIZE internally; negated for max models).
+    pub c: Vec<f64>,
+    /// Per-column lower bounds (all finite).
+    pub lower: Vec<f64>,
+    /// Per-column upper bounds (may be `+inf`).
+    pub upper: Vec<f64>,
+    /// Map from model variable index to column(s).
+    pub var_map: Vec<ColMap>,
+    /// Number of structural (non-slack) columns.
+    pub n_struct: usize,
+    /// Objective constant in the ORIGINAL model sense.
+    pub obj_constant: f64,
+    /// True when the model maximizes (objective was negated).
+    pub maximize: bool,
+}
+
+impl StandardForm {
+    /// Lowers `model` into standard form. Fails on malformed models and on
+    /// integer variables with a doubly-infinite domain (branch & bound
+    /// could not terminate on those).
+    pub fn from_model(model: &Model) -> Result<Self, SolveError> {
+        model.validate()?;
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        let mut var_map = Vec::with_capacity(model.vars.len());
+        for v in &model.vars {
+            if v.lower.is_finite() {
+                var_map.push(ColMap::Direct(lower.len()));
+                lower.push(v.lower);
+                upper.push(v.upper);
+            } else if v.upper.is_finite() {
+                // x in (-inf, u]  =>  y = -x in [-u, inf)
+                var_map.push(ColMap::Negated(lower.len()));
+                lower.push(-v.upper);
+                upper.push(f64::INFINITY);
+            } else {
+                if v.kind == VarKind::Integer {
+                    return Err(SolveError::BadModel(format!(
+                        "integer var {} has doubly-infinite bounds",
+                        v.name
+                    )));
+                }
+                var_map.push(ColMap::Split {
+                    pos: lower.len(),
+                    neg: lower.len() + 1,
+                });
+                lower.extend([0.0, 0.0]);
+                upper.extend([f64::INFINITY, f64::INFINITY]);
+            }
+        }
+        let n_struct = lower.len();
+        let m = model.cons.len();
+        let n = n_struct + m; // one slack per row
+        let mut a = Dense::zeros(m, n);
+        let mut b = vec![0.0; m];
+        for (r, con) in model.cons.iter().enumerate() {
+            let sign = if con.cmp == Cmp::Ge { -1.0 } else { 1.0 };
+            for &(v, coef) in &con.expr.terms {
+                let coef = coef * sign;
+                match var_map[v.0] {
+                    ColMap::Direct(c) => *a.at_mut(r, c) += coef,
+                    ColMap::Negated(c) => *a.at_mut(r, c) -= coef,
+                    ColMap::Split { pos, neg } => {
+                        *a.at_mut(r, pos) += coef;
+                        *a.at_mut(r, neg) -= coef;
+                    }
+                }
+            }
+            b[r] = con.rhs * sign;
+            // slack column
+            let s = n_struct + r;
+            *a.at_mut(r, s) = 1.0;
+            match con.cmp {
+                Cmp::Le | Cmp::Ge => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Cmp::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        // objective
+        let maximize = model.sense == Sense::Maximize;
+        let osign = if maximize { -1.0 } else { 1.0 };
+        let mut c = vec![0.0; n];
+        let compact = model.objective.compact();
+        for &(v, coef) in &compact.terms {
+            let coef = coef * osign;
+            match var_map[v.0] {
+                ColMap::Direct(cc) => c[cc] += coef,
+                ColMap::Negated(cc) => c[cc] -= coef,
+                ColMap::Split { pos, neg } => {
+                    c[pos] += coef;
+                    c[neg] -= coef;
+                }
+            }
+        }
+        Ok(StandardForm {
+            a,
+            b,
+            c,
+            lower,
+            upper,
+            var_map,
+            n_struct,
+            obj_constant: compact.constant,
+            maximize,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.a.nrows
+    }
+
+    /// Number of columns (structural + slack).
+    pub fn ncols(&self) -> usize {
+        self.a.ncols
+    }
+
+    /// Maps a standard-form point back to model-variable values.
+    pub fn extract(&self, x: &[f64]) -> Vec<f64> {
+        self.var_map
+            .iter()
+            .map(|m| match *m {
+                ColMap::Direct(c) => x[c],
+                ColMap::Negated(c) => -x[c],
+                ColMap::Split { pos, neg } => x[pos] - x[neg],
+            })
+            .collect()
+    }
+
+    /// Objective value of a standard-form point, in the ORIGINAL sense,
+    /// including the objective constant.
+    pub fn model_objective(&self, x: &[f64]) -> f64 {
+        let internal: f64 = self.c.iter().zip(x).map(|(c, x)| c * x).sum();
+        let sign = if self.maximize { -1.0 } else { 1.0 };
+        sign * internal + self.obj_constant
+    }
+}
+
+/// Builds the `LinExpr` objective evaluated against model variables — test
+/// helper exported for integration tests.
+pub fn eval_objective(model: &Model, assignment: &[f64]) -> f64 {
+    LinExpr::eval(&model.objective, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    #[test]
+    fn slack_kinds_per_cmp() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", 0.0, 10.0);
+        m.add_con(LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_con(LinExpr::var(x), Cmp::Eq, 4.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 1.0);
+        let sf = StandardForm::from_model(&m).unwrap();
+        assert_eq!(sf.nrows(), 3);
+        assert_eq!(sf.ncols(), 4);
+        // Le slack: [0, inf)
+        assert_eq!(sf.lower[1], 0.0);
+        assert!(sf.upper[1].is_infinite());
+        // Eq slack: fixed
+        assert_eq!((sf.lower[2], sf.upper[2]), (0.0, 0.0));
+        // Ge row negated: coefficient -1, rhs -1
+        assert_eq!(sf.a.at(2, 0), -1.0);
+        assert_eq!(sf.b[2], -1.0);
+    }
+
+    #[test]
+    fn maximize_negates_objective() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 1.0);
+        m.set_objective(LinExpr::var(x).plus(5.0));
+        let sf = StandardForm::from_model(&m).unwrap();
+        assert_eq!(sf.c[0], -1.0);
+        assert_eq!(sf.obj_constant, 5.0);
+        assert_eq!(sf.model_objective(&[1.0, /*no slack rows*/]), 6.0);
+    }
+
+    #[test]
+    fn negated_and_split_variables_round_trip() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.num_var("a", f64::NEG_INFINITY, 3.0);
+        let b = m.num_var("b", f64::NEG_INFINITY, f64::INFINITY);
+        let sf = StandardForm::from_model(&m).unwrap();
+        assert_eq!(sf.var_map[a.index()], ColMap::Negated(0));
+        assert!(matches!(sf.var_map[b.index()], ColMap::Split { .. }));
+        // standard point: col0 = -2 (=> a = 2), pos=5, neg=1 (=> b = 4)
+        let x = vec![-2.0, 5.0, 1.0];
+        let back = sf.extract(&x);
+        assert_eq!(back, vec![2.0, 4.0]);
+        // all lower bounds finite
+        assert!(sf.lower.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn free_integer_rejected() {
+        let mut m = Model::new(Sense::Minimize);
+        m.int_var("z", f64::NEG_INFINITY, f64::INFINITY);
+        assert!(StandardForm::from_model(&m).is_err());
+    }
+
+    #[test]
+    fn dense_matrix_indexing() {
+        let mut d = Dense::zeros(2, 3);
+        *d.at_mut(1, 2) = 7.0;
+        assert_eq!(d.at(1, 2), 7.0);
+        assert_eq!(d.row(1), &[0.0, 0.0, 7.0]);
+        d.row_mut(0)[1] = 3.0;
+        assert_eq!(d.at(0, 1), 3.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The three-grid performance predictor of §4.
+//!
+//! Compute time is interpolated over (problem size × process count),
+//! communication time over (problem size × network diameter), and memory
+//! over (problem size × process count) — precisely the x/y variable choices
+//! of the paper's Figure 2.
+
+use crate::interp::BilinearGrid;
+use crate::stats::PredictionErrors;
+
+/// One profiled run of an analysis kernel at a known scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeasurement {
+    /// Problem size (atoms, cells, ...).
+    pub problem_size: f64,
+    /// Process count of the partition.
+    pub procs: f64,
+    /// Network diameter of the partition.
+    pub diameter: f64,
+    /// Measured compute time, seconds.
+    pub compute_time: f64,
+    /// Measured communication time, seconds.
+    pub comm_time: f64,
+    /// Measured aggregate memory, bytes.
+    pub mem_bytes: f64,
+}
+
+/// Interpolation-based predictor for one analysis kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPredictor {
+    compute: BilinearGrid,
+    comm: BilinearGrid,
+    mem: BilinearGrid,
+}
+
+fn uniques(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    v
+}
+
+impl PerfPredictor {
+    /// Builds a predictor from measurements forming a complete grid:
+    /// every combination of the distinct problem sizes and process counts
+    /// present must have exactly one measurement. Axes are log₂-scaled,
+    /// matching the geometric sweeps used in practice.
+    ///
+    /// # Panics
+    /// Panics when the measurements do not form a complete grid or fewer
+    /// than 2 distinct values exist per axis.
+    pub fn from_measurements(meas: &[KernelMeasurement]) -> Self {
+        let sizes = uniques(meas.iter().map(|m| m.problem_size).collect());
+        let procs = uniques(meas.iter().map(|m| m.procs).collect());
+        let diams = uniques(meas.iter().map(|m| m.diameter).collect());
+        assert!(
+            sizes.len() >= 2 && procs.len() >= 2,
+            "need at least 2 distinct sizes and 2 distinct process counts"
+        );
+        assert_eq!(
+            diams.len(),
+            procs.len(),
+            "each process count must map to one network diameter"
+        );
+        let find = |v: &[f64], x: f64| {
+            v.iter()
+                .position(|&u| (u - x).abs() < 1e-9)
+                .expect("grid coordinate")
+        };
+        let n = sizes.len() * procs.len();
+        let mut compute = vec![f64::NAN; n];
+        let mut comm = vec![f64::NAN; n];
+        let mut mem = vec![f64::NAN; n];
+        for m in meas {
+            let ix = find(&sizes, m.problem_size);
+            let iy = find(&procs, m.procs);
+            let idx = iy * sizes.len() + ix;
+            assert!(
+                compute[idx].is_nan(),
+                "duplicate measurement at ({}, {})",
+                m.problem_size,
+                m.procs
+            );
+            compute[idx] = m.compute_time;
+            comm[idx] = m.comm_time;
+            mem[idx] = m.mem_bytes;
+        }
+        assert!(
+            compute.iter().all(|v| !v.is_nan()),
+            "measurements must form a complete size x procs grid"
+        );
+        // Compute and memory follow multiplicative laws (∝ N/P), so they
+        // interpolate in log-log-log space; communication is latency-like
+        // (linear in the diameter), so its value stays linear.
+        let log_z_ok = |v: &[f64]| v.iter().all(|&x| x > 0.0);
+        PerfPredictor {
+            compute: BilinearGrid::with_scales(
+                sizes.clone(),
+                procs.clone(),
+                compute.clone(),
+                true,
+                true,
+                log_z_ok(&compute),
+            ),
+            comm: BilinearGrid::with_scales(sizes.clone(), diams, comm, true, false, false),
+            mem: BilinearGrid::with_scales(sizes, procs, mem.clone(), true, true, log_z_ok(&mem)),
+        }
+    }
+
+    /// Predicted compute time at `(problem_size, procs)`.
+    pub fn compute_time(&self, problem_size: f64, procs: f64) -> f64 {
+        self.compute.query(problem_size, procs).max(0.0)
+    }
+
+    /// Predicted communication time at `(problem_size, diameter)` — note
+    /// the y-variable is the network diameter, per §4.
+    pub fn comm_time(&self, problem_size: f64, diameter: f64) -> f64 {
+        self.comm.query(problem_size, diameter).max(0.0)
+    }
+
+    /// Predicted total (compute + communication) kernel time.
+    pub fn total_time(&self, problem_size: f64, procs: f64, diameter: f64) -> f64 {
+        self.compute_time(problem_size, procs) + self.comm_time(problem_size, diameter)
+    }
+
+    /// Predicted aggregate memory at `(problem_size, procs)`.
+    pub fn memory(&self, problem_size: f64, procs: f64) -> f64 {
+        self.mem.query(problem_size, procs).max(0.0)
+    }
+
+    /// Validates predictions against held-out measurements; returns
+    /// `(compute, comm, mem)` error statistics.
+    pub fn validate(
+        &self,
+        holdout: &[KernelMeasurement],
+    ) -> (PredictionErrors, PredictionErrors, PredictionErrors) {
+        let mut ec = PredictionErrors::new();
+        let mut em = PredictionErrors::new();
+        let mut eb = PredictionErrors::new();
+        for m in holdout {
+            ec.record(self.compute_time(m.problem_size, m.procs), m.compute_time);
+            em.record(self.comm_time(m.problem_size, m.diameter), m.comm_time);
+            eb.record(self.memory(m.problem_size, m.procs), m.mem_bytes);
+        }
+        (ec, em, eb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{KernelLaw, MemoryLaw};
+
+    /// Synthesizes a measurement grid from closed-form laws, with the
+    /// network diameter growing slowly with procs (like BG/Q partitions).
+    fn synth(sizes: &[f64], procs: &[f64]) -> Vec<KernelMeasurement> {
+        let compute = KernelLaw::scalable(2e-6, 0.0);
+        let comm = KernelLaw { a: 0.0, b: 3e-4, c: 1e-3, d: 0.0 };
+        let mem = MemoryLaw { base: 1e6, per_elem: 16.0 };
+        let mut out = Vec::new();
+        for &p in procs {
+            let diameter = 4.0 + p.log2();
+            for &n in sizes {
+                out.push(KernelMeasurement {
+                    problem_size: n,
+                    procs: p,
+                    diameter,
+                    compute_time: compute.time(n, p),
+                    comm_time: comm.time(n, p) + 1e-5 * diameter,
+                    mem_bytes: mem.aggregate(n, p),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_at_measured_points() {
+        let meas = synth(&[1e6, 4e6, 16e6], &[256.0, 1024.0, 4096.0]);
+        let pred = PerfPredictor::from_measurements(&meas);
+        for m in &meas {
+            assert!((pred.compute_time(m.problem_size, m.procs) - m.compute_time).abs() < 1e-9);
+            assert!((pred.memory(m.problem_size, m.procs) - m.mem_bytes).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn holdout_error_under_paper_bounds() {
+        // Train on a coarse grid, validate on the intermediate points —
+        // the paper's <6% compute / <8% comm error regime.
+        let train = synth(&[1e6, 4e6, 16e6, 64e6], &[256.0, 1024.0, 4096.0, 16384.0]);
+        let holdout = synth(&[2e6, 8e6, 32e6], &[512.0, 2048.0, 8192.0]);
+        let pred = PerfPredictor::from_measurements(&train);
+        let (ec, em, eb) = pred.validate(&holdout);
+        assert!(ec.max_percent() < 6.0, "compute err {}%", ec.max_percent());
+        assert!(em.max_percent() < 8.0, "comm err {}%", em.max_percent());
+        // the paper quotes no error bound for memory; a sum of two power
+        // terms (per-rank base + per-element) interpolates within ~12%
+        assert!(eb.max_percent() < 12.0, "mem err {}%", eb.max_percent());
+    }
+
+    #[test]
+    fn extrapolates_beyond_grid() {
+        let meas = synth(&[1e6, 4e6], &[256.0, 1024.0]);
+        let pred = PerfPredictor::from_measurements(&meas);
+        // 4x larger than any measured size: prediction must stay positive
+        // and grow with problem size.
+        let small = pred.compute_time(4e6, 512.0);
+        let big = pred.compute_time(16e6, 512.0);
+        assert!(big > small && big.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "complete size x procs grid")]
+    fn incomplete_grid_rejected() {
+        let mut meas = synth(&[1e6, 4e6], &[256.0, 1024.0]);
+        meas.pop();
+        PerfPredictor::from_measurements(&meas);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate measurement")]
+    fn duplicate_point_rejected() {
+        let mut meas = synth(&[1e6, 4e6], &[256.0, 1024.0]);
+        let dup = meas[0];
+        meas.push(dup);
+        PerfPredictor::from_measurements(&meas);
+    }
+
+    #[test]
+    fn predictions_clamped_non_negative() {
+        // decreasing data can extrapolate below zero; the clamp guards it
+        let meas = vec![
+            KernelMeasurement { problem_size: 1e3, procs: 2.0, diameter: 1.0, compute_time: 1.0, comm_time: 1.0, mem_bytes: 10.0 },
+            KernelMeasurement { problem_size: 2e3, procs: 2.0, diameter: 1.0, compute_time: 0.1, comm_time: 0.1, mem_bytes: 10.0 },
+            KernelMeasurement { problem_size: 1e3, procs: 4.0, diameter: 2.0, compute_time: 1.0, comm_time: 1.0, mem_bytes: 10.0 },
+            KernelMeasurement { problem_size: 2e3, procs: 4.0, diameter: 2.0, compute_time: 0.1, comm_time: 0.1, mem_bytes: 10.0 },
+        ];
+        let pred = PerfPredictor::from_measurements(&meas);
+        assert!(pred.compute_time(1e6, 2.0) >= 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end in-situ analysis of a *live* molecular dynamics run.
+//!
+//! Profiles the water+ions analyses (A1–A4) on the actual mini-LAMMPS
+//! engine, asks the advisor for a schedule under a 10 % overhead budget,
+//! executes the coupled run, and verifies the measured overhead against
+//! the threshold — the full loop the paper proposes, at laptop scale.
+//!
+//! ```sh
+//! cargo run -p examples --bin md_insitu --release
+//! ```
+
+use insitu_core::runtime::{run_coupled, Analysis, CouplerConfig};
+use insitu_core::{Advisor, AdvisorOptions};
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem, GIB};
+use mdsim::analysis::{a1_hydronium_rdf, a2_ion_rdf, a3_vacf, a4_msd};
+use mdsim::{water_ions, BuilderParams, System};
+use perfmodel::Stopwatch;
+
+const ATOMS: usize = 8_000;
+const STEPS: usize = 200;
+const ITV: usize = 20;
+
+/// Profile one analysis by timing a single trial execution.
+fn profile<A: Analysis<System>>(a: &mut A, sys: &System, mem: f64, itv: usize) -> AnalysisProfile {
+    a.setup(sys);
+    let sw = Stopwatch::start();
+    a.analyze(sys);
+    let ct = sw.elapsed();
+    let sw = Stopwatch::start();
+    a.output(sys);
+    let ot = sw.elapsed();
+    AnalysisProfile::new(a.name())
+        .with_compute(ct, mem)
+        .with_output(ot.max(1e-6), mem / 4.0, 1)
+        .with_interval(itv)
+}
+
+fn main() {
+    println!("building {ATOMS}-atom water+ions system...");
+    let mut sys = water_ions(&BuilderParams {
+        n_particles: ATOMS,
+        ..Default::default()
+    });
+    for _ in 0..3 {
+        sys.step();
+    }
+
+    // --- profile the four analyses on the real system ---
+    let profiles = {
+        let mut a1 = a1_hydronium_rdf();
+        let mut a2 = a2_ion_rdf();
+        let mut a3 = a3_vacf(16);
+        let mut a4 = a4_msd();
+        for _ in 0..16 {
+            a3.record(&sys);
+        }
+        vec![
+            profile(&mut a1, &sys, 8e6, ITV),
+            profile(&mut a2, &sys, 8e6, ITV),
+            profile(&mut a3, &sys, 16e6, ITV),
+            profile(&mut a4, &sys, 32e6, ITV),
+        ]
+    };
+    for p in &profiles {
+        println!(
+            "  {:<22} ct = {:>9.3} ms   ot = {:>9.3} ms",
+            p.name,
+            p.compute_time * 1e3,
+            p.output_time * 1e3
+        );
+    }
+
+    // --- measure the simulation step time, set a 10% budget ---
+    let sw = Stopwatch::start();
+    for _ in 0..5 {
+        sys.step();
+    }
+    let step_time = sw.elapsed() / 5.0;
+    let sim_time = step_time * STEPS as f64;
+    println!("\nsimulation: {STEPS} steps x {:.2} ms = {:.2} s", step_time * 1e3, sim_time);
+
+    let problem = ScheduleProblem::new(
+        profiles,
+        ResourceConfig::from_overhead_fraction(STEPS, sim_time, 0.10, 2.0 * GIB, GIB),
+    )
+    .expect("valid problem");
+    let rec = Advisor::new(AdvisorOptions::default())
+        .recommend(&problem)
+        .expect("solvable");
+    println!("\nrecommended schedule (10% budget = {:.2} s):", problem.resources.total_threshold());
+    print!("{}", rec.schedule.summary(&problem));
+
+    // --- execute the coupled run for real ---
+    let mut analyses: Vec<Box<dyn Analysis<System>>> = vec![
+        Box::new(a1_hydronium_rdf()),
+        Box::new(a2_ion_rdf()),
+        Box::new(a3_vacf(16)),
+        Box::new(a4_msd()),
+    ];
+    let report = run_coupled(
+        &mut sys,
+        &mut analyses,
+        &rec.schedule,
+        &CouplerConfig {
+            steps: STEPS,
+            sim_output_every: 0,
+        },
+    );
+    println!("\ncoupled run complete:");
+    println!("  simulation time : {:>8.2} s", report.sim_time);
+    println!(
+        "  analysis time   : {:>8.2} s (predicted {:.2} s)",
+        report.total_analysis_time(),
+        rec.predicted_time
+    );
+    println!(
+        "  measured overhead: {:.1}% (threshold 10%)",
+        report.overhead_fraction() * 100.0
+    );
+    for at in &report.analysis_times {
+        println!(
+            "    {:<22} {:>3} runs, {:>8.2} ms total",
+            at.name,
+            at.analyze_count,
+            at.total() * 1e3
+        );
+    }
+}

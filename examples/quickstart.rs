@@ -1,0 +1,56 @@
+//! Quickstart: describe your analyses, get an optimal in-situ schedule.
+//!
+//! ```sh
+//! cargo run -p examples --bin quickstart
+//! ```
+
+use insitu_core::{Advisor, AdvisorOptions};
+use insitu_types::{AnalysisProfile, CouplingTrace, ResourceConfig, ScheduleProblem, GIB, MIB};
+
+fn main() {
+    // 1. Describe each candidate analysis (Table 1 of the paper): how long
+    //    one analysis step takes, what it writes, how much memory it needs,
+    //    its importance, and the minimum interval between runs.
+    let analyses = vec![
+        AnalysisProfile::new("descriptive statistics")
+            .with_compute(0.4, 64.0 * MIB)
+            .with_output(0.1, 16.0 * MIB, 1)
+            .with_interval(50),
+        AnalysisProfile::new("histograms")
+            .with_compute(1.2, 256.0 * MIB)
+            .with_output(0.4, 128.0 * MIB, 2)
+            .with_interval(100),
+        AnalysisProfile::new("temporal correlation")
+            .with_per_step(0.002, 2.0 * MIB) // copies state every step
+            .with_compute(3.0, 512.0 * MIB)
+            .with_output(1.0, 256.0 * MIB, 1)
+            .with_interval(100)
+            .with_weight(2.0), // twice as important
+    ];
+
+    // 2. Describe the resources: 1000 simulation steps, at most 30 s of
+    //    total in-situ analysis time, 8 GiB of spare memory, 1 GiB/s to
+    //    storage.
+    let resources = ResourceConfig::from_total_threshold(1000, 30.0, 8.0 * GIB, GIB as f64);
+    let problem = ScheduleProblem::new(analyses, resources).expect("valid problem");
+
+    // 3. Ask the advisor. The result is a certified schedule: which steps
+    //    each analysis runs at, and when it writes output.
+    let rec = Advisor::new(AdvisorOptions::default())
+        .recommend(&problem)
+        .expect("solvable");
+
+    println!("objective (Eq. 1): {}", rec.objective);
+    println!(
+        "predicted analysis time: {:.2} s of {:.2} s allowed ({:.1}% used)\n",
+        rec.predicted_time,
+        problem.resources.total_threshold(),
+        rec.budget_utilization_percent()
+    );
+    println!("{}", rec.schedule.summary(&problem));
+
+    // 4. The Figure-1 coupling trace of the first 60 steps.
+    let trace = CouplingTrace::from_schedule(&rec.schedule, 60, 20);
+    println!("coupling trace (first 60 steps, Os = simulation output):");
+    println!("{trace}");
+}

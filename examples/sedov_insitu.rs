@@ -1,0 +1,110 @@
+//! Weighted in-situ analyses on a live FLASH-style Sedov blast (the
+//! Table-8 scenario executed for real at laptop scale).
+//!
+//! ```sh
+//! cargo run -p examples --bin sedov_insitu --release
+//! ```
+
+use amrsim::analysis::{f1_vorticity, f2_l1_norm, f3_l2_norm};
+use amrsim::sedov::{measured_shock_radius, SedovSetup};
+use amrsim::FlashSim;
+use insitu_core::runtime::{run_coupled, Analysis, CouplerConfig};
+use insitu_core::{Advisor, AdvisorOptions};
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem, GIB};
+use perfmodel::Stopwatch;
+
+const BLOCKS: usize = 3; // 3^3 blocks of 12^3 cells
+const STEPS: usize = 120;
+const ITV: usize = 12;
+
+fn main() {
+    let setup = SedovSetup::default();
+    let mut sim = FlashSim::sedov(BLOCKS, 12, setup);
+    println!(
+        "Sedov blast on {} blocks x {}^3 cells ({} cells total)",
+        sim.mesh.blocks.len(),
+        sim.mesh.block_cells,
+        sim.mesh.total_cells()
+    );
+
+    // profile the three analyses on the live mesh
+    let mut f1 = f1_vorticity();
+    let mut f2 = f2_l1_norm();
+    let mut f3 = f3_l2_norm();
+    let t1 = {
+        let sw = Stopwatch::start();
+        f1.compute(&sim);
+        sw.elapsed()
+    };
+    let t2 = {
+        let sw = Stopwatch::start();
+        f2.compute(&sim);
+        sw.elapsed()
+    };
+    let t3 = {
+        let sw = Stopwatch::start();
+        f3.compute(&sim);
+        sw.elapsed()
+    };
+    println!(
+        "profiled: F1 {:.3} ms, F2 {:.3} ms, F3 {:.3} ms per analysis step",
+        t1 * 1e3,
+        t2 * 1e3,
+        t3 * 1e3
+    );
+
+    // Table-8 weighting: prefer vorticity (F1) and the cheap L2 norm (F3)
+    let mk = |name: &str, ct: f64, w: f64| {
+        AnalysisProfile::new(name)
+            .with_compute(ct, 32e6)
+            .with_output(ct * 0.2 + 1e-6, 8e6, 1)
+            .with_interval(ITV)
+            .with_weight(w)
+    };
+    let problem = ScheduleProblem::new(
+        vec![
+            mk("vorticity (F1)", t1, 2.0),
+            mk("L1 error norm (F2)", t2, 1.0),
+            mk("L2 error norm (F3)", t3, 2.0),
+        ],
+        // 5% of the simulation-time estimate, like the paper's I2 case
+        ResourceConfig::from_total_threshold(STEPS, (t1 + t2) * 4.0, GIB, GIB),
+    )
+    .expect("valid problem");
+    let rec = Advisor::new(AdvisorOptions::default())
+        .recommend(&problem)
+        .expect("solvable");
+    println!("\nweighted schedule (I2-style importance):");
+    print!("{}", rec.schedule.summary(&problem));
+
+    // run the coupled simulation
+    let mut analyses: Vec<Box<dyn Analysis<FlashSim>>> =
+        vec![Box::new(f1), Box::new(f2), Box::new(f3)];
+    let report = run_coupled(
+        &mut sim,
+        &mut analyses,
+        &rec.schedule,
+        &CouplerConfig {
+            steps: STEPS,
+            sim_output_every: 40,
+        },
+    );
+    println!("\ncoupled run: t = {:.4}, {} checkpoints ({:.1} MB modeled)", sim.time, sim.checkpoints, sim.checkpoint_bytes as f64 / 1e6);
+    println!(
+        "shock radius: measured {:.3} vs self-similar {:.3}",
+        measured_shock_radius(&sim.mesh),
+        setup.shock_radius(sim.time)
+    );
+    println!(
+        "analysis overhead: {:.2}% of simulation time",
+        report.overhead_fraction() * 100.0
+    );
+    for at in &report.analysis_times {
+        println!(
+            "  {:<20} {:>3} runs, {:>8.2} ms",
+            at.name,
+            at.analyze_count,
+            at.total() * 1e3
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: the exact time-indexed MILP (Eqs. 1–9) and the
+//! aggregate count-based reformulation agree on the optimal objective, and
+//! every schedule either path produces passes the independent validator.
+
+use insitu_core::formulation::solve_exact;
+use insitu_core::solve_aggregate;
+use insitu_core::validate_schedule;
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
+use milp::SolveOptions;
+use proptest::prelude::*;
+
+/// Random small scheduling problems with integer-friendly costs so the
+/// integral-objective gap trick stays exact.
+fn arb_problem() -> impl Strategy<Value = ScheduleProblem> {
+    (
+        1usize..3,                                   // number of analyses
+        8usize..20,                                  // steps
+        prop::collection::vec(1u32..6, 3),           // ct (integers)
+        prop::collection::vec(0u32..3, 3),           // ot
+        prop::collection::vec(2usize..6, 3),         // itv
+        prop::collection::vec(0u32..3, 3),           // weight-1 (so w >= 1)
+        4u32..40,                                    // budget
+        any::<bool>(),                               // outputs on/off
+    )
+        .prop_map(|(n, steps, ct, ot, itv, wm1, budget, outputs)| {
+            let analyses = (0..n)
+                .map(|i| {
+                    let mut a = AnalysisProfile::new(format!("a{i}"))
+                        .with_compute(ct[i] as f64, 0.0)
+                        .with_interval(itv[i])
+                        .with_weight(1.0 + wm1[i] as f64);
+                    if outputs {
+                        a = a.with_output(ot[i] as f64, 0.0, 1);
+                    }
+                    a
+                })
+                .collect();
+            ScheduleProblem::new(
+                analyses,
+                ResourceConfig::from_total_threshold(steps, budget as f64, 1e12, 1e9),
+            )
+            .unwrap()
+        })
+}
+
+fn opts() -> SolveOptions {
+    // costs and weights are integral => objective integral => gap < 1 exact
+    SolveOptions {
+        abs_gap: 0.999,
+        ..SolveOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_equals_aggregate(problem in arb_problem()) {
+        let (exact_sched, exact_obj) = solve_exact(&problem, &opts()).unwrap();
+        let (agg_sched, agg_obj) = solve_aggregate(&problem, &opts()).unwrap();
+        prop_assert!((exact_obj - agg_obj).abs() < 1e-6,
+            "exact {exact_obj} vs aggregate {agg_obj}");
+        // both schedules certified by the independent validator
+        let re = validate_schedule(&problem, &exact_sched);
+        prop_assert!(re.is_feasible(), "exact: {:?}", re.violations);
+        let ra = validate_schedule(&problem, &agg_sched);
+        prop_assert!(ra.is_feasible(), "aggregate: {:?}", ra.violations);
+        // validator's objective agrees with the solver's
+        prop_assert!((re.objective - exact_obj).abs() < 1e-6);
+        prop_assert!((ra.objective - agg_obj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_never_exceeds_budget(problem in arb_problem()) {
+        let (sched, _) = solve_aggregate(&problem, &opts()).unwrap();
+        let report = validate_schedule(&problem, &sched);
+        prop_assert!(report.total_time <= problem.resources.total_threshold() + 1e-9);
+    }
+
+    #[test]
+    fn greedy_bounded_by_optimum(problem in arb_problem()) {
+        let greedy = insitu_core::baseline::greedy(&problem);
+        let greport = validate_schedule(&problem, &greedy);
+        prop_assert!(greport.is_feasible(), "greedy must be feasible: {:?}", greport.violations);
+        let (_, opt) = solve_aggregate(&problem, &opts()).unwrap();
+        prop_assert!(greport.objective <= opt + 1e-6,
+            "greedy {} > optimal {opt}", greport.objective);
+    }
+}

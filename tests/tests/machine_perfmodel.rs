@@ -1,0 +1,79 @@
+//! Cross-crate checks between the machine model and the performance model:
+//! the quantities the scheduler consumes must be mutually consistent.
+
+use machine::{Machine, StorageTier, Torus};
+use perfmodel::laws::KernelLaw;
+use perfmodel::{KernelMeasurement, PerfPredictor};
+
+#[test]
+fn diameters_grow_monotonically_with_partition_size() {
+    let mut last = 0;
+    for nodes in [128usize, 512, 2048, 8192, 32768] {
+        let d = Torus::bgq_partition(nodes).unwrap().diameter();
+        assert!(d >= last, "{nodes} nodes: diameter {d} < {last}");
+        last = d;
+    }
+}
+
+#[test]
+fn predictor_trained_on_machine_model_extrapolates_collectives() {
+    // train the comm predictor on machine-model allreduce times at three
+    // partition sizes, validate at a fourth: the network-diameter
+    // interpolation (paper §4) must track the analytic model closely
+    let m = Machine::mira();
+    let sizes = [1e6, 8e6, 64e6];
+    let train_nodes = [512usize, 2048, 8192];
+    let mut train = Vec::new();
+    for &nodes in &train_nodes {
+        let p = m.partition(nodes, 16).unwrap();
+        for &n in &sizes {
+            train.push(KernelMeasurement {
+                problem_size: n,
+                procs: p.ranks() as f64,
+                diameter: p.topology.diameter() as f64,
+                compute_time: KernelLaw::scalable(1e-6, 0.0).time(n, p.ranks() as f64),
+                comm_time: m.allreduce_time(2400.0, &p),
+                mem_bytes: 8.0 * n,
+            });
+        }
+    }
+    let pred = PerfPredictor::from_measurements(&train);
+    let p_test = m.partition(4096, 16).unwrap();
+    let truth = m.allreduce_time(2400.0, &p_test);
+    let guess = pred.comm_time(8e6, p_test.topology.diameter() as f64);
+    let err = (guess - truth).abs() / truth;
+    assert!(err < 0.08, "comm prediction error {:.1}%", err * 100.0);
+}
+
+#[test]
+fn io_model_consistent_across_tiers_and_scales() {
+    let m = Machine::mira_with_nvram(2.0e9);
+    let small = m.partition(512, 16).unwrap();
+    let large = m.partition(8192, 16).unwrap();
+    let bytes = 10.0e9;
+    // more nodes, faster shared-fs writes (until the peak)
+    assert!(
+        m.write_time(bytes, &large, StorageTier::ParallelFs)
+            < m.write_time(bytes, &small, StorageTier::ParallelFs)
+    );
+    // NVRAM beats the filesystem at every scale
+    for p in [&small, &large] {
+        assert!(
+            m.write_time(bytes, p, StorageTier::Nvram)
+                < m.write_time(bytes, p, StorageTier::ParallelFs)
+        );
+    }
+}
+
+#[test]
+fn analysis_memory_budget_feeds_scheduler() {
+    // the mth the advisor receives equals node memory minus the
+    // simulation's share, aggregated over the partition
+    let m = Machine::mira();
+    let p = m.partition_for_ranks(16_384).unwrap();
+    let sim_bytes_per_node = 12.0 * 1024.0f64.powi(3);
+    let mth = m.analysis_memory(&p, sim_bytes_per_node);
+    assert_eq!(p.nodes(), 1024);
+    let expected = (16.0 - 12.0) * 1024.0f64.powi(3) * 1024.0;
+    assert!((mth - expected).abs() < 1.0);
+}

@@ -1,0 +1,50 @@
+//! Integration assertions on the reproduced paper experiments (the fast
+//! ones — the measurement-heavy figures are covered by bench unit tests
+//! and the `reproduce_all` binary).
+
+use bench_is_not_a_dep::*;
+
+// The experiments live in the bench crate; re-exercise them through its
+// public API from outside the crate.
+mod bench_is_not_a_dep {
+    pub use bench::experiments::{table5_threshold, table6_total, table8_weights};
+}
+
+#[test]
+fn table5_a4_decay_and_budget_compliance() {
+    let o = table5_threshold::run();
+    let a4: Vec<usize> = o.rows.iter().map(|r| r.counts[3]).collect();
+    assert!(a4.windows(2).all(|w| w[0] >= w[1]), "{a4:?}");
+    assert_eq!(a4[3], 0);
+    for r in &o.rows {
+        assert!(r.within_pct <= 100.0 + 1e-9);
+        assert_eq!(r.counts[0], 10);
+    }
+}
+
+#[test]
+fn table6_r1_always_max_heavy_decays() {
+    let o = table6_total::run();
+    for r in &o.rows {
+        assert_eq!(r.counts[0], 10);
+    }
+    let heavy: Vec<usize> = o.rows.iter().map(|r| r.counts[1] + r.counts[2]).collect();
+    assert!(heavy.windows(2).all(|w| w[0] >= w[1]), "{heavy:?}");
+    assert_eq!(*heavy.last().unwrap(), 0);
+}
+
+#[test]
+fn table8_weights_shift_budget() {
+    let o = table8_weights::run();
+    assert!(o.rows[1].counts[0] > o.rows[0].counts[0], "F1 gains under I2");
+    assert!(o.rows[1].counts[1] < o.rows[0].counts[1], "F2 loses under I2");
+}
+
+#[test]
+fn reports_mention_paper_columns() {
+    // every report carries the paper's reference values for side-by-side
+    // comparison
+    assert!(table5_threshold::run().report.contains("paper"));
+    assert!(table6_total::run().report.contains("paper"));
+    assert!(table8_weights::run().report.contains("paper"));
+}
