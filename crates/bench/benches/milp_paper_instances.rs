@@ -4,12 +4,27 @@
 //! paper's instances. This bench times our from-scratch solver on the same
 //! instances (aggregate form); the reproduction claim is "well inside the
 //! paper's envelope".
+//!
+//! Each instance is swept over worker-thread counts (1 / 2 / 4, see
+//! `docs/SOLVER.md` for the determinism contract). Before timing, one
+//! un-timed solve per thread count prints the solver telemetry
+//! ([`milp::SolveStats`]) and asserts the parallel objective is bitwise
+//! identical to the serial one.
 
 use bench::scale::paper_quoted;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insitu_core::aggregate::solve_aggregate_counts;
 use insitu_types::{ResourceConfig, ScheduleProblem, GIB};
 use milp::SolveOptions;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn opts_with(threads: usize) -> SolveOptions {
+    SolveOptions {
+        threads,
+        ..SolveOptions::default()
+    }
+}
 
 fn bench_instances(c: &mut Criterion) {
     let mut g = c.benchmark_group("milp_paper_instances");
@@ -40,12 +55,30 @@ fn bench_instances(c: &mut Criterion) {
         ),
     ];
     for (name, problem) in cases {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                solve_aggregate_counts(std::hint::black_box(&problem), &SolveOptions::default())
-                    .unwrap()
-            })
-        });
+        // one un-timed telemetry pass per thread count, checking the
+        // parallel solves reproduce the serial objective bitwise
+        let serial = solve_aggregate_counts(&problem, &opts_with(1)).unwrap();
+        for threads in THREAD_SWEEP {
+            let agg = solve_aggregate_counts(&problem, &opts_with(threads)).unwrap();
+            assert_eq!(
+                agg.objective.to_bits(),
+                serial.objective.to_bits(),
+                "{name}: parallel objective diverged at {threads} threads"
+            );
+            println!("  {name} [{threads} thr]: {}", agg.stats.summary());
+        }
+        for threads in THREAD_SWEEP {
+            let opts = opts_with(threads);
+            g.bench_with_input(
+                BenchmarkId::new(name, threads),
+                &problem,
+                |b, problem| {
+                    b.iter(|| {
+                        solve_aggregate_counts(std::hint::black_box(problem), &opts).unwrap()
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }

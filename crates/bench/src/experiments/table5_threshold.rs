@@ -48,6 +48,7 @@ pub struct Outcome {
 pub fn run() -> Outcome {
     let advisor = Advisor::new(AdvisorOptions::default());
     let mut rows = Vec::new();
+    let mut telemetry = String::new();
     let mut t = TextTable::new(&[
         "Threshold % (s)",
         "A1",
@@ -68,6 +69,10 @@ pub fn run() -> Outcome {
         )
         .expect("valid problem");
         let rec = advisor.recommend(&problem).expect("solvable");
+        telemetry.push_str(&format!(
+            "  {pct:>4}%: {}\n",
+            rec.solver_stats.summary()
+        ));
         let row = Row {
             threshold_pct: pct,
             counts: [rec.counts[0], rec.counts[1], rec.counts[2], rec.counts[3]],
@@ -90,7 +95,8 @@ pub fn run() -> Outcome {
     }
     let report = format!(
         "Water+ions, 100M atoms, 16384 cores, 1000 steps, itv=100.\n\
-         Inputs reverse-engineered from the paper's own Table 5 (see scale::paper_quoted).\n{}",
+         Inputs reverse-engineered from the paper's own Table 5 (see scale::paper_quoted).\n{}\
+         solver telemetry per row:\n{telemetry}",
         t.render()
     );
     Outcome { rows, report }

@@ -54,13 +54,19 @@ pub fn run() -> Outcome {
     let one_output = machine.write_time(OUTPUT_BYTES, &part, StorageTier::ParallelFs);
     let base_threshold = 50.0; // the paper's first-row user threshold
 
-    let solve = |threshold: f64| -> usize {
+    let mut telemetry = String::new();
+    let mut solve = |threshold: f64| -> usize {
         let problem = ScheduleProblem::new(
             paper_quoted::rhodopsin_table6(),
             ResourceConfig::from_total_threshold(1000, threshold, 1024.0 * GIB, GIB),
         )
         .expect("valid problem");
-        advisor.recommend(&problem).expect("solvable").total_analyses()
+        let rec = advisor.recommend(&problem).expect("solvable");
+        telemetry.push_str(&format!(
+            "  thr {threshold:>6.1}s: {}\n",
+            rec.solver_stats.summary()
+        ));
+        rec.total_analyses()
     };
 
     let mut rows = Vec::new();
@@ -107,7 +113,8 @@ pub fn run() -> Outcome {
         "Rhodopsin, 1B atoms, 32768 cores (2048 nodes); 91 GB per simulation\n\
          output step through the Mira I/O model ({:.1} s per write).\n{}\
          NVRAM what-if: 10 outputs to NVRAM ({:.1} s each) frees enough time\n\
-         for {} analyses at the same base threshold.\n",
+         for {} analyses at the same base threshold.\n\
+         solver telemetry per solve:\n{telemetry}",
         one_output,
         t.render(),
         nv_out,

@@ -41,6 +41,7 @@ pub struct Outcome {
 pub fn run() -> Outcome {
     let advisor = Advisor::new(AdvisorOptions::default());
     let mut rows = Vec::new();
+    let mut telemetry = String::new();
     let mut t = TextTable::new(&["weights", "F1", "F2", "F3", "| paper F1-F3"]);
     for &(weights, p1, p2, p3) in &PAPER_ROWS {
         let problem = ScheduleProblem::new(
@@ -49,6 +50,10 @@ pub fn run() -> Outcome {
         )
         .expect("valid problem");
         let rec = advisor.recommend(&problem).expect("solvable");
+        telemetry.push_str(&format!(
+            "  {weights:?}: {}\n",
+            rec.solver_stats.summary()
+        ));
         let row = Row {
             weights,
             counts: [rec.counts[0], rec.counts[1], rec.counts[2]],
@@ -64,7 +69,8 @@ pub fn run() -> Outcome {
     }
     let report = format!(
         "FLASH Sedov, 16384 cores, 1000 steps, 43.5 s budget (5% of 870 s).\n\
-         F1/F2/F3 step times 3.5 s / 1.25 s / 2.3 ms as quoted by the paper.\n{}",
+         F1/F2/F3 step times 3.5 s / 1.25 s / 2.3 ms as quoted by the paper.\n{}\
+         solver telemetry per row:\n{telemetry}",
         t.render()
     );
     Outcome { rows, report }

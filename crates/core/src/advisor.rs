@@ -2,10 +2,10 @@
 //! I run in-situ, how often, and when should it write output?"
 
 use insitu_types::{Schedule, ScheduleProblem};
-use milp::{SolveError, SolveOptions};
+use milp::{SolveError, SolveOptions, SolveStats};
 
 use crate::aggregate::solve_aggregate_counts;
-use crate::formulation::solve_exact;
+use crate::formulation::solve_exact_with_stats;
 use crate::placement::place_schedule;
 use crate::validate::{validate_schedule, ValidationReport};
 
@@ -69,6 +69,10 @@ pub struct Recommendation {
     pub predicted_time: f64,
     /// Full certification report.
     pub report: ValidationReport,
+    /// Telemetry from the underlying MILP solve: nodes explored/pruned,
+    /// simplex pivots, incumbent timeline and per-phase wall times. See
+    /// [`milp::SolveStats`] and `docs/SOLVER.md`.
+    pub solver_stats: SolveStats,
 }
 
 impl Recommendation {
@@ -99,13 +103,15 @@ impl Advisor {
     /// Solves the scheduling problem and returns a certified
     /// recommendation.
     pub fn recommend(&self, problem: &ScheduleProblem) -> Result<Recommendation, AdvisorError> {
-        let schedule = if problem.resources.steps <= self.opts.exact_steps_limit {
-            let (s, _) = solve_exact(problem, &self.opts.solver).map_err(AdvisorError::Solver)?;
-            s
+        let (schedule, solver_stats) = if problem.resources.steps <= self.opts.exact_steps_limit {
+            let (s, _, stats) =
+                solve_exact_with_stats(problem, &self.opts.solver).map_err(AdvisorError::Solver)?;
+            (s, stats)
         } else {
             let agg = solve_aggregate_counts(problem, &self.opts.solver)
                 .map_err(AdvisorError::Solver)?;
-            place_schedule(problem, &agg.counts, &agg.output_counts)
+            let s = place_schedule(problem, &agg.counts, &agg.output_counts);
+            (s, agg.stats)
         };
         let report = validate_schedule(problem, &schedule);
         if !report.is_feasible() {
@@ -124,6 +130,7 @@ impl Advisor {
             output_counts,
             report,
             schedule,
+            solver_stats,
         })
     }
 }

@@ -24,7 +24,7 @@
 //! (`im·Steps`) bound above that.
 
 use insitu_types::{Schedule, ScheduleProblem};
-use milp::{Cmp, LinExpr, Model, Sense, SolveError, SolveOptions, Var};
+use milp::{Cmp, LinExpr, Model, Sense, SolveError, SolveOptions, SolveStats, Var};
 
 use crate::placement::place_schedule;
 
@@ -43,6 +43,10 @@ pub struct AggregateSolution {
     pub objective: f64,
     /// Branch-and-bound nodes used.
     pub nodes: usize,
+    /// Solver telemetry from the underlying MILP solve (prune counters,
+    /// pivot counts, incumbent timeline, per-phase wall times). Empty
+    /// ([`SolveStats::default`]) for the trivial zero-analysis problem.
+    pub stats: SolveStats,
 }
 
 /// Peak memory of analysis `i` under the even placement that
@@ -70,6 +74,7 @@ pub fn solve_aggregate_counts(
             output_counts: vec![],
             objective: 0.0,
             nodes: 0,
+            stats: SolveStats::default(),
         });
     }
     let mut m = Model::new(Sense::Maximize);
@@ -231,6 +236,7 @@ pub fn solve_aggregate_counts(
         output_counts,
         objective: sol.objective,
         nodes: sol.nodes,
+        stats: sol.stats,
     })
 }
 

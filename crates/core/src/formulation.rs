@@ -293,13 +293,23 @@ pub fn solve_exact(
     problem: &ScheduleProblem,
     opts: &SolveOptions,
 ) -> Result<(Schedule, f64), SolveError> {
+    let (schedule, objective, _) = solve_exact_with_stats(problem, opts)?;
+    Ok((schedule, objective))
+}
+
+/// Like [`solve_exact`], but also returns the solver telemetry
+/// ([`milp::SolveStats`]) from the underlying MILP solve.
+pub fn solve_exact_with_stats(
+    problem: &ScheduleProblem,
+    opts: &SolveOptions,
+) -> Result<(Schedule, f64, milp::SolveStats), SolveError> {
     problem
         .validate()
         .map_err(|e| SolveError::BadModel(e.to_string()))?;
     let (model, vars) = build_exact(problem);
     let sol = milp::solve(&model, opts)?;
     let schedule = extract_schedule(problem, &vars, &sol);
-    Ok((schedule, sol.objective))
+    Ok((schedule, sol.objective, sol.stats))
 }
 
 #[cfg(test)]

@@ -51,5 +51,5 @@ pub mod validate;
 
 pub use advisor::{Advisor, AdvisorOptions, Recommendation};
 pub use aggregate::solve_aggregate;
-pub use formulation::solve_exact;
+pub use formulation::{solve_exact, solve_exact_with_stats};
 pub use validate::{validate_schedule, ValidationReport};

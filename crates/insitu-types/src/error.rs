@@ -51,6 +51,8 @@ pub enum TypeError {
     },
     /// Free-form trace parse failure.
     TraceParse(String),
+    /// JSON (de)serialization failure; see [`crate::json`].
+    Parse(String),
 }
 
 impl fmt::Display for TypeError {
@@ -91,6 +93,7 @@ impl fmt::Display for TypeError {
                 write!(f, "duplicate analysis name `{analysis}`")
             }
             TypeError::TraceParse(msg) => write!(f, "trace parse error: {msg}"),
+            TypeError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }

@@ -12,6 +12,7 @@
 //! depending on each other.
 
 pub mod error;
+pub mod json;
 pub mod problem;
 pub mod profile;
 pub mod resources;

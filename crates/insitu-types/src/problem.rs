@@ -9,7 +9,6 @@ use crate::units::Seconds;
 /// analysis set `A` (with per-analysis Table-1 parameters) and the global
 /// resource configuration.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScheduleProblem {
     /// Candidate analyses, indexed by [`AnalysisId`].
     pub analyses: Vec<AnalysisProfile>,

@@ -12,7 +12,6 @@ pub type AnalysisId = usize;
 /// when the corresponding cost does not apply to the analysis implementation
 /// (e.g. FLASH-style analyses allocate on the fly, so `fm == 0`).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AnalysisProfile {
     /// Human-readable name, unique within a problem (e.g. `"msd (A4)"`).
     pub name: String,

@@ -11,7 +11,6 @@ use crate::units::{Bytes, Seconds, GIB};
 /// per-step form; [`ResourceConfig::total_threshold`] gives the product
 /// `cth * Steps` used by Eq. 4.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResourceConfig {
     /// `Steps` — number of simulation time steps.
     pub steps: usize,

@@ -9,7 +9,6 @@ use crate::units::Seconds;
 /// at which of those it writes output. Steps are 1-based (step `j` means
 /// "after the j-th simulation step"), matching the paper's `j ∈ {1..Steps}`.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AnalysisSchedule {
     /// `C_i` — sorted, deduplicated analysis steps.
     pub analysis_steps: Vec<usize>,
@@ -63,7 +62,6 @@ impl AnalysisSchedule {
 /// A full schedule: one [`AnalysisSchedule`] per candidate analysis, in the
 /// same order as [`ScheduleProblem::analyses`].
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schedule {
     /// Per-analysis schedules, parallel to the problem's analysis list.
     pub per_analysis: Vec<AnalysisSchedule>,

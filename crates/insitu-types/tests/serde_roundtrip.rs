@@ -1,6 +1,7 @@
 //! JSON round-trips: profiles measured on one machine can be stored and
 //! re-used as a profiling database for later scheduling runs.
 
+use insitu_types::json;
 use insitu_types::{AnalysisProfile, ResourceConfig, Schedule, ScheduleProblem};
 
 fn sample_problem() -> ScheduleProblem {
@@ -26,10 +27,10 @@ fn sample_problem() -> ScheduleProblem {
 #[test]
 fn problem_round_trips_through_json() {
     let p = sample_problem();
-    let json = serde_json::to_string_pretty(&p).unwrap();
-    assert!(json.contains("msd (A4)"));
-    assert!(json.contains("compute_time"));
-    let back: ScheduleProblem = serde_json::from_str(&json).unwrap();
+    let text = json::to_string_pretty(&p);
+    assert!(text.contains("msd (A4)"));
+    assert!(text.contains("compute_time"));
+    let back: ScheduleProblem = json::from_str(&text).unwrap();
     assert_eq!(back, p);
     assert!(back.validate().is_ok());
 }
@@ -38,8 +39,8 @@ fn problem_round_trips_through_json() {
 fn schedule_round_trips_through_json() {
     let mut s = Schedule::empty(2);
     s.per_analysis[0] = insitu_types::AnalysisSchedule::new(vec![100, 200, 300], vec![300]);
-    let json = serde_json::to_string(&s).unwrap();
-    let back: Schedule = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&s);
+    let back: Schedule = json::from_str(&text).unwrap();
     assert_eq!(back, s);
     assert_eq!(back.per_analysis[0].count(), 3);
 }
@@ -48,7 +49,7 @@ fn schedule_round_trips_through_json() {
 fn profile_fields_preserve_table1_names_in_code() {
     // guard: the serialized field names stay stable for external tooling
     let a = AnalysisProfile::new("x").with_compute(1.0, 2.0);
-    let json = serde_json::to_string(&a).unwrap();
+    let text = json::to_string(&a);
     for field in [
         "fixed_time",
         "step_time",
@@ -62,6 +63,14 @@ fn profile_fields_preserve_table1_names_in_code() {
         "min_interval",
         "output_every",
     ] {
-        assert!(json.contains(field), "missing field {field}: {json}");
+        assert!(text.contains(field), "missing field {field}: {text}");
     }
+}
+
+#[test]
+fn malformed_json_is_rejected_with_context() {
+    let err = json::from_str::<ScheduleProblem>("{\"analyses\": []}").unwrap_err();
+    assert!(err.to_string().contains("resources"), "{err}");
+    assert!(json::from_str::<Schedule>("[1,2,3]").is_err());
+    assert!(json::from_str::<AnalysisProfile>("{").is_err());
 }

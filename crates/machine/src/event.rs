@@ -120,11 +120,11 @@ pub fn replay(
     let mut queued: Vec<f64> = Vec::new(); // durations waiting for a slot
     let mut staging_queue_peak = 0usize;
 
-    let mut start_ready_jobs = |clock: f64,
-                                running: &mut BinaryHeap<StagingDone>,
-                                queued: &mut Vec<f64>,
-                                staging_busy: &mut f64,
-                                staging_finish: &mut f64| {
+    let start_ready_jobs = |clock: f64,
+                            running: &mut BinaryHeap<StagingDone>,
+                            queued: &mut Vec<f64>,
+                            staging_busy: &mut f64,
+                            staging_finish: &mut f64| {
         // free finished servers
         while let Some(top) = running.peek() {
             if top.at <= clock {

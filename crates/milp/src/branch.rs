@@ -1,19 +1,52 @@
 //! Branch & bound for mixed-integer programs.
 //!
 //! Best-first search on LP-relaxation bounds with most-fractional
-//! branching. Each node re-solves its LP from scratch — fine at the scale
-//! of the scheduling formulations this crate exists for (the paper's own
-//! CPLEX solves took 0.17–1.36 s; ours are far smaller after the aggregate
-//! reduction).
+//! branching, plunging dives, and an optional multi-threaded node pool.
+//!
+//! # Search architecture
+//!
+//! One shared [`BinaryHeap`] of open nodes is drained by `N` workers
+//! (`N = SolveOptions::threads`; the default of 1 runs the identical code
+//! on the calling thread with no synchronization contention). Each worker
+//! pops the globally best-bound node and *plunges*: it dives toward an
+//! integral leaf, always following the better-bound child and parking the
+//! sibling back on the shared heap, where idle workers steal it. The
+//! incumbent is shared: updates take a mutex, while pruning reads a
+//! lock-free atomic copy of the incumbent objective (stale reads are safe —
+//! they only make pruning conservative, never wrong).
+//!
+//! Child LPs are warm-started from the parent's simplex basis and repaired
+//! with dual-simplex pivots (see [`crate::simplex`]); a cold two-phase
+//! solve is the automatic fallback, so warm starts never change results.
+//!
+//! # Determinism
+//!
+//! Ties are broken identically in serial and parallel mode:
+//!
+//! * **node order** — nodes with equal LP bounds pop in creation order
+//!   (each node carries a sequence number); with one thread the search is
+//!   therefore fully reproducible, node counts included,
+//! * **incumbent** — a new integral solution replaces the incumbent only
+//!   when its objective is strictly better *or* equal with lexicographically
+//!   smaller variable values (in variable creation order).
+//!
+//! With multiple threads the *explored node set* can vary between runs
+//! (incumbents arrive at different times, changing what gets pruned), but
+//! every run returns the same proven-optimal objective. See
+//! `docs/SOLVER.md` for the full guarantee.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use crate::error::SolveError;
 use crate::model::{Model, Sense};
 use crate::options::SolveOptions;
-use crate::simplex::solve_lp_relaxation;
+use crate::simplex::{solve_lp_relaxation_warm, Basis};
 use crate::solution::Solution;
+use crate::stats::{IncumbentEvent, SolveStats};
 
 /// A live search node: bound overrides relative to the original model plus
 /// the LP optimum of the node.
@@ -21,15 +54,21 @@ use crate::solution::Solution;
 struct Node {
     /// `(var, lower, upper)` overrides accumulated from the root.
     overrides: Vec<(usize, f64, f64)>,
-    /// LP relaxation optimum of this node.
-    relax: Solution,
+    /// LP relaxation optimum of this node, in model-variable space.
+    values: Vec<f64>,
+    /// LP relaxation objective (model sense).
+    bound: f64,
     /// Sense-adjusted priority (larger = explored first).
     key: f64,
+    /// Creation sequence number; equal-key nodes pop in creation order.
+    seq: u64,
+    /// Final simplex basis of this node's LP, used to warm-start children.
+    basis: Option<Basis>,
 }
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
+        self.key == other.key && self.seq == other.seq
     }
 }
 impl Eq for Node {}
@@ -40,7 +79,10 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.key.partial_cmp(&other.key).unwrap_or(Ordering::Equal)
+        match self.key.partial_cmp(&other.key) {
+            Some(Ordering::Equal) | None => other.seq.cmp(&self.seq), // FIFO on ties
+            Some(o) => o,
+        }
     }
 }
 
@@ -53,11 +95,11 @@ fn apply_overrides(model: &Model, overrides: &[(usize, f64, f64)]) -> Model {
     m
 }
 
-/// Most fractional integer variable of a solution, if any.
-fn fractional_var(model: &Model, sol: &Solution, tol: f64) -> Option<(usize, f64)> {
+/// Most fractional integer variable of an LP point, if any.
+fn fractional_var(model: &Model, values: &[f64], tol: f64) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64, f64)> = None; // (var, value, dist-to-half)
     for i in model.integer_vars() {
-        let v = sol.values[i];
+        let v = values[i];
         let frac = v - v.floor();
         if frac > tol && frac < 1.0 - tol {
             let dist = (frac - 0.5).abs();
@@ -71,33 +113,271 @@ fn fractional_var(model: &Model, sol: &Solution, tol: f64) -> Option<(usize, f64
 }
 
 /// Rounds the integer variables of an LP point and keeps it if feasible.
-fn rounded_candidate(model: &Model, sol: &Solution, tol: f64) -> Option<Solution> {
-    let mut values = sol.values.clone();
+fn rounded_candidate(model: &Model, values: &[f64], tol: f64) -> Option<(Vec<f64>, f64)> {
+    let mut values = values.to_vec();
     for i in model.integer_vars() {
         values[i] = values[i].round();
     }
     if model.is_feasible(&values, tol * 10.0) {
         let objective = model.objective_value(&values);
-        Some(Solution {
-            values,
-            objective,
-            iterations: 0,
-            nodes: 0,
-            proven_optimal: false,
-        })
+        Some((values, objective))
     } else {
         None
     }
 }
 
+/// True when a and b compare lexicographically as `a < b`.
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return true;
+        }
+        if x > y {
+            return false;
+        }
+    }
+    false
+}
+
+/// The documented incumbent replacement rule: strictly better objective,
+/// or exactly equal objective with lexicographically smaller values.
+fn improves(model: &Model, objective: f64, values: &[f64], inc: Option<&Solution>) -> bool {
+    match inc {
+        None => true,
+        Some(inc) => {
+            model.better(objective, inc.objective)
+                || (objective == inc.objective && lex_less(values, &inc.values))
+        }
+    }
+}
+
+/// Open-node pool shared by all workers.
+struct Pool {
+    heap: BinaryHeap<Node>,
+    /// Workers currently blocked waiting for work.
+    idle: usize,
+    /// Terminate flag: set on completion, node limit, or LP error.
+    done: bool,
+}
+
+/// All cross-worker state of one solve.
+struct Shared<'m> {
+    model: &'m Model,
+    opts: &'m SolveOptions,
+    /// +1 for maximization, -1 for minimization (keys are `sign * obj`).
+    sign: f64,
+    pool: Mutex<Pool>,
+    work: Condvar,
+    incumbent: Mutex<Option<Solution>>,
+    /// `sign * incumbent.objective` as f64 bits, for lock-free prune reads.
+    /// Stale values only make pruning conservative.
+    inc_key: AtomicU64,
+    nodes: AtomicUsize,
+    pruned_bound: AtomicUsize,
+    pruned_infeasible: AtomicUsize,
+    lp_pivots: AtomicUsize,
+    warm_started: AtomicUsize,
+    next_seq: AtomicU64,
+    error: Mutex<Option<SolveError>>,
+    events: Mutex<Vec<IncumbentEvent>>,
+    search_start: Instant,
+}
+
+impl<'m> Shared<'m> {
+    fn inc_key(&self) -> f64 {
+        f64::from_bits(self.inc_key.load(AtOrd::Relaxed))
+    }
+
+    /// `true` when a node with LP bound `bound` cannot improve on the
+    /// incumbent (within `abs_gap`).
+    fn dominated(&self, bound: f64) -> bool {
+        self.sign * bound <= self.inc_key() + self.opts.abs_gap
+    }
+
+    /// Offers an integral candidate as the new incumbent.
+    fn offer_incumbent(&self, values: Vec<f64>, objective: f64) {
+        let mut inc = self.incumbent.lock().unwrap();
+        if improves(self.model, objective, &values, inc.as_ref()) {
+            self.inc_key
+                .store((self.sign * objective).to_bits(), AtOrd::Relaxed);
+            self.events.lock().unwrap().push(IncumbentEvent {
+                objective,
+                node: self.nodes.load(AtOrd::Relaxed),
+                elapsed: self.search_start.elapsed(),
+            });
+            *inc = Some(Solution {
+                values,
+                objective,
+                iterations: 0,
+                nodes: 0,
+                proven_optimal: false,
+                stats: SolveStats::default(),
+            });
+        }
+    }
+
+    /// Records a fatal error and wakes every worker to exit.
+    fn fail(&self, e: SolveError) {
+        let mut err = self.error.lock().unwrap();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        drop(err);
+        self.pool.lock().unwrap().done = true;
+        self.work.notify_all();
+    }
+
+    fn push_node(&self, node: Node) {
+        self.pool.lock().unwrap().heap.push(node);
+        self.work.notify_one();
+    }
+}
+
+/// One worker: pop best node, plunge to a leaf, repeat until the pool
+/// drains or the solve aborts. `total` is the number of workers, needed
+/// for the all-idle termination handshake.
+fn worker(sh: &Shared<'_>, total: usize) {
+    'outer: loop {
+        // --- acquire a node (or detect termination) ---
+        let node = {
+            let mut pool = sh.pool.lock().unwrap();
+            loop {
+                if pool.done {
+                    return;
+                }
+                if let Some(n) = pool.heap.pop() {
+                    break n;
+                }
+                pool.idle += 1;
+                if pool.idle == total {
+                    // everyone idle + empty heap = search exhausted
+                    pool.done = true;
+                    sh.work.notify_all();
+                    return;
+                }
+                pool = sh.work.wait(pool).unwrap();
+                pool.idle -= 1;
+            }
+        };
+        // a dominated node popped off the heap means every *heap* node is
+        // dominated too (best-first), but in-flight dives on other workers
+        // may still push better children, so discard and keep looping
+        if sh.dominated(node.bound) {
+            sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+            continue;
+        }
+
+        // --- plunge: dive from this node to an integral or pruned leaf ---
+        let mut cur = Some(node);
+        while let Some(node) = cur.take() {
+            let explored = sh.nodes.fetch_add(1, AtOrd::Relaxed) + 1;
+            if explored > sh.opts.max_nodes {
+                let incumbent = sh.incumbent.lock().unwrap().as_ref().map(|s| s.objective);
+                sh.fail(SolveError::NodeLimit {
+                    nodes: explored,
+                    incumbent,
+                });
+                return;
+            }
+            if sh.dominated(node.bound) {
+                sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+                continue 'outer; // this dive is dominated; pick next best
+            }
+            match fractional_var(sh.model, &node.values, sh.opts.tol) {
+                None => {
+                    // integral: candidate incumbent (snap values to integers)
+                    let mut values = node.values.clone();
+                    for i in sh.model.integer_vars() {
+                        values[i] = values[i].round();
+                    }
+                    let objective = sh.model.objective_value(&values);
+                    sh.offer_incumbent(values, objective);
+                }
+                Some((var, value)) => {
+                    let floor = value.floor();
+                    let mut children: Vec<Node> = Vec::with_capacity(2);
+                    for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
+                        let mut overrides = node.overrides.clone();
+                        overrides.push((var, lo, hi));
+                        let child_model = apply_overrides(sh.model, &overrides);
+                        if child_model.vars[var].lower > child_model.vars[var].upper {
+                            sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
+                            continue;
+                        }
+                        match solve_lp_relaxation_warm(&child_model, sh.opts, node.basis.as_ref())
+                        {
+                            Ok((relax, point)) => {
+                                sh.lp_pivots.fetch_add(relax.iterations, AtOrd::Relaxed);
+                                if point.warm {
+                                    sh.warm_started.fetch_add(1, AtOrd::Relaxed);
+                                }
+                                // bound-based pruning at generation time
+                                if sh.dominated(relax.objective) {
+                                    sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+                                    continue;
+                                }
+                                children.push(Node {
+                                    overrides,
+                                    key: sh.sign * relax.objective,
+                                    bound: relax.objective,
+                                    values: relax.values,
+                                    seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
+                                    basis: Some(point.basis),
+                                });
+                            }
+                            Err(SolveError::Infeasible) => {
+                                sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
+                            }
+                            Err(e) => {
+                                sh.fail(e);
+                                return;
+                            }
+                        }
+                    }
+                    // dive into the better child, park the other (or park
+                    // both when plunging is disabled — pure best-first)
+                    children.sort(); // ascending: last = best (key, FIFO seq)
+                    if sh.opts.plunge {
+                        cur = children.pop();
+                    }
+                    for sibling in children {
+                        sh.push_node(sibling);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Solves a mixed-integer linear program to proven optimality (within
-/// `opts.abs_gap`).
+/// `opts.abs_gap`), in serial or in parallel (`opts.threads`).
 ///
 /// Errors with [`SolveError::Infeasible`] / [`SolveError::Unbounded`] when
 /// the instance has no optimum, and [`SolveError::NodeLimit`] when the node
 /// budget runs out first.
+///
+/// The returned [`Solution`] carries full telemetry in
+/// [`Solution::stats`] — node/prune counters, simplex pivots, the
+/// incumbent timeline, and per-phase wall times.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Model, Sense, Cmp, LinExpr, SolveOptions, solve};
+///
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.int_var("x", 0.0, 10.0);
+/// let y = m.int_var("y", 0.0, 10.0);
+/// m.add_con(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Le, 5.0);
+/// m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+/// let sol = solve(&m, &SolveOptions::default()).unwrap();
+/// assert_eq!(sol.objective.round(), 2.0);
+/// assert!(sol.proven_optimal);
+/// assert_eq!(sol.stats.nodes_explored, sol.nodes);
+/// ```
 pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
     model.validate()?;
+    let t_presolve = Instant::now();
     let presolved;
     let model = if opts.presolve {
         let mut reduced = model.clone();
@@ -107,128 +387,86 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
     } else {
         model
     };
+    let presolve_time = t_presolve.elapsed();
     let sign = match model.sense {
         Sense::Maximize => 1.0,
         Sense::Minimize => -1.0,
     };
-    let root = solve_lp_relaxation(model, opts)?;
-    let mut incumbent: Option<Solution> = None;
-    let mut total_iters = root.iterations;
+
+    let t_root = Instant::now();
+    let (root, root_point) = solve_lp_relaxation_warm(model, opts, None)?;
+    let root_lp_time = t_root.elapsed();
+
+    let threads = opts.effective_threads().max(1);
+    let sh = Shared {
+        model,
+        opts,
+        sign,
+        pool: Mutex::new(Pool {
+            heap: BinaryHeap::new(),
+            idle: 0,
+            done: false,
+        }),
+        work: Condvar::new(),
+        incumbent: Mutex::new(None),
+        inc_key: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        nodes: AtomicUsize::new(0),
+        pruned_bound: AtomicUsize::new(0),
+        pruned_infeasible: AtomicUsize::new(0),
+        lp_pivots: AtomicUsize::new(root.iterations),
+        warm_started: AtomicUsize::new(0),
+        next_seq: AtomicU64::new(0),
+        error: Mutex::new(None),
+        events: Mutex::new(Vec::new()),
+        search_start: Instant::now(),
+    };
     if opts.rounding_heuristic {
-        incumbent = rounded_candidate(model, &root, opts.tol);
+        if let Some((values, objective)) = rounded_candidate(model, &root.values, opts.tol) {
+            sh.offer_incumbent(values, objective);
+        }
     }
-    let mut heap = BinaryHeap::new();
-    heap.push(Node {
+    sh.pool.lock().unwrap().heap.push(Node {
         overrides: Vec::new(),
         key: sign * root.objective,
-        relax: root,
+        bound: root.objective,
+        values: root.values,
+        seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
+        basis: Some(root_point.basis),
     });
-    let mut nodes = 0usize;
 
-    // Best-first with plunging: from every node popped off the heap we dive
-    // straight down (always following the better-bound child, parking the
-    // sibling on the heap) until reaching an integral or pruned leaf. The
-    // dive finds incumbents early, which is what makes bound pruning bite —
-    // pure best-first crawls objective plateaus breadth-first and can go
-    // exponential before finding its first feasible point.
-    'search: while let Some(node) = heap.pop() {
-        // best-first invariant: if the best remaining bound can't beat the
-        // incumbent, the whole search is done.
-        if let Some(inc) = &incumbent {
-            if sign * node.relax.objective <= sign * inc.objective + opts.abs_gap {
-                break;
+    let t_search = Instant::now();
+    if threads == 1 {
+        worker(&sh, 1);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| worker(&sh, threads));
             }
-        }
-        let mut cur = Some(node);
-        while let Some(node) = cur.take() {
-            nodes += 1;
-            if nodes > opts.max_nodes {
-                return Err(SolveError::NodeLimit {
-                    nodes,
-                    incumbent: incumbent.map(|s| s.objective),
-                });
-            }
-            if let Some(inc) = &incumbent {
-                if sign * node.relax.objective <= sign * inc.objective + opts.abs_gap {
-                    continue 'search; // this dive is dominated; pick next best
-                }
-            }
-            match fractional_var(model, &node.relax, opts.tol) {
-                None => {
-                    // integral: candidate incumbent (snap values to integers)
-                    let mut values = node.relax.values.clone();
-                    for i in model.integer_vars() {
-                        values[i] = values[i].round();
-                    }
-                    let objective = model.objective_value(&values);
-                    let better = incumbent
-                        .as_ref()
-                        .map_or(true, |inc| model.better(objective, inc.objective));
-                    if better {
-                        incumbent = Some(Solution {
-                            values,
-                            objective,
-                            iterations: 0,
-                            nodes: 0,
-                            proven_optimal: false,
-                        });
-                    }
-                }
-                Some((var, value)) => {
-                    let floor = value.floor();
-                    let mut children: Vec<Node> = Vec::with_capacity(2);
-                    for (lo, hi) in
-                        [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)]
-                    {
-                        let mut overrides = node.overrides.clone();
-                        overrides.push((var, lo, hi));
-                        let child_model = apply_overrides(model, &overrides);
-                        if child_model.vars[var].lower > child_model.vars[var].upper {
-                            continue;
-                        }
-                        match solve_lp_relaxation(&child_model, opts) {
-                            Ok(relax) => {
-                                total_iters += relax.iterations;
-                                // bound-based pruning at generation time
-                                if let Some(inc) = &incumbent {
-                                    if sign * relax.objective
-                                        <= sign * inc.objective + opts.abs_gap
-                                    {
-                                        continue;
-                                    }
-                                }
-                                children.push(Node {
-                                    overrides,
-                                    key: sign * relax.objective,
-                                    relax,
-                                });
-                            }
-                            Err(SolveError::Infeasible) => continue,
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    // dive into the better child, park the other (or park
-                    // both when plunging is disabled — pure best-first)
-                    children.sort_by(|a, b| {
-                        b.key.partial_cmp(&a.key).unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                    let mut it = children.into_iter();
-                    if opts.plunge {
-                        cur = it.next();
-                    }
-                    for sibling in it {
-                        heap.push(sibling);
-                    }
-                }
-            }
-        }
+        });
     }
+    let search_time = t_search.elapsed();
 
+    if let Some(e) = sh.error.lock().unwrap().take() {
+        return Err(e);
+    }
+    let incumbent = sh.incumbent.lock().unwrap().take();
     match incumbent {
         Some(mut sol) => {
-            sol.iterations = total_iters;
-            sol.nodes = nodes;
+            sol.iterations = sh.lp_pivots.load(AtOrd::Relaxed);
+            sol.nodes = sh.nodes.load(AtOrd::Relaxed);
             sol.proven_optimal = true;
+            sol.stats = SolveStats {
+                nodes_explored: sol.nodes,
+                nodes_pruned_bound: sh.pruned_bound.load(AtOrd::Relaxed),
+                nodes_pruned_infeasible: sh.pruned_infeasible.load(AtOrd::Relaxed),
+                lp_pivots: sol.iterations,
+                warm_started: sh.warm_started.load(AtOrd::Relaxed),
+                incumbent_updates: sh.events.lock().unwrap().drain(..).collect(),
+                presolve_time,
+                root_lp_time,
+                search_time,
+                threads,
+            };
             Ok(sol)
         }
         None => Err(SolveError::Infeasible),
@@ -393,5 +631,127 @@ mod tests {
             Ok(s) => panic!("expected node limit, got obj {}", s.objective),
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    /// A knapsack with deliberately tied optima: items 0+1 and 2+3 both
+    /// give objective 10 at weight 4. The lexicographic tie-break must
+    /// pick the same argmax every time.
+    fn tied_knapsack() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..4).map(|i| m.binary(&format!("x{i}"))).collect();
+        m.add_con(
+            LinExpr::sum(vars.iter().map(|&v| (v, 2.0))),
+            Cmp::Le,
+            4.0,
+        );
+        m.set_objective(LinExpr::sum(vars.iter().map(|&v| (v, 5.0))));
+        m
+    }
+
+    #[test]
+    fn serial_solve_is_deterministic() {
+        let m = tied_knapsack();
+        let a = solve(&m, &opts()).unwrap();
+        let b = solve(&m, &opts()).unwrap();
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.stats.nodes_explored, b.stats.nodes_explored);
+        assert_eq!(a.stats.lp_pivots, b.stats.lp_pivots);
+    }
+
+    #[test]
+    fn parallel_matches_serial_objective() {
+        for threads in [2, 3, 4] {
+            for model in [tied_knapsack(), {
+                let mut m = Model::new(Sense::Minimize);
+                let x = m.int_var("x", 0.0, 10.0);
+                let y = m.int_var("y", 0.0, 10.0);
+                m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.0);
+                m.add_con(LinExpr::new().term(x, 2.0).term(y, 1.0), Cmp::Ge, 4.0);
+                m.set_objective(LinExpr::new().term(x, 5.0).term(y, 4.0));
+                m
+            }] {
+                let serial = solve(&model, &opts()).unwrap();
+                let par = solve(
+                    &model,
+                    &SolveOptions {
+                        threads,
+                        ..opts()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    serial.objective.to_bits(),
+                    par.objective.to_bits(),
+                    "objective mismatch at {threads} threads"
+                );
+                assert!(par.proven_optimal);
+                assert_eq!(par.stats.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_is_populated() {
+        let m = tied_knapsack();
+        let s = solve(&m, &opts()).unwrap();
+        assert_eq!(s.stats.nodes_explored, s.nodes);
+        assert_eq!(s.stats.lp_pivots, s.iterations);
+        assert_eq!(s.stats.threads, 1);
+        assert!(!s.stats.incumbent_updates.is_empty());
+        // the timeline ends at the returned incumbent
+        let last = s.stats.incumbent_updates.last().unwrap();
+        assert_eq!(last.objective.to_bits(), s.objective.to_bits());
+    }
+
+    #[test]
+    fn warm_starts_are_used() {
+        // force branching so children exist, then check the counter
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Le, 5.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let no_heuristic = SolveOptions {
+            rounding_heuristic: false,
+            ..opts()
+        };
+        let s = solve(&m, &no_heuristic).unwrap();
+        let cold = solve(
+            &m,
+            &SolveOptions {
+                warm_start: false,
+                ..no_heuristic.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(cold.stats.warm_started, 0);
+        if s.nodes > 1 {
+            assert!(s.stats.warm_started > 0, "stats: {}", s.stats);
+        }
+    }
+
+    #[test]
+    fn incumbent_tie_break_is_lexicographic() {
+        let m = tied_knapsack();
+        // two optima exist; the returned one must be the lex-smallest
+        // among equal-objective candidates the search saw
+        let s = solve(&m, &opts()).unwrap();
+        let t = solve(&m, &opts()).unwrap();
+        assert_eq!(s.values, t.values);
+        // and improves() itself orders lexicographically
+        let cand_hi = Solution {
+            values: vec![1.0, 1.0, 0.0, 0.0],
+            objective: 10.0,
+            iterations: 0,
+            nodes: 0,
+            proven_optimal: false,
+            stats: SolveStats::default(),
+        };
+        assert!(improves(&m, 10.0, &[0.0, 1.0, 1.0, 0.0], Some(&cand_hi)));
+        assert!(!improves(&m, 10.0, &[1.0, 1.0, 0.0, 0.0], Some(&cand_hi)));
+        assert!(improves(&m, 11.0, &[1.0, 1.0, 1.0, 0.0], Some(&cand_hi)));
     }
 }

@@ -6,15 +6,40 @@
 //! * a [`Model`] builder with continuous, integer and binary variables,
 //!   linear constraints and a linear objective,
 //! * a bounded-variable, two-phase primal **simplex** solver for the LP
-//!   relaxation ([`simplex`]),
-//! * **branch & bound** with best-first node selection and
-//!   most-fractional branching for integrality ([`branch`]),
+//!   relaxation ([`simplex`]), with dual-simplex **warm starts** from a
+//!   parent [`Basis`],
+//! * **branch & bound** with best-first node selection,
+//!   most-fractional branching and optional multi-threaded search
+//!   ([`branch`]; see [`SolveOptions::threads`]),
+//! * solver **telemetry** — node/prune/pivot counters, the incumbent
+//!   timeline and per-phase wall times ([`SolveStats`], returned in every
+//!   [`Solution`]),
 //! * a brute-force enumeration oracle ([`brute`]) used by the test suite to
 //!   certify optimality on small instances.
 //!
 //! The solver is exact (optimality gap 0) on the instances produced by the
 //! in-situ scheduling formulation; it is not intended to compete with
-//! commercial solvers on industrial LPs.
+//! commercial solvers on industrial LPs. The determinism contract (serial
+//! runs are bitwise reproducible; parallel runs return the identical
+//! optimum) is documented in `docs/SOLVER.md` and in [`branch`].
+//!
+//! # Relation to the paper (Eqs. 1–9)
+//!
+//! The SC '15 formulation reaches this crate through `insitu-core`:
+//!
+//! * **Eq. 1** (weighted analysis value) becomes the linear objective via
+//!   [`Model::set_objective`];
+//! * **Eqs. 2–4** (compute/output time recursion and the time threshold)
+//!   telescope into a single `<=` row per instance
+//!   ([`Model::add_con`] with [`Cmp::Le`]);
+//! * **Eqs. 5–8** (memory recursion and the memory threshold) become
+//!   either unary-expansion rows or a conservative peak bound, again
+//!   plain linear rows;
+//! * **Eq. 9** (interval constraint) becomes integer variable bounds
+//!   ([`Model::int_var`]).
+//!
+//! So the whole paper formulation is expressible as `max c·x, A x <= b`
+//! with integrality — exactly what [`solve`] accepts.
 //!
 //! # Example
 //!
@@ -32,6 +57,8 @@
 //! # use milp::LinExpr;
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod branch;
 pub mod brute;
 pub mod error;
@@ -42,6 +69,7 @@ pub mod presolve;
 pub mod simplex;
 pub mod solution;
 pub mod standard;
+pub mod stats;
 
 pub use branch::solve;
 pub use error::SolveError;
@@ -49,5 +77,6 @@ pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Model, Sense, VarKind};
 pub use options::SolveOptions;
 pub use presolve::{presolve, PresolveStats};
-pub use simplex::solve_lp_relaxation;
+pub use simplex::{solve_lp_relaxation, Basis};
 pub use solution::Solution;
+pub use stats::{IncumbentEvent, SolveStats};

@@ -57,6 +57,25 @@ pub struct Constraint {
 }
 
 /// A mixed-integer linear program.
+///
+/// Build the model incrementally — add variables, then constraints, then
+/// the objective — and hand it to [`crate::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Cmp, LinExpr, Model, Sense};
+///
+/// // maximize x + 2y  s.t.  x + y <= 3,  x binary,  0 <= y <= 2 integer
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.binary("x");
+/// let y = m.int_var("y", 0.0, 2.0);
+/// m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 3.0);
+/// m.set_objective(LinExpr::new().term(x, 1.0).term(y, 2.0));
+/// assert_eq!(m.num_vars(), 2);
+/// assert!(m.is_feasible(&[1.0, 2.0], 1e-9));
+/// assert_eq!(m.objective_value(&[1.0, 2.0]), 5.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Model {
     /// Optimization direction.

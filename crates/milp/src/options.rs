@@ -1,6 +1,14 @@
 //! Solver configuration knobs.
 
 /// Tunable limits and tolerances for [`crate::solve`].
+///
+/// Construct with struct-update syntax so future knobs don't break callers:
+///
+/// ```
+/// use milp::SolveOptions;
+/// let opts = SolveOptions { threads: 4, ..SolveOptions::default() };
+/// assert_eq!(opts.effective_threads(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Feasibility / integrality tolerance.
@@ -20,6 +28,17 @@ pub struct SolveOptions {
     pub plunge: bool,
     /// Run bound-propagation presolve on the root model.
     pub presolve: bool,
+    /// Worker threads for the branch-and-bound search. `1` (the default)
+    /// runs fully serial on the calling thread; `0` means one worker per
+    /// available CPU. The parallel search returns the same objective as
+    /// the serial one — see `docs/SOLVER.md` for the exact guarantee.
+    pub threads: usize,
+    /// Warm-start child LPs from the parent's simplex basis (dual-simplex
+    /// repair after the branching bound change). Falls back to a cold
+    /// two-phase solve whenever the repair fails, so this is purely a
+    /// performance knob; results are identical either way because every
+    /// LP is solved to optimality.
+    pub warm_start: bool,
 }
 
 impl Default for SolveOptions {
@@ -32,6 +51,8 @@ impl Default for SolveOptions {
             rounding_heuristic: true,
             plunge: true,
             presolve: true,
+            threads: 1,
+            warm_start: true,
         }
     }
 }
@@ -43,6 +64,17 @@ impl SolveOptions {
         SolveOptions {
             abs_gap: 1e-6,
             ..Self::default()
+        }
+    }
+
+    /// Number of workers the search will actually spawn: `threads`, with
+    /// `0` resolved to the available CPU count.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -57,10 +89,22 @@ mod tests {
         assert!(o.tol > 0.0 && o.tol < 1e-3);
         assert!(o.max_nodes > 1000);
         assert!(o.rounding_heuristic);
+        assert_eq!(o.threads, 1);
+        assert!(o.warm_start);
     }
 
     #[test]
     fn fast_preset_loosens_gap() {
         assert!(SolveOptions::fast().abs_gap > SolveOptions::default().abs_gap);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cpu_count() {
+        let o = SolveOptions {
+            threads: 0,
+            ..SolveOptions::default()
+        };
+        assert!(o.effective_threads() >= 1);
+        assert_eq!(SolveOptions::default().effective_threads(), 1);
     }
 }

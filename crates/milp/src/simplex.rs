@@ -11,6 +11,18 @@
 //!   pre-scaled so every artificial starts basic at a non-negative value,
 //! * Dantzig pricing with an automatic switch to Bland's rule after an
 //!   iteration threshold guarantees termination despite degeneracy.
+//!
+//! # Warm starts
+//!
+//! Branch & bound re-solves near-identical LPs: a child differs from its
+//! parent by one tightened variable bound. [`solve_standard_warm`] accepts
+//! the parent's final [`Basis`], rebuilds the tableau around it, and
+//! repairs the (usually small) primal infeasibility with bounded-variable
+//! **dual simplex** pivots instead of running phase 1 from scratch. The
+//! repair is purely an accelerator: on any trouble — singular basis hint,
+//! layout mismatch, iteration budget, no eligible entering column — it
+//! falls back to the cold two-phase path, so warm and cold solves always
+//! agree (every LP is solved to proven optimality either way).
 
 use crate::error::SolveError;
 use crate::options::SolveOptions;
@@ -25,6 +37,20 @@ const COST_TOL: f64 = 1e-7;
 /// Residual threshold for phase-1 feasibility.
 const FEAS_TOL: f64 = 1e-6;
 
+/// A simplex basis: which column is basic in each row, plus the resting
+/// bound of every nonbasic structural/slack column.
+///
+/// Returned by every LP solve and accepted back as a warm-start hint; see
+/// [`solve_standard_warm`]. Artificial columns never appear in `basic`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    /// Column index of the basic variable, one per row.
+    pub basic: Vec<usize>,
+    /// Nonbasic-at-upper flags for the structural + slack columns
+    /// (meaningless for basic columns).
+    pub at_upper: Vec<bool>,
+}
+
 /// Raw LP solution in standard-form coordinates.
 #[derive(Debug, Clone)]
 pub struct LpPoint {
@@ -34,6 +60,10 @@ pub struct LpPoint {
     pub objective: f64,
     /// Simplex iterations used (both phases).
     pub iterations: usize,
+    /// Final basis, usable as a warm-start hint for a nearby LP.
+    pub basis: Basis,
+    /// True when this solve reused a warm-start hint (vs. cold two-phase).
+    pub warm: bool,
 }
 
 /// Working state of the tableau simplex.
@@ -234,11 +264,100 @@ impl Tableau {
             }
         }
     }
+
+    /// Bounded-variable dual simplex: repairs primal infeasibility while
+    /// keeping the (assumed dual-feasible) reduced costs optimal-signed.
+    ///
+    /// Returns `Ok(true)` when a primal-feasible basis was reached,
+    /// `Ok(false)` when the caller should fall back to a cold solve (no
+    /// eligible entering column or iteration budget exhausted — the former
+    /// proves infeasibility only when the costs really are dual feasible,
+    /// which a warm-start hint cannot guarantee, so we never conclude
+    /// `Infeasible` here).
+    fn dual_repair(&mut self, cost: &mut [f64], opts: &SolveOptions) -> Result<bool, SolveError> {
+        let n = self.ncols();
+        let budget = 5 * (self.nrows() + n) + 100;
+        let mut local = 0usize;
+        loop {
+            if self.iterations >= opts.max_simplex_iters {
+                return Err(SolveError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            if local >= budget {
+                return Ok(false);
+            }
+            local += 1;
+            let x = self.values();
+            // --- pick the most infeasible basic variable ---
+            let mut worst: Option<(usize, f64, bool)> = None; // (row, violation, to_upper)
+            for r in 0..self.nrows() {
+                let bj = self.basis[r];
+                let xb = x[bj];
+                let below = self.lower[bj] - xb;
+                let above = xb - self.upper[bj];
+                if below > FEAS_TOL && worst.map_or(true, |(_, v, _)| below > v) {
+                    worst = Some((r, below, false));
+                }
+                if above > FEAS_TOL && worst.map_or(true, |(_, v, _)| above > v) {
+                    worst = Some((r, above, true));
+                }
+            }
+            let Some((r, _, to_upper)) = worst else {
+                return Ok(true); // primal feasible
+            };
+            // --- dual ratio test over nonbasic columns ---
+            // Leaving variable xB[r] must move toward its violated bound:
+            // xB[r] = rhs[r] - Σ t[r][j]·x[j], so moving nonbasic x[j] off
+            // its bound by δ changes xB[r] by -t[r][j]·δ, with δ > 0 when
+            // resting at lower and δ < 0 when resting at upper.
+            let mut is_basic = vec![false; n];
+            for &bj in &self.basis {
+                is_basic[bj] = true;
+            }
+            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            for j in 0..n {
+                if is_basic[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let t = self.t.at(r, j);
+                if t.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let increases = if self.at_upper[j] { t > 0.0 } else { t < 0.0 };
+                // need xB[r] to increase when below lower, decrease when above upper
+                if increases == to_upper {
+                    continue;
+                }
+                let ratio = (cost[j] / t).abs();
+                match enter {
+                    Some((_, best)) if best <= ratio => {}
+                    _ => enter = Some((j, ratio)),
+                }
+            }
+            let Some((j, _)) = enter else {
+                return Ok(false); // let the cold path decide feasibility
+            };
+            let leaving = self.basis[r];
+            self.at_upper[leaving] = to_upper;
+            if leaving >= self.art_start {
+                self.banned[leaving] = true;
+            }
+            self.pivot(r, j, cost);
+        }
+    }
+
+    /// Snapshot of the current basis for warm-starting later solves.
+    fn snapshot(&self) -> Basis {
+        Basis {
+            basic: self.basis.clone(),
+            at_upper: self.at_upper[..self.art_start].to_vec(),
+        }
+    }
 }
 
-/// Solves the standard-form LP. Returns values for all structural + slack
-/// columns and the objective in the original model sense.
-pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint, SolveError> {
+/// Builds the initial tableau with an all-artificial basis.
+fn fresh_tableau(sf: &StandardForm) -> Tableau {
     let m = sf.nrows();
     let n = sf.ncols();
     let n_total = n + m; // + artificials
@@ -260,7 +379,7 @@ pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint,
         *t.at_mut(r, n + r) = 1.0; // artificial
         *t.at_mut(r, n_total) = sign * sf.b[r];
     }
-    let mut tab = Tableau {
+    Tableau {
         t,
         basis: (n..n_total).collect(),
         at_upper: vec![false; n_total],
@@ -269,7 +388,144 @@ pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint,
         art_start: n,
         banned: vec![false; n_total],
         iterations: 0,
-    };
+    }
+}
+
+/// Phase-2 reduced costs `d = c - c_B' T` for the current basis.
+fn phase2_costs(tab: &Tableau, sf: &StandardForm) -> Vec<f64> {
+    let n = sf.ncols();
+    let n_total = tab.ncols();
+    let m = tab.nrows();
+    let mut cost2 = vec![0.0; n_total];
+    cost2[..n].copy_from_slice(&sf.c);
+    let cb: Vec<f64> = tab
+        .basis
+        .iter()
+        .map(|&bj| if bj < n { sf.c[bj] } else { 0.0 })
+        .collect();
+    for j in 0..n_total {
+        let mut s = 0.0;
+        for r in 0..m {
+            if cb[r] != 0.0 {
+                s += cb[r] * tab.t.at(r, j);
+            }
+        }
+        cost2[j] -= s;
+    }
+    cost2
+}
+
+/// Runs phase 2 on a primal-feasible tableau and extracts the optimum.
+fn finish(
+    mut tab: Tableau,
+    sf: &StandardForm,
+    mut cost2: Vec<f64>,
+    opts: &SolveOptions,
+    warm: bool,
+) -> Result<LpPoint, SolveError> {
+    tab.run(&mut cost2, opts)?;
+    let basis = tab.snapshot();
+    let xfull = tab.values();
+    let n = sf.ncols();
+    let x: Vec<f64> = xfull[..n].to_vec();
+    let objective = sf.model_objective(&x);
+    Ok(LpPoint {
+        x,
+        objective,
+        iterations: tab.iterations,
+        basis,
+        warm,
+    })
+}
+
+/// Tries to rebuild a tableau around a warm-start basis hint and repair it
+/// to primal feasibility with dual simplex. Returns the ready tableau and
+/// phase-2 cost row, or `None` (with the pivots spent) on any trouble.
+fn try_warm_tableau(
+    sf: &StandardForm,
+    opts: &SolveOptions,
+    hint: &Basis,
+) -> Result<Option<(Tableau, Vec<f64>)>, SolveError> {
+    let m = sf.nrows();
+    let n = sf.ncols();
+    // layout compatibility: same row/column counts, all-structural basis,
+    // no duplicate columns
+    if hint.basic.len() != m || hint.at_upper.len() != n {
+        return Ok(None);
+    }
+    let mut seen = vec![false; n];
+    for &j in &hint.basic {
+        if j >= n || seen[j] {
+            return Ok(None);
+        }
+        seen[j] = true;
+    }
+    let mut tab = fresh_tableau(sf);
+    for j in 0..n {
+        // resting bounds may have been tightened since the hint was taken;
+        // never rest at an infinite bound
+        tab.at_upper[j] = hint.at_upper[j] && tab.upper[j].is_finite();
+    }
+    // Pivot the hinted basis in, one column per artificial row (Gaussian
+    // elimination with partial pivoting over the not-yet-replaced rows).
+    let mut dummy = vec![0.0; tab.t.ncols - 1];
+    for &j in &hint.basic {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if tab.basis[r] < n {
+                continue; // row already holds a structural column
+            }
+            let p = tab.t.at(r, j).abs();
+            if p > PIVOT_TOL && best.map_or(true, |(_, bp)| p > bp) {
+                best = Some((r, p));
+            }
+        }
+        match best {
+            Some((r, _)) => tab.pivot(r, j, &mut dummy),
+            None => return Ok(None), // numerically singular hint
+        }
+    }
+    // ban artificials (all nonbasic at 0 now)
+    for j in n..tab.ncols() {
+        tab.banned[j] = true;
+    }
+    let mut cost2 = phase2_costs(&tab, sf);
+    match tab.dual_repair(&mut cost2, opts)? {
+        true => Ok(Some((tab, cost2))),
+        false => Ok(None),
+    }
+}
+
+/// Solves the standard-form LP cold (two phases from an artificial basis).
+/// Returns values for all structural + slack columns and the objective in
+/// the original model sense.
+pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint, SolveError> {
+    solve_standard_warm(sf, opts, None)
+}
+
+/// Solves the standard-form LP, optionally warm-starting from `hint` (the
+/// [`Basis`] of a previously solved nearby LP — same constraint matrix,
+/// possibly tightened bounds).
+///
+/// Warm and cold paths return the same optimum; the hint only changes how
+/// many pivots it takes to get there. [`LpPoint::warm`] reports which path
+/// ran.
+pub fn solve_standard_warm(
+    sf: &StandardForm,
+    opts: &SolveOptions,
+    hint: Option<&Basis>,
+) -> Result<LpPoint, SolveError> {
+    if let Some(h) = hint {
+        // on any trouble the attempt is discarded and we fall through to
+        // the cold two-phase path below
+        if let Some((tab, cost2)) = try_warm_tableau(sf, opts, h)? {
+            return finish(tab, sf, cost2, opts, true);
+        }
+    }
+    let m = sf.nrows();
+    let n = sf.ncols();
+    let n_total = n + m;
+    let mut tab = fresh_tableau(sf);
     // --- phase 1: minimize sum of artificials ---
     // reduced costs: d_j = c1_j - 1' T[:,j]; artificials basic => d_art = 0
     let mut cost = vec![0.0; n_total];
@@ -311,47 +567,38 @@ pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint,
         tab.banned[j] = true;
     }
     // --- phase 2: real objective ---
-    // reduced costs d = c - c_B' T
-    let mut cost2 = vec![0.0; n_total];
-    cost2[..n].copy_from_slice(&sf.c);
-    let cb: Vec<f64> = tab
-        .basis
-        .iter()
-        .map(|&bj| if bj < n { sf.c[bj] } else { 0.0 })
-        .collect();
-    for j in 0..n_total {
-        let mut s = 0.0;
-        for r in 0..m {
-            if cb[r] != 0.0 {
-                s += cb[r] * tab.t.at(r, j);
-            }
-        }
-        cost2[j] -= s;
-    }
-    tab.run(&mut cost2, opts)?;
-    let xfull = tab.values();
-    let x: Vec<f64> = xfull[..n].to_vec();
-    let objective = sf.model_objective(&x);
-    Ok(LpPoint {
-        x,
-        objective,
-        iterations: tab.iterations,
-    })
+    let cost2 = phase2_costs(&tab, sf);
+    finish(tab, sf, cost2, opts, false)
 }
 
 /// Solves the LP relaxation of `model` (integrality dropped) and maps the
 /// optimum back to model-variable space.
 pub fn solve_lp_relaxation(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    let (sol, _) = solve_lp_relaxation_warm(model, opts, None)?;
+    Ok(sol)
+}
+
+/// Like [`solve_lp_relaxation`] but accepts a warm-start [`Basis`] hint and
+/// returns the final LP point alongside the mapped solution so callers
+/// (branch & bound) can chain warm starts.
+pub fn solve_lp_relaxation_warm(
+    model: &Model,
+    opts: &SolveOptions,
+    hint: Option<&Basis>,
+) -> Result<(Solution, LpPoint), SolveError> {
     let sf = StandardForm::from_model(model)?;
-    let point = solve_standard(&sf, opts)?;
+    let hint = if opts.warm_start { hint } else { None };
+    let point = solve_standard_warm(&sf, opts, hint)?;
     let values = sf.extract(&point.x);
-    Ok(Solution {
+    let sol = Solution {
         values,
         objective: point.objective,
         iterations: point.iterations,
         nodes: 0,
         proven_optimal: true,
-    })
+        stats: Default::default(),
+    };
+    Ok((sol, point))
 }
 
 #[cfg(test)]
@@ -503,5 +750,90 @@ mod tests {
         m.set_objective(LinExpr::var(x));
         let s = solve_lp_relaxation(&m, &opts()).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    /// Builds the bounded knapsack LP used by the warm-start tests.
+    fn knapsack_lp() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 4.0);
+        let y = m.num_var("y", 0.0, 4.0);
+        let z = m.num_var("z", 0.0, 4.0);
+        m.add_con(
+            LinExpr::new().term(x, 2.0).term(y, 3.0).term(z, 1.0),
+            Cmp::Le,
+            10.0,
+        );
+        m.set_objective(LinExpr::new().term(x, 3.0).term(y, 4.0).term(z, 1.0));
+        m
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_after_bound_tightening() {
+        let m = Model::clone(&knapsack_lp());
+        let sf = StandardForm::from_model(&m).unwrap();
+        let parent = solve_standard(&sf, &opts()).unwrap();
+        assert!(!parent.warm);
+
+        // tighten x's upper bound below its optimal value, like branching
+        let mut child = m.clone();
+        child.vars[0].upper = 1.0;
+        let csf = StandardForm::from_model(&child).unwrap();
+        let warm = solve_standard_warm(&csf, &opts(), Some(&parent.basis)).unwrap();
+        let cold = solve_standard(&csf, &opts()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        // the repair path is exercised (not just a fallback)
+        assert!(warm.warm, "expected the warm path to succeed");
+    }
+
+    #[test]
+    fn warm_start_with_bogus_hint_falls_back() {
+        let m = knapsack_lp();
+        let sf = StandardForm::from_model(&m).unwrap();
+        let cold = solve_standard(&sf, &opts()).unwrap();
+        // wrong dimensions: must be ignored
+        let bogus = Basis {
+            basic: vec![0, 1, 2, 3, 4],
+            at_upper: vec![],
+        };
+        let s = solve_standard_warm(&sf, &opts(), Some(&bogus)).unwrap();
+        assert!(!s.warm);
+        assert!((s.objective - cold.objective).abs() < 1e-9);
+        // duplicate basis entries: must be ignored too
+        let dup = Basis {
+            basic: vec![0; sf.nrows()],
+            at_upper: vec![false; sf.ncols()],
+        };
+        let s2 = solve_standard_warm(&sf, &opts(), Some(&dup)).unwrap();
+        assert!((s2.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_child_via_fallback() {
+        // parent optimal, then bounds tightened into infeasibility
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", 0.0, 10.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 5.0);
+        m.set_objective(LinExpr::var(x));
+        let sf = StandardForm::from_model(&m).unwrap();
+        let parent = solve_standard(&sf, &opts()).unwrap();
+        let mut child = m.clone();
+        child.vars[0].upper = 3.0; // x >= 5 impossible now
+        let csf = StandardForm::from_model(&child).unwrap();
+        assert_eq!(
+            solve_standard_warm(&csf, &opts(), Some(&parent.basis)).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn warm_start_disabled_by_option() {
+        let m = knapsack_lp();
+        let no_warm = SolveOptions {
+            warm_start: false,
+            ..opts()
+        };
+        let (sol, point) = solve_lp_relaxation_warm(&m, &no_warm, None).unwrap();
+        assert!(!point.warm);
+        assert!(sol.proven_optimal);
     }
 }

@@ -1,6 +1,7 @@
 //! Solver results.
 
 use crate::expr::Var;
+use crate::stats::SolveStats;
 
 /// Result of an LP or MILP solve, in model-variable space.
 #[derive(Debug, Clone)]
@@ -15,6 +16,9 @@ pub struct Solution {
     pub nodes: usize,
     /// True when optimality was proven (vs. stopping on a gap/limit).
     pub proven_optimal: bool,
+    /// Solver telemetry: prune counters, pivot counts, incumbent timeline
+    /// and per-phase wall times. See [`SolveStats`].
+    pub stats: SolveStats,
 }
 
 impl Solution {
@@ -46,6 +50,7 @@ mod tests {
             iterations: 10,
             nodes: 2,
             proven_optimal: true,
+            stats: SolveStats::default(),
         };
         assert!(s.is_one(Var(0)));
         assert_eq!(s.int_value(Var(1)), 2);

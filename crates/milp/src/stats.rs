@@ -1,0 +1,139 @@
+//! Solver telemetry.
+//!
+//! Every [`crate::solve`] call fills a [`SolveStats`] with the counters a
+//! MILP practitioner looks at first when a solve is slow: how many
+//! branch-and-bound nodes were explored vs. pruned, how many simplex pivots
+//! the LP solves cost, when each incumbent was found, and where the wall
+//! time went. The bench binaries print [`SolveStats::summary`] next to the
+//! paper tables so solver regressions show up in the same place as model
+//! regressions.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One improvement of the incumbent during branch & bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncumbentEvent {
+    /// Objective of the new incumbent, in the model's own sense.
+    pub objective: f64,
+    /// Number of nodes explored when the incumbent was found (1-based:
+    /// the node that produced it is counted).
+    pub node: usize,
+    /// Wall time since the search phase started.
+    pub elapsed: Duration,
+}
+
+/// Telemetry of one [`crate::solve`] call.
+///
+/// Attached to every [`crate::Solution`]; all counters are totals across
+/// every worker thread. A pure LP solve leaves the node counters at zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Nodes whose LP relaxation was solved (or re-examined at the top of
+    /// a dive). Equal to [`crate::Solution::nodes`].
+    pub nodes_explored: usize,
+    /// Children discarded because their LP bound could not beat the
+    /// incumbent (within `abs_gap`).
+    pub nodes_pruned_bound: usize,
+    /// Children discarded because their LP relaxation was infeasible.
+    pub nodes_pruned_infeasible: usize,
+    /// Total simplex pivots + bound flips across every LP solve. Equal to
+    /// [`crate::Solution::iterations`].
+    pub lp_pivots: usize,
+    /// Child LPs warm-started from the parent basis (vs. solved cold with
+    /// two phases).
+    pub warm_started: usize,
+    /// Every incumbent improvement, in the order they were accepted.
+    pub incumbent_updates: Vec<IncumbentEvent>,
+    /// Wall time spent in presolve (zero when disabled).
+    pub presolve_time: Duration,
+    /// Wall time spent solving the root LP relaxation.
+    pub root_lp_time: Duration,
+    /// Wall time spent in the branch-and-bound search loop.
+    pub search_time: Duration,
+    /// Worker threads used by the search (1 = serial).
+    pub threads: usize,
+}
+
+impl SolveStats {
+    /// Single-line summary for logs and bench output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use milp::SolveStats;
+    /// let s = SolveStats { nodes_explored: 42, threads: 1, ..Default::default() };
+    /// assert!(s.summary().contains("nodes 42"));
+    /// ```
+    pub fn summary(&self) -> String {
+        format!(
+            "nodes {} (pruned {} bound / {} infeas), pivots {} ({} warm), \
+             incumbents {}, t {:.1?} presolve + {:.1?} root + {:.1?} search, {} thread{}",
+            self.nodes_explored,
+            self.nodes_pruned_bound,
+            self.nodes_pruned_infeasible,
+            self.lp_pivots,
+            self.warm_started,
+            self.incumbent_updates.len(),
+            self.presolve_time,
+            self.root_lp_time,
+            self.search_time,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        )
+    }
+
+    /// Multi-line report including the incumbent timeline.
+    pub fn report(&self) -> String {
+        let mut out = self.summary();
+        for e in &self.incumbent_updates {
+            out.push_str(&format!(
+                "\n  incumbent {:>14.6} at node {:>6} (+{:.2?})",
+                e.objective, e.node, e.elapsed
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_all_counters() {
+        let s = SolveStats {
+            nodes_explored: 7,
+            nodes_pruned_bound: 3,
+            nodes_pruned_infeasible: 2,
+            lp_pivots: 99,
+            warm_started: 4,
+            threads: 2,
+            incumbent_updates: vec![IncumbentEvent {
+                objective: 1.5,
+                node: 1,
+                elapsed: Duration::from_millis(1),
+            }],
+            ..Default::default()
+        };
+        let line = s.summary();
+        for needle in ["nodes 7", "3 bound", "2 infeas", "pivots 99", "4 warm", "2 threads"] {
+            assert!(line.contains(needle), "missing {needle}: {line}");
+        }
+        assert!(s.report().contains("at node"));
+        assert_eq!(format!("{s}"), line);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = SolveStats::default();
+        assert_eq!(s.nodes_explored, 0);
+        assert!(s.incumbent_updates.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI (and a pre-commit human) should run.
+# Fails fast; each step's command is echoed before it runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo ">>> $*"
+    "$@"
+}
+
+# build + tests (unit, integration, property)
+run cargo build --release --workspace
+run cargo test -q --workspace
+
+# doc-tests, separately: `cargo test` runs them per-crate, but this keeps
+# a failure attributable when only docs change
+run cargo test --doc --workspace
+
+# rustdoc must be warning-free (broken intra-doc links, bad code fences)
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo
+echo "verify: all green"

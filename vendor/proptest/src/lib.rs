@@ -1,0 +1,606 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so this workspace vendors a
+//! minimal property-testing harness that is **API-compatible with the
+//! subset of proptest 1.x the test suite uses**:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0..10usize`, `1..=n`, `0.0f64..1.0`), tuple
+//!   strategies, [`any::<bool>()`](any), [`Just`],
+//!   [`collection::vec`] and [`array::uniform3`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its seed and values, but is
+//!   not minimized;
+//! * cases are generated from a deterministic per-test seed (derived from
+//!   the test's module path and name), so failures reproduce across runs;
+//! * `PROPTEST_CASES` in the environment overrides the case count.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG (xoshiro256++, same engine as the vendored `rand` shim)
+// ---------------------------------------------------------------------------
+
+/// Deterministic RNG handed to strategies by the runner.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates an RNG from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)` (`span > 0`).
+    pub fn below(&mut self, span: u128) -> u128 {
+        (self.next_u64() as u128) % span
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f`, which returns a new strategy that
+    /// is sampled in turn (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn StrategyObj<Value = T>>);
+
+trait StrategyObj {
+    type Value;
+    fn generate_obj(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> StrategyObj for S {
+    type Value = S::Value;
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Range strategies -----------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 range strategy");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+// Tuple strategies -----------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+
+// any::<T>() -----------------------------------------------------------------
+
+/// Marker types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// Collections ----------------------------------------------------------------
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec()`]: an exact count or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_excl: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_excl: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_excl: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a size
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_excl - self.size.lo) as u128;
+            let n = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array::uniform3`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[T; 3]` with every element drawn from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3(element)
+    }
+
+    /// Strategy returned by [`uniform3`].
+    pub struct Uniform3<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 3] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the string carries the formatted message.
+    Fail(String),
+    /// The case was rejected by [`prop_assume!`]; it is skipped, not failed.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// True if the case was rejected rather than failed.
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Executes the cases of one property test. Used by the [`proptest!`]
+/// macro expansion; not meant to be called directly.
+pub fn run_property<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    // deterministic per-test seed: FNV-1a over the qualified test name
+    let mut seed = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    let mut rejected = 0u32;
+    for i in 0..cases {
+        let case_seed = seed.wrapping_add(i as u64);
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > cases * 8 {
+                    panic!("{test_name}: too many prop_assume! rejections");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed at case {i} (seed {case_seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// `prop::...` paths as the real crate's prelude exposes them.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+/// The things `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Supports the subset of the real macro used in
+/// this workspace: an optional `#![proptest_config(expr)]` header followed
+/// by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let name = concat!(module_path!(), "::", stringify!($name));
+            $crate::run_property(&config, name, |__rng| {
+                let ($($pat,)+) = ($( $crate::Strategy::generate(&($strat), __rng) ,)+);
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (fails the case, reporting
+/// seed and message, instead of panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = (1usize..5).generate(&mut rng);
+            assert!((1..5).contains(&v));
+            let w = (0i32..=3).generate(&mut rng);
+            assert!((0..=3).contains(&w));
+            let f = (2.0f64..4.0).generate(&mut rng);
+            assert!((2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_array_shapes() {
+        let mut rng = crate::TestRng::seed_from_u64(4);
+        let s = prop::collection::vec(0usize..10, 3..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let exact = prop::collection::vec(any::<bool>(), 8);
+        assert_eq!(exact.generate(&mut rng).len(), 8);
+        let a = prop::array::uniform3(0.0f64..1.0).generate(&mut rng);
+        assert!(a.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = crate::TestRng::seed_from_u64(5);
+        let s = (1usize..4).prop_flat_map(|n| {
+            prop::collection::vec(0usize..10, n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..50 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_strategies(x in 0usize..10, (a, b) in (0i32..5, 0i32..5)) {
+            prop_assert!(x < 10);
+            prop_assume!(a + b < 9);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in prop::collection::vec(1u32..6, 0..4)) {
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&x| (1..6).contains(&x)));
+        }
+    }
+}
