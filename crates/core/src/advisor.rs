@@ -57,6 +57,14 @@ impl std::error::Error for AdvisorError {}
 /// A certified scheduling recommendation.
 #[derive(Debug, Clone)]
 pub struct Recommendation {
+    /// Certification stamp from the independent checker:
+    /// [`certify::Verdict::Proved`] when the solver's branch-and-bound
+    /// pruning certificate closed under [`certify::check_certificate`],
+    /// [`certify::Verdict::FeasibleOnly`] when no certificate was produced
+    /// (e.g. the trivial zero-analysis problem). A recommendation is never
+    /// returned with [`certify::Verdict::Invalid`] — that surfaces as
+    /// [`AdvisorError::CertificationFailed`] instead.
+    pub verdict: certify::Verdict,
     /// The concrete schedule (which steps each analysis runs/outputs at).
     pub schedule: Schedule,
     /// `|C_i|` per analysis — the "frequency" columns of the paper's tables.
@@ -103,12 +111,16 @@ impl Advisor {
     /// Solves the scheduling problem and returns a certified
     /// recommendation.
     pub fn recommend(&self, problem: &ScheduleProblem) -> Result<Recommendation, AdvisorError> {
+        // always ask the solver for its pruning certificate so the
+        // recommendation can be stamped, whatever the caller configured
+        let mut solver_opts = self.opts.solver.clone();
+        solver_opts.certificate = true;
         let (schedule, solver_stats) = if problem.resources.steps <= self.opts.exact_steps_limit {
             let (s, _, stats) =
-                solve_exact_with_stats(problem, &self.opts.solver).map_err(AdvisorError::Solver)?;
+                solve_exact_with_stats(problem, &solver_opts).map_err(AdvisorError::Solver)?;
             (s, stats)
         } else {
-            let agg = solve_aggregate_counts(problem, &self.opts.solver)
+            let agg = solve_aggregate_counts(problem, &solver_opts)
                 .map_err(AdvisorError::Solver)?;
             let s = place_schedule(problem, &agg.counts, &agg.output_counts);
             (s, agg.stats)
@@ -117,6 +129,23 @@ impl Advisor {
         if !report.is_feasible() {
             return Err(AdvisorError::CertificationFailed(report.violations));
         }
+        // stamp: check the pruning certificate against the *replayed*
+        // objective. Feasibility was already decided above with the
+        // solver-sized tolerance; a broken certificate on a feasible
+        // schedule still indicates a solver bug and is an error.
+        let verdict = match &solver_stats.certificate {
+            Some(cert) => {
+                let mut problems = certify::check_certificate(cert, report.objective);
+                if !cert.proven_optimal {
+                    problems.push("solver did not claim proven optimality".into());
+                }
+                if !problems.is_empty() {
+                    return Err(AdvisorError::CertificationFailed(problems));
+                }
+                certify::Verdict::Proved
+            }
+            None => certify::Verdict::FeasibleOnly,
+        };
         let counts: Vec<usize> = schedule.per_analysis.iter().map(|s| s.count()).collect();
         let output_counts: Vec<usize> = schedule
             .per_analysis
@@ -124,6 +153,7 @@ impl Advisor {
             .map(|s| s.output_count())
             .collect();
         Ok(Recommendation {
+            verdict,
             objective: report.objective,
             predicted_time: report.total_time,
             counts,
@@ -243,6 +273,49 @@ mod tests {
         let rec = Advisor::default().recommend(&p).unwrap();
         assert_eq!(rec.total_analyses(), 0);
         assert_eq!(rec.objective, 0.0);
+    }
+
+    #[test]
+    fn recommendations_are_stamped_proved() {
+        // the advisor forces certificate emission even though the caller's
+        // SolveOptions left it off, and the certificate must close
+        let rec = Advisor::default().recommend(&table5_like(64.7)).unwrap();
+        assert_eq!(rec.verdict, certify::Verdict::Proved);
+        let cert = rec.solver_stats.certificate.as_ref().expect("certificate");
+        assert!(cert.proven_optimal);
+        assert!(
+            certify::check_certificate(cert, rec.objective).is_empty(),
+            "certificate must re-check clean outside the advisor too"
+        );
+        // exact-formulation path gets the same stamp
+        let small = ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_compute(1.0, 0.0)
+                .with_interval(4)],
+            ResourceConfig::from_total_threshold(12, 2.5, 1e9, 1e9),
+        )
+        .unwrap();
+        let exact = Advisor::new(AdvisorOptions {
+            exact_steps_limit: 100,
+            ..Default::default()
+        })
+        .recommend(&small)
+        .unwrap();
+        assert_eq!(exact.verdict, certify::Verdict::Proved);
+    }
+
+    #[test]
+    fn trivial_problem_is_feasible_only() {
+        // zero analyses: no solve happens, so there is no certificate and
+        // the honest stamp is FEASIBLE-ONLY
+        let p = ScheduleProblem::new(
+            vec![],
+            ResourceConfig::from_total_threshold(100, 10.0, 1e9, 1e9),
+        )
+        .unwrap();
+        let rec = Advisor::default().recommend(&p).unwrap();
+        assert_eq!(rec.verdict, certify::Verdict::FeasibleOnly);
+        assert!(rec.solver_stats.certificate.is_none());
     }
 
     #[test]

@@ -15,13 +15,17 @@
 //! re-certifies against Eqs. 5–8. The reduction is therefore certified
 //! per-instance rather than assumed.
 //!
-//! For an analysis with accumulating per-step memory (`im > 0`) the peak
-//! between resets depends on the output spacing `Steps/q_i` — nonlinear in
-//! `q_i`. Because the paper's instances have small `k_max = ⌊Steps/itv⌋`
-//! (10 for `Steps=1000, itv=100`), we linearize exactly with a unary
-//! ("SOS1-style") expansion over the possible `(k, q)` output counts when
-//! `k_max <= EXPANSION_LIMIT`, and fall back to the safe worst-case
-//! (`im·Steps`) bound above that.
+//! For an analysis with accumulating memory — per-step state (`im > 0`)
+//! or compute buffers (`cm > 0`), both of which Eq. 6 frees only at
+//! output steps — the peak between resets depends on the output spacing
+//! `Steps/q_i`, nonlinear in `q_i`. Because the paper's instances have
+//! small `k_max = ⌊Steps/itv⌋` (10 for `Steps=1000, itv=100`), we
+//! linearize exactly with a unary ("SOS1-style") expansion over the
+//! possible `(k, q)` output counts when `k_max <= EXPANSION_LIMIT`, and
+//! fall back to the safe worst-case (`im·Steps + cm·k_max`) bound above
+//! that. (The differential fuzz harness caught an earlier version that
+//! took `fm + cm + om` as the peak whenever `im == 0` — wrong as soon as
+//! `cm > 0` buffers pile up across sparse outputs.)
 
 use insitu_types::{Schedule, ScheduleProblem};
 use milp::{Cmp, LinExpr, Model, Sense, SolveError, SolveOptions, SolveStats, Var};
@@ -58,36 +62,73 @@ pub fn peak_memory(problem: &ScheduleProblem, i: usize, k: usize, q: usize) -> f
     crate::placement::exact_peak_memory(problem, i, k, q)
 }
 
-/// Builds and solves the aggregate model, returning optimal counts.
-pub fn solve_aggregate_counts(
-    problem: &ScheduleProblem,
-    opts: &SolveOptions,
-) -> Result<AggregateSolution, SolveError> {
+/// Per analysis: run binary; unary selection y_{i,(k,q)} over feasible
+/// (k, q) pairs when small, otherwise integer k, q with linear bounds.
+struct PerAnalysis {
+    run: Var,
+    /// `Some(pairs)` when unary-expanded: (k, q, y-var).
+    unary: Option<Vec<(usize, usize, Var)>>,
+    /// `Some((k, q))` when integer-modelled.
+    ints: Option<(Var, Var)>,
+}
+
+/// The built (unsolved) aggregate MILP plus the bookkeeping needed to read
+/// per-analysis counts back out of a solution vector.
+///
+/// The model is **pure-integer** (binaries and bounded integer counts
+/// only), so besides [`milp::solve`] it can be handed to the enumeration
+/// oracle `milp::brute::brute_force` on small instances — the differential
+/// fuzz harness exploits exactly this to cross-check branch & bound.
+pub struct AggregateModel {
+    /// The count-based MILP (Eqs. 1, 4, 8-peak; Eq. 9 folded into bounds).
+    pub model: Model,
+    per_analysis: Vec<PerAnalysis>,
+}
+
+impl AggregateModel {
+    /// `k_i` (analysis count) as a linear expression over the model vars.
+    fn k_expr(&self, i: usize) -> LinExpr {
+        match (&self.per_analysis[i].unary, &self.per_analysis[i].ints) {
+            (Some(pairs), _) => LinExpr::sum(pairs.iter().map(|&(k, _, y)| (y, k as f64))),
+            (_, Some((k, _))) => LinExpr::var(*k),
+            _ => LinExpr::new(),
+        }
+    }
+
+    /// `q_i` (output count) as a linear expression over the model vars.
+    fn q_expr(&self, i: usize) -> LinExpr {
+        match (&self.per_analysis[i].unary, &self.per_analysis[i].ints) {
+            (Some(pairs), _) => LinExpr::sum(pairs.iter().map(|&(_, q, y)| (y, q as f64))),
+            (_, Some((_, q))) => LinExpr::var(*q),
+            _ => LinExpr::new(),
+        }
+    }
+
+    /// Extracts `(counts, output_counts)` from a solution vector of
+    /// [`Self::model`] (from any solver — branch & bound or brute force).
+    pub fn counts_from(&self, values: &[f64]) -> (Vec<usize>, Vec<usize>) {
+        let n = self.per_analysis.len();
+        let mut counts = vec![0usize; n];
+        let mut output_counts = vec![0usize; n];
+        for i in 0..n {
+            counts[i] = self.k_expr(i).eval(values).round() as usize;
+            output_counts[i] = self.q_expr(i).eval(values).round() as usize;
+        }
+        (counts, output_counts)
+    }
+}
+
+/// Builds the aggregate model without solving it. See the module docs for
+/// the equivalence argument; [`solve_aggregate_counts`] is the convenience
+/// wrapper that solves the returned model.
+pub fn build_aggregate(problem: &ScheduleProblem) -> Result<AggregateModel, SolveError> {
     problem
         .validate()
         .map_err(|e| SolveError::BadModel(e.to_string()))?;
     let steps = problem.resources.steps;
     let n = problem.len();
-    if n == 0 {
-        return Ok(AggregateSolution {
-            counts: vec![],
-            output_counts: vec![],
-            objective: 0.0,
-            nodes: 0,
-            stats: SolveStats::default(),
-        });
-    }
     let mut m = Model::new(Sense::Maximize);
 
-    // Per analysis: run binary; unary selection y_{i,(k,q)} over feasible
-    // (k, q) pairs when small, otherwise integer k, q with linear bounds.
-    struct PerAnalysis {
-        run: Var,
-        /// `Some(pairs)` when unary-expanded: (k, q, y-var).
-        unary: Option<Vec<(usize, usize, Var)>>,
-        /// `Some((k, q))` when integer-modelled.
-        ints: Option<(Var, Var)>,
-    }
     let mut pa: Vec<PerAnalysis> = Vec::with_capacity(n);
     for (i, a) in problem.analyses.iter().enumerate() {
         let run = m.binary(&format!("run_{i}"));
@@ -102,7 +143,10 @@ pub fn solve_aggregate_counts(
             });
             continue;
         }
-        let needs_expansion = a.step_mem > 0.0 && kmax <= EXPANSION_LIMIT;
+        // im and cm both accumulate between outputs (Eq. 6), so either
+        // forces the position-aware expansion
+        let needs_expansion =
+            (a.step_mem > 0.0 || a.compute_mem > 0.0) && kmax <= EXPANSION_LIMIT;
         if needs_expansion {
             // enumerate feasible (k, q): q bounded by k, and q must satisfy
             // the output cadence (output_every*q >= k) when declared.
@@ -157,21 +201,18 @@ pub fn solve_aggregate_counts(
         }
     }
 
-    // k_i and q_i as expressions
+    // k_i and q_i as expressions (same logic as AggregateModel::{k,q}_expr,
+    // local here because `pa` is not yet wrapped)
     let k_expr = |i: usize| -> LinExpr {
         match (&pa[i].unary, &pa[i].ints) {
-            (Some(pairs), _) => {
-                LinExpr::sum(pairs.iter().map(|&(k, _, y)| (y, k as f64)))
-            }
+            (Some(pairs), _) => LinExpr::sum(pairs.iter().map(|&(k, _, y)| (y, k as f64))),
             (_, Some((k, _))) => LinExpr::var(*k),
             _ => LinExpr::new(),
         }
     };
     let q_expr = |i: usize| -> LinExpr {
         match (&pa[i].unary, &pa[i].ints) {
-            (Some(pairs), _) => {
-                LinExpr::sum(pairs.iter().map(|&(_, q, y)| (y, q as f64)))
-            }
+            (Some(pairs), _) => LinExpr::sum(pairs.iter().map(|&(_, q, y)| (y, q as f64))),
             (_, Some((_, q))) => LinExpr::var(*q),
             _ => LinExpr::new(),
         }
@@ -211,12 +252,14 @@ pub fn solve_aggregate_counts(
                     }
                 }
                 None => {
-                    // no accumulation (im == 0) or fallback: peak is
-                    // fm + cm + om (+ im*Steps worst case when im > 0)
+                    // no accumulation (im == cm == 0) or the kmax-too-big
+                    // fallback: without outputs, im piles up over all
+                    // Steps and cm over all kmax analysis executions
+                    let kmax = a.max_analysis_steps(steps);
                     let worst = a.fixed_mem
-                        + a.compute_mem
                         + a.output_mem
-                        + a.step_mem * steps as f64;
+                        + a.step_mem * steps as f64
+                        + a.compute_mem * kmax.max(1) as f64;
                     mem = mem.term(pa[i].run, worst / mem_scale);
                 }
             }
@@ -224,13 +267,32 @@ pub fn solve_aggregate_counts(
         m.add_con(mem, Cmp::Le, problem.resources.mem_threshold / mem_scale);
     }
 
-    let sol = milp::solve(&m, opts)?;
-    let mut counts = vec![0usize; n];
-    let mut output_counts = vec![0usize; n];
-    for i in 0..n {
-        counts[i] = k_expr(i).eval(&sol.values).round() as usize;
-        output_counts[i] = q_expr(i).eval(&sol.values).round() as usize;
+    Ok(AggregateModel {
+        model: m,
+        per_analysis: pa,
+    })
+}
+
+/// Builds and solves the aggregate model, returning optimal counts.
+pub fn solve_aggregate_counts(
+    problem: &ScheduleProblem,
+    opts: &SolveOptions,
+) -> Result<AggregateSolution, SolveError> {
+    if problem.len() == 0 {
+        problem
+            .validate()
+            .map_err(|e| SolveError::BadModel(e.to_string()))?;
+        return Ok(AggregateSolution {
+            counts: vec![],
+            output_counts: vec![],
+            objective: 0.0,
+            nodes: 0,
+            stats: SolveStats::default(),
+        });
     }
+    let built = build_aggregate(problem)?;
+    let sol = milp::solve(&built.model, opts)?;
+    let (counts, output_counts) = built.counts_from(&sol.values);
     Ok(AggregateSolution {
         counts,
         output_counts,
@@ -359,6 +421,43 @@ mod tests {
         assert_eq!(peak_memory(&p, 0, 5, 0), 10.0 + 200.0 + 25.0);
         // 4 outputs: gaps of 25
         assert_eq!(peak_memory(&p, 0, 4, 4), 10.0 + 50.0 + 5.0 + 3.0);
+    }
+
+    #[test]
+    fn built_model_is_pure_integer_and_brute_forceable() {
+        // the published model must stay enumerable so the differential
+        // fuzz harness can cross-check branch & bound against brute force
+        let p = ScheduleProblem::new(
+            vec![
+                AnalysisProfile::new("a")
+                    .with_compute(1.0, 0.0)
+                    .with_output(0.5, 0.0, 1)
+                    .with_interval(25),
+                AnalysisProfile::new("b")
+                    .with_compute(2.5, 0.0)
+                    .with_output(0.5, 0.0, 1)
+                    .with_interval(50)
+                    .with_weight(2.0),
+            ],
+            ResourceConfig::from_total_threshold(100, 8.0, 1e9, 1e9),
+        )
+        .unwrap();
+        let built = build_aggregate(&p).unwrap();
+        let brute = milp::brute::brute_force(&built.model, 1_000_000).unwrap();
+        let bb = milp::solve(&built.model, &opts()).unwrap();
+        assert!(
+            (brute.objective - bb.objective).abs() < 1e-6,
+            "brute {} vs b&b {}",
+            brute.objective,
+            bb.objective
+        );
+        let (k_brute, q_brute) = built.counts_from(&brute.values);
+        assert_eq!(k_brute.len(), 2);
+        assert!(q_brute.iter().zip(&k_brute).all(|(q, k)| q <= k));
+        // and the wrapper extracts the same counts from the b&b solution
+        let agg = solve_aggregate_counts(&p, &opts()).unwrap();
+        let (k_bb, _) = built.counts_from(&bb.values);
+        assert_eq!(agg.counts, k_bb);
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub mod runtime;
 pub mod validate;
 
 pub use advisor::{Advisor, AdvisorOptions, Recommendation};
-pub use aggregate::solve_aggregate;
+pub use aggregate::{build_aggregate, solve_aggregate, AggregateModel};
 pub use formulation::{solve_exact, solve_exact_with_stats};
 pub use validate::{validate_schedule, ValidationReport};

@@ -1,10 +1,18 @@
 //! Independent schedule certification.
 //!
 //! Re-checks a concrete [`Schedule`] against the paper's constraints by
-//! literally running the recursions of Eqs. 2–8 step by step — no shared
+//! delegating to the `certify` crate, which replays the recursions of
+//! Eqs. 2–9 step by step in **exact rational arithmetic** — no shared
 //! code with the MILP formulations, so a bug in either is caught by the
 //! other. Every schedule the advisor returns has passed this check.
+//!
+//! One deliberate difference from raw [`certify::replay()`]: schedules come
+//! out of a floating-point MILP solve, so this wrapper forgives time and
+//! memory excess below a solver-sized tolerance (`1e-9` relative). The
+//! exact excess is known (the certifier computes it in rationals); the
+//! tolerance is applied to that exact value, never to a float recursion.
 
+use certify::ViolationKind;
 use insitu_types::{Schedule, ScheduleProblem, Seconds};
 
 /// Outcome of certifying one schedule.
@@ -39,124 +47,45 @@ impl ValidationReport {
     }
 }
 
-/// Certifies `schedule` against `problem` (Eqs. 2–9 plus structure).
+/// Certifies `schedule` against `problem` (Eqs. 2–9 plus structure) via
+/// the exact replay in the `certify` crate.
+///
+/// Structural and interval violations are always fatal; time and memory
+/// excess is forgiven below a `1e-9` relative tolerance because the
+/// schedule was produced by a floating-point solver. The reported
+/// `total_time` / `peak_memory` are the exactly-replayed values rounded
+/// to the nearest `f64`.
 pub fn validate_schedule(problem: &ScheduleProblem, schedule: &Schedule) -> ValidationReport {
-    let steps = problem.resources.steps;
-    let mut violations = Vec::new();
-
-    if schedule.per_analysis.len() != problem.len() {
-        violations.push(format!(
-            "schedule covers {} analyses, problem has {}",
-            schedule.per_analysis.len(),
-            problem.len()
-        ));
-        return ValidationReport {
-            total_time: 0.0,
-            time_budget: problem.resources.total_threshold(),
-            peak_memory: 0.0,
-            objective: 0.0,
-            violations,
-        };
-    }
-    if let Err(e) = schedule.validate_structure(problem) {
-        violations.push(e.to_string());
-    }
-
-    // --- interval constraint (Eq. 9 / §3.2 "running total") ---
-    for (i, s) in schedule.per_analysis.iter().enumerate() {
-        let a = &problem.analyses[i];
-        let itv = a.min_interval.max(1);
-        let mut last = 0usize; // running total counts from simulation start
-        for &j in &s.analysis_steps {
-            if j - last < itv {
-                violations.push(format!(
-                    "analysis `{}`: steps {last} -> {j} violate interval {itv}",
-                    a.name
-                ));
-            }
-            last = j;
-        }
-        if s.count() > a.max_analysis_steps(steps) {
-            violations.push(format!(
-                "analysis `{}`: {} analysis steps exceed Steps/itv = {}",
-                a.name,
-                s.count(),
-                a.max_analysis_steps(steps)
-            ));
-        }
-    }
-
-    // --- time recursion (Eqs. 2–4) ---
-    let mut total_time = 0.0;
-    for (i, s) in schedule.per_analysis.iter().enumerate() {
-        let a = &problem.analyses[i];
-        if s.count() == 0 {
-            continue;
-        }
-        let mut t = a.fixed_time; // Eq. 3
-        for j in 1..=steps {
-            t += a.step_time;
-            if s.runs_at(j) {
-                t += a.compute_time;
-            }
-            if s.outputs_at(j) {
-                t += a.output_time;
-            }
-        }
-        total_time += t;
-    }
     let time_budget = problem.resources.total_threshold();
-    if total_time > time_budget * (1.0 + 1e-9) + 1e-9 {
-        violations.push(format!(
-            "total analysis time {total_time:.6} exceeds budget {time_budget:.6}"
-        ));
-    }
-
-    // --- memory recursion (Eqs. 5–8) ---
-    let mut mem_end: Vec<f64> = schedule
-        .per_analysis
+    let replayed = match certify::replay(problem, schedule) {
+        Ok(r) => r,
+        Err(e) => {
+            return ValidationReport {
+                total_time: 0.0,
+                time_budget,
+                peak_memory: 0.0,
+                objective: 0.0,
+                violations: vec![format!("exact replay impossible: {e}")],
+            }
+        }
+    };
+    let time_tol = 1e-9 * (1.0 + time_budget.abs());
+    let mem_tol = 1e-9 * (1.0 + problem.resources.mem_threshold.abs());
+    let violations = replayed
+        .violations
         .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            if s.count() > 0 {
-                problem.analyses[i].fixed_mem
-            } else {
-                0.0
-            }
+        .filter(|v| match v.kind {
+            ViolationKind::Time => v.excess > time_tol,
+            ViolationKind::Memory => v.excess > mem_tol,
+            ViolationKind::Structure | ViolationKind::Interval => true,
         })
+        .map(|v| v.message.clone())
         .collect();
-    let mut peak_memory = mem_end.iter().sum::<f64>();
-    for j in 1..=steps {
-        let mut step_total = 0.0;
-        for (i, s) in schedule.per_analysis.iter().enumerate() {
-            let a = &problem.analyses[i];
-            if s.count() == 0 {
-                continue;
-            }
-            let mut m_start = mem_end[i] + a.step_mem;
-            if s.runs_at(j) {
-                m_start += a.compute_mem;
-            }
-            if s.outputs_at(j) {
-                m_start += a.output_mem;
-            }
-            mem_end[i] = if s.outputs_at(j) { a.fixed_mem } else { m_start };
-            step_total += m_start;
-        }
-        if step_total > problem.resources.mem_threshold * (1.0 + 1e-9) + 1e-9 {
-            violations.push(format!(
-                "step {j}: memory {step_total:.3e} exceeds mth {:.3e}",
-                problem.resources.mem_threshold
-            ));
-        }
-        peak_memory = peak_memory.max(step_total);
-    }
-
     ValidationReport {
-        total_time,
+        total_time: replayed.total_time.to_f64(),
         time_budget,
-        peak_memory,
-        objective: schedule.objective(problem),
+        peak_memory: replayed.peak_memory.to_f64(),
+        objective: replayed.objective.to_f64(),
         violations,
     }
 }
@@ -249,6 +178,43 @@ mod tests {
         let r = validate_schedule(&p, &s);
         assert!(r.is_feasible(), "{:?}", r.violations);
         assert!((r.peak_memory - 165.0).abs() < 1e-9);
+    }
+
+    /// Regression for the Eqs. 5–8 reset semantics: an output step in the
+    /// *middle* of the run must free the accumulated per-step memory so
+    /// that a later accumulation phase fits under the threshold. A buggy
+    /// validator that never resets (or resets to zero instead of `fm`)
+    /// fails both halves of this test.
+    #[test]
+    fn mid_run_output_frees_memory_for_later_accumulation() {
+        let mut p = problem();
+        // footprint just before step 60's output: fm 100 + 60*im + 2*cm 10
+        // + om 5 = 185; after the reset the second half peaks at
+        // fm 100 + 40*im + cm 10 = 150. Without the mid-run reset step 100
+        // would hold fm 100 + 100*im + 3*cm = 230.
+        p.resources.mem_threshold = 190.0;
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(vec![30, 60, 100], vec![60]);
+        let r = validate_schedule(&p, &s);
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        assert!((r.peak_memory - 185.0).abs() < 1e-9, "peak {}", r.peak_memory);
+
+        // same schedule *without* the mid-run output must blow the budget
+        let mut s2 = Schedule::empty(1);
+        s2.per_analysis[0] = AnalysisSchedule::new(vec![30, 60, 100], vec![]);
+        let r2 = validate_schedule(&p, &s2);
+        assert!(!r2.is_feasible(), "reset-at-output was not load-bearing");
+        assert!(r2.violations.iter().any(|v| v.contains("memory")));
+        // and the reset target is fm, not zero: with outputs at 30 and 60
+        // the peaks are 145 / 145 / 150 (the tail fm 100 + 40*im + cm 10);
+        // a reset-to-zero bug would see only 50 at step 100 and wrongly
+        // accept a threshold of 149
+        p.resources.mem_threshold = 149.0;
+        let mut s3 = Schedule::empty(1);
+        s3.per_analysis[0] = AnalysisSchedule::new(vec![30, 60, 100], vec![30, 60]);
+        let r3 = validate_schedule(&p, &s3);
+        assert!(!r3.is_feasible(), "reset must restore fm, not zero");
+        assert!((r3.peak_memory - 150.0).abs() < 1e-9, "peak {}", r3.peak_memory);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Machine-checkable solve certificates.
+//!
+//! A [`SearchCertificate`] is the audit trail a branch-and-bound solver
+//! leaves behind so that an *independent* checker (the `certify` crate,
+//! which shares no code with the solver) can re-derive why a claimed
+//! optimum is in fact optimal: every node of the search tree is listed with
+//! its LP relaxation bound and the reason it was fathomed. The checker
+//! walks the tree and verifies that
+//!
+//! 1. the records form one rooted binary tree whose leaves are all
+//!    fathomed (integral, bound-pruned, or infeasible),
+//! 2. bounds are monotone along every root-to-leaf path (a child can never
+//!    claim a better LP bound than its parent),
+//! 3. every bound-pruned leaf's bound is dominated by the claimed optimum
+//!    plus the solver's absolute gap, and
+//! 4. every integral leaf's objective is itself dominated by the claimed
+//!    optimum.
+//!
+//! Together with an independent feasibility replay of the claimed solution,
+//! that is exactly the classical "checker vs. solver" split: the solver's
+//! arithmetic is never trusted for *feasibility* (replayed exactly) and its
+//! search is never trusted for *optimality* (the pruning log must close the
+//! tree). LP relaxation bounds and infeasibility claims remain attested by
+//! the solver — the same trust model as LP-dual-bound certificates in
+//! classical practice; see `docs/CERTIFY.md`.
+//!
+//! The types live here (not in `milp`) so that the producer (`milp`) and
+//! the consumer (`certify`) can share them without depending on each other.
+
+use crate::error::TypeError;
+use crate::json::{FromJson, ToJson, Value};
+use std::collections::BTreeMap;
+
+/// Why a search node was fathomed (or expanded).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeOutcome {
+    /// The node's LP relaxation was fractional and two children were
+    /// created by splitting an integer variable's domain.
+    Branched,
+    /// The node's LP relaxation was integral: a candidate incumbent with
+    /// the recorded objective value.
+    Integral {
+        /// Objective of the integral point, in the model's own sense.
+        objective: f64,
+    },
+    /// The node was discarded because its LP bound could not beat the
+    /// incumbent (within the solver's absolute gap).
+    PrunedBound,
+    /// The node's LP relaxation (or variable-bound intersection) was
+    /// infeasible.
+    PrunedInfeasible,
+}
+
+/// One node of the branch-and-bound tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCert {
+    /// Unique node id (the solver's creation sequence number).
+    pub id: u64,
+    /// Parent node id; `None` for the root.
+    pub parent: Option<u64>,
+    /// The best bound known for the subtree rooted at this node: its own
+    /// LP relaxation objective when one was solved, else the parent's.
+    pub lp_bound: f64,
+    /// How the node was fathomed (or that it was branched on).
+    pub outcome: NodeOutcome,
+}
+
+/// The complete optimality certificate of one branch-and-bound solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCertificate {
+    /// Claimed optimal objective value.
+    pub objective: f64,
+    /// A solver-attested dual (LP relaxation) bound on the optimum: an
+    /// upper bound for maximization, a lower bound for minimization. The
+    /// root LP relaxation objective.
+    pub dual_bound: f64,
+    /// Absolute optimality gap the solve was allowed (`0` = exact).
+    pub abs_gap: f64,
+    /// `true` when the model sense is maximization.
+    pub maximize: bool,
+    /// `true` when the search terminated by exhausting the tree (vs. a
+    /// node limit or error). Only an exhausted tree can prove optimality.
+    pub proven_optimal: bool,
+    /// Every node the search created, in no particular order.
+    pub nodes: Vec<NodeCert>,
+}
+
+impl SearchCertificate {
+    /// The root node record, if present.
+    pub fn root(&self) -> Option<&NodeCert> {
+        self.nodes.iter().find(|n| n.parent.is_none())
+    }
+
+    /// Number of leaf records (everything that is not `Branched`).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.outcome != NodeOutcome::Branched)
+            .count()
+    }
+}
+
+impl ToJson for NodeCert {
+    fn to_json(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("id".into(), Value::Number(self.id as f64));
+        m.insert(
+            "parent".into(),
+            match self.parent {
+                Some(p) => Value::Number(p as f64),
+                None => Value::Null,
+            },
+        );
+        m.insert("lp_bound".into(), Value::Number(self.lp_bound));
+        let (kind, obj) = match &self.outcome {
+            NodeOutcome::Branched => ("branched", None),
+            NodeOutcome::Integral { objective } => ("integral", Some(*objective)),
+            NodeOutcome::PrunedBound => ("pruned_bound", None),
+            NodeOutcome::PrunedInfeasible => ("pruned_infeasible", None),
+        };
+        m.insert("outcome".into(), Value::String(kind.into()));
+        if let Some(o) = obj {
+            m.insert("objective".into(), Value::Number(o));
+        }
+        Value::Object(m)
+    }
+}
+
+impl FromJson for NodeCert {
+    fn from_json(v: &Value) -> Result<Self, TypeError> {
+        const TY: &str = "NodeCert";
+        let m = match v {
+            Value::Object(m) => m,
+            _ => return Err(TypeError::Parse(format!("{TY}: expected object"))),
+        };
+        let get = |name: &str| -> Result<&Value, TypeError> {
+            m.get(name)
+                .ok_or_else(|| TypeError::Parse(format!("{TY}: missing field '{name}'")))
+        };
+        let id = match get("id")? {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+            _ => return Err(TypeError::Parse(format!("{TY}: bad id"))),
+        };
+        let parent = match get("parent")? {
+            Value::Null => None,
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => return Err(TypeError::Parse(format!("{TY}: bad parent"))),
+        };
+        let lp_bound = match get("lp_bound")? {
+            Value::Number(n) => *n,
+            _ => return Err(TypeError::Parse(format!("{TY}: bad lp_bound"))),
+        };
+        let outcome = match get("outcome")? {
+            Value::String(s) => match s.as_str() {
+                "branched" => NodeOutcome::Branched,
+                "integral" => {
+                    let objective = match m.get("objective") {
+                        Some(Value::Number(n)) => *n,
+                        _ => {
+                            return Err(TypeError::Parse(format!(
+                                "{TY}: integral node missing objective"
+                            )))
+                        }
+                    };
+                    NodeOutcome::Integral { objective }
+                }
+                "pruned_bound" => NodeOutcome::PrunedBound,
+                "pruned_infeasible" => NodeOutcome::PrunedInfeasible,
+                other => {
+                    return Err(TypeError::Parse(format!("{TY}: unknown outcome '{other}'")))
+                }
+            },
+            _ => return Err(TypeError::Parse(format!("{TY}: bad outcome"))),
+        };
+        Ok(NodeCert {
+            id,
+            parent,
+            lp_bound,
+            outcome,
+        })
+    }
+}
+
+impl ToJson for SearchCertificate {
+    fn to_json(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("objective".into(), Value::Number(self.objective));
+        m.insert("dual_bound".into(), Value::Number(self.dual_bound));
+        m.insert("abs_gap".into(), Value::Number(self.abs_gap));
+        m.insert("maximize".into(), Value::Bool(self.maximize));
+        m.insert("proven_optimal".into(), Value::Bool(self.proven_optimal));
+        m.insert(
+            "nodes".into(),
+            Value::Array(self.nodes.iter().map(ToJson::to_json).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SearchCertificate {
+    fn from_json(v: &Value) -> Result<Self, TypeError> {
+        const TY: &str = "SearchCertificate";
+        let m = match v {
+            Value::Object(m) => m,
+            _ => return Err(TypeError::Parse(format!("{TY}: expected object"))),
+        };
+        let get = |name: &str| -> Result<&Value, TypeError> {
+            m.get(name)
+                .ok_or_else(|| TypeError::Parse(format!("{TY}: missing field '{name}'")))
+        };
+        let f = |name: &str| -> Result<f64, TypeError> {
+            match get(name)? {
+                Value::Number(n) => Ok(*n),
+                _ => Err(TypeError::Parse(format!("{TY}: bad {name}"))),
+            }
+        };
+        let b = |name: &str| -> Result<bool, TypeError> {
+            match get(name)? {
+                Value::Bool(x) => Ok(*x),
+                _ => Err(TypeError::Parse(format!("{TY}: bad {name}"))),
+            }
+        };
+        let nodes = match get("nodes")? {
+            Value::Array(items) => items
+                .iter()
+                .map(NodeCert::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(TypeError::Parse(format!("{TY}: bad nodes"))),
+        };
+        Ok(SearchCertificate {
+            objective: f("objective")?,
+            dual_bound: f("dual_bound")?,
+            abs_gap: f("abs_gap")?,
+            maximize: b("maximize")?,
+            proven_optimal: b("proven_optimal")?,
+            nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> SearchCertificate {
+        SearchCertificate {
+            objective: 7.0,
+            dual_bound: 7.5,
+            abs_gap: 0.0,
+            maximize: true,
+            proven_optimal: true,
+            nodes: vec![
+                NodeCert {
+                    id: 0,
+                    parent: None,
+                    lp_bound: 7.5,
+                    outcome: NodeOutcome::Branched,
+                },
+                NodeCert {
+                    id: 1,
+                    parent: Some(0),
+                    lp_bound: 7.0,
+                    outcome: NodeOutcome::Integral { objective: 7.0 },
+                },
+                NodeCert {
+                    id: 2,
+                    parent: Some(0),
+                    lp_bound: 6.2,
+                    outcome: NodeOutcome::PrunedBound,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let c = sample();
+        let text = json::to_string(&c);
+        let back: SearchCertificate = json::from_str(&text).unwrap();
+        assert_eq!(back, c);
+        // pretty form too
+        let back2: SearchCertificate = json::from_str(&json::to_string_pretty(&c)).unwrap();
+        assert_eq!(back2, c);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = sample();
+        assert_eq!(c.root().unwrap().id, 0);
+        assert_eq!(c.leaf_count(), 2);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        for text in [
+            "{}",
+            r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":-1,"parent":null,"lp_bound":1,"outcome":"branched"}]}"#,
+            r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"integral"}]}"#,
+            r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"nonsense"}]}"#,
+        ] {
+            assert!(
+                json::from_str::<SearchCertificate>(text).is_err(),
+                "{text}"
+            );
+        }
+    }
+}

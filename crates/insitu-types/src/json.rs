@@ -100,10 +100,17 @@ impl Value {
     }
 
     /// Parses a JSON document.
+    ///
+    /// Hardened against adversarial input: numbers that overflow `f64` to
+    /// infinity (e.g. `1e999`) are rejected rather than silently becoming
+    /// non-finite values the data model forbids, and nesting deeper than
+    /// [`MAX_DEPTH`] is rejected rather than overflowing the parser's
+    /// recursion stack.
     pub fn parse(text: &str) -> Result<Value, TypeError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -194,9 +201,15 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum array/object nesting depth [`Value::parse`] accepts. The
+/// recursive-descent parser uses one stack frame per level, so the limit
+/// turns a would-be stack overflow (an abort) into a parse error.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -250,12 +263,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), TypeError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, TypeError> {
+        self.enter()?;
         self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(map));
         }
         loop {
@@ -270,6 +293,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -278,11 +302,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, TypeError> {
+        self.enter()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -292,6 +318,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -367,9 +394,13 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number"))?;
-        text.parse::<f64>()
-            .map(Value::Number)
-            .map_err(|_| self.error("invalid number"))
+        let n: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        if !n.is_finite() {
+            // "1e999" parses to +inf under Rust's f64 rules; JSON numbers
+            // must stay finite or the data model's invariants break
+            return Err(self.error("number overflows the f64 range"));
+        }
+        Ok(Value::Number(n))
     }
 }
 

@@ -11,6 +11,7 @@
 //! model, the performance model and both mini-apps depend on them without
 //! depending on each other.
 
+pub mod cert;
 pub mod error;
 pub mod json;
 pub mod problem;
@@ -20,6 +21,7 @@ pub mod schedule;
 pub mod trace;
 pub mod units;
 
+pub use cert::{NodeCert, NodeOutcome, SearchCertificate};
 pub use error::TypeError;
 pub use problem::ScheduleProblem;
 pub use profile::{AnalysisId, AnalysisProfile};

@@ -41,6 +41,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use insitu_types::{NodeCert, NodeOutcome, SearchCertificate};
+
 use crate::error::SolveError;
 use crate::model::{Model, Sense};
 use crate::options::SolveOptions;
@@ -61,7 +63,10 @@ struct Node {
     /// Sense-adjusted priority (larger = explored first).
     key: f64,
     /// Creation sequence number; equal-key nodes pop in creation order.
+    /// Doubles as the node id in the pruning certificate.
     seq: u64,
+    /// Certificate parent link (`None` for the root).
+    parent: Option<u64>,
     /// Final simplex basis of this node's LP, used to warm-start children.
     basis: Option<Basis>,
 }
@@ -180,6 +185,8 @@ struct Shared<'m> {
     next_seq: AtomicU64,
     error: Mutex<Option<SolveError>>,
     events: Mutex<Vec<IncumbentEvent>>,
+    /// Certificate node log; only written when `opts.certificate` is set.
+    cert: Mutex<Vec<NodeCert>>,
     search_start: Instant,
 }
 
@@ -231,6 +238,20 @@ impl<'m> Shared<'m> {
         self.pool.lock().unwrap().heap.push(node);
         self.work.notify_one();
     }
+
+    /// Appends one node record to the pruning certificate (no-op unless
+    /// `opts.certificate`). Every node id created by the search must be
+    /// recorded exactly once for the tree-closure check to pass.
+    fn record(&self, id: u64, parent: Option<u64>, lp_bound: f64, outcome: NodeOutcome) {
+        if self.opts.certificate {
+            self.cert.lock().unwrap().push(NodeCert {
+                id,
+                parent,
+                lp_bound,
+                outcome,
+            });
+        }
+    }
 }
 
 /// One worker: pop best node, plunge to a leaf, repeat until the pool
@@ -264,6 +285,7 @@ fn worker(sh: &Shared<'_>, total: usize) {
         // may still push better children, so discard and keep looping
         if sh.dominated(node.bound) {
             sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+            sh.record(node.seq, node.parent, node.bound, NodeOutcome::PrunedBound);
             continue;
         }
 
@@ -281,6 +303,7 @@ fn worker(sh: &Shared<'_>, total: usize) {
             }
             if sh.dominated(node.bound) {
                 sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+                sh.record(node.seq, node.parent, node.bound, NodeOutcome::PrunedBound);
                 continue 'outer; // this dive is dominated; pick next best
             }
             match fractional_var(sh.model, &node.values, sh.opts.tol) {
@@ -291,9 +314,16 @@ fn worker(sh: &Shared<'_>, total: usize) {
                         values[i] = values[i].round();
                     }
                     let objective = sh.model.objective_value(&values);
+                    sh.record(
+                        node.seq,
+                        node.parent,
+                        node.bound,
+                        NodeOutcome::Integral { objective },
+                    );
                     sh.offer_incumbent(values, objective);
                 }
                 Some((var, value)) => {
+                    sh.record(node.seq, node.parent, node.bound, NodeOutcome::Branched);
                     let floor = value.floor();
                     let mut children: Vec<Node> = Vec::with_capacity(2);
                     for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
@@ -302,6 +332,15 @@ fn worker(sh: &Shared<'_>, total: usize) {
                         let child_model = apply_overrides(sh.model, &overrides);
                         if child_model.vars[var].lower > child_model.vars[var].upper {
                             sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
+                            // no LP was solved; the parent bound is still a
+                            // valid relaxation bound for this empty child
+                            let id = sh.next_seq.fetch_add(1, AtOrd::Relaxed);
+                            sh.record(
+                                id,
+                                Some(node.seq),
+                                node.bound,
+                                NodeOutcome::PrunedInfeasible,
+                            );
                             continue;
                         }
                         match solve_lp_relaxation_warm(&child_model, sh.opts, node.basis.as_ref())
@@ -314,6 +353,13 @@ fn worker(sh: &Shared<'_>, total: usize) {
                                 // bound-based pruning at generation time
                                 if sh.dominated(relax.objective) {
                                     sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+                                    let id = sh.next_seq.fetch_add(1, AtOrd::Relaxed);
+                                    sh.record(
+                                        id,
+                                        Some(node.seq),
+                                        relax.objective,
+                                        NodeOutcome::PrunedBound,
+                                    );
                                     continue;
                                 }
                                 children.push(Node {
@@ -322,11 +368,19 @@ fn worker(sh: &Shared<'_>, total: usize) {
                                     bound: relax.objective,
                                     values: relax.values,
                                     seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
+                                    parent: Some(node.seq),
                                     basis: Some(point.basis),
                                 });
                             }
                             Err(SolveError::Infeasible) => {
                                 sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
+                                let id = sh.next_seq.fetch_add(1, AtOrd::Relaxed);
+                                sh.record(
+                                    id,
+                                    Some(node.seq),
+                                    node.bound,
+                                    NodeOutcome::PrunedInfeasible,
+                                );
                             }
                             Err(e) => {
                                 sh.fail(e);
@@ -418,8 +472,10 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         next_seq: AtomicU64::new(0),
         error: Mutex::new(None),
         events: Mutex::new(Vec::new()),
+        cert: Mutex::new(Vec::new()),
         search_start: Instant::now(),
     };
+    let root_bound = root.objective;
     if opts.rounding_heuristic {
         if let Some((values, objective)) = rounded_candidate(model, &root.values, opts.tol) {
             sh.offer_incumbent(values, objective);
@@ -431,6 +487,7 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         bound: root.objective,
         values: root.values,
         seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
+        parent: None,
         basis: Some(root_point.basis),
     });
 
@@ -466,6 +523,21 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
                 root_lp_time,
                 search_time,
                 threads,
+                certificate: if opts.certificate {
+                    let mut nodes: Vec<NodeCert> = sh.cert.lock().unwrap().drain(..).collect();
+                    // parallel workers interleave records; sort for stable output
+                    nodes.sort_by_key(|n| n.id);
+                    Some(SearchCertificate {
+                        objective: sol.objective,
+                        dual_bound: root_bound,
+                        abs_gap: opts.abs_gap,
+                        maximize: matches!(model.sense, Sense::Maximize),
+                        proven_optimal: true,
+                        nodes,
+                    })
+                } else {
+                    None
+                },
             };
             Ok(sol)
         }
@@ -753,5 +825,104 @@ mod tests {
         assert!(improves(&m, 10.0, &[0.0, 1.0, 1.0, 0.0], Some(&cand_hi)));
         assert!(!improves(&m, 10.0, &[1.0, 1.0, 0.0, 0.0], Some(&cand_hi)));
         assert!(improves(&m, 11.0, &[1.0, 1.0, 1.0, 0.0], Some(&cand_hi)));
+    }
+
+    /// Structural invariants every emitted certificate must satisfy; the
+    /// independent `certify` crate re-checks the same properties (and more)
+    /// without this crate's code.
+    fn check_cert_closure(cert: &insitu_types::SearchCertificate, objective: f64) {
+        use insitu_types::NodeOutcome as O;
+        use std::collections::BTreeMap;
+        assert!(cert.proven_optimal);
+        assert_eq!(cert.objective.to_bits(), objective.to_bits());
+        let by_id: BTreeMap<u64, &insitu_types::NodeCert> =
+            cert.nodes.iter().map(|n| (n.id, n)).collect();
+        assert_eq!(by_id.len(), cert.nodes.len(), "duplicate node ids");
+        // exactly one root, and every parent link resolves to a Branched node
+        assert_eq!(cert.nodes.iter().filter(|n| n.parent.is_none()).count(), 1);
+        let mut child_count: BTreeMap<u64, usize> = BTreeMap::new();
+        for n in &cert.nodes {
+            if let Some(p) = n.parent {
+                let parent = by_id.get(&p).expect("dangling parent id");
+                assert!(matches!(parent.outcome, O::Branched), "parent not Branched");
+                *child_count.entry(p).or_insert(0) += 1;
+            }
+        }
+        for n in &cert.nodes {
+            match n.outcome {
+                // binary branching: every Branched node has both sides recorded
+                O::Branched => assert_eq!(child_count.get(&n.id), Some(&2)),
+                O::Integral { objective: o } => {
+                    let slack = if cert.maximize { objective - o } else { o - objective };
+                    assert!(slack >= -1e-9, "integral leaf beats claimed optimum");
+                }
+                O::PrunedBound => {
+                    let slack = if cert.maximize {
+                        objective + cert.abs_gap - n.lp_bound
+                    } else {
+                        n.lp_bound - objective + cert.abs_gap
+                    };
+                    assert!(slack >= -1e-9, "bound-pruned leaf could improve");
+                }
+                O::PrunedInfeasible => {}
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_off_by_default() {
+        let s = solve(&tied_knapsack(), &opts()).unwrap();
+        assert!(s.stats.certificate.is_none());
+    }
+
+    #[test]
+    fn certificate_closes_the_tree() {
+        let with_cert = SolveOptions {
+            certificate: true,
+            ..opts()
+        };
+        for model in [tied_knapsack(), {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.int_var("x", 0.0, 10.0);
+            let y = m.int_var("y", 0.0, 10.0);
+            m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.0);
+            m.add_con(LinExpr::new().term(x, 2.0).term(y, 1.0), Cmp::Ge, 4.0);
+            m.set_objective(LinExpr::new().term(x, 5.0).term(y, 4.0));
+            m
+        }] {
+            let s = solve(&model, &with_cert).unwrap();
+            let cert = s.stats.certificate.as_ref().expect("certificate requested");
+            check_cert_closure(cert, s.objective);
+            // certificate does not perturb the solve itself
+            let plain = solve(&model, &opts()).unwrap();
+            assert_eq!(plain.objective.to_bits(), s.objective.to_bits());
+            assert_eq!(plain.values, s.values);
+            assert_eq!(plain.nodes, s.nodes);
+        }
+    }
+
+    #[test]
+    fn parallel_certificate_closes_the_tree() {
+        let with_cert = SolveOptions {
+            certificate: true,
+            threads: 3,
+            ..opts()
+        };
+        let s = solve(&tied_knapsack(), &with_cert).unwrap();
+        check_cert_closure(s.stats.certificate.as_ref().unwrap(), s.objective);
+    }
+
+    #[test]
+    fn certificate_round_trips_through_json() {
+        let with_cert = SolveOptions {
+            certificate: true,
+            ..opts()
+        };
+        let s = solve(&tied_knapsack(), &with_cert).unwrap();
+        let cert = s.stats.certificate.unwrap();
+        let text = insitu_types::json::to_string(&cert);
+        let back: insitu_types::SearchCertificate =
+            insitu_types::json::from_str(&text).unwrap();
+        assert_eq!(back, cert);
     }
 }

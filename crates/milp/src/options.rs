@@ -39,6 +39,13 @@ pub struct SolveOptions {
     /// performance knob; results are identical either way because every
     /// LP is solved to optimality.
     pub warm_start: bool,
+    /// Record a machine-checkable pruning certificate
+    /// ([`insitu_types::SearchCertificate`]) in
+    /// [`crate::SolveStats::certificate`]: one record per search node with
+    /// its LP bound and fathoming reason, so an independent checker (the
+    /// `certify` crate) can re-derive that the tree was closed. Off by
+    /// default — the log costs one small allocation per node.
+    pub certificate: bool,
 }
 
 impl Default for SolveOptions {
@@ -53,6 +60,7 @@ impl Default for SolveOptions {
             presolve: true,
             threads: 1,
             warm_start: true,
+            certificate: false,
         }
     }
 }

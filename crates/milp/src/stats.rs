@@ -8,6 +8,7 @@
 //! paper tables so solver regressions show up in the same place as model
 //! regressions.
 
+use insitu_types::SearchCertificate;
 use std::fmt;
 use std::time::Duration;
 
@@ -53,6 +54,10 @@ pub struct SolveStats {
     pub search_time: Duration,
     /// Worker threads used by the search (1 = serial).
     pub threads: usize,
+    /// Machine-checkable pruning certificate of the search tree. Only
+    /// recorded when [`crate::SolveOptions::certificate`] is set; consumed
+    /// by the independent `certify` crate, which shares no solver code.
+    pub certificate: Option<SearchCertificate>,
 }
 
 impl SolveStats {

@@ -18,6 +18,13 @@ run cargo test -q --workspace
 # a failure attributable when only docs change
 run cargo test --doc --workspace
 
+# differential fuzz smoke: a fixed-seed bounded run of the solver
+# cross-examination (serial vs parallel vs brute force vs certifier),
+# plus replay of every reproducer in tests/corpus/. The case count is
+# overridable for deeper local soaks: CERTIFY_FUZZ_CASES=5000 ./scripts/verify.sh
+run env CERTIFY_FUZZ_CASES="${CERTIFY_FUZZ_CASES:-200}" \
+    cargo test -q -p integration-tests --test certify_differential
+
 # rustdoc must be warning-free (broken intra-doc links, bad code fences)
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

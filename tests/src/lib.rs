@@ -1,1 +1,10 @@
-//! placeholder
+//! Shared support for the integration suite.
+//!
+//! The interesting piece is [`fuzz`]: a seeded generator of paper-shaped
+//! scheduling instances, the differential check that cross-examines the
+//! MILP pipeline (serial branch & bound vs parallel vs brute-force
+//! enumeration vs the independent `certify` checker), and a greedy
+//! shrinker that reduces any disagreement to a minimal reproducer for
+//! `tests/corpus/`.
+
+pub mod fuzz;
