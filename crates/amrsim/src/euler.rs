@@ -168,7 +168,7 @@ pub fn step(mesh: &mut Mesh, dt: f64) {
                         mz: 0.0,
                         e: 0.0,
                     };
-                    for axis in 0..3 {
+                    for (axis, &spacing) in d.iter().enumerate() {
                         let (li, lj, lk, ri, rj, rk) = match axis {
                             0 => (gi - 1, gj, gk, gi + 1, gj, gk),
                             1 => (gi, gj - 1, gk, gi, gj + 1, gk),
@@ -178,7 +178,7 @@ pub fn step(mesh: &mut Mesh, dt: f64) {
                         let right = prim_at(b, ri, rj, rk);
                         let f_minus = hll(left, centre, axis);
                         let f_plus = hll(centre, right, axis);
-                        let inv_dx = 1.0 / d[axis];
+                        let inv_dx = 1.0 / spacing;
                         du.rho -= (f_plus.rho - f_minus.rho) * inv_dx;
                         du.mx -= (f_plus.mx - f_minus.mx) * inv_dx;
                         du.my -= (f_plus.my - f_minus.my) * inv_dx;

@@ -55,7 +55,7 @@ pub fn flag_for_refinement(mesh: &Mesh, threshold: f64) -> Vec<bool> {
 /// cell group). Children are returned in z-major octant order.
 pub fn prolong(parent: &Block) -> [Block; 8] {
     let n = parent.n;
-    assert!(n % 2 == 0, "block size must be even to refine");
+    assert!(n.is_multiple_of(2), "block size must be even to refine");
     let mut children: Vec<Block> = (0..8)
         .map(|o| {
             let mut c = Block::new(n, parent.coords);

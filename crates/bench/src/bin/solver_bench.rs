@@ -1,0 +1,47 @@
+//! Engine benchmark: sparse revised simplex vs the dense-tableau oracle
+//! on the paper-shaped `(Steps, |A|)` sweep. Writes `BENCH_milp.json`
+//! (schema documented in `EXPERIMENTS.md`) and prints the report table.
+//!
+//! Usage: `solver_bench [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs the reduced CI grid; `--out` overrides the JSON path
+//! (default `BENCH_milp.json` in the current directory).
+
+use bench::experiments::solver_bench::{run, FULL_GRID, SMOKE_GRID};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_milp.json".into());
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            a != "--smoke"
+                && a != "--out"
+                && !(i > 0 && args[i - 1] == "--out")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown argument {bad}; usage: solver_bench [--smoke] [--out PATH]");
+        std::process::exit(2);
+    }
+
+    let grid: &[(usize, usize)] = if smoke { &SMOKE_GRID } else { &FULL_GRID };
+    let outcome = run(grid);
+    println!("{}", outcome.report);
+    let json = outcome.to_json().to_string_pretty();
+    std::fs::write(&out, json + "\n").expect("write BENCH_milp.json");
+    let largest = outcome.points.last().expect("non-empty grid");
+    println!(
+        "largest instance (Steps={}, |A|={}): LP speedup {:.1}x -> {out}",
+        largest.steps,
+        largest.analyses,
+        largest.lp_speedup()
+    );
+}

@@ -6,17 +6,21 @@ pub mod ablation;
 pub mod fig2_interp;
 pub mod fig4_profiles;
 pub mod fig5_moldable;
+pub mod solver_bench;
 pub mod table4_postproc;
 pub mod table5_threshold;
 pub mod table6_total;
 pub mod table7_output;
 pub mod table8_weights;
 
+/// A reproduction section: display title + report generator.
+type Section = (&'static str, fn() -> String);
+
 /// Runs every experiment and concatenates the reports (the
 /// `reproduce_all` binary).
 pub fn run_all() -> String {
     let mut out = String::new();
-    let sections: [(&str, fn() -> String); 9] = [
+    let sections: [Section; 9] = [
         ("Figure 2 (interpolation accuracy)", || {
             fig2_interp::run().report
         }),

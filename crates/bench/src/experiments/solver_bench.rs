@@ -1,0 +1,285 @@
+//! Engine sweep: sparse revised simplex vs the dense-tableau oracle on
+//! paper-shaped scheduling instances of growing size.
+//!
+//! For each `(Steps, |A|)` grid point we build the **exact time-indexed
+//! formulation** (Eqs. 1–9; `2·|A|·Steps` binaries — the LP family the
+//! paper's GAMS/CPLEX stack solved) and measure, per engine,
+//!
+//! * the root **LP relaxation** wall time and pivot count — the number the
+//!   `≥ 3×` sparse-vs-dense acceptance bar is measured on, and
+//! * the full **MILP** solve (wall time, branch & bound nodes, total
+//!   pivots, plus revised-engine telemetry: refactorizations, eta peak,
+//!   FTRAN/BTRAN time).
+//!
+//! [`Outcome::to_json`] serializes the sweep in the `BENCH_milp.json`
+//! schema documented in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use insitu_core::formulation::build_exact;
+use insitu_types::json::Value;
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
+use milp::{solve_lp_relaxation, SimplexEngine, SolveOptions};
+
+/// Sweep grid for the full benchmark: `(Steps, |A|)`.
+pub const FULL_GRID: [(usize, usize); 6] = [(16, 2), (32, 2), (32, 4), (64, 2), (64, 4), (96, 4)];
+
+/// Sweep grid for `--smoke` (CI): small but still two sizes per axis.
+pub const SMOKE_GRID: [(usize, usize); 2] = [(8, 2), (16, 3)];
+
+/// Per-engine measurements on one instance.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineRun {
+    /// Root LP relaxation wall time (milliseconds).
+    pub lp_wall_ms: f64,
+    /// Simplex pivots in the root LP relaxation.
+    pub lp_pivots: usize,
+    /// Full MILP solve wall time (milliseconds).
+    pub milp_wall_ms: f64,
+    /// Branch & bound nodes in the full solve.
+    pub nodes: usize,
+    /// Total simplex pivots across the full solve.
+    pub total_pivots: usize,
+    /// Basis refactorizations (0 for the dense engine).
+    pub refactorizations: usize,
+    /// Peak eta-file length (0 for the dense engine).
+    pub max_eta_len: usize,
+    /// Time inside FTRAN solves (milliseconds; 0 for the dense engine).
+    pub ftran_ms: f64,
+    /// Time inside BTRAN solves (milliseconds; 0 for the dense engine).
+    pub btran_ms: f64,
+}
+
+/// One grid point: the instance dimensions and both engines' runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Simulation steps (`Steps`).
+    pub steps: usize,
+    /// Number of analyses (`|A|`).
+    pub analyses: usize,
+    /// Constraint rows in the exact model.
+    pub rows: usize,
+    /// Variables in the exact model.
+    pub cols: usize,
+    /// Sparse revised simplex run.
+    pub revised: EngineRun,
+    /// Dense tableau run.
+    pub dense: EngineRun,
+}
+
+impl SweepPoint {
+    /// Dense-over-revised wall-time ratio on the root LP relaxation.
+    pub fn lp_speedup(&self) -> f64 {
+        self.dense.lp_wall_ms / self.revised.lp_wall_ms.max(1e-3)
+    }
+}
+
+/// Sweep result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// One entry per grid point, in sweep order (largest last).
+    pub points: Vec<SweepPoint>,
+    /// Printable report.
+    pub report: String,
+}
+
+/// A paper-shaped instance: |A| analyses with spread compute/output costs,
+/// interval `Steps/8`, integral weights (so the integral-objective gap
+/// trick keeps the MILP solve exact and fast) and a budget that forces a
+/// nontrivial trade-off.
+pub fn instance(steps: usize, n: usize) -> ScheduleProblem {
+    let itv = (steps / 8).max(1);
+    let kmax = (steps / itv) as f64;
+    let mut analyses = Vec::with_capacity(n);
+    let mut rough = 0.0;
+    for i in 0..n {
+        let ct = 1.0 + i as f64 * 1.5;
+        let ot = 0.25 * (1 + i % 2) as f64;
+        rough += kmax * (ct + ot);
+        analyses.push(
+            AnalysisProfile::new(format!("A{i}"))
+                .with_compute(ct, 0.0)
+                .with_output(ot, 0.0, 1)
+                .with_weight((1 + i % 3) as f64)
+                .with_interval(itv),
+        );
+    }
+    ScheduleProblem::new(
+        analyses,
+        ResourceConfig::from_total_threshold(steps, rough * 0.6, 1e12, 1e9),
+    )
+    .expect("valid instance")
+}
+
+fn opts(engine: SimplexEngine) -> SolveOptions {
+    SolveOptions {
+        engine,
+        threads: 1,
+        // weights are integral => objective integral => gap < 1 is exact
+        abs_gap: 0.999,
+        ..SolveOptions::default()
+    }
+}
+
+fn run_engine(problem: &ScheduleProblem, engine: SimplexEngine) -> EngineRun {
+    let (model, _) = build_exact(problem);
+    let o = opts(engine);
+
+    let t0 = Instant::now();
+    let lp = solve_lp_relaxation(&model, &o).expect("LP relaxation solvable");
+    let lp_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let sol = milp::solve(&model, &o).expect("MILP solvable");
+    let milp_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    EngineRun {
+        lp_wall_ms,
+        lp_pivots: lp.iterations,
+        milp_wall_ms,
+        nodes: sol.nodes,
+        total_pivots: sol.stats.lp_pivots,
+        refactorizations: sol.stats.refactorizations,
+        max_eta_len: sol.stats.max_eta_len,
+        ftran_ms: sol.stats.ftran_time.as_secs_f64() * 1e3,
+        btran_ms: sol.stats.btran_time.as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs the sweep over `grid`.
+pub fn run(grid: &[(usize, usize)]) -> Outcome {
+    let mut points = Vec::with_capacity(grid.len());
+    let mut t = crate::table::TextTable::new(&[
+        "Steps",
+        "|A|",
+        "rows x cols",
+        "LP revised (ms)",
+        "LP dense (ms)",
+        "LP speedup",
+        "MILP revised (ms)",
+        "MILP dense (ms)",
+        "nodes",
+    ]);
+    for &(steps, n) in grid {
+        let problem = instance(steps, n);
+        let (model, _) = build_exact(&problem);
+        let (rows, cols) = (model.num_cons(), model.num_vars());
+        let revised = run_engine(&problem, SimplexEngine::Revised);
+        let dense = run_engine(&problem, SimplexEngine::DenseTableau);
+        let p = SweepPoint {
+            steps,
+            analyses: n,
+            rows,
+            cols,
+            revised,
+            dense,
+        };
+        t.row(&[
+            steps.to_string(),
+            n.to_string(),
+            format!("{rows} x {cols}"),
+            format!("{:.2}", revised.lp_wall_ms),
+            format!("{:.2}", dense.lp_wall_ms),
+            format!("{:.1}x", p.lp_speedup()),
+            format!("{:.2}", revised.milp_wall_ms),
+            format!("{:.2}", dense.milp_wall_ms),
+            format!("{}/{}", revised.nodes, dense.nodes),
+        ]);
+        points.push(p);
+    }
+    let report = format!(
+        "Exact time-indexed formulation (2*|A|*Steps binaries), both LP\n\
+         engines; LP columns time the root relaxation, MILP columns the\n\
+         full branch & bound. nodes column is revised/dense.\n{}",
+        t.render()
+    );
+    Outcome { points, report }
+}
+
+fn engine_json(r: &EngineRun) -> Value {
+    let mut o = std::collections::BTreeMap::new();
+    o.insert("lp_wall_ms".into(), Value::Number(r.lp_wall_ms));
+    o.insert("lp_pivots".into(), Value::Number(r.lp_pivots as f64));
+    o.insert("milp_wall_ms".into(), Value::Number(r.milp_wall_ms));
+    o.insert("nodes".into(), Value::Number(r.nodes as f64));
+    o.insert("total_pivots".into(), Value::Number(r.total_pivots as f64));
+    o.insert(
+        "refactorizations".into(),
+        Value::Number(r.refactorizations as f64),
+    );
+    o.insert("max_eta_len".into(), Value::Number(r.max_eta_len as f64));
+    o.insert("ftran_ms".into(), Value::Number(r.ftran_ms));
+    o.insert("btran_ms".into(), Value::Number(r.btran_ms));
+    Value::Object(o)
+}
+
+impl Outcome {
+    /// Serializes the sweep in the `BENCH_milp.json` schema (see
+    /// `EXPERIMENTS.md`).
+    pub fn to_json(&self) -> Value {
+        let instances: Vec<Value> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut o = std::collections::BTreeMap::new();
+                o.insert("steps".into(), Value::Number(p.steps as f64));
+                o.insert("analyses".into(), Value::Number(p.analyses as f64));
+                o.insert("rows".into(), Value::Number(p.rows as f64));
+                o.insert("cols".into(), Value::Number(p.cols as f64));
+                o.insert("revised".into(), engine_json(&p.revised));
+                o.insert("dense_tableau".into(), engine_json(&p.dense));
+                o.insert("lp_speedup".into(), Value::Number(p.lp_speedup()));
+                Value::Object(o)
+            })
+            .collect();
+        let mut root = std::collections::BTreeMap::new();
+        root.insert(
+            "schema".into(),
+            Value::String("bench/milp-engine-sweep/v1".into()),
+        );
+        root.insert("instances".into(), Value::Array(instances));
+        root.insert(
+            "largest_lp_speedup".into(),
+            Value::Number(self.points.last().map_or(0.0, |p| p.lp_speedup())),
+        );
+        Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_runs_and_serializes() {
+        let o = run(&SMOKE_GRID);
+        assert_eq!(o.points.len(), SMOKE_GRID.len());
+        for p in &o.points {
+            // both engines reached the same search outcome
+            assert!(p.revised.lp_pivots > 0 && p.dense.lp_pivots > 0);
+            assert!(p.revised.refactorizations > 0, "revised telemetry flows");
+            assert_eq!(p.dense.refactorizations, 0, "dense has no eta file");
+        }
+        let json = o.to_json().to_string_pretty();
+        assert!(json.contains("bench/milp-engine-sweep/v1"));
+        assert!(json.contains("largest_lp_speedup"));
+        // the schema round-trips through the vendored parser
+        insitu_types::json::Value::parse(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn engines_agree_on_smoke_objectives() {
+        for &(steps, n) in &SMOKE_GRID {
+            let problem = instance(steps, n);
+            let (model, _) = insitu_core::formulation::build_exact(&problem);
+            let r = milp::solve(&model, &opts(SimplexEngine::Revised)).unwrap();
+            let d = milp::solve(&model, &opts(SimplexEngine::DenseTableau)).unwrap();
+            assert!(
+                (r.objective - d.objective).abs() < 1e-6,
+                "steps={steps} n={n}: revised {} vs dense {}",
+                r.objective,
+                d.objective
+            );
+        }
+    }
+}

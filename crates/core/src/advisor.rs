@@ -11,6 +11,7 @@ use crate::validate::{validate_schedule, ValidationReport};
 
 /// Advisor configuration.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct AdvisorOptions {
     /// Options forwarded to the MILP solver.
     pub solver: SolveOptions,
@@ -21,14 +22,6 @@ pub struct AdvisorOptions {
     pub exact_steps_limit: usize,
 }
 
-impl Default for AdvisorOptions {
-    fn default() -> Self {
-        AdvisorOptions {
-            solver: SolveOptions::default(),
-            exact_steps_limit: 0,
-        }
-    }
-}
 
 /// Errors surfaced by the advisor.
 #[derive(Debug, Clone, PartialEq)]

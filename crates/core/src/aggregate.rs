@@ -278,7 +278,7 @@ pub fn solve_aggregate_counts(
     problem: &ScheduleProblem,
     opts: &SolveOptions,
 ) -> Result<AggregateSolution, SolveError> {
-    if problem.len() == 0 {
+    if problem.is_empty() {
         problem
             .validate()
             .map_err(|e| SolveError::BadModel(e.to_string()))?;

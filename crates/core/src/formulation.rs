@@ -247,8 +247,8 @@ pub fn build_exact(problem: &ScheduleProblem) -> (Model, ExactVars) {
     {
         for j in 1..=steps {
             let mut total = LinExpr::new();
-            for i in 0..problem.len() {
-                total = total.add_expr(&mstart_exprs[i][j - 1]);
+            for exprs in &mstart_exprs {
+                total = total.add_expr(&exprs[j - 1]);
             }
             m.add_con(total, Cmp::Le, problem.resources.mem_threshold / mem_scale);
         }

@@ -292,7 +292,7 @@ mod tests {
         assert!(rec.outputs.is_empty());
     }
 
-    impl<'a, S, T: Analysis<S>> Analysis<S> for &'a mut T {
+    impl<S, T: Analysis<S>> Analysis<S> for &mut T {
         fn name(&self) -> &str {
             T::name(self)
         }

@@ -38,14 +38,16 @@ pub enum Value {
     Object(BTreeMap<String, Value>),
 }
 
-impl Value {
-    /// Renders compact JSON.
-    pub fn to_string(&self) -> String {
+/// Renders compact JSON (and powers `Value::to_string`).
+impl core::fmt::Display for Value {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let mut out = String::new();
         self.render(&mut out, None, 0);
-        out
+        f.write_str(&out)
     }
+}
 
+impl Value {
     /// Renders human-readable JSON with two-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();

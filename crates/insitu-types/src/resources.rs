@@ -146,8 +146,10 @@ mod tests {
 
     #[test]
     fn validation_catches_zero_steps() {
-        let mut rc = ResourceConfig::default();
-        rc.steps = 0;
+        let rc = ResourceConfig {
+            steps: 0,
+            ..ResourceConfig::default()
+        };
         assert!(matches!(rc.validate(), Err(TypeError::ZeroSteps)));
     }
 

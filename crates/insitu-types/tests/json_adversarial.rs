@@ -138,7 +138,7 @@ fn duplicate_keys_last_one_wins_deterministically() {
 #[test]
 fn non_utf8_inside_string_rejected() {
     // build a byte-invalid document: 0xFF inside a string literal
-    let bytes = vec![b'"', 0xFF, b'"'];
+    let bytes = [b'"', 0xFF, b'"'];
     // SAFETY dance avoided: go through from_utf8_lossy? No — Value::parse
     // takes &str, so invalid UTF-8 cannot even reach it. Instead check the
     // escape path: \u0000 (NUL) is a valid code point and must round-trip.

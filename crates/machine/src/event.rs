@@ -308,7 +308,7 @@ mod tests {
             output_time: 0.0,
             transfer_time: 0.0,
         };
-        let one = replay(&sched, 10, 0.1, &[cost.clone()], 1);
+        let one = replay(&sched, 10, 0.1, std::slice::from_ref(&cost), 1);
         let four = replay(&sched, 10, 0.1, &[cost], 4);
         assert!(four.makespan() < one.makespan());
         assert_eq!(four.staging_busy, one.staging_busy, "same total work");

@@ -92,7 +92,7 @@ impl Machine {
     /// layout: "16384 processes (1024 nodes, 16 ranks per node)").
     pub fn partition_for_ranks(&self, ranks: usize) -> Option<Partition> {
         let rpn = self.node.cores;
-        if ranks % rpn != 0 {
+        if !ranks.is_multiple_of(rpn) {
             return None;
         }
         self.partition(ranks / rpn, rpn)

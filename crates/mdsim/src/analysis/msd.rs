@@ -51,8 +51,8 @@ impl Msd {
         }
         for &i in &self.tracked {
             let u = system.unwrapped_position(i);
-            for d in 0..3 {
-                self.reference[d].push(u[d]);
+            for (refs, &ud) in self.reference.iter_mut().zip(&u) {
+                refs.push(ud);
             }
         }
     }
@@ -65,8 +65,8 @@ impl Msd {
         let mut sum = 0.0;
         for (t, &i) in self.tracked.iter().enumerate() {
             let u = system.unwrapped_position(i);
-            for d in 0..3 {
-                let dx = u[d] - self.reference[d][t];
+            for (&ud, refs) in u.iter().zip(&self.reference) {
+                let dx = ud - refs[t];
                 sum += dx * dx;
             }
         }

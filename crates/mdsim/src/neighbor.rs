@@ -26,8 +26,8 @@ impl CellList {
     pub fn build(bounds: &SimBox, pos: &[Vec<f64>; 3], cutoff: f64) -> Self {
         let n = pos[0].len();
         let mut dims = [1usize; 3];
-        for d in 0..3 {
-            dims[d] = (bounds.lengths[d] / cutoff).floor().max(1.0) as usize;
+        for (dim, &len) in dims.iter_mut().zip(&bounds.lengths) {
+            *dim = (len / cutoff).floor().max(1.0) as usize;
         }
         let ncells = dims[0] * dims[1] * dims[2];
         let mut heads = vec![EMPTY; ncells];
@@ -70,7 +70,7 @@ impl CellList {
         for dz in -1i64..=1 {
             for dy in -1i64..=1 {
                 for dx in -1i64..=1 {
-                    if (dz, dy, dx) > (0, 0, 0) || (dz, dy, dx) == (0, 0, 0) {
+                    if (dz, dy, dx) >= (0, 0, 0) {
                         stencil.push([dx, dy, dz]);
                     }
                 }
@@ -143,9 +143,14 @@ pub fn brute_force_pairs(
     let cut2 = cutoff * cutoff;
     for i in 0..n {
         let pi = [pos[0][i], pos[1][i], pos[2][i]];
-        for j in (i + 1)..n {
-            let pj = [pos[0][j], pos[1][j], pos[2][j]];
-            let r2 = bounds.dist2(pi, pj);
+        for (j, ((&xj, &yj), &zj)) in pos[0]
+            .iter()
+            .zip(&pos[1])
+            .zip(&pos[2])
+            .enumerate()
+            .skip(i + 1)
+        {
+            let r2 = bounds.dist2(pi, [xj, yj, zj]);
             if r2 < cut2 {
                 f(i, j, r2);
             }
@@ -192,8 +197,8 @@ mod tests {
         let pos = random_positions(300, 12.0, 42);
         let cutoff = 2.5;
         let cl = CellList::build(&bounds, &pos, cutoff);
-        let fast = pair_set(|f| cl.for_each_pair(&bounds, &pos, |i, j, r2| f(i, j, r2)));
-        let slow = pair_set(|f| brute_force_pairs(&bounds, &pos, cutoff, |i, j, r2| f(i, j, r2)));
+        let fast = pair_set(|f| cl.for_each_pair(&bounds, &pos, f));
+        let slow = pair_set(|f| brute_force_pairs(&bounds, &pos, cutoff, f));
         assert_eq!(fast, slow);
         assert!(!slow.is_empty());
     }
@@ -205,8 +210,8 @@ mod tests {
         let pos = random_positions(40, 3.0, 7);
         let cutoff = 1.4;
         let cl = CellList::build(&bounds, &pos, cutoff);
-        let fast = pair_set(|f| cl.for_each_pair(&bounds, &pos, |i, j, r2| f(i, j, r2)));
-        let slow = pair_set(|f| brute_force_pairs(&bounds, &pos, cutoff, |i, j, r2| f(i, j, r2)));
+        let fast = pair_set(|f| cl.for_each_pair(&bounds, &pos, f));
+        let slow = pair_set(|f| brute_force_pairs(&bounds, &pos, cutoff, f));
         assert_eq!(fast, slow);
     }
 
@@ -221,8 +226,8 @@ mod tests {
         }
         let cutoff = 1.8;
         let cl = CellList::build(&bounds, &pos, cutoff);
-        let fast = pair_set(|f| cl.for_each_pair(&bounds, &pos, |i, j, r2| f(i, j, r2)));
-        let slow = pair_set(|f| brute_force_pairs(&bounds, &pos, cutoff, |i, j, r2| f(i, j, r2)));
+        let fast = pair_set(|f| cl.for_each_pair(&bounds, &pos, f));
+        let slow = pair_set(|f| brute_force_pairs(&bounds, &pos, cutoff, f));
         assert_eq!(fast, slow);
     }
 

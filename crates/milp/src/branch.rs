@@ -182,6 +182,12 @@ struct Shared<'m> {
     pruned_infeasible: AtomicUsize,
     lp_pivots: AtomicUsize,
     warm_started: AtomicUsize,
+    /// Revised-engine counters, aggregated across workers (all zero when
+    /// the dense oracle engine is selected).
+    refactorizations: AtomicUsize,
+    max_eta_len: AtomicUsize,
+    ftran_ns: AtomicU64,
+    btran_ns: AtomicU64,
     next_seq: AtomicU64,
     error: Mutex<Option<SolveError>>,
     events: Mutex<Vec<IncumbentEvent>>,
@@ -221,6 +227,15 @@ impl<'m> Shared<'m> {
                 stats: SolveStats::default(),
             });
         }
+    }
+
+    /// Accumulates one LP solve's revised-engine counters.
+    fn absorb_telemetry(&self, t: &crate::stats::LpTelemetry) {
+        self.refactorizations
+            .fetch_add(t.refactorizations, AtOrd::Relaxed);
+        self.max_eta_len.fetch_max(t.max_eta_len, AtOrd::Relaxed);
+        self.ftran_ns.fetch_add(t.ftran_ns, AtOrd::Relaxed);
+        self.btran_ns.fetch_add(t.btran_ns, AtOrd::Relaxed);
     }
 
     /// Records a fatal error and wakes every worker to exit.
@@ -347,6 +362,7 @@ fn worker(sh: &Shared<'_>, total: usize) {
                         {
                             Ok((relax, point)) => {
                                 sh.lp_pivots.fetch_add(relax.iterations, AtOrd::Relaxed);
+                                sh.absorb_telemetry(&point.telemetry);
                                 if point.warm {
                                     sh.warm_started.fetch_add(1, AtOrd::Relaxed);
                                 }
@@ -469,6 +485,10 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         pruned_infeasible: AtomicUsize::new(0),
         lp_pivots: AtomicUsize::new(root.iterations),
         warm_started: AtomicUsize::new(0),
+        refactorizations: AtomicUsize::new(root_point.telemetry.refactorizations),
+        max_eta_len: AtomicUsize::new(root_point.telemetry.max_eta_len),
+        ftran_ns: AtomicU64::new(root_point.telemetry.ftran_ns),
+        btran_ns: AtomicU64::new(root_point.telemetry.btran_ns),
         next_seq: AtomicU64::new(0),
         error: Mutex::new(None),
         events: Mutex::new(Vec::new()),
@@ -518,6 +538,10 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
                 nodes_pruned_infeasible: sh.pruned_infeasible.load(AtOrd::Relaxed),
                 lp_pivots: sol.iterations,
                 warm_started: sh.warm_started.load(AtOrd::Relaxed),
+                refactorizations: sh.refactorizations.load(AtOrd::Relaxed),
+                max_eta_len: sh.max_eta_len.load(AtOrd::Relaxed),
+                ftran_time: std::time::Duration::from_nanos(sh.ftran_ns.load(AtOrd::Relaxed)),
+                btran_time: std::time::Duration::from_nanos(sh.btran_ns.load(AtOrd::Relaxed)),
                 incumbent_updates: sh.events.lock().unwrap().drain(..).collect(),
                 presolve_time,
                 root_lp_time,

@@ -61,7 +61,7 @@ pub fn brute_force(model: &Model, max_points: usize) -> Result<BruteResult, Solv
             let obj = model.objective_value(&values);
             let better = best
                 .as_ref()
-                .map_or(true, |(_, b)| model.better(obj, *b));
+                .is_none_or(|(_, b)| model.better(obj, *b));
             if better {
                 best = Some((values, obj));
             }

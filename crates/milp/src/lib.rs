@@ -5,9 +5,13 @@
 //!
 //! * a [`Model`] builder with continuous, integer and binary variables,
 //!   linear constraints and a linear objective,
-//! * a bounded-variable, two-phase primal **simplex** solver for the LP
-//!   relaxation ([`simplex`]), with dual-simplex **warm starts** from a
-//!   parent [`Basis`],
+//! * a **sparse revised simplex** LP engine ([`revised`]): LU-factorized
+//!   basis ([`lu`]) with eta updates, BTRAN/FTRAN solves and partial
+//!   pricing over the CSC constraint matrix, with dual-simplex **warm
+//!   starts** that refactorize a parent [`Basis`] directly,
+//! * a bounded-variable, two-phase primal **simplex** on a dense tableau
+//!   ([`simplex`]), kept as the differential oracle behind
+//!   [`SimplexEngine::DenseTableau`],
 //! * **branch & bound** with best-first node selection,
 //!   most-fractional branching and optional multi-threaded search
 //!   ([`branch`]; see [`SolveOptions::threads`]),
@@ -63,9 +67,11 @@ pub mod branch;
 pub mod brute;
 pub mod error;
 pub mod expr;
+pub mod lu;
 pub mod model;
 pub mod options;
 pub mod presolve;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
 pub mod standard;
@@ -75,8 +81,8 @@ pub use branch::solve;
 pub use error::SolveError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Model, Sense, VarKind};
-pub use options::SolveOptions;
+pub use options::{SimplexEngine, SolveOptions};
 pub use presolve::{presolve, PresolveStats};
 pub use simplex::{solve_lp_relaxation, Basis};
 pub use solution::Solution;
-pub use stats::{IncumbentEvent, SolveStats};
+pub use stats::{IncumbentEvent, LpTelemetry, SolveStats};

@@ -1,5 +1,25 @@
 //! Solver configuration knobs.
 
+/// Which LP engine solves each relaxation.
+///
+/// Both engines implement the same bounded-variable two-phase primal
+/// simplex with identical tolerances and solve every LP to proven
+/// optimality, so they return the same objectives — the choice is purely
+/// about cost per iteration. The differential fuzz harness cross-checks
+/// the two on every corpus instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplexEngine {
+    /// Sparse revised simplex: LU-factorized basis with eta updates,
+    /// BTRAN/FTRAN solves, partial pricing. Cost per iteration tracks the
+    /// nonzero count. The default.
+    #[default]
+    Revised,
+    /// Dense tableau (the original engine). Cost per iteration is
+    /// O(rows · cols) regardless of sparsity; kept as the differential
+    /// oracle and for tiny instances.
+    DenseTableau,
+}
+
 /// Tunable limits and tolerances for [`crate::solve`].
 ///
 /// Construct with struct-update syntax so future knobs don't break callers:
@@ -46,6 +66,13 @@ pub struct SolveOptions {
     /// `certify` crate) can re-derive that the tree was closed. Off by
     /// default — the log costs one small allocation per node.
     pub certificate: bool,
+    /// LP engine used for every relaxation (root, children, pure LP
+    /// solves). See [`SimplexEngine`]; results are engine-independent.
+    pub engine: SimplexEngine,
+    /// Revised simplex only: refactorize the basis after this many eta
+    /// updates. Smaller = more numerically conservative, larger = fewer
+    /// (expensive) factorizations. Clamped to at least 1.
+    pub refactor_interval: usize,
 }
 
 impl Default for SolveOptions {
@@ -61,6 +88,8 @@ impl Default for SolveOptions {
             threads: 1,
             warm_start: true,
             certificate: false,
+            engine: SimplexEngine::default(),
+            refactor_interval: 64,
         }
     }
 }
@@ -99,6 +128,8 @@ mod tests {
         assert!(o.rounding_heuristic);
         assert_eq!(o.threads, 1);
         assert!(o.warm_start);
+        assert_eq!(o.engine, SimplexEngine::Revised);
+        assert!(o.refactor_interval >= 1);
     }
 
     #[test]

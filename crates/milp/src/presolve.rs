@@ -53,7 +53,7 @@ pub fn presolve(model: &mut Model, tol: f64) -> Result<PresolveStats, SolveError
         stats.passes += 1;
         let mut changed = false;
         let mut keep = vec![true; model.cons.len()];
-        for r in 0..model.cons.len() {
+        for (r, keep_row) in keep.iter_mut().enumerate() {
             let cmp = model.cons[r].cmp;
             let rhs = model.cons[r].rhs;
             let (lo, hi) = activity_bounds(model, r);
@@ -67,7 +67,7 @@ pub fn presolve(model: &mut Model, tol: f64) -> Result<PresolveStats, SolveError
                         return Err(SolveError::Infeasible);
                     }
                     if hi <= rhs + tol {
-                        keep[r] = false;
+                        *keep_row = false;
                         continue;
                     }
                 }
@@ -76,7 +76,7 @@ pub fn presolve(model: &mut Model, tol: f64) -> Result<PresolveStats, SolveError
                         return Err(SolveError::Infeasible);
                     }
                     if lo >= rhs - tol {
-                        keep[r] = false;
+                        *keep_row = false;
                         continue;
                     }
                 }

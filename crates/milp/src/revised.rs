@@ -1,0 +1,931 @@
+//! Sparse revised simplex — the default LP engine.
+//!
+//! Where the dense tableau engine ([`crate::simplex`]) keeps the full
+//! `B⁻¹A` matrix and pays `O(rows · cols)` per pivot, this engine keeps
+//! only
+//!
+//! * the constraint matrix in CSC form ([`crate::standard::Csc`], shared,
+//!   read-only),
+//! * an LU factorization of the current basis with an eta file of
+//!   product-form updates ([`crate::lu`]), refactorized every
+//!   [`SolveOptions::refactor_interval`] pivots,
+//! * the basic-variable values `x_B`, updated incrementally and
+//!   recomputed exactly at every refactorization.
+//!
+//! Per iteration it solves `Bᵀy = c_B` (**BTRAN**) for the pricing duals,
+//! prices nonbasic columns with **partial (candidate-block) pricing**
+//! (Dantzig within the block, with the same automatic switch to Bland's
+//! rule as the dense engine), and solves `Bw = a_j` (**FTRAN**) for the
+//! bounded-variable ratio test. Per-pivot cost therefore tracks the
+//! nonzero count, not the matrix area.
+//!
+//! The two engines implement the same method (bounded-variable two-phase
+//! primal simplex with dual-simplex warm-start repair) with the same
+//! tolerances, so they terminate on the same optima; every solve is an
+//! independently proven optimum either way, which the differential fuzz
+//! harness (`tests/tests/certify_differential.rs`) cross-checks on the
+//! full seeded corpus.
+
+use std::time::Instant;
+
+use crate::error::SolveError;
+use crate::lu::{Factorization, LuFactors};
+use crate::options::SolveOptions;
+use crate::simplex::{Basis, LpPoint};
+use crate::standard::StandardForm;
+use crate::stats::LpTelemetry;
+
+/// Minimum absolute pivot element accepted (same as the dense engine).
+const PIVOT_TOL: f64 = 1e-9;
+/// Reduced-cost threshold for entering eligibility.
+const COST_TOL: f64 = 1e-7;
+/// Residual threshold for phase-1 feasibility.
+const FEAS_TOL: f64 = 1e-6;
+/// Smallest partial-pricing candidate block.
+const PRICE_BLOCK_MIN: usize = 64;
+
+/// Working state of one revised-simplex solve.
+struct Engine<'a> {
+    sf: &'a StandardForm,
+    m: usize,
+    /// Structural + slack columns.
+    n: usize,
+    /// `n` + one artificial per row.
+    n_total: usize,
+    /// Sign of each artificial column (`±e_r`), chosen so the initial
+    /// artificial value is `|residual|`.
+    art_sign: Vec<f64>,
+    /// Column basic in each position.
+    basis: Vec<usize>,
+    /// Per-column basic flag (maintained incrementally).
+    in_basis: Vec<bool>,
+    /// Nonbasic-at-upper flags.
+    at_upper: Vec<bool>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Columns banned from entering (artificials that left the basis).
+    banned: Vec<bool>,
+    /// Values of the basic variables, by basis position.
+    x_basic: Vec<f64>,
+    fac: Factorization,
+    iterations: usize,
+    refactor_interval: usize,
+    tele: LpTelemetry,
+    /// Rotating start column of the partial-pricing scan.
+    price_start: usize,
+    // --- scratch buffers (allocation-free iterations) ---
+    /// FTRAN right-hand side (orig-row space).
+    sv: Vec<f64>,
+    /// FTRAN result (basis-position space) — the entering column image.
+    sw: Vec<f64>,
+    /// BTRAN right-hand side (basis-position space).
+    sc: Vec<f64>,
+    /// BTRAN result: pricing duals `y` (orig-row space).
+    sy: Vec<f64>,
+    /// BTRAN result: dual-simplex row `ρ = B⁻ᵀ eᵣ` (orig-row space).
+    sr: Vec<f64>,
+    /// BTRAN internal scratch (pivot-sequence space).
+    sg: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Engine with the all-artificial starting basis (phase-1 ready).
+    fn cold(sf: &'a StandardForm, opts: &SolveOptions) -> Engine<'a> {
+        let m = sf.nrows();
+        let n = sf.ncols();
+        let n_total = n + m;
+        let mut lower = sf.lower.clone();
+        let mut upper = sf.upper.clone();
+        lower.extend(std::iter::repeat_n(0.0, m));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, m));
+        // residuals with every column at its (finite) lower bound
+        let mut resid = sf.b.clone();
+        for j in 0..n {
+            let lj = sf.lower[j];
+            if lj != 0.0 {
+                for (r, v) in sf.a.col(j) {
+                    resid[r] -= v * lj;
+                }
+            }
+        }
+        let art_sign: Vec<f64> = resid
+            .iter()
+            .map(|&r| if r < 0.0 { -1.0 } else { 1.0 })
+            .collect();
+        let x_basic: Vec<f64> = resid.iter().map(|r| r.abs()).collect();
+        let cols: Vec<Vec<(usize, f64)>> =
+            (0..m).map(|r| vec![(r, art_sign[r])]).collect();
+        let lu = LuFactors::factor(m, &cols).expect("±identity is nonsingular");
+        let mut in_basis = vec![false; n_total];
+        in_basis[n..n_total].fill(true);
+        Engine {
+            sf,
+            m,
+            n,
+            n_total,
+            art_sign,
+            basis: (n..n_total).collect(),
+            in_basis,
+            at_upper: vec![false; n_total],
+            lower,
+            upper,
+            banned: vec![false; n_total],
+            x_basic,
+            fac: Factorization::new(lu),
+            iterations: 0,
+            refactor_interval: opts.refactor_interval.max(1),
+            tele: LpTelemetry::default(),
+            price_start: 0,
+            sv: vec![0.0; m],
+            sw: vec![0.0; m],
+            sc: vec![0.0; m],
+            sy: vec![0.0; m],
+            sr: vec![0.0; m],
+            sg: vec![0.0; m],
+        }
+    }
+
+    /// Dot product of column `j` (structural/slack from the CSC matrix,
+    /// artificial as a signed unit vector) with a row-space vector.
+    #[inline]
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            self.sf.a.col(j).map(|(r, v)| y[r] * v).sum()
+        } else {
+            self.art_sign[j - self.n] * y[j - self.n]
+        }
+    }
+
+    /// `sw = B⁻¹ a_j` (timed FTRAN).
+    fn ftran_col(&mut self, j: usize) {
+        self.sv.fill(0.0);
+        if j < self.n {
+            for (r, v) in self.sf.a.col(j) {
+                self.sv[r] = v;
+            }
+        } else {
+            self.sv[j - self.n] = self.art_sign[j - self.n];
+        }
+        let t0 = Instant::now();
+        self.fac.ftran(&mut self.sv, &mut self.sw);
+        self.tele.ftran_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// `sy = B⁻ᵀ c_B` — the pricing duals (timed BTRAN).
+    fn duals(&mut self, cost: &[f64]) {
+        for k in 0..self.m {
+            self.sc[k] = cost[self.basis[k]];
+        }
+        let t0 = Instant::now();
+        self.fac.btran(&mut self.sc, &mut self.sy, &mut self.sg);
+        self.tele.btran_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// `sr = B⁻ᵀ e_r` — row `r` of the basis inverse (timed BTRAN).
+    fn inverse_row(&mut self, r: usize) {
+        self.sc.fill(0.0);
+        self.sc[r] = 1.0;
+        let t0 = Instant::now();
+        self.fac.btran(&mut self.sc, &mut self.sr, &mut self.sg);
+        self.tele.btran_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Recomputes `x_B = B⁻¹ (b − A_N x_N)` exactly.
+    fn recompute_x(&mut self) {
+        self.sv.copy_from_slice(&self.sf.b);
+        for j in 0..self.n_total {
+            if self.in_basis[j] {
+                continue;
+            }
+            let xj = if self.at_upper[j] {
+                self.upper[j]
+            } else {
+                self.lower[j]
+            };
+            if xj != 0.0 {
+                if j < self.n {
+                    for (r, v) in self.sf.a.col(j) {
+                        self.sv[r] -= v * xj;
+                    }
+                } else {
+                    self.sv[j - self.n] -= self.art_sign[j - self.n] * xj;
+                }
+            }
+        }
+        let t0 = Instant::now();
+        self.fac.ftran(&mut self.sv, &mut self.x_basic);
+        self.tele.ftran_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Refactorizes the current basis from scratch and recomputes `x_B`.
+    /// `false` means the basis is numerically singular.
+    fn refactor(&mut self) -> bool {
+        let cols: Vec<Vec<(usize, f64)>> = self
+            .basis
+            .iter()
+            .map(|&j| {
+                if j < self.n {
+                    self.sf.a.col(j).collect()
+                } else {
+                    vec![(j - self.n, self.art_sign[j - self.n])]
+                }
+            })
+            .collect();
+        match LuFactors::factor(self.m, &cols) {
+            Some(lu) => {
+                self.fac = Factorization::new(lu);
+                self.tele.refactorizations += 1;
+                self.recompute_x();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes the basis exchange "`basis[r] := j`, entering at value
+    /// `enter_val` after moving `step` along `sw`", records the eta (or
+    /// refactorizes when the eta file is full / the pivot too small).
+    fn apply_pivot(
+        &mut self,
+        r: usize,
+        j: usize,
+        step: f64,
+        enter_val: f64,
+    ) -> Result<(), SolveError> {
+        let leaving = self.basis[r];
+        if step != 0.0 {
+            for k in 0..self.m {
+                let wk = self.sw[k];
+                if wk != 0.0 {
+                    self.x_basic[k] -= step * wk;
+                }
+            }
+        }
+        self.x_basic[r] = enter_val;
+        self.in_basis[leaving] = false;
+        self.in_basis[j] = true;
+        self.basis[r] = j;
+        if leaving >= self.n {
+            self.banned[leaving] = true;
+        }
+        self.iterations += 1;
+        let pushed = self.fac.push_eta(r, &self.sw);
+        self.tele.max_eta_len = self.tele.max_eta_len.max(self.fac.eta_len());
+        if (!pushed || self.fac.eta_len() >= self.refactor_interval) && !self.refactor() {
+            // the basis went numerically singular: no stable way forward
+            return Err(SolveError::IterationLimit {
+                iterations: self.iterations,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bland pricing: first eligible column by index.
+    fn price_bland(&self, cost: &[f64]) -> Option<(usize, bool)> {
+        (0..self.n_total).find_map(|j| self.eligibility(j, cost).map(|f| (j, f)))
+    }
+
+    /// Eligibility of one column under the current duals `sy`; returns
+    /// the `from_upper` flag when the column can improve the objective.
+    #[inline]
+    fn eligibility(&self, j: usize, cost: &[f64]) -> Option<bool> {
+        if self.in_basis[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+            return None;
+        }
+        let d = cost[j] - self.col_dot(j, &self.sy);
+        if self.at_upper[j] {
+            (d > COST_TOL).then_some(true)
+        } else {
+            (d < -COST_TOL).then_some(false)
+        }
+    }
+
+    /// Partial pricing: scan candidate blocks from a rotating start;
+    /// within the first block containing an eligible column, pick the
+    /// largest |reduced cost| (Dantzig). `None` after a full wrap means
+    /// this phase is optimal.
+    fn price_partial(&mut self, cost: &[f64]) -> Option<(usize, bool)> {
+        let n = self.n_total;
+        if n == 0 {
+            return None;
+        }
+        let block = (n / 8).max(PRICE_BLOCK_MIN).min(n);
+        let mut best: Option<(usize, f64, bool)> = None;
+        let mut idx = self.price_start % n;
+        let mut scanned = 0;
+        while scanned < n {
+            for _ in 0..block {
+                if scanned >= n {
+                    break;
+                }
+                let j = idx;
+                idx = (idx + 1) % n;
+                scanned += 1;
+                if self.in_basis[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let d = cost[j] - self.col_dot(j, &self.sy);
+                let eligible = if self.at_upper[j] {
+                    d > COST_TOL
+                } else {
+                    d < -COST_TOL
+                };
+                if eligible {
+                    match best {
+                        Some((_, b, _)) if d.abs() <= b => {}
+                        _ => best = Some((j, d.abs(), self.at_upper[j])),
+                    }
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        self.price_start = idx;
+        best.map(|(j, _, f)| (j, f))
+    }
+
+    /// One simplex phase: minimize `cost · x` until optimal.
+    fn run(&mut self, cost: &[f64], opts: &SolveOptions) -> Result<(), SolveError> {
+        let bland_after = 20 * (self.m + self.n_total) + 200;
+        let mut local = 0usize;
+        loop {
+            if self.iterations >= opts.max_simplex_iters {
+                return Err(SolveError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            local += 1;
+            let bland = local > bland_after;
+            self.duals(cost);
+            let enter = if bland {
+                self.price_bland(cost)
+            } else {
+                self.price_partial(cost)
+            };
+            let Some((j, from_upper)) = enter else {
+                return Ok(()); // optimal for this phase
+            };
+            let dir = if from_upper { -1.0 } else { 1.0 };
+            self.ftran_col(j);
+            // --- bounded-variable ratio test (mirrors the dense engine) ---
+            let span = self.upper[j] - self.lower[j]; // may be inf
+            let mut delta = span;
+            let mut leave: Option<(usize, bool)> = None;
+            let mut best_piv = 0.0;
+            for r in 0..self.m {
+                let t = self.sw[r] * dir;
+                let bj = self.basis[r];
+                let xb = self.x_basic[r];
+                if t > PIVOT_TOL {
+                    let limit = ((xb - self.lower[bj]) / t).max(0.0);
+                    if limit < delta - 1e-12
+                        || (limit < delta + 1e-12 && t.abs() > best_piv && !bland)
+                    {
+                        delta = limit.min(delta);
+                        leave = Some((r, false));
+                        best_piv = t.abs();
+                    }
+                } else if t < -PIVOT_TOL {
+                    if self.upper[bj].is_infinite() {
+                        continue;
+                    }
+                    let limit = ((self.upper[bj] - xb) / -t).max(0.0);
+                    if limit < delta - 1e-12
+                        || (limit < delta + 1e-12 && t.abs() > best_piv && !bland)
+                    {
+                        delta = limit.min(delta);
+                        leave = Some((r, true));
+                        best_piv = t.abs();
+                    }
+                }
+            }
+            if delta.is_infinite() {
+                return Err(SolveError::Unbounded);
+            }
+            match leave {
+                None => {
+                    // bound flip: entering runs across its whole span
+                    if delta != 0.0 {
+                        for k in 0..self.m {
+                            let wk = self.sw[k];
+                            if wk != 0.0 {
+                                self.x_basic[k] -= dir * delta * wk;
+                            }
+                        }
+                    }
+                    self.at_upper[j] = !self.at_upper[j];
+                    self.iterations += 1;
+                }
+                Some((r, leaves_at_upper)) => {
+                    let leaving = self.basis[r];
+                    self.at_upper[leaving] = leaves_at_upper;
+                    let rest = if from_upper { self.upper[j] } else { self.lower[j] };
+                    self.apply_pivot(r, j, dir * delta, rest + dir * delta)?;
+                }
+            }
+        }
+    }
+
+    /// Pivots every basic artificial out (degenerate swaps) or pins it at
+    /// zero when its row is redundant. Call between the phases.
+    fn drive_out_artificials(&mut self) -> Result<(), SolveError> {
+        for r in 0..self.m {
+            if self.basis[r] < self.n {
+                continue;
+            }
+            self.inverse_row(r); // sr = row r of B^-1
+            let mut found = None;
+            for j in 0..self.n {
+                if self.in_basis[j] || self.banned[j] {
+                    continue;
+                }
+                if self.col_dot(j, &self.sr).abs() > 1e-7 {
+                    found = Some(j);
+                    break;
+                }
+            }
+            match found {
+                Some(j) => {
+                    self.ftran_col(j);
+                    if self.sw[r].abs() <= PIVOT_TOL {
+                        // numerically inconsistent with ρ·a_j: pin instead
+                        let a = self.basis[r];
+                        self.lower[a] = 0.0;
+                        self.upper[a] = 0.0;
+                        continue;
+                    }
+                    // degenerate swap: the point does not move
+                    let rest = if self.at_upper[j] { self.upper[j] } else { self.lower[j] };
+                    self.apply_pivot(r, j, 0.0, rest)?;
+                }
+                None => {
+                    // redundant row: pin the artificial so it can never move
+                    let a = self.basis[r];
+                    self.lower[a] = 0.0;
+                    self.upper[a] = 0.0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Largest bound violation among the basic variables.
+    fn primal_infeasibility(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.m {
+            let bj = self.basis[r];
+            let xb = self.x_basic[r];
+            worst = worst.max(self.lower[bj] - xb).max(xb - self.upper[bj]);
+        }
+        worst
+    }
+
+    /// Bounded-variable dual simplex: repairs primal infeasibility while
+    /// keeping the reduced costs optimal-signed. Same contract as the
+    /// dense engine's repair: `Ok(false)` means "fall back to a cold
+    /// solve" and is never a feasibility verdict.
+    fn dual_repair(&mut self, cost: &[f64], opts: &SolveOptions) -> Result<bool, SolveError> {
+        let budget = 5 * (self.m + self.n_total) + 100;
+        let mut local = 0usize;
+        loop {
+            if self.iterations >= opts.max_simplex_iters {
+                return Err(SolveError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            if local >= budget {
+                return Ok(false);
+            }
+            local += 1;
+            // --- most infeasible basic variable ---
+            let mut worst: Option<(usize, f64, bool)> = None; // (row, violation, to_upper)
+            for r in 0..self.m {
+                let bj = self.basis[r];
+                let xb = self.x_basic[r];
+                let below = self.lower[bj] - xb;
+                let above = xb - self.upper[bj];
+                if below > FEAS_TOL && worst.is_none_or(|(_, v, _)| below > v) {
+                    worst = Some((r, below, false));
+                }
+                if above > FEAS_TOL && worst.is_none_or(|(_, v, _)| above > v) {
+                    worst = Some((r, above, true));
+                }
+            }
+            let Some((r, _, to_upper)) = worst else {
+                return Ok(true); // primal feasible
+            };
+            // --- dual ratio test over nonbasic columns ---
+            self.duals(cost); // sy: duals for the reduced costs
+            self.inverse_row(r); // sr: pivot row of B^-1
+            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            for (j, &cj) in cost.iter().enumerate() {
+                if self.in_basis[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let t = self.col_dot(j, &self.sr);
+                if t.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let increases = if self.at_upper[j] { t > 0.0 } else { t < 0.0 };
+                // need xB[r] to increase when below lower, decrease when above
+                if increases == to_upper {
+                    continue;
+                }
+                let d = cj - self.col_dot(j, &self.sy);
+                let ratio = (d / t).abs();
+                match enter {
+                    Some((_, best)) if best <= ratio => {}
+                    _ => enter = Some((j, ratio)),
+                }
+            }
+            let Some((j, _)) = enter else {
+                return Ok(false); // let the cold path decide feasibility
+            };
+            self.ftran_col(j);
+            if self.sw[r].abs() <= PIVOT_TOL {
+                return Ok(false); // FTRAN disagrees with ρ·a_j: bail out
+            }
+            let leaving = self.basis[r];
+            let target = if to_upper {
+                self.upper[leaving]
+            } else {
+                self.lower[leaving]
+            };
+            let step = (self.x_basic[r] - target) / self.sw[r];
+            let rest = if self.at_upper[j] { self.upper[j] } else { self.lower[j] };
+            self.at_upper[leaving] = to_upper;
+            self.apply_pivot(r, j, step, rest + step)?;
+        }
+    }
+
+    /// Extracts the optimum: full column values, objective in the model
+    /// sense, and the basis snapshot for warm-starting children.
+    fn finish(mut self, warm: bool) -> LpPoint {
+        let mut x = vec![0.0; self.n];
+        for (j, xj) in x.iter_mut().enumerate() {
+            if !self.in_basis[j] {
+                *xj = if self.at_upper[j] { self.upper[j] } else { self.lower[j] };
+            }
+        }
+        for k in 0..self.m {
+            if self.basis[k] < self.n {
+                x[self.basis[k]] = self.x_basic[k];
+            }
+        }
+        let objective = self.sf.model_objective(&x);
+        self.tele.max_eta_len = self.tele.max_eta_len.max(self.fac.eta_len());
+        LpPoint {
+            x,
+            objective,
+            iterations: self.iterations,
+            basis: Basis {
+                basic: self.basis.clone(),
+                at_upper: self.at_upper[..self.n].to_vec(),
+            },
+            warm,
+            telemetry: self.tele,
+        }
+    }
+}
+
+/// Phase-2 cost vector: the standard-form objective on structural + slack
+/// columns, zero on artificials.
+fn phase2_cost(sf: &StandardForm, n_total: usize) -> Vec<f64> {
+    let mut cost = vec![0.0; n_total];
+    cost[..sf.ncols()].copy_from_slice(&sf.c);
+    cost
+}
+
+/// Tries to warm-start from a basis hint: refactorize the parent basis
+/// directly (no tableau rebuild), then repair primal feasibility with
+/// dual simplex. `None` means "fall back to the cold path".
+fn try_warm<'a>(
+    sf: &'a StandardForm,
+    opts: &SolveOptions,
+    hint: &Basis,
+) -> Result<Option<Engine<'a>>, SolveError> {
+    let m = sf.nrows();
+    let n = sf.ncols();
+    // layout compatibility: same row/column counts, all-structural basis,
+    // no duplicate columns
+    if hint.basic.len() != m || hint.at_upper.len() != n {
+        return Ok(None);
+    }
+    let mut seen = vec![false; n];
+    for &j in &hint.basic {
+        if j >= n || seen[j] {
+            return Ok(None);
+        }
+        seen[j] = true;
+    }
+    let mut e = Engine::cold(sf, opts);
+    e.basis.copy_from_slice(&hint.basic);
+    e.in_basis.fill(false);
+    for &j in &hint.basic {
+        e.in_basis[j] = true;
+    }
+    for j in 0..n {
+        // resting bounds may have been tightened since the hint was taken;
+        // never rest at an infinite bound
+        e.at_upper[j] = hint.at_upper[j] && e.upper[j].is_finite();
+    }
+    // artificials: nonbasic at zero and permanently banned
+    for j in n..e.n_total {
+        e.banned[j] = true;
+    }
+    if !e.refactor() {
+        return Ok(None); // numerically singular hint
+    }
+    if e.primal_infeasibility() <= FEAS_TOL {
+        return Ok(Some(e));
+    }
+    let cost = phase2_cost(sf, e.n_total);
+    match e.dual_repair(&cost, opts)? {
+        true => Ok(Some(e)),
+        false => Ok(None),
+    }
+}
+
+/// Solves the standard-form LP with the revised simplex, optionally
+/// warm-starting from `hint`. Same contract as the dense engine: warm and
+/// cold paths return the same optimum; the hint only changes how many
+/// pivots it takes to get there.
+pub fn solve_standard_revised(
+    sf: &StandardForm,
+    opts: &SolveOptions,
+    hint: Option<&Basis>,
+) -> Result<LpPoint, SolveError> {
+    if let Some(h) = hint {
+        // on any trouble the attempt is discarded and we fall through to
+        // the cold two-phase path below
+        if let Some(mut e) = try_warm(sf, opts, h)? {
+            let cost = phase2_cost(sf, e.n_total);
+            e.run(&cost, opts)?;
+            return Ok(e.finish(true));
+        }
+    }
+    let mut e = Engine::cold(sf, opts);
+    // --- phase 1: minimize the sum of artificials ---
+    let mut cost1 = vec![0.0; e.n_total];
+    for c in cost1.iter_mut().skip(e.n) {
+        *c = 1.0;
+    }
+    e.run(&cost1, opts)?;
+    let art_sum: f64 = (0..e.m)
+        .filter(|&k| e.basis[k] >= e.n)
+        .map(|k| e.x_basic[k])
+        .sum();
+    if art_sum > FEAS_TOL {
+        return Err(SolveError::Infeasible);
+    }
+    e.drive_out_artificials()?;
+    for j in e.n..e.n_total {
+        e.banned[j] = true;
+    }
+    // clean slate for phase 2: fold the eta file back into fresh factors
+    // and recompute x_B exactly
+    if !e.refactor() {
+        return Err(SolveError::IterationLimit {
+            iterations: e.iterations,
+        });
+    }
+    // --- phase 2: real objective ---
+    let cost2 = phase2_cost(sf, e.n_total);
+    e.run(&cost2, opts)?;
+    Ok(e.finish(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Cmp, Model, Sense};
+    use crate::options::SimplexEngine;
+    use crate::simplex::{solve_lp_relaxation, solve_standard, solve_standard_warm};
+
+    fn opts() -> SolveOptions {
+        SolveOptions {
+            engine: SimplexEngine::Revised,
+            ..SolveOptions::default()
+        }
+    }
+
+    fn dense_opts() -> SolveOptions {
+        SolveOptions {
+            engine: SimplexEngine::DenseTableau,
+            ..SolveOptions::default()
+        }
+    }
+
+    #[test]
+    fn classic_lp_matches_dense() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        let y = m.num_var("y", 0.0, f64::INFINITY);
+        m.add_con(LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_con(LinExpr::new().term(y, 2.0), Cmp::Le, 12.0);
+        m.add_con(LinExpr::new().term(x, 3.0).term(y, 2.0), Cmp::Le, 18.0);
+        m.set_objective(LinExpr::new().term(x, 3.0).term(y, 5.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        let d = solve_lp_relaxation(&m, &dense_opts()).unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.objective - d.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", 0.0, 1.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 2.0);
+        assert_eq!(
+            solve_lp_relaxation(&m, &opts()).unwrap_err(),
+            SolveError::Infeasible
+        );
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::var(x));
+        assert_eq!(
+            solve_lp_relaxation(&m, &opts()).unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_refactorizations() {
+        // enough columns to force pivots; a tiny refactor interval forces
+        // several refactorizations and a bounded eta file
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.num_var(&format!("x{i}"), 0.0, 3.0))
+            .collect();
+        for w in vars.windows(2) {
+            m.add_con(
+                LinExpr::new().term(w[0], 1.0).term(w[1], 1.0),
+                Cmp::Le,
+                4.0,
+            );
+        }
+        m.set_objective(LinExpr::sum(vars.iter().map(|&v| (v, 1.0))));
+        let tight = SolveOptions {
+            refactor_interval: 2,
+            ..opts()
+        };
+        let sf = StandardForm::from_model(&m).unwrap();
+        let p = solve_standard(&sf, &tight).unwrap();
+        assert!(p.telemetry.refactorizations > 0, "{:?}", p.telemetry);
+        assert!(p.telemetry.max_eta_len <= 2);
+        let loose = solve_standard(&sf, &opts()).unwrap();
+        assert!((loose.objective - p.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_refactorizes_parent_basis() {
+        // knapsack LP, tighten a bound, warm start from the parent basis
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 4.0);
+        let y = m.num_var("y", 0.0, 4.0);
+        let z = m.num_var("z", 0.0, 4.0);
+        m.add_con(
+            LinExpr::new().term(x, 2.0).term(y, 3.0).term(z, 1.0),
+            Cmp::Le,
+            10.0,
+        );
+        m.set_objective(LinExpr::new().term(x, 3.0).term(y, 4.0).term(z, 1.0));
+        let sf = StandardForm::from_model(&m).unwrap();
+        let parent = solve_standard(&sf, &opts()).unwrap();
+        assert!(!parent.warm);
+        let mut child = m.clone();
+        child.vars[0].upper = 1.0;
+        let csf = StandardForm::from_model(&child).unwrap();
+        let warm = solve_standard_warm(&csf, &opts(), Some(&parent.basis)).unwrap();
+        let cold = solve_standard(&csf, &opts()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert!(warm.warm, "expected the sparse warm path to succeed");
+        // the warm path refactorized the parent basis directly
+        assert!(warm.telemetry.refactorizations >= 1);
+    }
+
+    #[test]
+    fn singular_warm_hint_falls_back_to_cold() {
+        // the two equality rows are scalar multiples, so the structural
+        // columns x = (1, 2) and y = (1, 2) are parallel: hinting {x, y}
+        // basic hands the warm path a singular basis to refactorize
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Eq, 2.0);
+        m.add_con(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Eq, 4.0);
+        m.set_objective(LinExpr::var(x));
+        let sf = StandardForm::from_model(&m).unwrap();
+        let hint = Basis {
+            basic: vec![0, 1],
+            at_upper: vec![false; sf.ncols()],
+        };
+        let cold = solve_standard(&sf, &opts()).unwrap();
+        let s = solve_standard_warm(&sf, &opts(), Some(&hint)).unwrap();
+        assert!(!s.warm, "singular hint must fall back");
+        assert!((s.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_redundant_rows_terminate() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        let y = m.num_var("y", 0.0, f64::INFINITY);
+        for k in 1..=6 {
+            m.add_con(
+                LinExpr::new().term(x, k as f64).term(y, k as f64),
+                Cmp::Le,
+                k as f64 * 4.0,
+            );
+        }
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_flips_and_fixed_vars() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 2.0, 2.0);
+        let y = m.num_var("y", 0.0, 1.0);
+        let z = m.num_var("z", 0.0, 1.0);
+        m.add_con(LinExpr::new().term(y, 1.0).term(z, 1.0), Cmp::Le, 1.5);
+        m.set_objective(
+            LinExpr::new().term(x, 1.0).term(y, 1.0).term(z, 1.0),
+        );
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 3.5).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_and_negated_variables() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.add_con(LinExpr::var(x), Cmp::Ge, -7.0);
+        m.set_objective(LinExpr::var(x));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective + 7.0).abs() < 1e-6);
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", f64::NEG_INFINITY, 9.0);
+        m.add_con(LinExpr::var(x), Cmp::Ge, 1.0);
+        m.set_objective(LinExpr::var(x));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 9.0).abs() < 1e-6);
+    }
+
+    /// Beale's classic cycling example: a dense tableau with naive
+    /// Dantzig pricing cycles forever on it; the Bland switch must
+    /// terminate both engines at the optimum (-0.05).
+    #[test]
+    fn beale_cycling_instance_terminates() {
+        let mut m = Model::new(Sense::Minimize);
+        let x1 = m.num_var("x1", 0.0, f64::INFINITY);
+        let x2 = m.num_var("x2", 0.0, f64::INFINITY);
+        let x3 = m.num_var("x3", 0.0, f64::INFINITY);
+        let x4 = m.num_var("x4", 0.0, f64::INFINITY);
+        m.add_con(
+            LinExpr::new()
+                .term(x1, 0.25)
+                .term(x2, -60.0)
+                .term(x3, -0.04)
+                .term(x4, 9.0),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_con(
+            LinExpr::new()
+                .term(x1, 0.5)
+                .term(x2, -90.0)
+                .term(x3, -0.02)
+                .term(x4, 3.0),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_con(LinExpr::var(x3), Cmp::Le, 1.0);
+        m.set_objective(
+            LinExpr::new()
+                .term(x1, -0.75)
+                .term(x2, 150.0)
+                .term(x3, -0.02)
+                .term(x4, 6.0),
+        );
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        let d = solve_lp_relaxation(&m, &dense_opts()).unwrap();
+        assert!((s.objective + 0.05).abs() < 1e-6, "got {}", s.objective);
+        assert!((s.objective - d.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_constraint_problem() {
+        // m == 0: pure bound optimization, empty basis throughout
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 5.0);
+        let y = m.num_var("y", -1.0, 2.0);
+        m.set_objective(LinExpr::new().term(x, 2.0).term(y, -1.0));
+        let s = solve_lp_relaxation(&m, &opts()).unwrap();
+        assert!((s.objective - 11.0).abs() < 1e-9);
+    }
+}

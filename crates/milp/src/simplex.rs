@@ -1,7 +1,12 @@
-//! Bounded-variable, two-phase primal simplex on a dense tableau.
+//! LP entry points and the dense-tableau engine (differential oracle).
 //!
-//! The implementation follows the textbook upper-bounded simplex method
-//! (see e.g. Chvátal, "Linear Programming", ch. 8):
+//! [`solve_standard_warm`] dispatches on [`SolveOptions::engine`]: the
+//! default is the sparse revised simplex in [`crate::revised`]; the dense
+//! tableau implemented here stays available as an independently coded
+//! oracle for differential testing ([`crate::options::SimplexEngine`]).
+//!
+//! The dense implementation follows the textbook upper-bounded simplex
+//! method (see e.g. Chvátal, "Linear Programming", ch. 8):
 //!
 //! * nonbasic variables rest at their lower *or* upper bound,
 //! * the ratio test accounts for basic variables hitting either bound and
@@ -25,9 +30,10 @@
 //! agree (every LP is solved to proven optimality either way).
 
 use crate::error::SolveError;
-use crate::options::SolveOptions;
+use crate::options::{SimplexEngine, SolveOptions};
 use crate::solution::Solution;
 use crate::standard::{Dense, StandardForm};
+use crate::stats::LpTelemetry;
 use crate::Model;
 
 /// Minimum absolute pivot element accepted.
@@ -64,6 +70,8 @@ pub struct LpPoint {
     pub basis: Basis,
     /// True when this solve reused a warm-start hint (vs. cold two-phase).
     pub warm: bool,
+    /// Revised-engine counters (all zero on the dense path).
+    pub telemetry: LpTelemetry,
 }
 
 /// Working state of the tableau simplex.
@@ -85,6 +93,13 @@ struct Tableau {
     banned: Vec<bool>,
     /// Total pivots + bound flips performed.
     iterations: usize,
+    /// Scratch: current value per column, refreshed by
+    /// [`Tableau::refresh_values`] (valid until the next pivot).
+    xs: Vec<f64>,
+    /// Scratch: per-column basic flag, refreshed alongside `xs`.
+    is_basic: Vec<bool>,
+    /// Scratch: pivot-row snapshot used inside [`Tableau::pivot`].
+    prow: Vec<f64>,
 }
 
 impl Tableau {
@@ -101,49 +116,54 @@ impl Tableau {
         self.t.at(r, self.t.ncols - 1)
     }
 
-    /// Current value of every column: basic from the tableau, nonbasic from
-    /// its resting bound.
-    fn values(&self) -> Vec<f64> {
+    /// Refreshes the `xs`/`is_basic` scratch buffers with the current value
+    /// of every column: basic from the tableau, nonbasic from its resting
+    /// bound. No allocation — the previous engine rebuilt both vectors on
+    /// every simplex iteration.
+    fn refresh_values(&mut self) {
         let n = self.ncols();
-        let mut x = vec![0.0; n];
-        let mut is_basic = vec![false; n];
+        self.is_basic.fill(false);
         for &bj in &self.basis {
-            is_basic[bj] = true;
+            self.is_basic[bj] = true;
         }
         for j in 0..n {
-            if !is_basic[j] {
-                x[j] = if self.at_upper[j] {
-                    self.upper[j]
-                } else {
-                    self.lower[j]
-                };
-            }
+            self.xs[j] = if self.is_basic[j] {
+                0.0
+            } else if self.at_upper[j] {
+                self.upper[j]
+            } else {
+                self.lower[j]
+            };
         }
         // xB = B^-1 b - sum_j nonbasic T[:,j] * x_j
         for r in 0..self.nrows() {
             let mut v = self.rhs(r);
             let row = self.t.row(r);
-            for j in 0..n {
-                if !is_basic[j] && x[j] != 0.0 {
-                    v -= row[j] * x[j];
+            for ((&rj, &xj), &basic) in row.iter().zip(&self.xs).zip(&self.is_basic) {
+                if !basic && xj != 0.0 {
+                    v -= rj * xj;
                 }
             }
-            x[self.basis[r]] = v;
+            self.xs[self.basis[r]] = v;
         }
-        x
+    }
+
+    /// Current value of every column (refreshes the scratch buffer).
+    fn values(&mut self) -> &[f64] {
+        self.refresh_values();
+        &self.xs
     }
 
     /// Performs a Gaussian pivot on `(row, col)`, updating the cost row too.
     fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
-        let ncols = self.t.ncols;
         let piv = self.t.at(row, col);
         debug_assert!(piv.abs() > PIVOT_TOL);
         let inv = 1.0 / piv;
         for v in self.t.row_mut(row) {
             *v *= inv;
         }
-        // snapshot pivot row to avoid aliasing
-        let prow: Vec<f64> = self.t.row(row).to_vec();
+        // snapshot pivot row (reused scratch) to avoid aliasing
+        self.prow.copy_from_slice(self.t.row(row));
         for r in 0..self.nrows() {
             if r == row {
                 continue;
@@ -151,15 +171,16 @@ impl Tableau {
             let factor = self.t.at(r, col);
             if factor != 0.0 {
                 let rrow = self.t.row_mut(r);
-                for k in 0..ncols {
-                    rrow[k] -= factor * prow[k];
+                for (rv, &pv) in rrow.iter_mut().zip(&self.prow) {
+                    *rv -= factor * pv;
                 }
             }
         }
         let cfac = cost[col];
         if cfac != 0.0 {
-            for k in 0..ncols - 1 {
-                cost[k] -= cfac * prow[k];
+            // cost has `ncols - 1` entries (no rhs column); zip truncates
+            for (cv, &pv) in cost.iter_mut().zip(&self.prow) {
+                *cv -= cfac * pv;
             }
         }
         self.basis[row] = col;
@@ -180,18 +201,13 @@ impl Tableau {
             }
             local_iters += 1;
             let bland = local_iters > bland_after;
-            let x = self.values();
-            let mut is_basic = vec![false; n];
-            for &bj in &self.basis {
-                is_basic[bj] = true;
-            }
+            self.refresh_values();
             // --- pricing ---
             let mut enter: Option<(usize, f64, bool)> = None; // (col, |score|, from_upper)
-            for j in 0..n {
-                if is_basic[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+            for (j, &d) in cost.iter().enumerate() {
+                if self.is_basic[j] || self.banned[j] || self.lower[j] == self.upper[j] {
                     continue;
                 }
-                let d = cost[j];
                 let (eligible, from_upper) = if self.at_upper[j] {
                     (d > COST_TOL, true)
                 } else {
@@ -220,7 +236,7 @@ impl Tableau {
             for r in 0..self.nrows() {
                 let t = self.t.at(r, j) * dir;
                 let bj = self.basis[r];
-                let xb = x[bj];
+                let xb = self.xs[bj];
                 if t > PIVOT_TOL {
                     let limit = ((xb - self.lower[bj]) / t).max(0.0);
                     if limit < delta - 1e-12
@@ -288,18 +304,18 @@ impl Tableau {
                 return Ok(false);
             }
             local += 1;
-            let x = self.values();
+            self.refresh_values();
             // --- pick the most infeasible basic variable ---
             let mut worst: Option<(usize, f64, bool)> = None; // (row, violation, to_upper)
             for r in 0..self.nrows() {
                 let bj = self.basis[r];
-                let xb = x[bj];
+                let xb = self.xs[bj];
                 let below = self.lower[bj] - xb;
                 let above = xb - self.upper[bj];
-                if below > FEAS_TOL && worst.map_or(true, |(_, v, _)| below > v) {
+                if below > FEAS_TOL && worst.is_none_or(|(_, v, _)| below > v) {
                     worst = Some((r, below, false));
                 }
-                if above > FEAS_TOL && worst.map_or(true, |(_, v, _)| above > v) {
+                if above > FEAS_TOL && worst.is_none_or(|(_, v, _)| above > v) {
                     worst = Some((r, above, true));
                 }
             }
@@ -311,13 +327,9 @@ impl Tableau {
             // xB[r] = rhs[r] - Σ t[r][j]·x[j], so moving nonbasic x[j] off
             // its bound by δ changes xB[r] by -t[r][j]·δ, with δ > 0 when
             // resting at lower and δ < 0 when resting at upper.
-            let mut is_basic = vec![false; n];
-            for &bj in &self.basis {
-                is_basic[bj] = true;
-            }
             let mut enter: Option<(usize, f64)> = None; // (col, ratio)
-            for j in 0..n {
-                if is_basic[j] || self.banned[j] || self.lower[j] == self.upper[j] {
+            for (j, &cj) in cost.iter().enumerate() {
+                if self.is_basic[j] || self.banned[j] || self.lower[j] == self.upper[j] {
                     continue;
                 }
                 let t = self.t.at(r, j);
@@ -329,7 +341,7 @@ impl Tableau {
                 if increases == to_upper {
                     continue;
                 }
-                let ratio = (cost[j] / t).abs();
+                let ratio = (cj / t).abs();
                 match enter {
                     Some((_, best)) if best <= ratio => {}
                     _ => enter = Some((j, ratio)),
@@ -365,19 +377,29 @@ fn fresh_tableau(sf: &StandardForm) -> Tableau {
     // residuals with all columns at their (finite) lower bounds
     let mut lower = sf.lower.clone();
     let mut upper = sf.upper.clone();
-    lower.extend(std::iter::repeat(0.0).take(m));
-    upper.extend(std::iter::repeat(f64::INFINITY).take(m));
-    for r in 0..m {
-        let mut resid = sf.b[r];
-        for j in 0..n {
-            resid -= sf.a.at(r, j) * sf.lower[j];
+    lower.extend(std::iter::repeat_n(0.0, m));
+    upper.extend(std::iter::repeat_n(f64::INFINITY, m));
+    let mut resid = sf.b.clone();
+    for j in 0..n {
+        let lj = sf.lower[j];
+        if lj != 0.0 {
+            for (r, v) in sf.a.col(j) {
+                resid[r] -= v * lj;
+            }
         }
-        let sign = if resid < 0.0 { -1.0 } else { 1.0 };
-        for j in 0..n {
-            *t.at_mut(r, j) = sign * sf.a.at(r, j);
+    }
+    let sign: Vec<f64> = resid
+        .iter()
+        .map(|&r| if r < 0.0 { -1.0 } else { 1.0 })
+        .collect();
+    for j in 0..n {
+        for (r, v) in sf.a.col(j) {
+            *t.at_mut(r, j) = sign[r] * v;
         }
+    }
+    for (r, &sg) in sign.iter().enumerate() {
         *t.at_mut(r, n + r) = 1.0; // artificial
-        *t.at_mut(r, n_total) = sign * sf.b[r];
+        *t.at_mut(r, n_total) = sg * sf.b[r];
     }
     Tableau {
         t,
@@ -388,31 +410,30 @@ fn fresh_tableau(sf: &StandardForm) -> Tableau {
         art_start: n,
         banned: vec![false; n_total],
         iterations: 0,
+        xs: vec![0.0; n_total],
+        is_basic: vec![false; n_total],
+        prow: vec![0.0; n_total + 1],
     }
 }
 
-/// Phase-2 reduced costs `d = c - c_B' T` for the current basis.
-fn phase2_costs(tab: &Tableau, sf: &StandardForm) -> Vec<f64> {
+/// Phase-2 reduced costs `d = c - c_B' T` for the current basis, written
+/// into the reusable `cost2` buffer (no per-call temporaries).
+fn phase2_costs_into(tab: &Tableau, sf: &StandardForm, cost2: &mut [f64]) {
     let n = sf.ncols();
     let n_total = tab.ncols();
     let m = tab.nrows();
-    let mut cost2 = vec![0.0; n_total];
     cost2[..n].copy_from_slice(&sf.c);
-    let cb: Vec<f64> = tab
-        .basis
-        .iter()
-        .map(|&bj| if bj < n { sf.c[bj] } else { 0.0 })
-        .collect();
-    for j in 0..n_total {
-        let mut s = 0.0;
-        for r in 0..m {
-            if cb[r] != 0.0 {
-                s += cb[r] * tab.t.at(r, j);
+    cost2[n..n_total].fill(0.0);
+    for r in 0..m {
+        let bj = tab.basis[r];
+        let cbr = if bj < n { sf.c[bj] } else { 0.0 };
+        if cbr != 0.0 {
+            let row = tab.t.row(r);
+            for (j, c2) in cost2[..n_total].iter_mut().enumerate() {
+                *c2 -= cbr * row[j];
             }
         }
-        cost2[j] -= s;
     }
-    cost2
 }
 
 /// Runs phase 2 on a primal-feasible tableau and extracts the optimum.
@@ -435,6 +456,7 @@ fn finish(
         iterations: tab.iterations,
         basis,
         warm,
+        telemetry: LpTelemetry::default(),
     })
 }
 
@@ -476,7 +498,7 @@ fn try_warm_tableau(
                 continue; // row already holds a structural column
             }
             let p = tab.t.at(r, j).abs();
-            if p > PIVOT_TOL && best.map_or(true, |(_, bp)| p > bp) {
+            if p > PIVOT_TOL && best.is_none_or(|(_, bp)| p > bp) {
                 best = Some((r, p));
             }
         }
@@ -489,7 +511,8 @@ fn try_warm_tableau(
     for j in n..tab.ncols() {
         tab.banned[j] = true;
     }
-    let mut cost2 = phase2_costs(&tab, sf);
+    let mut cost2 = vec![0.0; tab.ncols()];
+    phase2_costs_into(&tab, sf, &mut cost2);
     match tab.dual_repair(&mut cost2, opts)? {
         true => Ok(Some((tab, cost2))),
         false => Ok(None),
@@ -507,10 +530,23 @@ pub fn solve_standard(sf: &StandardForm, opts: &SolveOptions) -> Result<LpPoint,
 /// [`Basis`] of a previously solved nearby LP — same constraint matrix,
 /// possibly tightened bounds).
 ///
-/// Warm and cold paths return the same optimum; the hint only changes how
-/// many pivots it takes to get there. [`LpPoint::warm`] reports which path
-/// ran.
+/// Dispatches on [`SolveOptions::engine`]. Warm and cold paths return the
+/// same optimum; the hint only changes how many pivots it takes to get
+/// there. [`LpPoint::warm`] reports which path ran.
 pub fn solve_standard_warm(
+    sf: &StandardForm,
+    opts: &SolveOptions,
+    hint: Option<&Basis>,
+) -> Result<LpPoint, SolveError> {
+    match opts.engine {
+        SimplexEngine::Revised => crate::revised::solve_standard_revised(sf, opts, hint),
+        SimplexEngine::DenseTableau => solve_standard_dense(sf, opts, hint),
+    }
+}
+
+/// The dense-tableau path of [`solve_standard_warm`] (the differential
+/// oracle engine).
+fn solve_standard_dense(
     sf: &StandardForm,
     opts: &SolveOptions,
     hint: Option<&Basis>,
@@ -529,12 +565,12 @@ pub fn solve_standard_warm(
     // --- phase 1: minimize sum of artificials ---
     // reduced costs: d_j = c1_j - 1' T[:,j]; artificials basic => d_art = 0
     let mut cost = vec![0.0; n_total];
-    for j in 0..n {
+    for (j, cj) in cost.iter_mut().enumerate().take(n) {
         let mut s = 0.0;
         for r in 0..m {
             s += tab.t.at(r, j);
         }
-        cost[j] = -s;
+        *cj = -s;
     }
     tab.run(&mut cost, opts)?;
     let x = tab.values();
@@ -547,7 +583,7 @@ pub fn solve_standard_warm(
         if tab.basis[r] >= n {
             let mut pivoted = false;
             for j in 0..n {
-                let basic_elsewhere = tab.basis.iter().any(|&b| b == j);
+                let basic_elsewhere = tab.basis.contains(&j);
                 if !basic_elsewhere && tab.t.at(r, j).abs() > 1e-7 {
                     tab.pivot(r, j, &mut cost);
                     pivoted = true;
@@ -567,7 +603,8 @@ pub fn solve_standard_warm(
         tab.banned[j] = true;
     }
     // --- phase 2: real objective ---
-    let cost2 = phase2_costs(&tab, sf);
+    let mut cost2 = vec![0.0; n_total];
+    phase2_costs_into(&tab, sf, &mut cost2);
     finish(tab, sf, cost2, opts, false)
 }
 
@@ -596,7 +633,15 @@ pub fn solve_lp_relaxation_warm(
         iterations: point.iterations,
         nodes: 0,
         proven_optimal: true,
-        stats: Default::default(),
+        stats: crate::stats::SolveStats {
+            lp_pivots: point.iterations,
+            warm_started: point.warm as usize,
+            refactorizations: point.telemetry.refactorizations,
+            max_eta_len: point.telemetry.max_eta_len,
+            ftran_time: std::time::Duration::from_nanos(point.telemetry.ftran_ns),
+            btran_time: std::time::Duration::from_nanos(point.telemetry.btran_ns),
+            ..Default::default()
+        },
     };
     Ok((sol, point))
 }

@@ -18,7 +18,111 @@ use crate::error::SolveError;
 use crate::expr::LinExpr;
 use crate::model::{Cmp, Model, Sense, VarKind};
 
-/// Dense row-major matrix.
+/// Compressed-sparse-column matrix — the native storage of the
+/// constraint matrix.
+///
+/// Columns are contiguous runs of `(row, value)` pairs; rows inside a
+/// column are strictly increasing and explicit zeros are dropped at build
+/// time. The revised simplex engine consumes columns directly (pricing
+/// dot products, FTRAN right-hand sides); the dense tableau engine and the
+/// tests expand via [`Csc::to_dense`].
+#[derive(Debug, Clone)]
+pub struct Csc {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Start offset of each column in `row_idx`/`values`; `ncols + 1`
+    /// entries, last = total nonzero count.
+    pub col_ptr: Vec<usize>,
+    /// Row index per nonzero, ascending within each column.
+    pub row_idx: Vec<usize>,
+    /// Value per nonzero.
+    pub values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from unordered `(row, col, value)` triplets.
+    /// Duplicate coordinates are summed (matching `+=` assembly) and
+    /// resulting zeros are dropped.
+    pub fn from_triplets(nrows: usize, ncols: usize, mut t: Vec<(usize, usize, f64)>) -> Self {
+        t.sort_unstable_by_key(|a| (a.1, a.0));
+        let mut col_ptr = vec![0usize; ncols + 1];
+        let mut row_idx = Vec::with_capacity(t.len());
+        let mut values = Vec::with_capacity(t.len());
+        let mut i = 0;
+        while i < t.len() {
+            let (r, c, mut v) = t[i];
+            debug_assert!(r < nrows && c < ncols);
+            i += 1;
+            while i < t.len() && t[i].0 == r && t[i].1 == c {
+                v += t[i].2;
+                i += 1;
+            }
+            if v != 0.0 {
+                col_ptr[c + 1] += 1;
+                row_idx.push(r);
+                values.push(v);
+            }
+        }
+        for c in 0..ncols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Csc {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Iterates the `(row, value)` pairs of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Nonzero count of column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Element accessor (binary search within the column) — test helper;
+    /// hot paths iterate [`Csc::col`] instead.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        let range = self.col_ptr[c]..self.col_ptr[c + 1];
+        match self.row_idx[range.clone()].binary_search(&r) {
+            Ok(k) => self.values[range.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expands to a dense row-major matrix — for tests and the dense
+    /// oracle engine only.
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for (r, v) in self.col(j) {
+                *d.at_mut(r, j) = v;
+            }
+        }
+        d
+    }
+}
+
+/// Dense row-major matrix — working storage of the dense tableau engine
+/// (the differential oracle); the constraint matrix itself is [`Csc`].
 #[derive(Debug, Clone)]
 pub struct Dense {
     /// Number of rows.
@@ -84,8 +188,10 @@ pub enum ColMap {
 /// standard-form point back to model-variable space.
 #[derive(Debug, Clone)]
 pub struct StandardForm {
-    /// Constraint matrix including slack columns.
-    pub a: Dense,
+    /// Constraint matrix including slack columns, in compressed sparse
+    /// column form. The paper's time-indexed instances are >99 % zeros,
+    /// so every solver-side traversal is per-column and sparse.
+    pub a: Csc,
     /// Right-hand sides.
     pub b: Vec<f64>,
     /// Objective (always MINIMIZE internally; negated for max models).
@@ -141,25 +247,25 @@ impl StandardForm {
         let n_struct = lower.len();
         let m = model.cons.len();
         let n = n_struct + m; // one slack per row
-        let mut a = Dense::zeros(m, n);
+        let nnz_hint: usize = model.cons.iter().map(|c| c.expr.terms.len() + 1).sum();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(nnz_hint);
         let mut b = vec![0.0; m];
         for (r, con) in model.cons.iter().enumerate() {
             let sign = if con.cmp == Cmp::Ge { -1.0 } else { 1.0 };
             for &(v, coef) in &con.expr.terms {
                 let coef = coef * sign;
                 match var_map[v.0] {
-                    ColMap::Direct(c) => *a.at_mut(r, c) += coef,
-                    ColMap::Negated(c) => *a.at_mut(r, c) -= coef,
+                    ColMap::Direct(c) => triplets.push((r, c, coef)),
+                    ColMap::Negated(c) => triplets.push((r, c, -coef)),
                     ColMap::Split { pos, neg } => {
-                        *a.at_mut(r, pos) += coef;
-                        *a.at_mut(r, neg) -= coef;
+                        triplets.push((r, pos, coef));
+                        triplets.push((r, neg, -coef));
                     }
                 }
             }
             b[r] = con.rhs * sign;
             // slack column
-            let s = n_struct + r;
-            *a.at_mut(r, s) = 1.0;
+            triplets.push((r, n_struct + r, 1.0));
             match con.cmp {
                 Cmp::Le | Cmp::Ge => {
                     lower.push(0.0);
@@ -188,7 +294,7 @@ impl StandardForm {
             }
         }
         Ok(StandardForm {
-            a,
+            a: Csc::from_triplets(m, n, triplets),
             b,
             c,
             lower,
@@ -294,6 +400,48 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         m.int_var("z", f64::NEG_INFINITY, f64::INFINITY);
         assert!(StandardForm::from_model(&m).is_err());
+    }
+
+    #[test]
+    fn csc_from_triplets_merges_and_sorts() {
+        // duplicates sum; zeros (explicit and cancelled) are dropped
+        let c = Csc::from_triplets(
+            3,
+            2,
+            vec![
+                (2, 0, 1.0),
+                (0, 0, 2.0),
+                (0, 0, 3.0),
+                (1, 1, 4.0),
+                (1, 1, -4.0),
+                (2, 1, 0.0),
+            ],
+        );
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.at(0, 0), 5.0);
+        assert_eq!(c.at(2, 0), 1.0);
+        assert_eq!(c.at(1, 1), 0.0); // cancelled pair dropped
+        assert_eq!(c.col_nnz(0), 2);
+        assert_eq!(c.col_nnz(1), 0);
+        let col0: Vec<_> = c.col(0).collect();
+        assert_eq!(col0, vec![(0, 5.0), (2, 1.0)]); // rows ascending
+        let d = c.to_dense();
+        assert_eq!(d.at(0, 0), 5.0);
+        assert_eq!(d.at(1, 1), 0.0);
+    }
+
+    #[test]
+    fn standard_form_matrix_is_sparse() {
+        // 3 rows x (2 structural + 3 slack): nnz = row terms + slacks only
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.add_con(LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_con(LinExpr::var(y), Cmp::Le, 4.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 1.0);
+        let sf = StandardForm::from_model(&m).unwrap();
+        assert_eq!(sf.a.nnz(), 7); // 4 structural entries + 3 slacks
+        assert_eq!(sf.a.to_dense().data.len(), 3 * 5);
     }
 
     #[test]

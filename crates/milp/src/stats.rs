@@ -12,6 +12,34 @@ use insitu_types::SearchCertificate;
 use std::fmt;
 use std::time::Duration;
 
+/// Per-LP-solve counters of the revised simplex engine, carried on
+/// [`crate::simplex::LpPoint`] and aggregated into [`SolveStats`].
+///
+/// All zeros when the dense tableau engine ran (it has no factorization
+/// to count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpTelemetry {
+    /// Basis refactorizations (LU from scratch).
+    pub refactorizations: usize,
+    /// Longest eta file observed between refactorizations.
+    pub max_eta_len: usize,
+    /// Nanoseconds spent in FTRAN solves (`Bw = a_j`, rhs recomputes).
+    pub ftran_ns: u64,
+    /// Nanoseconds spent in BTRAN solves (pricing duals, dual-simplex rows).
+    pub btran_ns: u64,
+}
+
+impl LpTelemetry {
+    /// Accumulates another solve's counters (peak for the eta length,
+    /// sums for the rest).
+    pub fn absorb(&mut self, other: &LpTelemetry) {
+        self.refactorizations += other.refactorizations;
+        self.max_eta_len = self.max_eta_len.max(other.max_eta_len);
+        self.ftran_ns += other.ftran_ns;
+        self.btran_ns += other.btran_ns;
+    }
+}
+
 /// One improvement of the incumbent during branch & bound.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IncumbentEvent {
@@ -44,6 +72,16 @@ pub struct SolveStats {
     /// Child LPs warm-started from the parent basis (vs. solved cold with
     /// two phases).
     pub warm_started: usize,
+    /// Basis refactorizations across every LP solve (revised engine only;
+    /// zero when the dense oracle ran).
+    pub refactorizations: usize,
+    /// Longest eta file observed between refactorizations, across all
+    /// LP solves.
+    pub max_eta_len: usize,
+    /// Total wall time inside FTRAN solves across every LP solve.
+    pub ftran_time: Duration,
+    /// Total wall time inside BTRAN solves across every LP solve.
+    pub btran_time: Duration,
     /// Every incumbent improvement, in the order they were accepted.
     pub incumbent_updates: Vec<IncumbentEvent>,
     /// Wall time spent in presolve (zero when disabled).
@@ -73,12 +111,17 @@ impl SolveStats {
     pub fn summary(&self) -> String {
         format!(
             "nodes {} (pruned {} bound / {} infeas), pivots {} ({} warm), \
+             refactor {} (eta peak {}), ftran {:.1?} + btran {:.1?}, \
              incumbents {}, t {:.1?} presolve + {:.1?} root + {:.1?} search, {} thread{}",
             self.nodes_explored,
             self.nodes_pruned_bound,
             self.nodes_pruned_infeasible,
             self.lp_pivots,
             self.warm_started,
+            self.refactorizations,
+            self.max_eta_len,
+            self.ftran_time,
+            self.btran_time,
             self.incumbent_updates.len(),
             self.presolve_time,
             self.root_lp_time,
@@ -119,6 +162,8 @@ mod tests {
             nodes_pruned_infeasible: 2,
             lp_pivots: 99,
             warm_started: 4,
+            refactorizations: 11,
+            max_eta_len: 8,
             threads: 2,
             incumbent_updates: vec![IncumbentEvent {
                 objective: 1.5,
@@ -128,11 +173,41 @@ mod tests {
             ..Default::default()
         };
         let line = s.summary();
-        for needle in ["nodes 7", "3 bound", "2 infeas", "pivots 99", "4 warm", "2 threads"] {
+        for needle in [
+            "nodes 7",
+            "3 bound",
+            "2 infeas",
+            "pivots 99",
+            "4 warm",
+            "refactor 11",
+            "eta peak 8",
+            "ftran",
+            "btran",
+            "2 threads",
+        ] {
             assert!(line.contains(needle), "missing {needle}: {line}");
         }
         assert!(s.report().contains("at node"));
         assert_eq!(format!("{s}"), line);
+    }
+
+    #[test]
+    fn telemetry_absorb_sums_and_peaks() {
+        let mut a = LpTelemetry {
+            refactorizations: 2,
+            max_eta_len: 5,
+            ftran_ns: 100,
+            btran_ns: 50,
+        };
+        a.absorb(&LpTelemetry {
+            refactorizations: 3,
+            max_eta_len: 4,
+            ftran_ns: 10,
+            btran_ns: 20,
+        });
+        assert_eq!(a.refactorizations, 5);
+        assert_eq!(a.max_eta_len, 5);
+        assert_eq!((a.ftran_ns, a.btran_ns), (110, 70));
     }
 
     #[test]

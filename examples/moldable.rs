@@ -49,7 +49,7 @@ fn main() {
         let bars: String = rec
             .counts
             .iter()
-            .map(|&c| format!("{}", "#".repeat(c)))
+            .map(|&c| "#".repeat(c).to_string())
             .collect::<Vec<_>>()
             .join(" | ");
         println!(

@@ -31,7 +31,7 @@ fn main() {
     // 2. Describe the resources: 1000 simulation steps, at most 30 s of
     //    total in-situ analysis time, 8 GiB of spare memory, 1 GiB/s to
     //    storage.
-    let resources = ResourceConfig::from_total_threshold(1000, 30.0, 8.0 * GIB, GIB as f64);
+    let resources = ResourceConfig::from_total_threshold(1000, 30.0, 8.0 * GIB, GIB);
     let problem = ScheduleProblem::new(analyses, resources).expect("valid problem");
 
     // 3. Ask the advisor. The result is a certified schedule: which steps

@@ -28,5 +28,12 @@ run env CERTIFY_FUZZ_CASES="${CERTIFY_FUZZ_CASES:-200}" \
 # rustdoc must be warning-free (broken intra-doc links, bad code fences)
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# lint drift: clippy clean across the workspace, warnings are errors
+run cargo clippy --workspace --all-targets -- -D warnings
+
+# perf smoke: the engine sweep's CI grid, timed so gross LP-engine
+# regressions show up in the verify log (full sweep: solver_bench)
+run bash -c 'time ./target/release/solver_bench --smoke --out target/BENCH_milp_smoke.json'
+
 echo
 echo "verify: all green"

@@ -19,7 +19,7 @@ use insitu_types::json::{FromJson, ToJson, Value};
 use insitu_types::{
     AnalysisProfile, ResourceConfig, Schedule, ScheduleProblem, SearchCertificate,
 };
-use milp::{SolveError, SolveOptions};
+use milp::{SimplexEngine, SolveError, SolveOptions};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -42,6 +42,16 @@ pub fn parallel_opts() -> SolveOptions {
         threads: 3,
         certificate: true,
         ..SolveOptions::default()
+    }
+}
+
+/// Serial options forcing the dense-tableau oracle engine, so every fuzz
+/// case cross-checks the revised simplex against the independent dense
+/// implementation.
+pub fn dense_opts() -> SolveOptions {
+    SolveOptions {
+        engine: SimplexEngine::DenseTableau,
+        ..serial_opts()
     }
 }
 
@@ -84,7 +94,7 @@ pub fn gen_problem(rng: &mut StdRng, case: usize) -> ScheduleProblem {
         // solver objective and the rational replay agree bit-for-bit
         let weight = rng.gen_range(1u32..=6) as f64 * 0.5;
         analyses.push(
-            AnalysisProfile::new(&format!("a{i}"))
+            AnalysisProfile::new(format!("a{i}"))
                 .with_fixed(ft, fm)
                 .with_per_step(it, im)
                 .with_compute(ct, cm)
@@ -133,7 +143,17 @@ pub fn differential_check(problem: &ScheduleProblem) -> Result<(), String> {
         ));
     }
 
-    // 2. brute-force enumeration (the model is pure-integer by design)
+    // 2. sparse (default) vs dense-tableau LP engine on the same search
+    let dense = milp::solve(&built.model, &dense_opts())
+        .map_err(|e| format!("dense-engine solve failed: {e}"))?;
+    if !close(serial.objective, dense.objective) {
+        return Err(format!(
+            "revised-engine objective {} != dense-engine objective {}",
+            serial.objective, dense.objective
+        ));
+    }
+
+    // 3. brute-force enumeration (the model is pure-integer by design)
     match milp::brute::brute_force(&built.model, BRUTE_CAP) {
         Ok(brute) => {
             if !close(brute.objective, serial.objective) {
@@ -147,7 +167,7 @@ pub fn differential_check(problem: &ScheduleProblem) -> Result<(), String> {
         Err(e) => return Err(format!("brute force failed: {e}")),
     }
 
-    // 3. place the counts and certify the schedule independently
+    // 4. place the counts and certify the schedule independently
     let (counts, output_counts) = built.counts_from(&serial.values);
     let schedule = place_schedule(problem, &counts, &output_counts);
     let report = validate_schedule(problem, &schedule);
@@ -164,7 +184,7 @@ pub fn differential_check(problem: &ScheduleProblem) -> Result<(), String> {
         ));
     }
 
-    // 4. the pruning certificate must close against the replayed objective
+    // 5. the pruning certificate must close against the replayed objective
     let cert = serial
         .stats
         .certificate
@@ -178,7 +198,7 @@ pub fn differential_check(problem: &ScheduleProblem) -> Result<(), String> {
         return Err(format!("certificate does not close: {problems:?}"));
     }
 
-    // 5. on small memory-free instances the exact time-indexed formulation
+    // 6. on small memory-free instances the exact time-indexed formulation
     //    is equivalent (see aggregate's module docs) — cross-check it
     let no_mem = problem.analyses.iter().all(|a| {
         a.fixed_mem == 0.0 && a.step_mem == 0.0 && a.compute_mem == 0.0 && a.output_mem == 0.0
