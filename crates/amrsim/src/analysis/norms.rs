@@ -9,6 +9,7 @@
 use crate::block::FlowVar;
 use crate::sim::FlashSim;
 use insitu_core::runtime::Analysis;
+use insitu_types::KernelTelemetry;
 
 /// F2: L1 error norms of density and pressure vs the Sedov reference.
 #[derive(Debug, Default)]
@@ -20,6 +21,8 @@ pub struct L1ErrorNorm {
     pub series: Vec<(usize, f64, f64)>,
     /// Bytes written at output steps.
     pub bytes_out: u64,
+    /// Per-kernel execution telemetry (`hydro.l1norm`).
+    pub telemetry: KernelTelemetry,
 }
 
 impl L1ErrorNorm {
@@ -63,32 +66,53 @@ impl L1ErrorNorm {
             let f = x - b as f64;
             tab[b] * (1.0 - f) + tab[b + 1] * f
         };
-        let mut dens_err = 0.0;
-        let mut pres_err = 0.0;
+        // the table build above stays serial; the per-cell reduction runs
+        // over block-range chunks merged in ascending chunk order
         let d = mesh.dx();
         let nb = mesh.block_cells;
-        for blk in &mesh.blocks {
-            let base = [
-                blk.coords[0] * nb,
-                blk.coords[1] * nb,
-                blk.coords[2] * nb,
-            ];
-            for k in 0..nb {
-                let dz = (base[2] + k) as f64 * d[2] + 0.5 * d[2] - centre[2];
-                for j in 0..nb {
-                    let dy = (base[1] + j) as f64 * d[1] + 0.5 * d[1] - centre[1];
-                    let dyz2 = dy * dy + dz * dz;
-                    for i in 0..nb {
-                        let dx = (base[0] + i) as f64 * d[0] + 0.5 * d[0] - centre[0];
-                        let r = (dx * dx + dyz2).sqrt();
-                        dens_err +=
-                            (blk.cell(FlowVar::Dens, i, j, k) - lookup(&dref_tab, r)).abs();
-                        pres_err +=
-                            (blk.cell(FlowVar::Pres, i, j, k) - lookup(&pref_tab, r)).abs();
+        let nblocks = mesh.blocks.len();
+        let chunks = parallel::chunk_count(nblocks, 1);
+        let ((dens_err, pres_err), stats) = parallel::reduce_chunks(
+            &sim.exec,
+            chunks,
+            |c| {
+                let mut dens_err = 0.0;
+                let mut pres_err = 0.0;
+                for bi in parallel::chunk_bounds(nblocks, chunks, c) {
+                    let blk = &mesh.blocks[bi];
+                    let base = [
+                        blk.coords[0] * nb,
+                        blk.coords[1] * nb,
+                        blk.coords[2] * nb,
+                    ];
+                    for k in 0..nb {
+                        let dz = (base[2] + k) as f64 * d[2] + 0.5 * d[2] - centre[2];
+                        for j in 0..nb {
+                            let dy = (base[1] + j) as f64 * d[1] + 0.5 * d[1] - centre[1];
+                            let dyz2 = dy * dy + dz * dz;
+                            for i in 0..nb {
+                                let dx = (base[0] + i) as f64 * d[0] + 0.5 * d[0] - centre[0];
+                                let r = (dx * dx + dyz2).sqrt();
+                                dens_err +=
+                                    (blk.cell(FlowVar::Dens, i, j, k) - lookup(&dref_tab, r)).abs();
+                                pres_err +=
+                                    (blk.cell(FlowVar::Pres, i, j, k) - lookup(&pref_tab, r)).abs();
+                            }
+                        }
                     }
                 }
-            }
-        }
+                (dens_err, pres_err)
+            },
+            (0.0f64, 0.0f64),
+            |(da, pa), (db, pb)| (da + db, pa + pb),
+        );
+        self.telemetry.record(
+            "hydro.l1norm",
+            stats.threads_used,
+            stats.chunks,
+            stats.wall_s(),
+            stats.merge_s(),
+        );
         let n = mesh.total_cells() as f64;
         let result = (dens_err / n, pres_err / n);
         self.last = result;
@@ -127,6 +151,8 @@ pub struct L2VelocityNorm {
     pub series: Vec<(usize, [f64; 3])>,
     /// Bytes written at output steps.
     pub bytes_out: u64,
+    /// Per-kernel execution telemetry (`hydro.l2norm`).
+    pub telemetry: KernelTelemetry,
 }
 
 impl L2VelocityNorm {
@@ -143,29 +169,49 @@ impl L2VelocityNorm {
     pub fn compute(&mut self, sim: &FlashSim) -> [f64; 3] {
         let mesh = &sim.mesh;
         let n = mesh.block_cells;
-        let mut sums = [0.0f64; 3];
-        let mut count = 0usize;
-        for b in &mesh.blocks {
-            let mut k = 0;
-            while k < n {
-                let mut j = 0;
-                while j < n {
-                    let mut i = 0;
-                    while i < n {
-                        let u = b.cell(FlowVar::Velx, i, j, k);
-                        let v = b.cell(FlowVar::Vely, i, j, k);
-                        let w = b.cell(FlowVar::Velz, i, j, k);
-                        sums[0] += u * u;
-                        sums[1] += v * v;
-                        sums[2] += w * w;
-                        count += 1;
-                        i += self.stride;
+        let stride = self.stride;
+        let nblocks = mesh.blocks.len();
+        let chunks = parallel::chunk_count(nblocks, 1);
+        let ((sums, count), stats) = parallel::reduce_chunks(
+            &sim.exec,
+            chunks,
+            |c| {
+                let mut sums = [0.0f64; 3];
+                let mut count = 0usize;
+                for bi in parallel::chunk_bounds(nblocks, chunks, c) {
+                    let b = &mesh.blocks[bi];
+                    let mut k = 0;
+                    while k < n {
+                        let mut j = 0;
+                        while j < n {
+                            let mut i = 0;
+                            while i < n {
+                                let u = b.cell(FlowVar::Velx, i, j, k);
+                                let v = b.cell(FlowVar::Vely, i, j, k);
+                                let w = b.cell(FlowVar::Velz, i, j, k);
+                                sums[0] += u * u;
+                                sums[1] += v * v;
+                                sums[2] += w * w;
+                                count += 1;
+                                i += stride;
+                            }
+                            j += stride;
+                        }
+                        k += stride;
                     }
-                    j += self.stride;
                 }
-                k += self.stride;
-            }
-        }
+                (sums, count)
+            },
+            ([0.0f64; 3], 0usize),
+            |(sa, ca), (sb, cb)| ([sa[0] + sb[0], sa[1] + sb[1], sa[2] + sb[2]], ca + cb),
+        );
+        self.telemetry.record(
+            "hydro.l2norm",
+            stats.threads_used,
+            stats.chunks,
+            stats.wall_s(),
+            stats.merge_s(),
+        );
         let inv = 1.0 / count.max(1) as f64;
         let result = [
             (sums[0] * inv).sqrt(),

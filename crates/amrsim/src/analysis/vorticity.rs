@@ -8,6 +8,7 @@
 use crate::block::{FlowVar, GHOST};
 use crate::sim::FlashSim;
 use insitu_core::runtime::Analysis;
+use insitu_types::KernelTelemetry;
 
 /// Vorticity kernel.
 #[derive(Debug, Default)]
@@ -21,6 +22,8 @@ pub struct Vorticity {
     pub series: Vec<(usize, f64, f64)>,
     /// Bytes written at output steps.
     pub bytes_out: u64,
+    /// Per-kernel execution telemetry (`hydro.vorticity`).
+    pub telemetry: KernelTelemetry,
 }
 
 impl Vorticity {
@@ -34,39 +37,65 @@ impl Vorticity {
 
     /// Computes vorticity over the whole mesh, caching |ω| in
     /// [`FlowVar::Vort`]; returns `(max |ω|, enstrophy)`.
+    ///
+    /// Block-range chunks produce `(max, enstrophy)` partials on
+    /// `sim.exec`, merged in ascending chunk order — bitwise identical for
+    /// any thread count.
     pub fn compute(&mut self, sim: &FlashSim) -> (f64, f64) {
         // NOTE: analyses get a shared reference; the scratch field write
         // happens on a local clone of each block's vort values instead.
         let mesh = &sim.mesh;
         let d = mesh.dx();
         let n = mesh.block_cells;
-        let mut max_mag: f64 = 0.0;
-        let mut enstrophy = 0.0;
-        for b in &mesh.blocks {
-            for k in 0..n {
-                for j in 0..n {
-                    for i in 0..n {
-                        let (gi, gj, gk) = (i + GHOST, j + GHOST, k + GHOST);
-                        let ddx = |v: FlowVar| {
-                            (b.at(v, gi + 1, gj, gk) - b.at(v, gi - 1, gj, gk)) / (2.0 * d[0])
-                        };
-                        let ddy = |v: FlowVar| {
-                            (b.at(v, gi, gj + 1, gk) - b.at(v, gi, gj - 1, gk)) / (2.0 * d[1])
-                        };
-                        let ddz = |v: FlowVar| {
-                            (b.at(v, gi, gj, gk + 1) - b.at(v, gi, gj, gk - 1)) / (2.0 * d[2])
-                        };
-                        let wx = ddy(FlowVar::Velz) - ddz(FlowVar::Vely);
-                        let wy = ddz(FlowVar::Velx) - ddx(FlowVar::Velz);
-                        let wz = ddx(FlowVar::Vely) - ddy(FlowVar::Velx);
-                        let mag2 = wx * wx + wy * wy + wz * wz;
-                        max_mag = max_mag.max(mag2.sqrt());
-                        enstrophy += mag2;
+        let nblocks = mesh.blocks.len();
+        let chunks = parallel::chunk_count(nblocks, 1);
+        let ((max_mag, enstrophy), stats) = parallel::reduce_chunks(
+            &sim.exec,
+            chunks,
+            |c| {
+                let mut max_mag: f64 = 0.0;
+                let mut enstrophy = 0.0;
+                for bi in parallel::chunk_bounds(nblocks, chunks, c) {
+                    let b = &mesh.blocks[bi];
+                    for k in 0..n {
+                        for j in 0..n {
+                            for i in 0..n {
+                                let (gi, gj, gk) = (i + GHOST, j + GHOST, k + GHOST);
+                                let ddx = |v: FlowVar| {
+                                    (b.at(v, gi + 1, gj, gk) - b.at(v, gi - 1, gj, gk))
+                                        / (2.0 * d[0])
+                                };
+                                let ddy = |v: FlowVar| {
+                                    (b.at(v, gi, gj + 1, gk) - b.at(v, gi, gj - 1, gk))
+                                        / (2.0 * d[1])
+                                };
+                                let ddz = |v: FlowVar| {
+                                    (b.at(v, gi, gj, gk + 1) - b.at(v, gi, gj, gk - 1))
+                                        / (2.0 * d[2])
+                                };
+                                let wx = ddy(FlowVar::Velz) - ddz(FlowVar::Vely);
+                                let wy = ddz(FlowVar::Velx) - ddx(FlowVar::Velz);
+                                let wz = ddx(FlowVar::Vely) - ddy(FlowVar::Velx);
+                                let mag2 = wx * wx + wy * wy + wz * wz;
+                                max_mag = max_mag.max(mag2.sqrt());
+                                enstrophy += mag2;
+                            }
+                        }
                     }
                 }
-            }
-        }
-        enstrophy *= mesh.cell_volume();
+                (max_mag, enstrophy)
+            },
+            (0.0f64, 0.0f64),
+            |(m, e), (cm, ce)| (m.max(cm), e + ce),
+        );
+        let enstrophy = enstrophy * mesh.cell_volume();
+        self.telemetry.record(
+            "hydro.vorticity",
+            stats.threads_used,
+            stats.chunks,
+            stats.wall_s(),
+            stats.merge_s(),
+        );
         self.max_magnitude = max_mag;
         self.enstrophy = enstrophy;
         (max_mag, enstrophy)

@@ -7,8 +7,11 @@
 //! accuracy suffices: the scheduler consumes analysis *cost shapes*, and
 //! the Sedov shock physics (self-similar expansion) is captured.
 
-use crate::block::{FlowVar, GHOST};
+use crate::block::{Block, FlowVar, GHOST};
 use crate::mesh::Mesh;
+use insitu_types::KernelTelemetry;
+use parallel::Exec;
+use std::time::Instant;
 
 /// Ratio of specific heats (FLASH's default ideal gamma for Sedov).
 pub const GAMMA: f64 = 1.4;
@@ -124,22 +127,41 @@ fn prim_at(block: &crate::block::Block, gi: usize, gj: usize, gk: usize) -> Prim
 
 /// Largest stable time step at CFL number `cfl`.
 pub fn cfl_dt(mesh: &Mesh, cfl: f64) -> f64 {
+    cfl_dt_ex(mesh, cfl, &Exec::from_env())
+}
+
+/// [`cfl_dt`] on an explicit execution context: per-block maximum rates
+/// are reduced in block order (`max` is order-independent, so this is
+/// exact for any thread count and chunking).
+pub fn cfl_dt_ex(mesh: &Mesh, cfl: f64, exec: &Exec) -> f64 {
     let d = mesh.dx();
-    let mut max_rate = 0.0f64;
-    for b in &mesh.blocks {
-        for k in 0..b.n {
-            for j in 0..b.n {
-                for i in 0..b.n {
-                    let q = prim_at(b, i + GHOST, j + GHOST, k + GHOST);
-                    let c = q.sound_speed();
-                    let rate = (q.u.abs() + c) / d[0]
-                        + (q.v.abs() + c) / d[1]
-                        + (q.w.abs() + c) / d[2];
-                    max_rate = max_rate.max(rate);
+    let nblocks = mesh.blocks.len();
+    let chunks = parallel::chunk_count(nblocks, 1);
+    let (max_rate, _) = parallel::reduce_chunks(
+        exec,
+        chunks,
+        |c| {
+            let mut rate_max = 0.0f64;
+            for bi in parallel::chunk_bounds(nblocks, chunks, c) {
+                let b = &mesh.blocks[bi];
+                for k in 0..b.n {
+                    for j in 0..b.n {
+                        for i in 0..b.n {
+                            let q = prim_at(b, i + GHOST, j + GHOST, k + GHOST);
+                            let c = q.sound_speed();
+                            let rate = (q.u.abs() + c) / d[0]
+                                + (q.v.abs() + c) / d[1]
+                                + (q.w.abs() + c) / d[2];
+                            rate_max = rate_max.max(rate);
+                        }
+                    }
                 }
             }
-        }
-    }
+            rate_max
+        },
+        0.0f64,
+        f64::max,
+    );
     if max_rate > 0.0 {
         cfl / max_rate
     } else {
@@ -150,10 +172,38 @@ pub fn cfl_dt(mesh: &Mesh, cfl: f64) -> f64 {
 /// Advances the mesh by `dt` with one unsplit first-order HLL step.
 /// Ghost layers must be current; they are refreshed at the end.
 pub fn step(mesh: &mut Mesh, dt: f64) {
+    step_ex(mesh, dt, &Exec::from_env(), &mut KernelTelemetry::new());
+}
+
+/// [`step`] on an explicit execution context, recording telemetry.
+///
+/// Blocks read only their own cells + ghost layers and write only their
+/// own cells, so the block sweep is embarrassingly parallel and trivially
+/// deterministic; ghost exchanges stay serial.
+pub fn step_ex(mesh: &mut Mesh, dt: f64, exec: &Exec, telemetry: &mut KernelTelemetry) {
+    let g0 = Instant::now();
     mesh.exchange_ghosts();
     let d = mesh.dx();
     let n = mesh.block_cells;
-    for b in &mut mesh.blocks {
+    let stats = parallel::for_each_mut(exec, &mut mesh.blocks, |_, b| {
+        update_block(b, n, d, dt);
+    });
+    mesh.exchange_ghosts();
+    // ghost time = total minus the block sweep (both serial exchanges)
+    let ghosts = (g0.elapsed().as_secs_f64() - stats.wall_s()).max(0.0);
+    telemetry.record("hydro.ghosts", 1, 1, ghosts, 0.0);
+    telemetry.record(
+        "hydro.step",
+        stats.threads_used,
+        stats.chunks,
+        stats.wall_s(),
+        0.0,
+    );
+}
+
+/// One HLL update of a single block's interior cells.
+fn update_block(b: &mut Block, n: usize, d: [f64; 3], dt: f64) {
+    {
         // snapshot conservative update per interior cell
         let mut delta: Vec<Cons> = Vec::with_capacity(n * n * n);
         for k in 0..n {
@@ -220,7 +270,6 @@ pub fn step(mesh: &mut Mesh, dt: f64) {
             }
         }
     }
-    mesh.exchange_ghosts();
 }
 
 #[cfg(test)]

@@ -1,9 +1,12 @@
 //! The FLASH-style simulation driver.
 
-use crate::euler::{cfl_dt, step};
+use crate::euler::{cfl_dt_ex, step_ex};
 use crate::mesh::Mesh;
 use crate::sedov::SedovSetup;
 use insitu_core::runtime::Simulator;
+use insitu_types::KernelTelemetry;
+use parallel::Exec;
+use std::time::Instant;
 
 /// A running Sedov simulation: mesh + clock + checkpoint accounting.
 #[derive(Debug, Clone)]
@@ -22,6 +25,12 @@ pub struct FlashSim {
     pub checkpoint_bytes: u64,
     /// Number of checkpoints written.
     pub checkpoints: usize,
+    /// Execution context for the parallel kernels (thread count). Set from
+    /// `INSITU_THREADS` at construction; results are bitwise identical for
+    /// any value (see the `parallel` crate docs).
+    pub exec: Exec,
+    /// Accumulated per-kernel telemetry (block sweep, CFL reduction, ...).
+    pub telemetry: KernelTelemetry,
 }
 
 impl FlashSim {
@@ -42,6 +51,8 @@ impl FlashSim {
             cfl: 0.4,
             checkpoint_bytes: 0,
             checkpoints: 0,
+            exec: Exec::from_env(),
+            telemetry: KernelTelemetry::new(),
         }
     }
 
@@ -63,8 +74,16 @@ impl Simulator for FlashSim {
     }
 
     fn advance(&mut self) {
-        let dt = cfl_dt(&self.mesh, self.cfl);
-        step(&mut self.mesh, dt);
+        let t0 = Instant::now();
+        let dt = cfl_dt_ex(&self.mesh, self.cfl, &self.exec);
+        self.telemetry.record(
+            "hydro.cfl_dt",
+            self.exec.threads(),
+            parallel::chunk_count(self.mesh.blocks.len(), 1),
+            t0.elapsed().as_secs_f64(),
+            0.0,
+        );
+        step_ex(&mut self.mesh, dt, &self.exec, &mut self.telemetry);
         self.time += dt;
         self.step_count += 1;
     }

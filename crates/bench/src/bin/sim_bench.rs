@@ -1,0 +1,52 @@
+//! Simulation-kernel benchmark: mdsim + amrsim step and analysis kernels
+//! over (system size × thread count). Writes `BENCH_sim.json` (schema
+//! documented in `EXPERIMENTS.md`) and prints the report table.
+//!
+//! Usage: `sim_bench [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs the reduced CI grid; `--out` overrides the JSON path
+//! (default `BENCH_sim.json` in the current directory).
+
+use bench::experiments::sim_bench::{
+    run, AMR_SIZES_FULL, AMR_SIZES_SMOKE, MD_SIZES_FULL, MD_SIZES_SMOKE, THREADS_FULL,
+    THREADS_SMOKE,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".into());
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            a != "--smoke"
+                && a != "--out"
+                && !(i > 0 && args[i - 1] == "--out")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown argument {bad}; usage: sim_bench [--smoke] [--out PATH]");
+        std::process::exit(2);
+    }
+
+    let outcome = if smoke {
+        run(&MD_SIZES_SMOKE, &AMR_SIZES_SMOKE, &THREADS_SMOKE)
+    } else {
+        run(&MD_SIZES_FULL, &AMR_SIZES_FULL, &THREADS_FULL)
+    };
+    println!("{}", outcome.report);
+    let json = outcome.to_json().to_string_pretty();
+    std::fs::write(&out, json + "\n").expect("write BENCH_sim.json");
+    let max_t = outcome.points.iter().map(|p| p.threads).max().unwrap_or(1);
+    println!(
+        "largest instances at {max_t} threads: md {:.2}x, amr {:.2}x -> {out}",
+        outcome.speedup_largest("md", max_t).unwrap_or(0.0),
+        outcome.speedup_largest("amr", max_t).unwrap_or(0.0),
+    );
+}

@@ -96,8 +96,9 @@ pub fn run() -> Outcome {
     scatter.push_str(&format!("+{}\n", "-".repeat(W)));
 
     let report = format!(
-        "Per-analysis (time, memory) at paper scale (modeled from measured\n\
-         kernel unit costs):\n{}\n{}",
+        "Per-analysis (time, memory) at paper scale (modeled from kernel\n\
+         unit costs measured at {} thread(s)):\n{}\n{}",
+        crate::measure::unit_costs().anchor_threads,
         t.render(),
         scatter
     );

@@ -1,0 +1,303 @@
+//! Simulation-kernel sweep: mdsim + amrsim proxy steps and their heaviest
+//! analysis kernels over (system size × thread count).
+//!
+//! Each grid point builds a fresh proxy, pins its [`parallel::Exec`] to an
+//! explicit thread count, and times
+//!
+//! * the **simulation step** (MD: cell rebuild + LJ force loop; hydro:
+//!   CFL reduction + Euler block sweep), and
+//! * one **analysis kernel** pass (MD: the A1 RDF; hydro: the F1
+//!   vorticity stencil) — the compute-heavy analyses of the paper's two
+//!   application sets.
+//!
+//! The chunked kernels are bitwise deterministic in the thread count (see
+//! `docs/KERNELS.md`), so the sweep measures pure wall-time scaling: the
+//! physics at every `(size, threads)` point is identical. Per-kernel
+//! [`insitu_types::KernelTelemetry`] (threads, chunks, merge time) rides
+//! along into the JSON.
+//!
+//! [`Outcome::to_json`] serializes the sweep in the `BENCH_sim.json`
+//! schema documented in `EXPERIMENTS.md`.
+
+use amrsim::analysis::f1_vorticity;
+use amrsim::sedov::SedovSetup;
+use amrsim::FlashSim;
+use insitu_core::runtime::Simulator;
+use insitu_types::json::Value;
+use insitu_types::KernelRecord;
+use mdsim::analysis::a1_hydronium_rdf;
+use mdsim::{water_ions, BuilderParams};
+use parallel::Exec;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// MD system sizes (particles) for the full sweep.
+pub const MD_SIZES_FULL: [usize; 3] = [4_000, 16_000, 64_000];
+/// Hydro mesh sizes (blocks per side of 12³-cell blocks) for the full sweep.
+pub const AMR_SIZES_FULL: [usize; 3] = [2, 3, 4];
+/// Thread counts for the full sweep.
+pub const THREADS_FULL: [usize; 3] = [1, 2, 4];
+/// MD system sizes for `--smoke` (CI).
+pub const MD_SIZES_SMOKE: [usize; 2] = [2_000, 8_000];
+/// Hydro mesh sizes for `--smoke`.
+pub const AMR_SIZES_SMOKE: [usize; 2] = [2, 3];
+/// Thread counts for `--smoke`.
+pub const THREADS_SMOKE: [usize; 2] = [1, 2];
+
+/// Timed simulation steps per grid point (after one warm-up step).
+const TIMED_STEPS: usize = 3;
+
+/// One `(size, threads)` measurement for either proxy.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// `"md"` or `"amr"`.
+    pub proxy: &'static str,
+    /// Particles (MD) or total cells (hydro).
+    pub elements: usize,
+    /// Thread count the kernels ran at.
+    pub threads: usize,
+    /// Mean wall time of one simulation step (milliseconds).
+    pub step_ms: f64,
+    /// Mean wall time of one analysis pass (milliseconds).
+    pub analysis_ms: f64,
+    /// Telemetry of the dominant step kernel (`md.force` / `hydro.step`).
+    pub step_kernel: KernelRecord,
+    /// Telemetry of the analysis kernel (`md.rdf` / `hydro.vorticity`).
+    pub analysis_kernel: KernelRecord,
+}
+
+/// Sweep result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All grid points, sizes ascending, threads ascending within a size.
+    pub points: Vec<SweepPoint>,
+    /// Printable report.
+    pub report: String,
+}
+
+impl Outcome {
+    /// Step-time speedup of `threads` vs 1 thread on the largest instance
+    /// of `proxy` (`None` if either point is missing).
+    pub fn speedup_largest(&self, proxy: &str, threads: usize) -> Option<f64> {
+        let largest = self
+            .points
+            .iter()
+            .filter(|p| p.proxy == proxy)
+            .map(|p| p.elements)
+            .max()?;
+        let at = |t: usize| {
+            self.points
+                .iter()
+                .find(|p| p.proxy == proxy && p.elements == largest && p.threads == t)
+                .map(|p| p.step_ms)
+        };
+        Some(at(1)? / at(threads)?.max(1e-9))
+    }
+}
+
+fn md_point(n_particles: usize, threads: usize) -> SweepPoint {
+    let mut sys = water_ions(&BuilderParams {
+        n_particles,
+        ..Default::default()
+    });
+    sys.exec = Exec::with_threads(threads);
+    sys.step(); // warm-up: builds the cell list, faults pages
+    sys.telemetry.clear();
+    let t0 = Instant::now();
+    for _ in 0..TIMED_STEPS {
+        sys.step();
+    }
+    let step_ms = t0.elapsed().as_secs_f64() * 1e3 / TIMED_STEPS as f64;
+
+    let mut rdf = a1_hydronium_rdf();
+    rdf.accumulate(&sys); // warm-up
+    rdf.telemetry.clear();
+    let t1 = Instant::now();
+    for _ in 0..TIMED_STEPS {
+        rdf.accumulate(&sys);
+    }
+    let analysis_ms = t1.elapsed().as_secs_f64() * 1e3 / TIMED_STEPS as f64;
+
+    SweepPoint {
+        proxy: "md",
+        elements: n_particles,
+        threads,
+        step_ms,
+        analysis_ms,
+        step_kernel: sys.telemetry.get("md.force").copied().unwrap_or_default(),
+        analysis_kernel: rdf.telemetry.get("md.rdf").copied().unwrap_or_default(),
+    }
+}
+
+fn amr_point(blocks_per_side: usize, threads: usize) -> SweepPoint {
+    let mut sim = FlashSim::sedov(blocks_per_side, 12, SedovSetup::default());
+    sim.exec = Exec::with_threads(threads);
+    sim.advance(); // warm-up
+    sim.telemetry.clear();
+    let t0 = Instant::now();
+    for _ in 0..TIMED_STEPS {
+        sim.advance();
+    }
+    let step_ms = t0.elapsed().as_secs_f64() * 1e3 / TIMED_STEPS as f64;
+
+    let mut vort = f1_vorticity();
+    vort.compute(&sim); // warm-up
+    vort.telemetry.clear();
+    let t1 = Instant::now();
+    for _ in 0..TIMED_STEPS {
+        vort.compute(&sim);
+    }
+    let analysis_ms = t1.elapsed().as_secs_f64() * 1e3 / TIMED_STEPS as f64;
+
+    SweepPoint {
+        proxy: "amr",
+        elements: sim.mesh.total_cells(),
+        threads,
+        step_ms,
+        analysis_ms,
+        step_kernel: sim.telemetry.get("hydro.step").copied().unwrap_or_default(),
+        analysis_kernel: vort
+            .telemetry
+            .get("hydro.vorticity")
+            .copied()
+            .unwrap_or_default(),
+    }
+}
+
+/// Runs the sweep over the given size and thread grids.
+pub fn run(md_sizes: &[usize], amr_sizes: &[usize], thread_counts: &[usize]) -> Outcome {
+    let mut points = Vec::new();
+    for &n in md_sizes {
+        for &t in thread_counts {
+            points.push(md_point(n, t));
+        }
+    }
+    for &b in amr_sizes {
+        for &t in thread_counts {
+            points.push(amr_point(b, t));
+        }
+    }
+
+    let mut table = crate::table::TextTable::new(&[
+        "proxy",
+        "elements",
+        "threads",
+        "step (ms)",
+        "analysis (ms)",
+        "chunks",
+        "merge (ms)",
+    ]);
+    for p in &points {
+        table.row(&[
+            p.proxy.to_string(),
+            p.elements.to_string(),
+            p.threads.to_string(),
+            format!("{:.3}", p.step_ms),
+            format!("{:.3}", p.analysis_ms),
+            p.step_kernel.chunks.to_string(),
+            format!("{:.3}", p.step_kernel.merge_s * 1e3 / p.step_kernel.calls.max(1) as f64),
+        ]);
+    }
+    let outcome = Outcome {
+        points,
+        report: String::new(),
+    };
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedups = thread_counts
+        .iter()
+        .filter(|&&t| t > 1)
+        .map(|&t| {
+            format!(
+                "{}T: md {:.2}x, amr {:.2}x",
+                t,
+                outcome.speedup_largest("md", t).unwrap_or(0.0),
+                outcome.speedup_largest("amr", t).unwrap_or(0.0),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    let report = format!(
+        "Simulation + analysis kernel sweep ({host} host core(s); results\n\
+         are bitwise identical across thread counts). Step speedup vs 1\n\
+         thread on the largest instances: {speedups}.\n{}",
+        table.render()
+    );
+    Outcome { report, ..outcome }
+}
+
+fn kernel_json(r: &KernelRecord) -> Value {
+    let mut o = BTreeMap::new();
+    o.insert("calls".into(), Value::Number(r.calls as f64));
+    o.insert("threads".into(), Value::Number(r.threads as f64));
+    o.insert("chunks".into(), Value::Number(r.chunks as f64));
+    o.insert("wall_ms".into(), Value::Number(r.wall_s * 1e3));
+    o.insert("merge_ms".into(), Value::Number(r.merge_s * 1e3));
+    Value::Object(o)
+}
+
+impl Outcome {
+    /// Serializes the sweep in the `BENCH_sim.json` schema (see
+    /// `EXPERIMENTS.md`).
+    pub fn to_json(&self) -> Value {
+        let points: Vec<Value> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut o = BTreeMap::new();
+                o.insert("proxy".into(), Value::String(p.proxy.into()));
+                o.insert("elements".into(), Value::Number(p.elements as f64));
+                o.insert("threads".into(), Value::Number(p.threads as f64));
+                o.insert("step_ms".into(), Value::Number(p.step_ms));
+                o.insert("analysis_ms".into(), Value::Number(p.analysis_ms));
+                o.insert("step_kernel".into(), kernel_json(&p.step_kernel));
+                o.insert("analysis_kernel".into(), kernel_json(&p.analysis_kernel));
+                Value::Object(o)
+            })
+            .collect();
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let max_t = self.points.iter().map(|p| p.threads).max().unwrap_or(1);
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema".into(),
+            Value::String("bench/sim-kernel-sweep/v1".into()),
+        );
+        root.insert("host_cores".into(), Value::Number(host as f64));
+        root.insert("points".into(), Value::Array(points));
+        root.insert(
+            "md_speedup_largest".into(),
+            Value::Number(self.speedup_largest("md", max_t).unwrap_or(0.0)),
+        );
+        root.insert(
+            "amr_speedup_largest".into(),
+            Value::Number(self.speedup_largest("amr", max_t).unwrap_or(0.0)),
+        );
+        Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_runs_and_serializes() {
+        let o = run(&MD_SIZES_SMOKE[..1], &AMR_SIZES_SMOKE[..1], &THREADS_SMOKE);
+        assert_eq!(o.points.len(), 2 * THREADS_SMOKE.len());
+        for p in &o.points {
+            assert!(p.step_ms > 0.0 && p.analysis_ms > 0.0, "{p:?}");
+            assert_eq!(p.step_kernel.calls, TIMED_STEPS, "{p:?}");
+            assert!(p.step_kernel.chunks > 0, "telemetry flows: {p:?}");
+        }
+        // chunk counts are a function of size only, never of threads
+        for w in o.points.chunks(THREADS_SMOKE.len()) {
+            for p in &w[1..] {
+                assert_eq!(p.step_kernel.chunks, w[0].step_kernel.chunks);
+                assert_eq!(p.analysis_kernel.chunks, w[0].analysis_kernel.chunks);
+            }
+        }
+        let json = o.to_json().to_string_pretty();
+        assert!(json.contains("bench/sim-kernel-sweep/v1"));
+        assert!(json.contains("md_speedup_largest"));
+        insitu_types::json::Value::parse(&json).expect("valid JSON");
+    }
+}

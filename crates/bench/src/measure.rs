@@ -13,6 +13,7 @@ use amrsim::FlashSim;
 use insitu_core::runtime::Simulator;
 use mdsim::analysis::{a1_hydronium_rdf, a2_ion_rdf, a4_msd, r1_gyration, r2_membrane_histogram};
 use mdsim::{water_ions, BuilderParams};
+use parallel::Exec;
 use perfmodel::Stopwatch;
 use std::sync::OnceLock;
 
@@ -40,6 +41,10 @@ pub struct UnitCosts {
     pub l2_per_cell: f64,
     /// Hydro step cost per cell.
     pub hydro_step_per_cell: f64,
+    /// Thread count the anchors were measured at. Pinned to 1 so that the
+    /// extrapolated profiles stay comparable across machines regardless of
+    /// `INSITU_THREADS`; recorded here so profile metadata can state it.
+    pub anchor_threads: usize,
 }
 
 fn time_per<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -65,6 +70,9 @@ fn measure_all() -> UnitCosts {
         n_particles: n_md,
         ..Default::default()
     });
+    // anchors are measured single-threaded whatever INSITU_THREADS says:
+    // unit costs feed the machine model, which reasons about serial work
+    sys.exec = Exec::serial();
     // a few steps so velocities/forces are realistic
     for _ in 0..3 {
         sys.step();
@@ -90,10 +98,11 @@ fn measure_all() -> UnitCosts {
         vacf.correlation.len()
     });
 
-    let rho = mdsim::rhodopsin_proxy(&BuilderParams {
+    let mut rho = mdsim::rhodopsin_proxy(&BuilderParams {
         n_particles: n_md,
         ..Default::default()
     });
+    rho.exec = Exec::serial();
     let r1 = r1_gyration();
     let protein = rho.species_count(mdsim::Species::Protein).max(1);
     let r1_t = time_per(5, || std::hint::black_box(r1.compute(&rho)));
@@ -104,6 +113,7 @@ fn measure_all() -> UnitCosts {
 
     // --- hydro side: 4³ blocks of 12³ cells ---
     let mut sim = FlashSim::sedov(4, 12, SedovSetup::default());
+    sim.exec = Exec::serial();
     for _ in 0..3 {
         sim.advance();
     }
@@ -129,6 +139,7 @@ fn measure_all() -> UnitCosts {
         l1_per_cell: f2_t / cells,
         l2_per_cell: f3_t / f3_samples,
         hydro_step_per_cell: hydro_t / cells,
+        anchor_threads: 1,
     }
 }
 

@@ -136,7 +136,11 @@ pub mod modeled {
         // makes production MSD expensive), so the cost is O(tracked ×
         // origins) independent of the core count (§5.3.3: "takes similar
         // times on all core counts").
-        let origins = 512.0;
+        // origin count chosen so that, with the measured per-origin kernel
+        // cost, A4 lands in the paper's Figure-5 regime (~20 s per run at
+        // 100 M atoms: frequency 10 at 2048 cores collapsing to 1–2 at
+        // 32768)
+        let origins = 1024.0;
         let msd_ct = u.msd_per_particle * tracked * origins;
         let msd_fm = 3.0 * 8.0 * tracked; // reference positions, aggregate
         let msd_out_bytes = 8.0 * tracked / 100.0;

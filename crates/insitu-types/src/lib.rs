@@ -18,6 +18,7 @@ pub mod problem;
 pub mod profile;
 pub mod resources;
 pub mod schedule;
+pub mod telemetry;
 pub mod trace;
 pub mod units;
 
@@ -27,5 +28,6 @@ pub use problem::ScheduleProblem;
 pub use profile::{AnalysisId, AnalysisProfile};
 pub use resources::ResourceConfig;
 pub use schedule::{AnalysisSchedule, Schedule};
+pub use telemetry::{KernelRecord, KernelTelemetry};
 pub use trace::{CouplingTrace, StepEvent};
 pub use units::{Bytes, Seconds, GIB, KIB, MIB};

@@ -1,0 +1,164 @@
+//! Per-kernel execution telemetry.
+//!
+//! Every parallelized simulation/analysis kernel records how long it ran,
+//! how many threads it used, how the work was chunked and how long the
+//! ordered merge of partial results took. The records accumulate on the
+//! owning state (`System`, `FlashSim`) or kernel struct and surface in the
+//! bench tables and `BENCH_sim.json`.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// Accumulated telemetry of one kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelRecord {
+    /// Number of invocations recorded.
+    pub calls: usize,
+    /// Threads used by the most recent invocation.
+    pub threads: usize,
+    /// Chunk count of the most recent invocation.
+    pub chunks: usize,
+    /// Total wall seconds across all invocations.
+    pub wall_s: f64,
+    /// Total seconds spent in ordered merges across all invocations.
+    pub merge_s: f64,
+}
+
+impl KernelRecord {
+    /// Mean wall seconds per invocation.
+    pub fn mean_wall_s(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.wall_s / self.calls as f64
+        }
+    }
+}
+
+/// Telemetry registry: one [`KernelRecord`] per kernel name.
+///
+/// Kernel names are dotted lowercase identifiers (`md.force`,
+/// `hydro.step`, ...); the `BTreeMap` keeps reports and JSON output in a
+/// stable order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelTelemetry {
+    /// Records keyed by kernel name.
+    pub kernels: BTreeMap<String, KernelRecord>,
+}
+
+impl KernelTelemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation of `kernel`.
+    pub fn record(&mut self, kernel: &str, threads: usize, chunks: usize, wall_s: f64, merge_s: f64) {
+        let r = self.kernels.entry(kernel.to_string()).or_default();
+        r.calls += 1;
+        r.threads = threads;
+        r.chunks = chunks;
+        r.wall_s += wall_s;
+        r.merge_s += merge_s;
+    }
+
+    /// Record for `kernel`, if any invocation has been recorded.
+    pub fn get(&self, kernel: &str) -> Option<&KernelRecord> {
+        self.kernels.get(kernel)
+    }
+
+    /// Folds another registry into this one (summing calls and times;
+    /// threads/chunks take the other's most recent values).
+    pub fn merge_from(&mut self, other: &KernelTelemetry) {
+        for (name, r) in &other.kernels {
+            let mine = self.kernels.entry(name.clone()).or_default();
+            mine.calls += r.calls;
+            mine.threads = r.threads;
+            mine.chunks = r.chunks;
+            mine.wall_s += r.wall_s;
+            mine.merge_s += r.merge_s;
+        }
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.kernels.clear();
+    }
+
+    /// Plain-text table: one line per kernel.
+    pub fn table(&self) -> String {
+        let mut out = String::from("kernel                 calls thr chk   wall(ms)  merge(ms)\n");
+        for (name, r) in &self.kernels {
+            out.push_str(&format!(
+                "{name:<22} {:>5} {:>3} {:>3} {:>10.3} {:>10.3}\n",
+                r.calls,
+                r.threads,
+                r.chunks,
+                r.wall_s * 1e3,
+                r.merge_s * 1e3,
+            ));
+        }
+        out
+    }
+
+    /// JSON object keyed by kernel name (the `kernels` field of
+    /// `BENCH_sim.json`).
+    pub fn to_json(&self) -> Value {
+        let mut root = BTreeMap::new();
+        for (name, r) in &self.kernels {
+            let mut o = BTreeMap::new();
+            o.insert("calls".into(), Value::Number(r.calls as f64));
+            o.insert("threads".into(), Value::Number(r.threads as f64));
+            o.insert("chunks".into(), Value::Number(r.chunks as f64));
+            o.insert("wall_ms".into(), Value::Number(r.wall_s * 1e3));
+            o.insert("merge_ms".into(), Value::Number(r.merge_s * 1e3));
+            root.insert(name.clone(), Value::Object(o));
+        }
+        Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut t = KernelTelemetry::new();
+        t.record("md.force", 4, 16, 0.5, 0.1);
+        t.record("md.force", 2, 16, 0.25, 0.05);
+        let r = t.get("md.force").unwrap();
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.threads, 2, "threads reflect the latest call");
+        assert!((r.wall_s - 0.75).abs() < 1e-12);
+        assert!((r.mean_wall_s() - 0.375).abs() < 1e-12);
+        assert!(t.get("md.rdf").is_none());
+    }
+
+    #[test]
+    fn merge_from_sums_counterpart() {
+        let mut a = KernelTelemetry::new();
+        a.record("hydro.step", 1, 8, 1.0, 0.0);
+        let mut b = KernelTelemetry::new();
+        b.record("hydro.step", 2, 8, 2.0, 0.5);
+        b.record("hydro.vorticity", 2, 4, 0.1, 0.0);
+        a.merge_from(&b);
+        assert_eq!(a.get("hydro.step").unwrap().calls, 2);
+        assert!((a.get("hydro.step").unwrap().wall_s - 3.0).abs() < 1e-12);
+        assert_eq!(a.kernels.len(), 2);
+    }
+
+    #[test]
+    fn table_and_json_render_all_kernels() {
+        let mut t = KernelTelemetry::new();
+        t.record("md.force", 4, 16, 0.5, 0.1);
+        t.record("md.rdf", 4, 8, 0.2, 0.02);
+        let table = t.table();
+        assert!(table.contains("md.force") && table.contains("md.rdf"));
+        let json = t.to_json().to_string_pretty();
+        assert!(json.contains("\"wall_ms\""));
+        Value::parse(&json).expect("valid JSON");
+        t.clear();
+        assert!(t.kernels.is_empty());
+    }
+}

@@ -9,6 +9,8 @@
 use crate::analysis::sink::OutputSink;
 use crate::system::{Species, System};
 use insitu_core::runtime::Analysis;
+use insitu_types::KernelTelemetry;
+use std::time::Instant;
 
 /// 2-D (x, y) density histogram of one species.
 #[derive(Debug)]
@@ -20,6 +22,8 @@ pub struct DensityHistogram {
     pub counts: Vec<u64>,
     /// Snapshots accumulated since last output.
     pub samples: usize,
+    /// Per-kernel execution telemetry (`md.histogram`).
+    pub telemetry: KernelTelemetry,
     /// Output destination.
     pub sink: OutputSink,
 }
@@ -33,24 +37,49 @@ impl DensityHistogram {
             bins: bins.max(1),
             counts: vec![0; bins.max(1) * bins.max(1)],
             samples: 0,
+            telemetry: KernelTelemetry::new(),
             sink: OutputSink::null(),
         }
     }
 
     /// Accumulates one snapshot.
+    ///
+    /// Particle-range chunks bin into per-chunk count grids merged in
+    /// chunk order on `system.exec`.
     pub fn accumulate(&mut self, system: &System) {
         let s = self.species.index() as u8;
         let lx = system.bounds.lengths[0];
         let ly = system.bounds.lengths[1];
         let nb = self.bins as f64;
-        for i in 0..system.len() {
-            if system.species[i] != s {
-                continue;
+        let bins = self.bins;
+        let n = system.len();
+        let chunks = parallel::chunk_count(n, 4096);
+        let (parts, stats) = parallel::map_chunks(&system.exec, chunks, |c| {
+            let mut counts = vec![0u64; bins * bins];
+            for i in parallel::chunk_bounds(n, chunks, c) {
+                if system.species[i] != s {
+                    continue;
+                }
+                let bx = ((system.pos[0][i] / lx * nb) as usize).min(bins - 1);
+                let by = ((system.pos[1][i] / ly * nb) as usize).min(bins - 1);
+                counts[by * bins + bx] += 1;
             }
-            let bx = ((system.pos[0][i] / lx * nb) as usize).min(self.bins - 1);
-            let by = ((system.pos[1][i] / ly * nb) as usize).min(self.bins - 1);
-            self.counts[by * self.bins + bx] += 1;
+            counts
+        });
+        let m0 = Instant::now();
+        for part in parts {
+            for (a, b) in self.counts.iter_mut().zip(part) {
+                *a += b;
+            }
         }
+        let merge = m0.elapsed().as_secs_f64();
+        self.telemetry.record(
+            "md.histogram",
+            stats.threads_used,
+            stats.chunks,
+            stats.wall_s() + merge,
+            merge,
+        );
         self.samples += 1;
     }
 

@@ -9,6 +9,8 @@
 use crate::analysis::sink::OutputSink;
 use crate::system::{Species, System};
 use insitu_core::runtime::Analysis;
+use insitu_types::KernelTelemetry;
+use std::time::Instant;
 
 /// Radius-of-gyration kernel for one species group.
 #[derive(Debug)]
@@ -18,6 +20,8 @@ pub struct RadiusOfGyration {
     members: Vec<usize>,
     /// `(step, Rg)` series accumulated since the last output.
     pub series: Vec<(usize, f64)>,
+    /// Per-kernel execution telemetry (`md.gyration`).
+    pub telemetry: KernelTelemetry,
     /// Output destination.
     pub sink: OutputSink,
 }
@@ -30,6 +34,7 @@ impl RadiusOfGyration {
             species,
             members: Vec::new(),
             series: Vec::new(),
+            telemetry: KernelTelemetry::new(),
             sink: OutputSink::null(),
         }
     }
@@ -47,34 +52,68 @@ impl RadiusOfGyration {
 
 /// Mass-weighted radius of gyration of `members`, minimum-imaged around the
 /// first member.
+///
+/// Two chunked passes over the members on `system.exec` (mass-weighted
+/// centre of mass, then the second moment), each merged in ascending chunk
+/// order — bitwise identical for any thread count.
 pub fn radius_of_gyration(system: &System, members: &[usize]) -> f64 {
     if members.is_empty() {
         return 0.0;
     }
     let origin = system.position(members[0]);
-    // centre of mass in the unwrapped frame of the first member
-    let mut com = [0.0f64; 3];
-    let mut mass_total = 0.0;
-    let mut rel: Vec<([f64; 3], f64)> = Vec::with_capacity(members.len());
-    for &i in members {
-        let d = system.bounds.displacement(system.position(i), origin);
-        let m = system.mass(i);
-        for k in 0..3 {
-            com[k] += m * d[k];
-        }
-        mass_total += m;
-        rel.push((d, m));
-    }
-    for c in com.iter_mut() {
-        *c /= mass_total;
-    }
-    let mut sum = 0.0;
-    for (d, m) in rel {
-        let dx = d[0] - com[0];
-        let dy = d[1] - com[1];
-        let dz = d[2] - com[2];
-        sum += m * (dx * dx + dy * dy + dz * dz);
-    }
+    let n = members.len();
+    let chunks = parallel::chunk_count(n, 2048);
+    // pass 1: centre of mass in the unwrapped frame of the first member
+    let ((com_sum, mass_total), _) = parallel::reduce_chunks(
+        &system.exec,
+        chunks,
+        |c| {
+            let mut com = [0.0f64; 3];
+            let mut mass = 0.0f64;
+            for t in parallel::chunk_bounds(n, chunks, c) {
+                let i = members[t];
+                let d = system.bounds.displacement(system.position(i), origin);
+                let m = system.mass(i);
+                for k in 0..3 {
+                    com[k] += m * d[k];
+                }
+                mass += m;
+            }
+            (com, mass)
+        },
+        ([0.0f64; 3], 0.0f64),
+        |(mut acc, total), (com, mass)| {
+            for k in 0..3 {
+                acc[k] += com[k];
+            }
+            (acc, total + mass)
+        },
+    );
+    let com = [
+        com_sum[0] / mass_total,
+        com_sum[1] / mass_total,
+        com_sum[2] / mass_total,
+    ];
+    // pass 2: second moment about the centre of mass
+    let (sum, _) = parallel::reduce_chunks(
+        &system.exec,
+        chunks,
+        |c| {
+            let mut s = 0.0f64;
+            for t in parallel::chunk_bounds(n, chunks, c) {
+                let i = members[t];
+                let d = system.bounds.displacement(system.position(i), origin);
+                let m = system.mass(i);
+                let dx = d[0] - com[0];
+                let dy = d[1] - com[1];
+                let dz = d[2] - com[2];
+                s += m * (dx * dx + dy * dy + dz * dz);
+            }
+            s
+        },
+        0.0f64,
+        |a, b| a + b,
+    );
     (sum / mass_total).sqrt()
 }
 
@@ -88,7 +127,15 @@ impl Analysis<System> for RadiusOfGyration {
     }
 
     fn analyze(&mut self, state: &System) {
+        let t0 = Instant::now();
         let rg = radius_of_gyration(state, &self.members);
+        self.telemetry.record(
+            "md.gyration",
+            state.exec.threads(),
+            parallel::chunk_count(self.members.len().max(1), 2048),
+            t0.elapsed().as_secs_f64(),
+            0.0,
+        );
         self.series.push((state.step_count, rg));
     }
 

@@ -11,6 +11,8 @@
 use crate::analysis::sink::OutputSink;
 use crate::system::{Species, System};
 use insitu_core::runtime::Analysis;
+use insitu_types::KernelTelemetry;
+use parallel::ParStats;
 
 /// MSD kernel over a set of tracked species.
 #[derive(Debug)]
@@ -22,6 +24,8 @@ pub struct Msd {
     reference: [Vec<f64>; 3],
     /// `(step, msd)` series accumulated since the last output.
     pub series: Vec<(usize, f64)>,
+    /// Per-kernel execution telemetry (`md.msd`).
+    pub telemetry: KernelTelemetry,
     /// Output destination.
     pub sink: OutputSink,
 }
@@ -35,6 +39,7 @@ impl Msd {
             tracked: Vec::new(),
             reference: [Vec::new(), Vec::new(), Vec::new()],
             series: Vec::new(),
+            telemetry: KernelTelemetry::new(),
             sink: OutputSink::null(),
         }
     }
@@ -58,19 +63,37 @@ impl Msd {
     }
 
     /// MSD of the tracked particles relative to the reference.
+    ///
+    /// Chunked over the tracked set with an ordered sum merge, so the
+    /// value is bitwise identical for any thread count.
     pub fn compute(&self, system: &System) -> f64 {
+        self.compute_with_stats(system).0
+    }
+
+    fn compute_with_stats(&self, system: &System) -> (f64, ParStats) {
         if self.tracked.is_empty() {
-            return 0.0;
+            return (0.0, ParStats::default());
         }
-        let mut sum = 0.0;
-        for (t, &i) in self.tracked.iter().enumerate() {
-            let u = system.unwrapped_position(i);
-            for (&ud, refs) in u.iter().zip(&self.reference) {
-                let dx = ud - refs[t];
-                sum += dx * dx;
-            }
-        }
-        sum / self.tracked.len() as f64
+        let n = self.tracked.len();
+        let chunks = parallel::chunk_count(n, 2048);
+        let (sum, stats) = parallel::reduce_chunks(
+            &system.exec,
+            chunks,
+            |c| {
+                let mut s = 0.0;
+                for t in parallel::chunk_bounds(n, chunks, c) {
+                    let u = system.unwrapped_position(self.tracked[t]);
+                    for (&ud, refs) in u.iter().zip(&self.reference) {
+                        let dx = ud - refs[t];
+                        s += dx * dx;
+                    }
+                }
+                s
+            },
+            0.0f64,
+            |a, b| a + b,
+        );
+        (sum / n as f64, stats)
     }
 
     /// Bytes held by the reference buffer (the `fm` the scheduler sees).
@@ -89,7 +112,14 @@ impl Analysis<System> for Msd {
     }
 
     fn analyze(&mut self, state: &System) {
-        let msd = self.compute(state);
+        let (msd, stats) = self.compute_with_stats(state);
+        self.telemetry.record(
+            "md.msd",
+            stats.threads_used,
+            stats.chunks,
+            stats.wall_s(),
+            stats.merge_s(),
+        );
         self.series.push((state.step_count, msd));
     }
 

@@ -10,6 +10,8 @@ use crate::analysis::sink::OutputSink;
 use crate::neighbor::CellList;
 use crate::system::{Species, System};
 use insitu_core::runtime::Analysis;
+use insitu_types::KernelTelemetry;
+use std::time::Instant;
 
 /// One RDF kernel covering several species pairs.
 #[derive(Debug)]
@@ -22,6 +24,10 @@ pub struct Rdf {
     hist: Vec<Vec<u64>>,
     /// Number of analysis steps accumulated.
     samples: usize,
+    /// Persistent cell list, rebuilt in place every snapshot.
+    cells: Option<CellList>,
+    /// Per-kernel execution telemetry (`md.rdf`).
+    pub telemetry: KernelTelemetry,
     /// Output destination.
     pub sink: OutputSink,
 }
@@ -37,30 +43,61 @@ impl Rdf {
             bins,
             hist: vec![vec![0; bins]; n],
             samples: 0,
+            cells: None,
+            telemetry: KernelTelemetry::new(),
             sink: OutputSink::null(),
         }
     }
 
     /// Accumulates one snapshot into the histograms.
+    ///
+    /// Runs on `system.exec`: cell-range chunks bin into per-chunk
+    /// histograms merged in chunk order (u64 counts, so the merge is exact
+    /// regardless — the ordering keeps the contract uniform).
     pub fn accumulate(&mut self, system: &System) {
-        let cells = CellList::build(&system.bounds, &system.pos, self.r_max);
+        let mut cells = self.cells.take().unwrap_or_else(CellList::empty);
+        cells.rebuild(&system.bounds, &system.pos, self.r_max, &system.exec);
         let inv_dr = self.bins as f64 / self.r_max;
         let pairs = &self.pairs;
-        let hist = &mut self.hist;
         let bins = self.bins;
-        cells.for_each_pair(&system.bounds, &system.pos, |i, j, r2| {
-            let si = Species::from_index(system.species[i] as usize);
-            let sj = Species::from_index(system.species[j] as usize);
-            let b = (r2.sqrt() * inv_dr) as usize;
-            if b >= bins {
-                return;
-            }
-            for (p, &(a, c)) in pairs.iter().enumerate() {
-                if (si == a && sj == c) || (si == c && sj == a) {
-                    hist[p][b] += 1;
+        let chunks = cells.pair_chunks();
+        let ncells = cells.num_cells();
+        let cells_ref = &cells;
+        let (parts, stats) = parallel::map_chunks(&system.exec, chunks, move |c| {
+            let mut hist = vec![vec![0u64; bins]; pairs.len()];
+            let range = parallel::chunk_bounds(ncells, chunks, c);
+            cells_ref.for_each_pair_in(&system.bounds, &system.pos, range, |i, j, r2| {
+                let si = Species::from_index(system.species[i] as usize);
+                let sj = Species::from_index(system.species[j] as usize);
+                let b = (r2.sqrt() * inv_dr) as usize;
+                if b >= bins {
+                    return;
+                }
+                for (p, &(a, c)) in pairs.iter().enumerate() {
+                    if (si == a && sj == c) || (si == c && sj == a) {
+                        hist[p][b] += 1;
+                    }
+                }
+            });
+            hist
+        });
+        let m0 = Instant::now();
+        for part in parts {
+            for (mine, theirs) in self.hist.iter_mut().zip(part) {
+                for (a, b) in mine.iter_mut().zip(theirs) {
+                    *a += b;
                 }
             }
-        });
+        }
+        let merge = m0.elapsed().as_secs_f64();
+        self.telemetry.record(
+            "md.rdf",
+            stats.threads_used,
+            stats.chunks,
+            stats.wall_s() + merge,
+            merge,
+        );
+        self.cells = Some(cells);
         self.samples += 1;
     }
 

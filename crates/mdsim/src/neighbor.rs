@@ -7,6 +7,7 @@
 //! stencil degenerates gracefully.
 
 use crate::system::SimBox;
+use parallel::Exec;
 
 /// A rebuildable cell list.
 #[derive(Debug, Clone)]
@@ -16,32 +17,68 @@ pub struct CellList {
     heads: Vec<usize>,
     /// Next-particle chain.
     next: Vec<usize>,
+    /// Scratch: cell index per particle, reused across rebuilds.
+    cell_idx: Vec<usize>,
     cutoff: f64,
 }
 
 const EMPTY: usize = usize::MAX;
 
 impl CellList {
+    /// An empty cell list to be populated by [`CellList::rebuild`].
+    pub fn empty() -> Self {
+        CellList {
+            dims: [1; 3],
+            heads: Vec::new(),
+            next: Vec::new(),
+            cell_idx: Vec::new(),
+            cutoff: 0.0,
+        }
+    }
+
     /// Builds a cell list for `pos` (SoA layout) with interaction `cutoff`.
     pub fn build(bounds: &SimBox, pos: &[Vec<f64>; 3], cutoff: f64) -> Self {
+        let mut cl = CellList::empty();
+        cl.rebuild(bounds, pos, cutoff, &Exec::serial());
+        cl
+    }
+
+    /// Rebuilds in place, reusing the `heads`/`next`/`cell_idx` allocations
+    /// from the previous build when the sizes still fit.
+    ///
+    /// The per-particle cell indices are computed in parallel (a pure
+    /// per-element map); the chain linking stays serial so the chain order
+    /// — and therefore the pair visit order — is identical for every
+    /// thread count.
+    pub fn rebuild(&mut self, bounds: &SimBox, pos: &[Vec<f64>; 3], cutoff: f64, exec: &Exec) {
         let n = pos[0].len();
-        let mut dims = [1usize; 3];
-        for (dim, &len) in dims.iter_mut().zip(&bounds.lengths) {
+        self.cutoff = cutoff;
+        for (dim, &len) in self.dims.iter_mut().zip(&bounds.lengths) {
             *dim = (len / cutoff).floor().max(1.0) as usize;
         }
-        let ncells = dims[0] * dims[1] * dims[2];
-        let mut heads = vec![EMPTY; ncells];
-        let mut next = vec![EMPTY; n];
+        let ncells = self.dims[0] * self.dims[1] * self.dims[2];
+        self.heads.clear();
+        self.heads.resize(ncells, EMPTY);
+        self.next.clear();
+        self.next.resize(n, EMPTY);
+        self.cell_idx.clear();
+        self.cell_idx.resize(n, 0);
+        let dims = self.dims;
+        parallel::fill_chunks(
+            exec,
+            &mut self.cell_idx,
+            parallel::chunk_count(n, 2048),
+            |_, start, slice| {
+                for (k, c) in slice.iter_mut().enumerate() {
+                    let i = start + k;
+                    *c = Self::cell_of(bounds, dims, [pos[0][i], pos[1][i], pos[2][i]]);
+                }
+            },
+        );
         for i in 0..n {
-            let c = Self::cell_of(bounds, dims, [pos[0][i], pos[1][i], pos[2][i]]);
-            next[i] = heads[c];
-            heads[c] = i;
-        }
-        CellList {
-            dims,
-            heads,
-            next,
-            cutoff,
+            let c = self.cell_idx[i];
+            self.next[i] = self.heads[c];
+            self.heads[c] = i;
         }
     }
 
@@ -61,8 +98,48 @@ impl CellList {
         &self,
         bounds: &SimBox,
         pos: &[Vec<f64>; 3],
+        f: impl FnMut(usize, usize, f64),
+    ) {
+        self.for_each_pair_in(bounds, pos, 0..self.num_cells(), f);
+    }
+
+    /// True when any grid dimension has <= 2 cells, which makes the torus
+    /// alias unordered cell pairs across different home cells. Such grids
+    /// need the global pair dedup and therefore a single full-range pass.
+    pub fn is_degenerate(&self) -> bool {
+        self.dims.iter().any(|&d| d <= 2)
+    }
+
+    /// Deterministic chunk count for parallel pair iteration: a fixed
+    /// function of the cell count (see `parallel::chunk_count`), forced to
+    /// 1 on degenerate grids where pair dedup is global.
+    pub fn pair_chunks(&self) -> usize {
+        if self.is_degenerate() {
+            1
+        } else {
+            parallel::chunk_count(self.num_cells(), 32)
+        }
+    }
+
+    /// Visits every unordered pair whose *home* cell (the cell owning the
+    /// half stencil) has linear index in `cells`. Ranges partition the
+    /// pair set: iterating disjoint ranges that cover `0..num_cells()`
+    /// visits exactly the pairs of [`CellList::for_each_pair`], each once.
+    ///
+    /// Degenerate grids ([`CellList::is_degenerate`]) dedup aliased cell
+    /// pairs globally, so they only support the full range — which
+    /// [`CellList::pair_chunks`] guarantees by returning one chunk.
+    pub fn for_each_pair_in(
+        &self,
+        bounds: &SimBox,
+        pos: &[Vec<f64>; 3],
+        cells: std::ops::Range<usize>,
         mut f: impl FnMut(usize, usize, f64),
     ) {
+        debug_assert!(
+            !self.is_degenerate() || (cells.start == 0 && cells.end == self.num_cells()),
+            "degenerate grids need the global pair dedup: full range only"
+        );
         let [nx, ny, nz] = self.dims;
         let cut2 = self.cutoff * self.cutoff;
         // half stencil: self + 13 forward neighbours
@@ -85,42 +162,42 @@ impl CellList {
         // global pair dedup is needed. The global set is only engaged on
         // such degenerate grids to keep the production path allocation-free.
         let wrap = |v: i64, n: usize| -> usize { v.rem_euclid(n as i64) as usize };
-        let degenerate = self.dims.iter().any(|&d| d <= 2);
+        let degenerate = self.is_degenerate();
         let mut visited_pairs: std::collections::HashSet<(usize, usize)> =
             std::collections::HashSet::new();
-        for cz in 0..nz {
-            for cy in 0..ny {
-                for cx in 0..nx {
-                    let c = (cz * ny + cy) * nx + cx;
-                    let mut seen_cells = Vec::with_capacity(14);
-                    for s in &stencil {
-                        let ox = wrap(cx as i64 + s[0], nx);
-                        let oy = wrap(cy as i64 + s[1], ny);
-                        let oz = wrap(cz as i64 + s[2], nz);
-                        let o = (oz * ny + oy) * nx + ox;
-                        if seen_cells.contains(&o) {
-                            continue; // aliased neighbour under small dims
+        debug_assert!(cells.end <= nx * ny * nz);
+        let mut seen_cells = Vec::with_capacity(14);
+        for c in cells {
+            let cx = c % nx;
+            let cy = (c / nx) % ny;
+            let cz = c / (nx * ny);
+            seen_cells.clear();
+            for s in &stencil {
+                let ox = wrap(cx as i64 + s[0], nx);
+                let oy = wrap(cy as i64 + s[1], ny);
+                let oz = wrap(cz as i64 + s[2], nz);
+                let o = (oz * ny + oy) * nx + ox;
+                if seen_cells.contains(&o) {
+                    continue; // aliased neighbour under small dims
+                }
+                seen_cells.push(o);
+                if degenerate && o != c && !visited_pairs.insert((c.min(o), c.max(o))) {
+                    continue; // unordered cell pair already covered
+                }
+                let same = o == c;
+                let mut i = self.heads[c];
+                while i != EMPTY {
+                    let pi = [pos[0][i], pos[1][i], pos[2][i]];
+                    let mut j = if same { self.next[i] } else { self.heads[o] };
+                    while j != EMPTY {
+                        let pj = [pos[0][j], pos[1][j], pos[2][j]];
+                        let r2 = bounds.dist2(pi, pj);
+                        if r2 < cut2 {
+                            f(i, j, r2);
                         }
-                        seen_cells.push(o);
-                        if degenerate && o != c && !visited_pairs.insert((c.min(o), c.max(o))) {
-                            continue; // unordered cell pair already covered
-                        }
-                        let same = o == c;
-                        let mut i = self.heads[c];
-                        while i != EMPTY {
-                            let pi = [pos[0][i], pos[1][i], pos[2][i]];
-                            let mut j = if same { self.next[i] } else { self.heads[o] };
-                            while j != EMPTY {
-                                let pj = [pos[0][j], pos[1][j], pos[2][j]];
-                                let r2 = bounds.dist2(pi, pj);
-                                if r2 < cut2 {
-                                    f(i, j, r2);
-                                }
-                                j = self.next[j];
-                            }
-                            i = self.next[i];
-                        }
+                        j = self.next[j];
                     }
+                    i = self.next[i];
                 }
             }
         }
@@ -243,6 +320,53 @@ mod tests {
         let (i, j, r2) = found.expect("wrapped pair must be found");
         assert_eq!((i, j), (0, 1));
         assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_reuses_allocations_and_matches_build() {
+        let bounds = SimBox::cubic(12.0);
+        let pos = random_positions(300, 12.0, 42);
+        let mut cl = CellList::build(&bounds, &pos, 2.5);
+        let heads_ptr = cl.heads.as_ptr();
+        let next_ptr = cl.next.as_ptr();
+        // same-size rebuild on moved particles: no reallocation
+        let pos2 = random_positions(300, 12.0, 43);
+        cl.rebuild(&bounds, &pos2, 2.5, &Exec::with_threads(2));
+        assert_eq!(cl.heads.as_ptr(), heads_ptr, "heads reallocated");
+        assert_eq!(cl.next.as_ptr(), next_ptr, "next reallocated");
+        let fresh = CellList::build(&bounds, &pos2, 2.5);
+        let rebuilt = pair_set(|f| cl.for_each_pair(&bounds, &pos2, f));
+        let built = pair_set(|f| fresh.for_each_pair(&bounds, &pos2, f));
+        assert_eq!(rebuilt, built);
+    }
+
+    #[test]
+    fn ranged_iteration_partitions_the_pair_set() {
+        let bounds = SimBox::cubic(12.0);
+        let pos = random_positions(300, 12.0, 9);
+        let cl = CellList::build(&bounds, &pos, 2.5);
+        assert!(!cl.is_degenerate());
+        let chunks = cl.pair_chunks();
+        assert!(chunks > 1, "expected a multi-chunk grid, got {chunks}");
+        let full = pair_set(|f| cl.for_each_pair(&bounds, &pos, f));
+        let mut union = HashSet::new();
+        for c in 0..chunks {
+            let range = parallel::chunk_bounds(cl.num_cells(), chunks, c);
+            cl.for_each_pair_in(&bounds, &pos, range, |i, j, _| {
+                let key = (i.min(j), i.max(j));
+                assert!(union.insert(key), "pair {key:?} in two chunks");
+            });
+        }
+        assert_eq!(union, full);
+    }
+
+    #[test]
+    fn degenerate_grids_force_one_chunk() {
+        let bounds = SimBox::cubic(3.0);
+        let pos = random_positions(40, 3.0, 7);
+        let cl = CellList::build(&bounds, &pos, 1.4);
+        assert!(cl.is_degenerate());
+        assert_eq!(cl.pair_chunks(), 1);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 use crate::force::ForceField;
 use crate::neighbor::CellList;
 use insitu_core::runtime::Simulator;
+use insitu_types::KernelTelemetry;
+use parallel::Exec;
+use std::time::Instant;
 
 /// Number of species understood by the builders/analyses.
 pub const NUM_SPECIES: usize = 5;
@@ -142,6 +145,12 @@ pub struct System {
     pub thermostat_coupling: f64,
     /// Completed time steps.
     pub step_count: usize,
+    /// Execution context for the parallel kernels (thread count). Set from
+    /// `INSITU_THREADS` at construction; results are bitwise identical for
+    /// any value (see the `parallel` crate docs).
+    pub exec: Exec,
+    /// Accumulated per-kernel telemetry (force loop, cell rebuilds, ...).
+    pub telemetry: KernelTelemetry,
     cells: Option<CellList>,
 }
 
@@ -162,6 +171,8 @@ impl System {
             target_temp: 0.0,
             thermostat_coupling: 0.1,
             step_count: 0,
+            exec: Exec::from_env(),
+            telemetry: KernelTelemetry::new(),
             cells: None,
         }
     }
@@ -249,10 +260,15 @@ impl System {
 
     /// Recomputes forces (pairwise + bonds) into `self.force`; returns the
     /// potential energy.
+    ///
+    /// The LJ pair loop runs on `self.exec`: cell-range chunks accumulate
+    /// into per-chunk force arrays that are merged in ascending chunk
+    /// order, so the result is bitwise identical for any thread count.
     pub fn compute_forces(&mut self) -> f64 {
         for d in 0..3 {
             self.force[d].iter_mut().for_each(|f| *f = 0.0);
         }
+        let n = self.len();
         let cutoff = self.ff.cutoff;
         let mut potential = 0.0;
         let ff = self.ff;
@@ -264,20 +280,64 @@ impl System {
         let mut fy = std::mem::take(&mut self.force[1]);
         let mut fz = std::mem::take(&mut self.force[2]);
         if ff.epsilon != 0.0 {
-            let cells = CellList::build(&self.bounds, &self.pos, cutoff);
-            cells.for_each_pair(&self.bounds, &self.pos, |i, j, r2| {
-                let (fscale, e) = ff.lj_pair(r2);
-                potential += e;
-                let dx = bounds.min_image(0, self.pos[0][i] - self.pos[0][j]);
-                let dy = bounds.min_image(1, self.pos[1][i] - self.pos[1][j]);
-                let dz = bounds.min_image(2, self.pos[2][i] - self.pos[2][j]);
-                fx[i] += fscale * dx;
-                fy[i] += fscale * dy;
-                fz[i] += fscale * dz;
-                fx[j] -= fscale * dx;
-                fy[j] -= fscale * dy;
-                fz[j] -= fscale * dz;
+            let t0 = Instant::now();
+            let mut cells = self.cells.take().unwrap_or_else(CellList::empty);
+            cells.rebuild(&self.bounds, &self.pos, cutoff, &self.exec);
+            self.telemetry.record(
+                "md.cell_rebuild",
+                self.exec.threads(),
+                parallel::chunk_count(n, 2048),
+                t0.elapsed().as_secs_f64(),
+                0.0,
+            );
+            // cap chunks below pair_chunks' bound: every chunk carries a
+            // 3·N scratch accumulator, and the ordered merge is O(chunks·N)
+            let chunks = cells.pair_chunks().min(8);
+            let ncells = cells.num_cells();
+            let pos = &self.pos;
+            let cells_ref = &cells;
+            let (parts, stats) = parallel::map_chunks(&self.exec, chunks, move |c| {
+                let mut cfx = vec![0.0f64; n];
+                let mut cfy = vec![0.0f64; n];
+                let mut cfz = vec![0.0f64; n];
+                let mut cpot = 0.0f64;
+                let range = parallel::chunk_bounds(ncells, chunks, c);
+                cells_ref.for_each_pair_in(&bounds, pos, range, |i, j, r2| {
+                    let (fscale, e) = ff.lj_pair(r2);
+                    cpot += e;
+                    let dx = bounds.min_image(0, pos[0][i] - pos[0][j]);
+                    let dy = bounds.min_image(1, pos[1][i] - pos[1][j]);
+                    let dz = bounds.min_image(2, pos[2][i] - pos[2][j]);
+                    cfx[i] += fscale * dx;
+                    cfy[i] += fscale * dy;
+                    cfz[i] += fscale * dz;
+                    cfx[j] -= fscale * dx;
+                    cfy[j] -= fscale * dy;
+                    cfz[j] -= fscale * dz;
+                });
+                (cfx, cfy, cfz, cpot)
             });
+            let m0 = Instant::now();
+            for (cfx, cfy, cfz, cpot) in parts {
+                potential += cpot;
+                for (dst, src) in fx.iter_mut().zip(&cfx) {
+                    *dst += src;
+                }
+                for (dst, src) in fy.iter_mut().zip(&cfy) {
+                    *dst += src;
+                }
+                for (dst, src) in fz.iter_mut().zip(&cfz) {
+                    *dst += src;
+                }
+            }
+            let merge = m0.elapsed();
+            self.telemetry.record(
+                "md.force",
+                stats.threads_used,
+                stats.chunks,
+                stats.wall_s() + merge.as_secs_f64(),
+                merge.as_secs_f64(),
+            );
             self.cells = Some(cells);
         }
         // bonds

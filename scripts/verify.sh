@@ -35,5 +35,9 @@ run cargo clippy --workspace --all-targets -- -D warnings
 # regressions show up in the verify log (full sweep: solver_bench)
 run bash -c 'time ./target/release/solver_bench --smoke --out target/BENCH_milp_smoke.json'
 
+# sim-kernel smoke: the (size x threads) proxy sweep's CI grid, timed so
+# gross kernel regressions show up too (full sweep: sim_bench)
+run bash -c 'time ./target/release/sim_bench --smoke --out target/BENCH_sim_smoke.json'
+
 echo
 echo "verify: all green"

@@ -1,0 +1,125 @@
+//! Bitwise determinism of the chunked parallel simulation kernels.
+//!
+//! The contract documented in `docs/KERNELS.md`: chunk counts are a pure
+//! function of problem size (never of the thread count), and per-chunk
+//! partials are merged in ascending chunk order — so every kernel result
+//! is **bitwise identical** at 1, 2, or N threads. This file pins that
+//! for the full MD state (positions, forces, energies), every MD analysis
+//! kernel, the Euler sweep, and every hydro analysis kernel.
+
+use amrsim::analysis::{f1_vorticity, f2_l1_norm, f3_l2_norm};
+use amrsim::sedov::SedovSetup;
+use amrsim::{FlashSim, FlowVar};
+use insitu_core::runtime::Simulator;
+use mdsim::analysis::{a1_hydronium_rdf, a4_msd, r1_gyration, r2_membrane_histogram};
+use mdsim::{rhodopsin_proxy, water_ions, BuilderParams};
+use parallel::Exec;
+
+/// Thread counts to sweep: serial, small, and more threads than cores.
+const THREADS: [usize; 3] = [1, 2, 5];
+
+fn assert_bits_eq(a: &[u64], b: &[u64], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: fingerprint length");
+    if let Some(i) = (0..a.len()).find(|&i| a[i] != b[i]) {
+        panic!(
+            "{label}: first mismatch at word {i}: {:#018x} vs {:#018x}",
+            a[i], b[i]
+        );
+    }
+}
+
+/// Full MD fingerprint at `threads`: trajectory state after 5 steps plus
+/// every analysis kernel output, as raw f64 bit patterns.
+fn md_fingerprint(threads: usize) -> Vec<u64> {
+    let mut sys = water_ions(&BuilderParams {
+        n_particles: 3_000,
+        ..Default::default()
+    });
+    sys.exec = Exec::with_threads(threads);
+    let mut msd = a4_msd();
+    use insitu_core::runtime::Analysis as _;
+    msd.setup(&sys);
+    for _ in 0..5 {
+        sys.step();
+    }
+    let potential = sys.compute_forces();
+    let mut bits = vec![potential.to_bits(), sys.kinetic_energy().to_bits()];
+    for d in 0..3 {
+        bits.extend(sys.pos[d].iter().map(|x| x.to_bits()));
+        bits.extend(sys.force[d].iter().map(|x| x.to_bits()));
+    }
+
+    let mut rdf = a1_hydronium_rdf();
+    rdf.accumulate(&sys);
+    for p in 0..3 {
+        bits.push(rdf.total_counts(p));
+        bits.extend(rdf.g_of_r(&sys, p).iter().map(|x| x.to_bits()));
+    }
+    bits.push(msd.compute(&sys).to_bits());
+
+    let mut rho = rhodopsin_proxy(&BuilderParams {
+        n_particles: 3_000,
+        ..Default::default()
+    });
+    rho.exec = Exec::with_threads(threads);
+    bits.push(r1_gyration().compute(&rho).to_bits());
+    let mut r2 = r2_membrane_histogram(16);
+    r2.accumulate(&rho);
+    bits.extend(r2.counts.iter().copied());
+    bits
+}
+
+/// Full hydro fingerprint at `threads`: every flow variable of every cell
+/// after 5 Euler steps plus all three analysis kernels.
+fn amr_fingerprint(threads: usize) -> Vec<u64> {
+    let mut sim = FlashSim::sedov(2, 8, SedovSetup::default());
+    sim.exec = Exec::with_threads(threads);
+    for _ in 0..5 {
+        sim.advance();
+    }
+    let mut bits = vec![sim.time.to_bits()];
+    let n = sim.mesh.block_cells;
+    for b in &sim.mesh.blocks {
+        for var in [
+            FlowVar::Dens,
+            FlowVar::Pres,
+            FlowVar::Velx,
+            FlowVar::Vely,
+            FlowVar::Velz,
+        ] {
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        bits.push(b.cell(var, i, j, k).to_bits());
+                    }
+                }
+            }
+        }
+    }
+    let (max_mag, enstrophy) = f1_vorticity().compute(&sim);
+    bits.push(max_mag.to_bits());
+    bits.push(enstrophy.to_bits());
+    let (dens_err, pres_err) = f2_l1_norm().compute(&sim);
+    bits.push(dens_err.to_bits());
+    bits.push(pres_err.to_bits());
+    for v in f3_l2_norm().compute(&sim) {
+        bits.push(v.to_bits());
+    }
+    bits
+}
+
+#[test]
+fn md_kernels_bitwise_identical_across_thread_counts() {
+    let base = md_fingerprint(THREADS[0]);
+    for &t in &THREADS[1..] {
+        assert_bits_eq(&base, &md_fingerprint(t), &format!("md @ {t} threads"));
+    }
+}
+
+#[test]
+fn hydro_kernels_bitwise_identical_across_thread_counts() {
+    let base = amr_fingerprint(THREADS[0]);
+    for &t in &THREADS[1..] {
+        assert_bits_eq(&base, &amr_fingerprint(t), &format!("amr @ {t} threads"));
+    }
+}
