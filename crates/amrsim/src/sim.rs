@@ -31,6 +31,10 @@ pub struct FlashSim {
     pub exec: Exec,
     /// Accumulated per-kernel telemetry (block sweep, CFL reduction, ...).
     pub telemetry: KernelTelemetry,
+    /// Trace sink for kernel-boundary spans (`hydro.cfl_dt`,
+    /// `hydro.step`). Disabled by default; attach a handle to see the
+    /// simulation's kernels inside a coupled-run timeline.
+    pub tracer: obs::TraceHandle,
 }
 
 impl FlashSim {
@@ -53,6 +57,7 @@ impl FlashSim {
             checkpoints: 0,
             exec: Exec::from_env(),
             telemetry: KernelTelemetry::new(),
+            tracer: obs::TraceHandle::disabled(),
         }
     }
 
@@ -74,8 +79,13 @@ impl Simulator for FlashSim {
     }
 
     fn advance(&mut self) {
+        let tracer = self.tracer.clone();
         let t0 = Instant::now();
-        let dt = cfl_dt_ex(&self.mesh, self.cfl, &self.exec);
+        let dt = {
+            let mut span = tracer.span("hydro.cfl_dt");
+            span.tag("threads", self.exec.threads());
+            cfl_dt_ex(&self.mesh, self.cfl, &self.exec)
+        };
         self.telemetry.record(
             "hydro.cfl_dt",
             self.exec.threads(),
@@ -83,9 +93,17 @@ impl Simulator for FlashSim {
             t0.elapsed().as_secs_f64(),
             0.0,
         );
-        step_ex(&mut self.mesh, dt, &self.exec, &mut self.telemetry);
+        {
+            let mut span = tracer.span("hydro.step");
+            span.tag("threads", self.exec.threads());
+            step_ex(&mut self.mesh, dt, &self.exec, &mut self.telemetry);
+        }
         self.time += dt;
         self.step_count += 1;
+    }
+
+    fn kernel_telemetry(&self) -> Option<&KernelTelemetry> {
+        Some(&self.telemetry)
     }
 
     fn write_output(&mut self) {
@@ -130,5 +148,18 @@ mod tests {
     fn state_exposes_self() {
         let sim = FlashSim::sedov(2, 4, SedovSetup::default());
         assert_eq!(sim.state().step_count, 0);
+    }
+
+    #[test]
+    fn kernel_spans_emitted_when_traced() {
+        let mut sim = FlashSim::sedov(2, 4, SedovSetup::default());
+        let tracer = std::sync::Arc::new(obs::Tracer::with_capacity(64));
+        sim.tracer = obs::TraceHandle::new(tracer.clone());
+        sim.advance();
+        sim.advance();
+        let tl = tracer.timeline();
+        assert_eq!(tl.spans_named("hydro.cfl_dt").count(), 2);
+        assert_eq!(tl.spans_named("hydro.step").count(), 2);
+        assert!(sim.kernel_telemetry().unwrap().get("hydro.step").is_some());
     }
 }

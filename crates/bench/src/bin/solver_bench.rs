@@ -44,4 +44,25 @@ fn main() {
         largest.analyses,
         largest.lp_speedup()
     );
+
+    // unified sink: both engines' sweep totals through one registry (same
+    // milp.* names SolveStats::export_into uses for a single solve)
+    let registry = obs::Registry::new();
+    for p in &outcome.points {
+        for (engine, run) in [("revised", &p.revised), ("dense", &p.dense)] {
+            registry.add(&format!("milp.{engine}.nodes"), run.nodes as u64);
+            registry.add(&format!("milp.{engine}.pivots"), run.total_pivots as u64);
+            registry.observe(&format!("milp.{engine}.milp_wall_ms"), run.milp_wall_ms);
+            registry.observe(&format!("milp.{engine}.lp_wall_ms"), run.lp_wall_ms);
+        }
+        registry.add(
+            "milp.lp.refactorizations",
+            p.revised.refactorizations as u64,
+        );
+        registry.observe("milp.lp.max_eta_len", p.revised.max_eta_len as f64);
+        registry.observe("milp.lp.ftran_s", p.revised.ftran_ms / 1e3);
+        registry.observe("milp.lp.btran_s", p.revised.btran_ms / 1e3);
+    }
+    println!("\nunified telemetry registry:");
+    print!("{}", registry.snapshot().table());
 }

@@ -1,0 +1,158 @@
+//! CI smoke test for the unified tracing layer: runs a small coupled
+//! md run with tracing attached, exports the timeline in **both**
+//! formats (`obs/timeline/v1` JSON and Chrome trace events), re-parses
+//! the files and validates them, and checks the drift report's
+//! predicted series against `certify`'s exact Eq. 2–4 replay bitwise.
+//!
+//! Usage: `timeline_smoke [--out DIR]` (default `target/`). Exits
+//! non-zero (panics) on any validation failure; prints `timeline smoke
+//! OK` on success — staged in `scripts/verify.sh`.
+
+use insitu_core::attribution::attribute;
+use insitu_core::runtime::{run_coupled_traced, Analysis, CouplerConfig, SPAN_STEP};
+use insitu_types::json::Value;
+use insitu_types::{
+    AnalysisProfile, AnalysisSchedule, ResourceConfig, Schedule, ScheduleProblem,
+};
+use mdsim::analysis::{a1_hydronium_rdf, a2_ion_rdf};
+use mdsim::{water_ions, BuilderParams, System};
+use std::sync::Arc;
+
+const ATOMS: usize = 2_000;
+const STEPS: usize = 24;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target".into());
+
+    // --- a small but real coupled run, fully traced ---
+    let mut sys = water_ions(&BuilderParams {
+        n_particles: ATOMS,
+        ..Default::default()
+    });
+    let tracer = Arc::new(obs::Tracer::with_capacity(16 * 1024));
+    let handle = obs::TraceHandle::new(tracer.clone());
+    sys.tracer = handle.clone();
+
+    let problem = ScheduleProblem::new(
+        vec![
+            AnalysisProfile::new("a1_hydronium_rdf")
+                .with_compute(5e-3, 8e6)
+                .with_output(1e-3, 2e6, 1)
+                .with_interval(4),
+            AnalysisProfile::new("a2_ion_rdf")
+                .with_compute(5e-3, 8e6)
+                .with_output(1e-3, 2e6, 1)
+                .with_interval(8),
+        ],
+        ResourceConfig::from_total_threshold(STEPS, 10.0, 2e9, 1e9),
+    )
+    .expect("valid problem");
+    let mut schedule = Schedule::empty(2);
+    schedule.per_analysis[0] = AnalysisSchedule::new(vec![4, 8, 12, 16, 20, 24], vec![12, 24]);
+    schedule.per_analysis[1] = AnalysisSchedule::new(vec![8, 16, 24], vec![24]);
+
+    let mut analyses: Vec<Box<dyn Analysis<System>>> =
+        vec![Box::new(a1_hydronium_rdf()), Box::new(a2_ion_rdf())];
+    let report = run_coupled_traced(
+        &mut sys,
+        &mut analyses,
+        &schedule,
+        &CouplerConfig {
+            steps: STEPS,
+            sim_output_every: 0,
+        },
+        &handle,
+    );
+    assert!(report.sim_time > 0.0, "simulation did not run");
+    assert!(
+        report.kernel_telemetry.get("md.force").is_some(),
+        "per-kernel attribution missing from the run report"
+    );
+
+    let timeline = tracer.timeline();
+    timeline.validate().expect("well-formed timeline");
+    assert_eq!(timeline.dropped, 0, "smoke run must not overflow the ring");
+
+    // --- export both formats and re-parse from disk ---
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let json_path = format!("{out_dir}/timeline_smoke.timeline.json");
+    let chrome_path = format!("{out_dir}/timeline_smoke.chrome.json");
+    std::fs::write(&json_path, timeline.to_json_string()).expect("write timeline JSON");
+    std::fs::write(&chrome_path, timeline.to_chrome_trace_string()).expect("write chrome trace");
+
+    let doc = Value::parse(&std::fs::read_to_string(&json_path).unwrap())
+        .expect("timeline JSON re-parses");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(obs::timeline::TIMELINE_SCHEMA),
+        "schema marker"
+    );
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans array");
+    assert_eq!(spans.len(), timeline.spans.len(), "span count round-trips");
+    for s in spans {
+        for key in ["id", "name", "tid", "start_ns", "dur_ns", "tags"] {
+            assert!(s.get(key).is_some(), "span field {key} present");
+        }
+    }
+
+    let chrome = Value::parse(&std::fs::read_to_string(&chrome_path).unwrap())
+        .expect("chrome trace re-parses");
+    let events = chrome.as_array().expect("chrome trace is a JSON array");
+    assert_eq!(events.len(), timeline.spans.len() + timeline.events.len());
+    for e in events {
+        assert!(e.get("name").is_some() && e.get("ph").is_some() && e.get("ts").is_some());
+        let ph = e.get("ph").and_then(Value::as_str).unwrap();
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(e.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+        }
+    }
+
+    // --- step spans: one per step, monotonic and non-overlapping ---
+    let mut steps: Vec<_> = timeline.spans_named(SPAN_STEP).collect();
+    steps.sort_by_key(|s| s.start_ns);
+    assert_eq!(steps.len(), STEPS, "one step span per simulation step");
+    for (k, pair) in steps.windows(2).enumerate() {
+        assert_eq!(pair[0].tag_i64("step"), Some(k as i64 + 1), "step order");
+        assert!(
+            pair[1].start_ns >= pair[0].start_ns + pair[0].dur_ns,
+            "step spans overlap: step {} ends at {} but step {} starts at {}",
+            k + 1,
+            pair[0].start_ns + pair[0].dur_ns,
+            k + 2,
+            pair[1].start_ns
+        );
+    }
+
+    // --- drift report: predicted side must equal certify's exact replay ---
+    let drift = attribute(&problem, &schedule, &timeline).expect("drift report");
+    let series = certify::replay_time_series(&problem, &schedule).expect("exact replay");
+    assert_eq!(drift.per_step.len(), STEPS);
+    for d in &drift.per_step {
+        assert_eq!(
+            d.predicted_cum.to_bits(),
+            series[d.step].to_f64().to_bits(),
+            "predicted series diverges from certify at step {}",
+            d.step
+        );
+    }
+    let drift_json = drift.to_json().to_string_pretty();
+    Value::parse(&drift_json).expect("drift JSON re-parses");
+
+    println!(
+        "timeline smoke OK: {} spans ({} steps), {} chrome events, drift bitwise-consistent \
+         -> {json_path}, {chrome_path}",
+        timeline.spans.len(),
+        STEPS,
+        events.len()
+    );
+}

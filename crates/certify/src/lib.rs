@@ -30,7 +30,7 @@ pub mod replay;
 
 pub use certificate::{check_certificate, BOUND_TOL};
 pub use rational::{Rat, RatError};
-pub use replay::{replay, ReplayReport, Violation, ViolationKind};
+pub use replay::{replay, replay_time_series, ReplayReport, Violation, ViolationKind};
 
 use insitu_types::{Schedule, ScheduleProblem, SearchCertificate};
 

@@ -191,8 +191,18 @@ impl Rat {
 
     /// Exact three-way comparison (checked: cross products can overflow).
     pub fn cmp_exact(&self, o: &Rat) -> Result<Ordering, RatError> {
-        let lhs = self.num.checked_mul(o.den).ok_or(RatError::Overflow)?;
-        let rhs = o.num.checked_mul(self.den).ok_or(RatError::Overflow)?;
+        // differing signs decide without any multiplication
+        let (ls, rs) = (self.num.signum(), o.num.signum());
+        if ls != rs {
+            return Ok(ls.cmp(&rs));
+        }
+        // scale by the denominators' gcd, mirroring `add`: dyadic inputs
+        // (every f64 is `m / 2^k`) share large power-of-two factors, and
+        // the raw cross product `num * den` of two measured wall-clock
+        // values sits right at the 2^127 boundary
+        let g = gcd(self.den, o.den);
+        let lhs = self.num.checked_mul(o.den / g).ok_or(RatError::Overflow)?;
+        let rhs = o.num.checked_mul(self.den / g).ok_or(RatError::Overflow)?;
         Ok(lhs.cmp(&rhs))
     }
 
@@ -293,6 +303,25 @@ mod tests {
         for x in [1e-20, 1e30, 1e13, 0.000_1] {
             assert!(Rat::from_f64_exact(x).is_ok(), "{x} should convert");
         }
+    }
+
+    /// Regression: comparing two dyadic rationals whose raw cross
+    /// product exceeds `i128` must still decide, because their
+    /// power-of-two denominators cancel. This is exactly the shape of
+    /// `total_time.le(budget)` over measured wall-clock seconds, which
+    /// used to fail stochastically depending on the measured bits.
+    #[test]
+    fn cmp_cancels_common_denominator_factors_before_cross_multiplying() {
+        let a = Rat::new((1i128 << 65) + 1, 1i128 << 69).unwrap(); // ~0.0625
+        let b = Rat::new(3, 1i128 << 62).unwrap(); // ~6.5e-19
+        // raw cross product num(a) * den(b) ≈ 2^127 overflows; reduced
+        // by gcd(2^69, 2^62) the products are tiny
+        assert_eq!(a.cmp_exact(&b).unwrap(), Ordering::Greater);
+        assert!(b.le(&a).unwrap());
+        assert_eq!(a.max(&b).unwrap(), a);
+        // opposite signs never multiply at all
+        let neg = Rat::new(-((1i128 << 65) + 1), 1i128 << 69).unwrap();
+        assert_eq!(neg.cmp_exact(&a).unwrap(), Ordering::Less);
     }
 
     #[test]

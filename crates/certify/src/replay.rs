@@ -301,6 +301,59 @@ pub fn replay(problem: &ScheduleProblem, schedule: &Schedule) -> Result<ReplayRe
     })
 }
 
+/// Replays the Eq. 2–4 time recursion and returns the **cumulative
+/// analysis time after each step**, exactly: `series[0]` is the Eq. 3
+/// seed (Σ of active analyses' `ft`), and `series[j]` for `j in 1..=steps`
+/// adds every active analysis's `it`, plus `ct` at scheduled analysis
+/// steps and `ot` at scheduled output steps.
+///
+/// Rational arithmetic is associative, so `series[steps]` equals
+/// [`replay`]'s `total_time` **bitwise** even though `replay` sums
+/// per-analysis first and this sums per-step first. This per-step series
+/// is the model half of `insitu-core`'s predicted-vs-measured drift
+/// report (`insitu_core::attribution`).
+///
+/// Structural problems (wrong arity) are arithmetic-level errors here —
+/// use [`replay`] for diagnosis; this function assumes a schedule that at
+/// least pairs up with the problem.
+pub fn replay_time_series(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+) -> Result<Vec<Rat>, RatError> {
+    if schedule.per_analysis.len() != problem.len() {
+        // Mirrors replay()'s structure check; Rat has no "shape" error, so
+        // reuse the closest arithmetic error rather than panicking.
+        return Err(RatError::NonFinite);
+    }
+    let steps = problem.resources.steps;
+    let mut profiles = Vec::with_capacity(problem.len());
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        if s.count() > 0 {
+            profiles.push((i, exact_profile(&problem.analyses[i])?));
+        }
+    }
+    let mut series = Vec::with_capacity(steps + 1);
+    let mut cum = Rat::ZERO;
+    for (_, p) in &profiles {
+        cum = cum.add(&p.ft)?; // Eq. 3 seed
+    }
+    series.push(cum);
+    for j in 1..=steps {
+        for (i, p) in &profiles {
+            let s = &schedule.per_analysis[*i];
+            cum = cum.add(&p.it)?;
+            if s.runs_at(j) {
+                cum = cum.add(&p.ct)?;
+            }
+            if s.outputs_at(j) {
+                cum = cum.add(&p.ot)?;
+            }
+        }
+        series.push(cum);
+    }
+    Ok(series)
+}
+
 /// Exact `cth * Steps` (RHS of Eq. 4); `None` when `cth` is `+inf`,
 /// meaning the time constraint is absent.
 fn time_budget(problem: &ScheduleProblem) -> Result<Option<Rat>, RatError> {
@@ -399,6 +452,37 @@ mod tests {
         let r = replay(&p, &schedule(vec![50, 100], vec![])).unwrap();
         assert!(!r.is_feasible());
         assert!(r.violations.iter().any(|v| v.message.contains("memory")));
+    }
+
+    #[test]
+    fn time_series_matches_replay_total_bitwise() {
+        let p = problem();
+        let s = schedule(vec![20, 40, 60, 80, 100], vec![100]);
+        let series = replay_time_series(&p, &s).unwrap();
+        assert_eq!(series.len(), p.resources.steps + 1);
+        // series[0] is the Eq. 3 seed: the single active analysis's ft
+        assert_eq!(series[0], Rat::from_f64_exact(1.0).unwrap());
+        // exact arithmetic is associative: the per-step summation order
+        // lands on the identical rational as replay()'s per-analysis order
+        let total = replay(&p, &s).unwrap().total_time;
+        assert_eq!(*series.last().unwrap(), total);
+        // the series is non-decreasing (all Table-1 times are >= 0 here)
+        for w in series.windows(2) {
+            assert!(w[0].le(&w[1]).unwrap());
+        }
+        // a step with a scheduled analysis jumps by ct; others by it only
+        let it = Rat::from_f64_exact(0.01).unwrap();
+        let jump_plain = series[1].sub(&series[0]).unwrap();
+        assert_eq!(jump_plain, it);
+        let jump_run = series[20].sub(&series[19]).unwrap();
+        assert_eq!(jump_run, it.add(&Rat::from_f64_exact(2.0).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn time_series_of_empty_schedule_is_all_zero() {
+        let series = replay_time_series(&problem(), &Schedule::empty(1)).unwrap();
+        assert!(series.iter().all(|r| r.is_zero()));
+        assert!(replay_time_series(&problem(), &Schedule::empty(3)).is_err());
     }
 
     #[test]

@@ -87,6 +87,25 @@ impl Recommendation {
     pub fn total_analyses(&self) -> usize {
         self.counts.iter().sum()
     }
+
+    /// Exports the recommendation into an [`obs::Registry`]: the solver's
+    /// counters (via [`SolveStats::export_into`]) plus the schedule-level
+    /// `advisor.*` metrics, so an advise-then-run pipeline reports through
+    /// one sink.
+    pub fn export_into(&self, registry: &obs::Registry) {
+        self.solver_stats.export_into(registry);
+        registry.add("advisor.total_analyses", self.total_analyses() as u64);
+        registry.add(
+            "advisor.total_outputs",
+            self.output_counts.iter().sum::<usize>() as u64,
+        );
+        registry.observe("advisor.objective", self.objective);
+        registry.observe("advisor.predicted_time_s", self.predicted_time);
+        registry.observe(
+            "advisor.budget_utilization",
+            self.report.budget_utilization(),
+        );
+    }
 }
 
 /// The scheduling advisor.

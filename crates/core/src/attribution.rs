@@ -1,0 +1,412 @@
+//! Predicted-vs-measured cost attribution: replaying the paper's Eq. 2–4
+//! time recursion against a measured run timeline.
+//!
+//! The MILP schedules against *modeled* costs (Table-1 `ft`/`it`/`ct`/`ot`
+//! per analysis). A coupled run measures the real ones. This module lines
+//! the two up, step by step: the **predicted** side is
+//! [`certify::replay_time_series`] — the same exact-rational Eq. 2–4
+//! recursion the certificate checker trusts, so the model half of the
+//! report is bitwise identical to what `certify` would compute — and the
+//! **measured** side is the step-indexed span timeline emitted by
+//! [`crate::runtime::run_coupled_traced`].
+//!
+//! The [`DriftReport`] answers the operational questions: where does the
+//! measured cumulative analysis time diverge from the model, which cost
+//! component (`it`, `ct` or `ot`) carries the residual, and at which steps
+//! the *measured* run would have violated the per-step threshold the
+//! schedule was solved for. A large `ct` residual means the Table-1
+//! calibration of `compute_time` is stale; growing divergence with a flat
+//! per-component residual means a systematic bias (e.g. coupler overhead)
+//! rather than a mis-calibrated kernel.
+
+use crate::runtime::{
+    SPAN_ANALYSIS_ANALYZE, SPAN_ANALYSIS_OUTPUT, SPAN_ANALYSIS_PER_STEP, SPAN_ANALYSIS_SETUP,
+};
+use insitu_types::json::Value;
+use insitu_types::{Schedule, ScheduleProblem};
+use std::collections::BTreeMap;
+
+/// Predicted-vs-measured comparison at one simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDrift {
+    /// Simulation step, 1-based.
+    pub step: usize,
+    /// Model-side cumulative analysis time after this step (Eq. 2–4,
+    /// computed exactly by `certify` and rounded once to `f64`).
+    pub predicted_cum: f64,
+    /// Measured cumulative analysis time after this step (setup spans
+    /// seed the series, then per-step/analyze/output span durations).
+    pub measured_cum: f64,
+    /// `measured_cum - predicted_cum`.
+    pub divergence: f64,
+    /// Measured-minus-predicted per-step hook time at this step (the
+    /// `it` component).
+    pub it_residual: f64,
+    /// Measured-minus-predicted analyze time at this step (the `ct`
+    /// component; zero at steps where nothing was scheduled).
+    pub ct_residual: f64,
+    /// Measured-minus-predicted output time at this step (the `ot`
+    /// component).
+    pub ot_residual: f64,
+    /// True when the *measured* cumulative time exceeds the pro-rated
+    /// budget `cth * step` (Eq. 4's per-step reading). Always false when
+    /// the problem sets an infinite threshold.
+    pub threshold_violated: bool,
+}
+
+/// Per-step drift of a measured run against the Eq. 2–4 prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// One entry per simulation step, in step order.
+    pub per_step: Vec<StepDrift>,
+    /// Predicted total analysis time (the Eq. 4 LHS).
+    pub predicted_total: f64,
+    /// Measured total analysis time.
+    pub measured_total: f64,
+    /// Largest `|divergence|` over all steps.
+    pub max_abs_divergence: f64,
+    /// Steps whose measured cumulative time exceeded the pro-rated
+    /// budget.
+    pub violation_steps: Vec<usize>,
+    /// The per-step threshold `cth` the run was scheduled for
+    /// (`f64::INFINITY` when absent).
+    pub step_threshold: f64,
+}
+
+impl DriftReport {
+    /// Single-line summary for run footers.
+    pub fn summary(&self) -> String {
+        format!(
+            "predicted {:.4}s vs measured {:.4}s ({:+.2}%), max step divergence {:.4}s, \
+             {} of {} steps over the pro-rated budget",
+            self.predicted_total,
+            self.measured_total,
+            if self.predicted_total > 0.0 {
+                (self.measured_total - self.predicted_total) / self.predicted_total * 100.0
+            } else {
+                0.0
+            },
+            self.max_abs_divergence,
+            self.violation_steps.len(),
+            self.per_step.len(),
+        )
+    }
+
+    /// JSON export (`drift/v1`): totals plus the full per-step series.
+    pub fn to_json(&self) -> Value {
+        let mut root = BTreeMap::new();
+        root.insert("schema".into(), Value::String("drift/v1".into()));
+        root.insert(
+            "predicted_total".into(),
+            Value::Number(self.predicted_total),
+        );
+        root.insert("measured_total".into(), Value::Number(self.measured_total));
+        root.insert(
+            "max_abs_divergence".into(),
+            Value::Number(self.max_abs_divergence),
+        );
+        root.insert(
+            "step_threshold".into(),
+            if self.step_threshold.is_finite() {
+                Value::Number(self.step_threshold)
+            } else {
+                Value::Null
+            },
+        );
+        root.insert(
+            "violation_steps".into(),
+            Value::Array(
+                self.violation_steps
+                    .iter()
+                    .map(|&j| Value::Number(j as f64))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "per_step".into(),
+            Value::Array(
+                self.per_step
+                    .iter()
+                    .map(|d| {
+                        let mut o = BTreeMap::new();
+                        o.insert("step".into(), Value::Number(d.step as f64));
+                        o.insert("predicted_cum".into(), Value::Number(d.predicted_cum));
+                        o.insert("measured_cum".into(), Value::Number(d.measured_cum));
+                        o.insert("divergence".into(), Value::Number(d.divergence));
+                        o.insert("it_residual".into(), Value::Number(d.it_residual));
+                        o.insert("ct_residual".into(), Value::Number(d.ct_residual));
+                        o.insert("ot_residual".into(), Value::Number(d.ot_residual));
+                        o.insert("violated".into(), Value::Bool(d.threshold_violated));
+                        Value::Object(o)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+}
+
+/// Sums, per step index, the measured durations of the given span name.
+/// Spans carry their own `step` tag (the coupler tags every child), so
+/// attribution works even when a parent `step` span record was dropped
+/// under overload.
+fn measured_by_step(timeline: &obs::Timeline, name: &str, steps: usize) -> Vec<f64> {
+    let mut per = vec![0.0; steps + 1];
+    for s in timeline.spans_named(name) {
+        if let Some(j) = s.tag_i64("step") {
+            if j >= 1 && (j as usize) <= steps {
+                per[j as usize] += s.dur_ns as f64 / 1e9;
+            }
+        }
+    }
+    per
+}
+
+/// Builds the per-step [`DriftReport`] for a measured `timeline` of
+/// running `schedule` against `problem`.
+///
+/// The predicted series is [`certify::replay_time_series`] — exact
+/// Eq. 2–4 arithmetic, rounded to `f64` once per step — so
+/// `per_step[j-1].predicted_cum` equals `series[j].to_f64()` **bitwise**.
+/// Errors when the schedule does not pair up with the problem or a model
+/// parameter is not finite (same conditions as the certifier).
+pub fn attribute(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    timeline: &obs::Timeline,
+) -> Result<DriftReport, String> {
+    let steps = problem.resources.steps;
+    let series = certify::replay_time_series(problem, schedule)
+        .map_err(|e| format!("exact replay failed: {e:?}"))?;
+
+    // measured components, indexed by step (index 0 unused except setup)
+    let it_meas = measured_by_step(timeline, SPAN_ANALYSIS_PER_STEP, steps);
+    let ct_meas = measured_by_step(timeline, SPAN_ANALYSIS_ANALYZE, steps);
+    let ot_meas = measured_by_step(timeline, SPAN_ANALYSIS_OUTPUT, steps);
+    let setup_meas: f64 = timeline
+        .spans_named(SPAN_ANALYSIS_SETUP)
+        .map(|s| s.dur_ns as f64 / 1e9)
+        .sum();
+
+    // predicted per-step components in plain f64, for the residual split
+    // (the cumulative series itself stays on certify's exact path)
+    let mut it_pred = 0.0;
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        if s.count() > 0 {
+            it_pred += problem.analyses[i].step_time;
+        }
+    }
+
+    let cth = problem.resources.step_threshold;
+    let mut per_step = Vec::with_capacity(steps);
+    let mut measured_cum = setup_meas;
+    let mut max_abs_divergence: f64 = 0.0;
+    let mut violation_steps = Vec::new();
+    for j in 1..=steps {
+        let mut ct_pred = 0.0;
+        let mut ot_pred = 0.0;
+        for (i, s) in schedule.per_analysis.iter().enumerate() {
+            if s.count() == 0 {
+                continue;
+            }
+            if s.runs_at(j) {
+                ct_pred += problem.analyses[i].compute_time;
+            }
+            if s.outputs_at(j) {
+                ot_pred += problem.analyses[i].output_time;
+            }
+        }
+        measured_cum += it_meas[j] + ct_meas[j] + ot_meas[j];
+        let predicted_cum = series[j].to_f64();
+        let divergence = measured_cum - predicted_cum;
+        max_abs_divergence = max_abs_divergence.max(divergence.abs());
+        let threshold_violated = cth.is_finite() && measured_cum > cth * j as f64;
+        if threshold_violated {
+            violation_steps.push(j);
+        }
+        per_step.push(StepDrift {
+            step: j,
+            predicted_cum,
+            measured_cum,
+            divergence,
+            it_residual: it_meas[j] - it_pred,
+            ct_residual: ct_meas[j] - ct_pred,
+            ot_residual: ot_meas[j] - ot_pred,
+            threshold_violated,
+        });
+    }
+
+    Ok(DriftReport {
+        per_step,
+        predicted_total: series.last().map(|r| r.to_f64()).unwrap_or(0.0),
+        measured_total: measured_cum,
+        max_abs_divergence,
+        violation_steps,
+        step_threshold: cth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run_coupled_traced, Analysis, CouplerConfig, Simulator};
+    use insitu_types::{AnalysisProfile, AnalysisSchedule, ResourceConfig};
+    use std::sync::Arc;
+
+    struct TickSim(usize);
+    impl Simulator for TickSim {
+        type State = usize;
+        fn state(&self) -> &usize {
+            &self.0
+        }
+        fn advance(&mut self) {
+            self.0 += 1;
+        }
+    }
+
+    struct Spin {
+        name: String,
+        analyze_s: f64,
+    }
+    impl Analysis<usize> for Spin {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn analyze(&mut self, _state: &usize) {
+            let sw = perfmodel::Stopwatch::start();
+            while sw.elapsed() < self.analyze_s {}
+        }
+    }
+
+    fn problem(steps: usize, ct: f64) -> ScheduleProblem {
+        ScheduleProblem::new(
+            vec![AnalysisProfile::new("spin")
+                .with_per_step(0.0, 0.0)
+                .with_compute(ct, 1.0)
+                .with_output(0.0, 0.0, 1)
+                .with_interval(1)],
+            ResourceConfig::from_total_threshold(steps, 1.0, 1e12, 1e9),
+        )
+        .unwrap()
+    }
+
+    fn traced_run(
+        problem: &ScheduleProblem,
+        schedule: &Schedule,
+        analyze_s: f64,
+    ) -> obs::Timeline {
+        let tracer = Arc::new(obs::Tracer::with_capacity(4096));
+        let handle = obs::TraceHandle::new(tracer.clone());
+        let mut sim = TickSim(0);
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> = vec![Box::new(Spin {
+            name: "spin".into(),
+            analyze_s,
+        })];
+        run_coupled_traced(
+            &mut sim,
+            &mut analyses,
+            schedule,
+            &CouplerConfig {
+                steps: problem.resources.steps,
+                sim_output_every: 0,
+            },
+            &handle,
+        );
+        tracer.timeline()
+    }
+
+    #[test]
+    fn predicted_side_matches_certify_bitwise() {
+        let p = problem(10, 0.002);
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![3, 6, 9], vec![9]);
+        let tl = traced_run(&p, &schedule, 0.001);
+        let report = attribute(&p, &schedule, &tl).unwrap();
+        let series = certify::replay_time_series(&p, &schedule).unwrap();
+        assert_eq!(report.per_step.len(), 10);
+        for d in &report.per_step {
+            // bitwise: both sides round the identical exact rational once
+            assert_eq!(d.predicted_cum.to_bits(), series[d.step].to_f64().to_bits());
+        }
+        assert_eq!(
+            report.predicted_total.to_bits(),
+            series.last().unwrap().to_f64().to_bits()
+        );
+    }
+
+    #[test]
+    fn residuals_land_on_the_ct_component() {
+        // model says analyze costs 1 ms, the real analysis spins ~4 ms:
+        // the drift must show up in ct_residual at exactly the scheduled
+        // steps, and not in it/ot
+        let p = problem(6, 0.001);
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![2, 4], vec![]);
+        let tl = traced_run(&p, &schedule, 0.004);
+        let report = attribute(&p, &schedule, &tl).unwrap();
+        for d in &report.per_step {
+            if d.step == 2 || d.step == 4 {
+                assert!(
+                    d.ct_residual > 0.001,
+                    "step {}: expected positive ct residual, got {}",
+                    d.step,
+                    d.ct_residual
+                );
+            } else {
+                assert_eq!(d.ct_residual, 0.0, "no analyze scheduled");
+            }
+            assert!(d.ot_residual.abs() < 1e-3);
+        }
+        assert!(report.measured_total > report.predicted_total);
+        assert!(report.max_abs_divergence > 0.0);
+        assert!(report.summary().contains("predicted"));
+    }
+
+    #[test]
+    fn threshold_violations_flag_measured_excess() {
+        // budget 1 ms/step; the analysis spins ~5 ms at step 1, so the
+        // measured cumulative series must cross the pro-rated budget
+        // within the first couple of steps
+        let mut p = problem(4, 0.0001);
+        p.resources.step_threshold = 0.001;
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![1], vec![]);
+        let tl = traced_run(&p, &schedule, 0.005);
+        let report = attribute(&p, &schedule, &tl).unwrap();
+        assert!(
+            report.per_step[0].threshold_violated,
+            "step 1 measured {} vs budget {}",
+            report.per_step[0].measured_cum,
+            0.001
+        );
+        assert!(!report.violation_steps.is_empty());
+        // an infinite threshold disables the check entirely
+        p.resources.step_threshold = f64::INFINITY;
+        let report = attribute(&p, &schedule, &tl).unwrap();
+        assert!(report.violation_steps.is_empty());
+        assert!(report.per_step.iter().all(|d| !d.threshold_violated));
+    }
+
+    #[test]
+    fn json_round_trips_and_arity_errors_are_reported() {
+        let p = problem(4, 0.001);
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![2], vec![2]);
+        let tl = traced_run(&p, &schedule, 0.001);
+        let report = attribute(&p, &schedule, &tl).unwrap();
+        let json = report.to_json().to_string_pretty();
+        let parsed = Value::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some("drift/v1")
+        );
+        assert_eq!(
+            parsed
+                .get("per_step")
+                .and_then(Value::as_array)
+                .map(|a| a.len()),
+            Some(4)
+        );
+        assert!(attribute(&p, &Schedule::empty(2), &tl).is_err());
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod advisor;
 pub mod aggregate;
+pub mod attribution;
 pub mod baseline;
 pub mod cosched;
 pub mod formulation;
@@ -50,6 +51,7 @@ pub mod runtime;
 pub mod validate;
 
 pub use advisor::{Advisor, AdvisorOptions, Recommendation};
+pub use attribution::{attribute, DriftReport, StepDrift};
 pub use aggregate::{build_aggregate, solve_aggregate, AggregateModel};
 pub use formulation::{solve_exact, solve_exact_with_stats};
 pub use validate::{validate_schedule, ValidationReport};

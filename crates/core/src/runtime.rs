@@ -7,9 +7,37 @@
 //! its output hook (`ot`). All four phases are wall-clock timed per
 //! analysis so a run can be compared against the model's predictions and
 //! the threshold the schedule was solved for.
+//!
+//! [`run_coupled_traced`] additionally emits a **step-indexed run
+//! timeline** into an [`obs::TraceHandle`]: one [`SPAN_STEP`] span per
+//! simulation step with child spans per analysis execution and output
+//! write, each tagged with the analysis index/name and the scheduled
+//! `(analysis[i][j], output[i][j])` decision. The resulting
+//! [`obs::Timeline`] is the measured half of
+//! [`crate::attribution::attribute`]'s predicted-vs-measured drift
+//! report; span names and tags are documented in `docs/OBSERVABILITY.md`.
 
-use insitu_types::{CouplingTrace, Schedule};
+use insitu_types::{CouplingTrace, KernelTelemetry, Schedule};
 use perfmodel::Stopwatch;
+
+/// Root span of a traced coupled run (tags: `steps`, `analyses`).
+pub const SPAN_RUN: &str = "run.coupled";
+/// One simulation step (tag: `step`, 1-based).
+pub const SPAN_STEP: &str = "step";
+/// The simulator's own advance inside a step (tag: `step`).
+pub const SPAN_SIM_ADVANCE: &str = "sim.advance";
+/// The simulator's own output write `O_S` (tag: `step`).
+pub const SPAN_SIM_OUTPUT: &str = "sim.output";
+/// One-time analysis setup, the `ft` bracket (tags: `analysis`, `name`).
+pub const SPAN_ANALYSIS_SETUP: &str = "analysis.setup";
+/// Per-step analysis hook, the `it` bracket (tags: `step`, `analysis`).
+pub const SPAN_ANALYSIS_PER_STEP: &str = "analysis.per_step";
+/// Analysis execution, the `ct` bracket (tags: `step`, `analysis`,
+/// `name`, and `output` = the scheduled `output[i][j]` decision).
+pub const SPAN_ANALYSIS_ANALYZE: &str = "analysis.analyze";
+/// Analysis output write, the `ot` bracket (tags: `step`, `analysis`,
+/// `name`).
+pub const SPAN_ANALYSIS_OUTPUT: &str = "analysis.output";
 
 /// A simulation that can be advanced one time step at a time.
 pub trait Simulator {
@@ -24,6 +52,15 @@ pub trait Simulator {
 
     /// Writes the simulation's own output (`O_S` in Figure 1).
     fn write_output(&mut self) {}
+
+    /// The simulator's accumulated per-kernel telemetry, if it records
+    /// any. The proxies (`mdsim::System`, `amrsim::FlashSim`) return
+    /// their `KernelTelemetry`; the coupler snapshots it before the run
+    /// and attributes the delta to [`RunReport::kernel_telemetry`], so
+    /// per-kernel cost attribution works even with tracing disabled.
+    fn kernel_telemetry(&self) -> Option<&KernelTelemetry> {
+        None
+    }
 }
 
 /// An in-situ analysis attached to a simulation with state `S`.
@@ -74,7 +111,25 @@ pub struct AnalysisTimes {
 }
 
 impl AnalysisTimes {
-    /// Total in-situ overhead attributable to this analysis.
+    /// Total in-situ overhead attributable to this analysis: the sum of
+    /// its four measured brackets, `setup + per_step + analyze + output`
+    /// (the wall-clock counterparts of the model's `ft + Σit + Σct +
+    /// Σot`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use insitu_core::runtime::AnalysisTimes;
+    /// let t = AnalysisTimes {
+    ///     setup: 1.0,
+    ///     per_step: 0.5,
+    ///     analyze: 2.0,
+    ///     output: 0.25,
+    ///     ..Default::default()
+    /// };
+    /// assert_eq!(t.total(), 3.75);
+    /// assert_eq!(AnalysisTimes::default().total(), 0.0);
+    /// ```
     pub fn total(&self) -> f64 {
         self.setup + self.per_step + self.analyze + self.output
     }
@@ -89,6 +144,11 @@ pub struct RunReport {
     pub analysis_times: Vec<AnalysisTimes>,
     /// The executed coupling trace.
     pub trace: CouplingTrace,
+    /// Per-kernel cost attribution: the simulator's kernel telemetry
+    /// accumulated *during this run* (the delta against its pre-run
+    /// state). Empty when the simulator records none
+    /// ([`Simulator::kernel_telemetry`] returns `None`).
+    pub kernel_telemetry: KernelTelemetry,
 }
 
 impl RunReport {
@@ -97,13 +157,58 @@ impl RunReport {
         self.analysis_times.iter().map(AnalysisTimes::total).sum()
     }
 
-    /// Analysis overhead as a fraction of simulation time.
+    /// Analysis overhead as a fraction of simulation time:
+    /// `total_analysis_time / sim_time`, the measured counterpart of the
+    /// paper's 10%-threshold target. A degenerate run with zero (or
+    /// negative-noise) simulation time reports `0.0` rather than
+    /// NaN/infinity, so downstream tables and JSON stay finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use insitu_core::runtime::{AnalysisTimes, RunReport};
+    /// use insitu_types::{CouplingTrace, KernelTelemetry, Schedule};
+    /// let mut report = RunReport {
+    ///     sim_time: 10.0,
+    ///     analysis_times: vec![AnalysisTimes { analyze: 1.0, ..Default::default() }],
+    ///     trace: CouplingTrace::from_schedule(&Schedule::empty(1), 0, 0),
+    ///     kernel_telemetry: KernelTelemetry::new(),
+    /// };
+    /// assert_eq!(report.overhead_fraction(), 0.1);
+    /// // zero-simulation-time guard: an empty run is 0.0, not NaN
+    /// report.sim_time = 0.0;
+    /// assert_eq!(report.overhead_fraction(), 0.0);
+    /// ```
     pub fn overhead_fraction(&self) -> f64 {
         if self.sim_time > 0.0 {
             self.total_analysis_time() / self.sim_time
         } else {
             0.0
         }
+    }
+
+    /// Exports the run's measured costs into an [`obs::Registry`]:
+    /// `run.sim_s` / `run.analysis_s` meters, per-analysis
+    /// `run.analysis.<name>.{setup_s, per_step_s, analyze_s, output_s}`
+    /// and the per-kernel attribution under `run.kernel.*`.
+    pub fn export_into(&self, registry: &obs::Registry) {
+        registry.observe("run.sim_s", self.sim_time);
+        registry.observe("run.analysis_s", self.total_analysis_time());
+        for t in &self.analysis_times {
+            registry.observe(&format!("run.analysis.{}.setup_s", t.name), t.setup);
+            registry.observe(&format!("run.analysis.{}.per_step_s", t.name), t.per_step);
+            registry.observe(&format!("run.analysis.{}.analyze_s", t.name), t.analyze);
+            registry.observe(&format!("run.analysis.{}.output_s", t.name), t.output);
+            registry.add(
+                &format!("run.analysis.{}.analyze_count", t.name),
+                t.analyze_count as u64,
+            );
+            registry.add(
+                &format!("run.analysis.{}.output_count", t.name),
+                t.output_count as u64,
+            );
+        }
+        self.kernel_telemetry.export_into("run.kernel", registry);
     }
 }
 
@@ -112,11 +217,49 @@ impl RunReport {
 ///
 /// Analyses whose schedule entry is empty are fully inactive (no setup, no
 /// per-step cost) — exactly the `run_i = 0` semantics of the formulation.
+///
+/// Equivalent to [`run_coupled_traced`] with a disabled trace handle
+/// (spans cost nothing in that case).
 pub fn run_coupled<Sim: Simulator>(
     sim: &mut Sim,
     analyses: &mut [Box<dyn Analysis<Sim::State> + '_>],
     schedule: &Schedule,
     cfg: &CouplerConfig,
+) -> RunReport {
+    run_coupled_traced(sim, analyses, schedule, cfg, &obs::TraceHandle::disabled())
+}
+
+/// [`run_coupled`] plus a step-indexed run timeline emitted into `trace`.
+///
+/// The span tree (names are the `SPAN_*` constants in this module):
+///
+/// ```text
+/// run.coupled                       tags: steps, analyses
+/// ├─ analysis.setup                 tags: analysis, name        (per active analysis)
+/// └─ step                           tags: step                  (per simulation step)
+///    ├─ sim.advance                 tags: step
+///    ├─ sim.output                  tags: step                  (at the O_S cadence)
+///    ├─ analysis.per_step           tags: step, analysis        (per active analysis)
+///    ├─ analysis.analyze            tags: step, analysis, name, output
+///    └─ analysis.output             tags: step, analysis, name
+/// ```
+///
+/// `analysis.analyze` / `analysis.output` spans exist exactly where the
+/// schedule sets `analysis[i][j]` / `output[i][j]`, so the timeline *is*
+/// the executed decision matrix; the `output` tag on the analyze span
+/// repeats the scheduled output decision so it survives even if the
+/// output span record is dropped under overload. Every child carries its
+/// own `step` tag for the same reason.
+///
+/// The wall-clock report is measured by the same `Stopwatch` brackets as
+/// the untraced path — spans are additive instrumentation, not a
+/// replacement for the report's timing.
+pub fn run_coupled_traced<Sim: Simulator>(
+    sim: &mut Sim,
+    analyses: &mut [Box<dyn Analysis<Sim::State> + '_>],
+    schedule: &Schedule,
+    cfg: &CouplerConfig,
+    trace: &obs::TraceHandle,
 ) -> RunReport {
     assert_eq!(
         analyses.len(),
@@ -135,10 +278,18 @@ pub fn run_coupled<Sim: Simulator>(
         .iter()
         .map(|s| s.count() > 0)
         .collect();
+    let telemetry_baseline = sim.kernel_telemetry().cloned().unwrap_or_default();
+
+    let mut run_span = trace.span(SPAN_RUN);
+    run_span.tag("steps", cfg.steps);
+    run_span.tag("analyses", analyses.len());
 
     // one-time setup (ft)
     for (i, a) in analyses.iter_mut().enumerate() {
         if active[i] {
+            let mut span = trace.span(SPAN_ANALYSIS_SETUP);
+            span.tag("analysis", i);
+            span.tag("name", a.name());
             let sw = Stopwatch::start();
             a.setup(sim.state());
             times[i].setup = sw.elapsed();
@@ -147,9 +298,18 @@ pub fn run_coupled<Sim: Simulator>(
 
     let mut sim_time = 0.0;
     for j in 1..=cfg.steps {
+        let mut step_span = trace.span(SPAN_STEP);
+        step_span.tag("step", j);
+
         let sw = Stopwatch::start();
-        sim.advance();
+        {
+            let mut span = trace.span(SPAN_SIM_ADVANCE);
+            span.tag("step", j);
+            sim.advance();
+        }
         if cfg.sim_output_every > 0 && j % cfg.sim_output_every == 0 {
+            let mut span = trace.span(SPAN_SIM_OUTPUT);
+            span.tag("step", j);
             sim.write_output();
         }
         sim_time += sw.elapsed();
@@ -159,15 +319,32 @@ pub fn run_coupled<Sim: Simulator>(
                 continue;
             }
             let sched = &schedule.per_analysis[i];
-            let sw = Stopwatch::start();
-            a.per_step(sim.state());
-            times[i].per_step += sw.elapsed();
-            if sched.runs_at(j) {
+            {
+                let mut span = trace.span(SPAN_ANALYSIS_PER_STEP);
+                span.tag("step", j);
+                span.tag("analysis", i);
                 let sw = Stopwatch::start();
-                a.analyze(sim.state());
-                times[i].analyze += sw.elapsed();
-                times[i].analyze_count += 1;
-                if sched.outputs_at(j) {
+                a.per_step(sim.state());
+                times[i].per_step += sw.elapsed();
+            }
+            if sched.runs_at(j) {
+                let scheduled_output = sched.outputs_at(j);
+                {
+                    let mut span = trace.span(SPAN_ANALYSIS_ANALYZE);
+                    span.tag("step", j);
+                    span.tag("analysis", i);
+                    span.tag("name", a.name());
+                    span.tag("output", scheduled_output);
+                    let sw = Stopwatch::start();
+                    a.analyze(sim.state());
+                    times[i].analyze += sw.elapsed();
+                    times[i].analyze_count += 1;
+                }
+                if scheduled_output {
+                    let mut span = trace.span(SPAN_ANALYSIS_OUTPUT);
+                    span.tag("step", j);
+                    span.tag("analysis", i);
+                    span.tag("name", a.name());
                     let sw = Stopwatch::start();
                     a.output(sim.state());
                     times[i].output += sw.elapsed();
@@ -176,11 +353,18 @@ pub fn run_coupled<Sim: Simulator>(
             }
         }
     }
+    drop(run_span);
+
+    let kernel_telemetry = sim
+        .kernel_telemetry()
+        .map(|t| t.delta_since(&telemetry_baseline))
+        .unwrap_or_default();
 
     RunReport {
         sim_time,
         analysis_times: times,
         trace: CouplingTrace::from_schedule(schedule, cfg.steps, cfg.sim_output_every),
+        kernel_telemetry,
     }
 }
 
@@ -308,6 +492,130 @@ mod tests {
         fn output(&mut self, state: &S) {
             T::output(self, state)
         }
+    }
+
+    #[test]
+    fn traced_run_emits_the_step_indexed_span_tree() {
+        let mut sim = CounterSim { step: 0, outputs: 0 };
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![2, 4], vec![4]);
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> =
+            vec![Box::new(Recorder { name: "a".into(), ..Default::default() })];
+        let tracer = std::sync::Arc::new(obs::Tracer::with_capacity(256));
+        let handle = obs::TraceHandle::new(tracer.clone());
+        run_coupled_traced(
+            &mut sim,
+            &mut analyses,
+            &schedule,
+            &CouplerConfig { steps: 4, sim_output_every: 2 },
+            &handle,
+        );
+        let tl = tracer.timeline();
+        tl.validate().unwrap();
+        assert_eq!(tl.dropped, 0);
+
+        // one root, one step span per simulation step, children hooked up
+        let root = tl.spans_named(SPAN_RUN).next().expect("root span");
+        assert_eq!(root.tag_i64("steps"), Some(4));
+        let steps: Vec<_> = tl.spans_named(SPAN_STEP).collect();
+        assert_eq!(steps.len(), 4);
+        for (k, s) in steps.iter().enumerate() {
+            assert_eq!(s.parent, Some(root.id));
+            assert_eq!(s.tag_i64("step"), Some(k as i64 + 1));
+        }
+
+        // analyze spans exist exactly at the scheduled steps, tagged with
+        // the scheduled output decision
+        let analyzed: Vec<_> = tl.spans_named(SPAN_ANALYSIS_ANALYZE).collect();
+        assert_eq!(
+            analyzed.iter().map(|s| s.tag_i64("step")).collect::<Vec<_>>(),
+            vec![Some(2), Some(4)]
+        );
+        assert_eq!(
+            analyzed
+                .iter()
+                .map(|s| s.tag("output").and_then(|v| v.as_bool()))
+                .collect::<Vec<_>>(),
+            vec![Some(false), Some(true)]
+        );
+        assert_eq!(tl.spans_named(SPAN_ANALYSIS_OUTPUT).count(), 1);
+        assert_eq!(tl.spans_named(SPAN_ANALYSIS_PER_STEP).count(), 4);
+        assert_eq!(tl.spans_named(SPAN_SIM_ADVANCE).count(), 4);
+        assert_eq!(tl.spans_named(SPAN_SIM_OUTPUT).count(), 2);
+        assert_eq!(tl.spans_named(SPAN_ANALYSIS_SETUP).count(), 1);
+
+        // every analyze span is a child of its step span
+        for s in &analyzed {
+            let parent = tl.spans.iter().find(|p| Some(p.id) == s.parent).unwrap();
+            assert_eq!(parent.name, SPAN_STEP);
+            assert_eq!(parent.tag_i64("step"), s.tag_i64("step"));
+        }
+    }
+
+    #[test]
+    fn untraced_run_reports_identically_and_emits_nothing() {
+        let mk = || {
+            let mut schedule = Schedule::empty(1);
+            schedule.per_analysis[0] = AnalysisSchedule::new(vec![3], vec![3]);
+            schedule
+        };
+        let mut sim = CounterSim { step: 0, outputs: 0 };
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> =
+            vec![Box::new(Recorder { name: "a".into(), ..Default::default() })];
+        let report = run_coupled(
+            &mut sim,
+            &mut analyses,
+            &mk(),
+            &CouplerConfig { steps: 5, sim_output_every: 0 },
+        );
+        assert_eq!(report.analysis_times[0].analyze_count, 1);
+        assert!(report.kernel_telemetry.kernels.is_empty());
+    }
+
+    /// A sim that records kernel telemetry, to exercise the attribution
+    /// hook.
+    struct KernelSim {
+        step: usize,
+        telemetry: KernelTelemetry,
+    }
+    impl Simulator for KernelSim {
+        type State = usize;
+        fn state(&self) -> &usize {
+            &self.step
+        }
+        fn advance(&mut self) {
+            self.step += 1;
+            self.telemetry.record("toy.step", 1, 1, 0.25, 0.0);
+        }
+        fn kernel_telemetry(&self) -> Option<&KernelTelemetry> {
+            Some(&self.telemetry)
+        }
+    }
+
+    #[test]
+    fn kernel_telemetry_attributed_as_a_run_delta() {
+        let mut sim = KernelSim { step: 0, telemetry: KernelTelemetry::new() };
+        // pre-run activity (calibration) must not be attributed to the run
+        sim.advance();
+        sim.advance();
+        let mut analyses: Vec<Box<dyn Analysis<usize>>> = vec![];
+        let report = run_coupled(
+            &mut sim,
+            &mut analyses,
+            &Schedule::empty(0),
+            &CouplerConfig { steps: 3, sim_output_every: 0 },
+        );
+        let rec = report.kernel_telemetry.get("toy.step").unwrap();
+        assert_eq!(rec.calls, 3, "only the run's own calls are attributed");
+        assert!((rec.wall_s - 0.75).abs() < 1e-12);
+        // ...while the sim's own accumulator keeps the full history
+        assert_eq!(sim.telemetry.get("toy.step").unwrap().calls, 5);
+
+        let reg = obs::Registry::new();
+        report.export_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("run.kernel.toy.step.calls"), Some(3));
+        assert!(snap.meter("run.sim_s").is_some());
     }
 
     #[test]

@@ -101,6 +101,54 @@ impl Value {
         }
     }
 
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document.
     ///
     /// Hardened against adversarial input: numbers that overflow `f64` to
@@ -604,6 +652,20 @@ impl FromJson for Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_accessors_navigate_parsed_documents() {
+        let v = Value::parse("{\"a\": [1, true, \"x\"], \"b\": {\"c\": 2}}").unwrap();
+        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Value::as_f64), Some(2.0));
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_bool(), Some(true));
+        assert_eq!(a[2].as_str(), Some("x"));
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+        assert!(a[0].get("not-an-object").is_none());
+        assert!(v.as_str().is_none() && v.as_f64().is_none() && v.as_bool().is_none());
+    }
 
     #[test]
     fn value_parse_rejects_garbage() {

@@ -85,6 +85,61 @@ impl KernelTelemetry {
         self.kernels.clear();
     }
 
+    /// Returns the telemetry accumulated *since* `baseline` was cloned
+    /// off this registry: per-kernel call counts and times are
+    /// subtracted, kernels with no new calls are omitted.
+    ///
+    /// The coupler snapshots a simulator's telemetry before the run and
+    /// uses this to attribute kernel time to the run itself, even when
+    /// the same `System`/`FlashSim` instance already ran a calibration
+    /// phase.
+    pub fn delta_since(&self, baseline: &KernelTelemetry) -> KernelTelemetry {
+        let mut out = KernelTelemetry::new();
+        for (name, r) in &self.kernels {
+            let base = baseline.get(name).copied().unwrap_or_default();
+            if r.calls > base.calls {
+                out.kernels.insert(
+                    name.clone(),
+                    KernelRecord {
+                        calls: r.calls - base.calls,
+                        threads: r.threads,
+                        chunks: r.chunks,
+                        wall_s: r.wall_s - base.wall_s,
+                        merge_s: r.merge_s - base.merge_s,
+                    },
+                );
+            }
+        }
+        out
+    }
+
+    /// Exports every kernel record into an [`obs::Registry`] under
+    /// `<prefix>.<kernel>.{calls, wall_s, merge_s}` — the adapter that
+    /// lets simulation kernels report through the same sink as the
+    /// solver and the coupler.
+    pub fn export_into(&self, prefix: &str, registry: &obs::Registry) {
+        for (name, r) in &self.kernels {
+            registry.add(&format!("{prefix}.{name}.calls"), r.calls as u64);
+            if r.calls > 0 {
+                let mean = r.wall_s / r.calls as f64;
+                registry.observe_agg(
+                    &format!("{prefix}.{name}.wall_s"),
+                    r.wall_s,
+                    r.calls as u64,
+                    mean,
+                    mean,
+                );
+                registry.observe_agg(
+                    &format!("{prefix}.{name}.merge_s"),
+                    r.merge_s,
+                    r.calls as u64,
+                    r.merge_s / r.calls as f64,
+                    r.merge_s / r.calls as f64,
+                );
+            }
+        }
+    }
+
     /// Plain-text table: one line per kernel.
     pub fn table(&self) -> String {
         let mut out = String::from("kernel                 calls thr chk   wall(ms)  merge(ms)\n");
@@ -146,6 +201,37 @@ mod tests {
         assert_eq!(a.get("hydro.step").unwrap().calls, 2);
         assert!((a.get("hydro.step").unwrap().wall_s - 3.0).abs() < 1e-12);
         assert_eq!(a.kernels.len(), 2);
+    }
+
+    #[test]
+    fn delta_since_subtracts_the_baseline() {
+        let mut t = KernelTelemetry::new();
+        t.record("md.force", 4, 16, 0.5, 0.1);
+        let baseline = t.clone();
+        t.record("md.force", 4, 16, 0.25, 0.05);
+        t.record("md.rdf", 4, 8, 0.2, 0.0);
+        let d = t.delta_since(&baseline);
+        let force = d.get("md.force").unwrap();
+        assert_eq!(force.calls, 1);
+        assert!((force.wall_s - 0.25).abs() < 1e-12);
+        assert!((force.merge_s - 0.05).abs() < 1e-12);
+        assert_eq!(d.get("md.rdf").unwrap().calls, 1);
+        // a kernel with no new calls is omitted entirely
+        assert!(t.delta_since(&t.clone()).kernels.is_empty());
+    }
+
+    #[test]
+    fn export_into_populates_the_registry() {
+        let mut t = KernelTelemetry::new();
+        t.record("md.force", 4, 16, 0.5, 0.1);
+        t.record("md.force", 4, 16, 0.3, 0.1);
+        let reg = obs::Registry::new();
+        t.export_into("sim", &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.md.force.calls"), Some(2));
+        let wall = snap.meter("sim.md.force.wall_s").unwrap();
+        assert_eq!(wall.count, 2);
+        assert!((wall.sum - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -151,6 +151,10 @@ pub struct System {
     pub exec: Exec,
     /// Accumulated per-kernel telemetry (force loop, cell rebuilds, ...).
     pub telemetry: KernelTelemetry,
+    /// Trace sink for kernel-boundary spans (`md.cell_rebuild`,
+    /// `md.force`). Disabled by default; attach a handle to see the
+    /// simulation's kernels inside a coupled-run timeline.
+    pub tracer: obs::TraceHandle,
     cells: Option<CellList>,
 }
 
@@ -173,6 +177,7 @@ impl System {
             step_count: 0,
             exec: Exec::from_env(),
             telemetry: KernelTelemetry::new(),
+            tracer: obs::TraceHandle::disabled(),
             cells: None,
         }
     }
@@ -279,10 +284,15 @@ impl System {
         let mut fx = std::mem::take(&mut self.force[0]);
         let mut fy = std::mem::take(&mut self.force[1]);
         let mut fz = std::mem::take(&mut self.force[2]);
+        let tracer = self.tracer.clone();
         if ff.epsilon != 0.0 {
             let t0 = Instant::now();
             let mut cells = self.cells.take().unwrap_or_else(CellList::empty);
-            cells.rebuild(&self.bounds, &self.pos, cutoff, &self.exec);
+            {
+                let mut span = tracer.span("md.cell_rebuild");
+                span.tag("threads", self.exec.threads());
+                cells.rebuild(&self.bounds, &self.pos, cutoff, &self.exec);
+            }
             self.telemetry.record(
                 "md.cell_rebuild",
                 self.exec.threads(),
@@ -296,6 +306,9 @@ impl System {
             let ncells = cells.num_cells();
             let pos = &self.pos;
             let cells_ref = &cells;
+            let mut force_span = tracer.span("md.force");
+            force_span.tag("threads", self.exec.threads());
+            force_span.tag("chunks", chunks);
             let (parts, stats) = parallel::map_chunks(&self.exec, chunks, move |c| {
                 let mut cfx = vec![0.0f64; n];
                 let mut cfy = vec![0.0f64; n];
@@ -331,6 +344,7 @@ impl System {
                 }
             }
             let merge = m0.elapsed();
+            drop(force_span);
             self.telemetry.record(
                 "md.force",
                 stats.threads_used,
@@ -418,6 +432,10 @@ impl Simulator for System {
 
     fn advance(&mut self) {
         self.step();
+    }
+
+    fn kernel_telemetry(&self) -> Option<&KernelTelemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -519,6 +537,22 @@ mod tests {
         let u = s.unwrapped_position(0);
         assert!((u[0] - 6.9).abs() < 1e-9, "unwrapped {}", u[0]);
         assert!(s.position(0)[0] < 5.0);
+    }
+
+    #[test]
+    fn kernel_spans_emitted_when_traced() {
+        let mut s = two_body();
+        let tracer = std::sync::Arc::new(obs::Tracer::with_capacity(64));
+        s.tracer = obs::TraceHandle::new(tracer.clone());
+        s.step();
+        let tl = tracer.timeline();
+        assert!(tl.spans_named("md.cell_rebuild").count() >= 1);
+        let force = tl.spans_named("md.force").next().expect("force span");
+        assert!(force.tag_i64("threads").is_some());
+        // the Simulator hook exposes the same accumulator the kernels
+        // record into
+        let t: &dyn Simulator<State = System> = &s;
+        assert!(t.kernel_telemetry().unwrap().get("md.force").is_some());
     }
 
     #[test]

@@ -38,6 +38,15 @@ impl LpTelemetry {
         self.ftran_ns += other.ftran_ns;
         self.btran_ns += other.btran_ns;
     }
+
+    /// Exports the LP-engine counters into an [`obs::Registry`] under
+    /// `milp.lp.*`.
+    pub fn export_into(&self, registry: &obs::Registry) {
+        registry.add("milp.lp.refactorizations", self.refactorizations as u64);
+        registry.observe("milp.lp.max_eta_len", self.max_eta_len as f64);
+        registry.observe("milp.lp.ftran_s", self.ftran_ns as f64 / 1e9);
+        registry.observe("milp.lp.btran_s", self.btran_ns as f64 / 1e9);
+    }
 }
 
 /// One improvement of the incumbent during branch & bound.
@@ -131,6 +140,29 @@ impl SolveStats {
         )
     }
 
+    /// Exports the solve counters into an [`obs::Registry`] under
+    /// `milp.*` — the adapter that lets a solve report through the same
+    /// sink as a coupled run or a bench binary.
+    pub fn export_into(&self, registry: &obs::Registry) {
+        registry.add("milp.nodes_explored", self.nodes_explored as u64);
+        registry.add("milp.nodes_pruned_bound", self.nodes_pruned_bound as u64);
+        registry.add(
+            "milp.nodes_pruned_infeasible",
+            self.nodes_pruned_infeasible as u64,
+        );
+        registry.add("milp.lp_pivots", self.lp_pivots as u64);
+        registry.add("milp.warm_started", self.warm_started as u64);
+        registry.add("milp.lp.refactorizations", self.refactorizations as u64);
+        registry.add("milp.incumbents", self.incumbent_updates.len() as u64);
+        registry.observe("milp.lp.max_eta_len", self.max_eta_len as f64);
+        registry.observe("milp.lp.ftran_s", self.ftran_time.as_secs_f64());
+        registry.observe("milp.lp.btran_s", self.btran_time.as_secs_f64());
+        registry.observe("milp.presolve_s", self.presolve_time.as_secs_f64());
+        registry.observe("milp.root_lp_s", self.root_lp_time.as_secs_f64());
+        registry.observe("milp.search_s", self.search_time.as_secs_f64());
+        registry.observe("milp.threads", self.threads as f64);
+    }
+
     /// Multi-line report including the incumbent timeline.
     pub fn report(&self) -> String {
         let mut out = self.summary();
@@ -208,6 +240,33 @@ mod tests {
         assert_eq!(a.refactorizations, 5);
         assert_eq!(a.max_eta_len, 5);
         assert_eq!((a.ftran_ns, a.btran_ns), (110, 70));
+    }
+
+    #[test]
+    fn export_into_reports_through_one_sink() {
+        let s = SolveStats {
+            nodes_explored: 7,
+            lp_pivots: 99,
+            threads: 2,
+            search_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let reg = obs::Registry::new();
+        s.export_into(&reg);
+        let lp = LpTelemetry {
+            refactorizations: 3,
+            max_eta_len: 4,
+            ftran_ns: 1_000_000,
+            btran_ns: 500_000,
+        };
+        lp.export_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("milp.nodes_explored"), Some(7));
+        assert_eq!(snap.counter("milp.lp_pivots"), Some(99));
+        assert_eq!(snap.counter("milp.lp.refactorizations"), Some(3));
+        let search = snap.meter("milp.search_s").unwrap();
+        assert!((search.sum - 0.01).abs() < 1e-9);
+        assert_eq!(snap.meter("milp.lp.ftran_s").unwrap().count, 2);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Minimal JSON string building, internal to the exporters.
+//!
+//! The crate is intentionally zero-dependency (it sits below
+//! `insitu-types` in the workspace graph), so the exporters assemble
+//! their documents with these helpers instead of a value tree. Strings
+//! are escaped per RFC 8259; floats use Rust's shortest-round-trip
+//! formatting (the same guarantee `insitu_types::json` documents), and
+//! non-finite floats — which JSON cannot represent — render as `null`.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`; non-finite values render as `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // `{}` prints integral floats without a dot ("3"); that is still
+        // a valid JSON number, so no fix-up is needed.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends an unsigned integer.
+pub(crate) fn push_u64(out: &mut String, v: u64) {
+    let _ = write!(out, "{v}");
+}
+
+/// Appends a signed integer.
+pub(crate) fn push_i64(out: &mut String, v: i64) {
+    let _ = write!(out, "{v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_lit(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(lit("x\ny\t"), "\"x\\ny\\t\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_and_nonfinite_is_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        out.push(',');
+        push_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_u64(&mut out, 42);
+        out.push(',');
+        push_i64(&mut out, -7);
+        assert_eq!(out, "1.5,null,42,-7");
+    }
+}

@@ -1,0 +1,46 @@
+//! Structured tracing and metrics for the in-situ scheduling stack.
+//!
+//! Every layer of the workspace measures something — the simulation
+//! proxies record per-kernel wall time (`insitu_types::KernelTelemetry`),
+//! the MILP solver counts nodes and pivots (`milp::SolveStats`), and the
+//! runtime coupler times every analysis bracket — but before this crate
+//! those measurements lived in disconnected structs that never met. `obs`
+//! is the meeting point: a **std-only, zero-dependency** tracing and
+//! metrics layer the rest of the workspace adopts.
+//!
+//! Three pieces:
+//!
+//! * [`Tracer`] — cheap span/event recording: monotonic timestamps from a
+//!   per-tracer epoch, thread-id tagging, automatic parenting through a
+//!   thread-local span stack, and a **bounded** buffer with an explicit
+//!   drop counter, so overload is observable instead of silent and the
+//!   hot path never reallocates. [`TraceHandle`] is the cloneable
+//!   embed-anywhere form (a disabled handle is a no-op).
+//! * [`Registry`] — one sink for counters and meters (count/sum/min/max),
+//!   with deterministic snapshots, a plain-text table and a JSON export.
+//!   `KernelTelemetry`, `LpTelemetry` and `SolveStats` all gain
+//!   `export_into(&Registry)` adapters in their own crates, so a coupled
+//!   run, a solve and the bench binaries report through this one sink.
+//! * [`Timeline`] — the recorded span tree of a run, with exporters to a
+//!   stable JSON schema (`obs/timeline/v1`, documented in
+//!   `EXPERIMENTS.md`) and to the Chrome trace-event format
+//!   (loadable in `chrome://tracing` / `ui.perfetto.dev`).
+//!
+//! The step-indexed run timeline emitted by
+//! `insitu_core::runtime::run_coupled_traced` — one span per simulation
+//! step, child spans per analysis execution and output write, tagged with
+//! the scheduled `(analysis[i][j], output[i][j])` decision — is the
+//! measured half of the predicted-vs-measured drift report in
+//! `insitu_core::attribution`. See `docs/OBSERVABILITY.md` for the span
+//! model and schema.
+
+#![warn(missing_docs)]
+
+mod json;
+pub mod registry;
+pub mod timeline;
+pub mod tracer;
+
+pub use registry::{Meter, Registry, Snapshot};
+pub use timeline::Timeline;
+pub use tracer::{EventRecord, SpanGuard, SpanId, SpanRecord, TagValue, TraceHandle, Tracer};

@@ -1,0 +1,311 @@
+//! One sink for the workspace's counters and meters.
+//!
+//! Every telemetry struct in the workspace (`KernelTelemetry`,
+//! `LpTelemetry`, `SolveStats`, the coupler's `RunReport`) gains an
+//! `export_into(&Registry)` adapter in its own crate, so a coupled run, a
+//! solve and a bench binary all report through one [`Registry`] and print
+//! one [`Snapshot`]. Names are dotted paths (`"md.force.wall_s"`,
+//! `"milp.nodes_explored"`); snapshots iterate them in sorted order, so
+//! output is deterministic.
+
+use crate::json::{push_f64, push_str_lit, push_u64};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Aggregate of an observed f64 series: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Meter {
+    /// Number of observations folded in.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Meter {
+    fn new(v: f64) -> Self {
+        Meter {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    fn fold(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn fold_agg(&mut self, sum: f64, count: u64, min: f64, max: f64) {
+        self.count += count;
+        self.sum += sum;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    meters: BTreeMap<String, Meter>,
+}
+
+/// Thread-safe sink for named counters (u64, additive) and meters
+/// (f64 observations aggregated as count/sum/min/max).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `name` (created at zero on first use).
+    pub fn add(&self, name: &str, v: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += v,
+            None => {
+                inner.counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Folds one observation `v` into the meter `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.meters.get_mut(name) {
+            Some(m) => m.fold(v),
+            None => {
+                inner.meters.insert(name.to_string(), Meter::new(v));
+            }
+        }
+    }
+
+    /// Folds a pre-aggregated series into the meter `name` — used by
+    /// adapters whose source already kept a sum over `count` samples but
+    /// not the samples themselves. `min`/`max` fall back to `sum` when the
+    /// source tracked no extrema.
+    pub fn observe_agg(&self, name: &str, sum: f64, count: u64, min: f64, max: f64) {
+        if count == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match inner.meters.get_mut(name) {
+            Some(m) => m.fold_agg(sum, count, min, max),
+            None => {
+                inner.meters.insert(
+                    name.to_string(),
+                    Meter {
+                        count,
+                        sum,
+                        min,
+                        max,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Deterministic (name-sorted) copy of the registry's current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            meters: inner.meters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+}
+
+/// A point-in-time, name-sorted copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, meter)` pairs, sorted by name.
+    pub meters: Vec<(String, Meter)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Meter `name`, if present.
+    pub fn meter(&self, name: &str) -> Option<&Meter> {
+        self.meters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Plain-text table of every counter and meter, for run footers.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("  counter                                  value\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.meters.is_empty() {
+            out.push_str(
+                "  meter                                    count        sum       mean        min        max\n",
+            );
+            for (name, m) in &self.meters {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    m.count,
+                    m.sum,
+                    m.mean(),
+                    m.min,
+                    m.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("  (registry empty)\n");
+        }
+        out
+    }
+
+    /// JSON export: `{"counters": {..}, "meters": {name: {count, sum,
+    /// min, max}}}`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_lit(&mut out, name);
+            out.push(':');
+            push_u64(&mut out, *v);
+        }
+        out.push_str("},\"meters\":{");
+        for (i, (name, m)) in self.meters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_lit(&mut out, name);
+            out.push_str(":{\"count\":");
+            push_u64(&mut out, m.count);
+            out.push_str(",\"sum\":");
+            push_f64(&mut out, m.sum);
+            out.push_str(",\"min\":");
+            push_f64(&mut out, m.min);
+            out.push_str(",\"max\":");
+            push_f64(&mut out, m.max);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorts() {
+        let r = Registry::new();
+        r.add("z.late", 1);
+        r.add("a.early", 2);
+        r.add("a.early", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.early"), Some(5));
+        assert_eq!(snap.counter("z.late"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.counters[0].0, "a.early");
+    }
+
+    #[test]
+    fn meters_track_count_sum_min_max() {
+        let r = Registry::new();
+        r.observe("lat", 2.0);
+        r.observe("lat", 4.0);
+        r.observe("lat", 1.0);
+        let snap = r.snapshot();
+        let m = snap.meter("lat").unwrap();
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 7.0);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 4.0);
+        assert!((m.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preaggregated_observations_fold_in() {
+        let r = Registry::new();
+        r.observe_agg("k", 10.0, 4, 1.0, 5.0);
+        r.observe_agg("k", 2.0, 1, 2.0, 2.0);
+        r.observe_agg("k", 0.0, 0, 0.0, 0.0); // empty series is a no-op
+        let snap = r.snapshot();
+        let m = snap.meter("k").unwrap();
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 12.0);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 5.0);
+    }
+
+    #[test]
+    fn table_and_json_render_both_kinds() {
+        let r = Registry::new();
+        r.add("milp.nodes_explored", 12);
+        r.observe("md.force.wall_s", 0.25);
+        let snap = r.snapshot();
+        let table = snap.table();
+        assert!(table.contains("milp.nodes_explored"));
+        assert!(table.contains("md.force.wall_s"));
+        let json = snap.to_json_string();
+        assert!(json.contains("\"milp.nodes_explored\":12"));
+        assert!(json.contains("\"md.force.wall_s\":{\"count\":1"));
+        assert!(Registry::new().snapshot().table().contains("registry empty"));
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.add("hits", 1);
+                        r.observe("v", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hits"), Some(400));
+        assert_eq!(snap.meter("v").unwrap().count, 400);
+    }
+}

@@ -1,0 +1,339 @@
+//! The recorded span tree of a run, and its exporters.
+//!
+//! A [`Timeline`] is an immutable snapshot of a [`crate::Tracer`]'s
+//! buffer: spans and events in record order (a span records when it
+//! *closes*, so children precede their parents) plus the drop counter.
+//! Two exporters are provided:
+//!
+//! * [`Timeline::to_json_string`] — the stable `obs/timeline/v1` schema
+//!   documented in `EXPERIMENTS.md`; round-trips through any JSON parser
+//!   (`insitu_types::json::Value::parse` in this workspace's tests).
+//! * [`Timeline::to_chrome_trace_string`] — a Chrome trace-event array
+//!   loadable directly in `chrome://tracing` or `ui.perfetto.dev`
+//!   (complete `"ph":"X"` events, microsecond timestamps).
+//!
+//! [`Timeline::structural_fingerprint`] renders everything *except*
+//! wall-clock fields (timestamps, durations, thread ids), which is what
+//! the determinism tests compare across repeated runs and thread counts.
+
+use crate::json::{push_f64, push_i64, push_str_lit, push_u64};
+use crate::tracer::{EventRecord, SpanRecord, TagValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier written by [`Timeline::to_json_string`].
+pub const TIMELINE_SCHEMA: &str = "obs/timeline/v1";
+
+/// A snapshot of one tracer's recorded spans and events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    /// Closed spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Events, in record order.
+    pub events: Vec<EventRecord>,
+    /// Records dropped because the tracer's buffer was full.
+    pub dropped: u64,
+}
+
+impl Timeline {
+    /// Spans named `name`, in record order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Direct children of span `id`, in record order.
+    pub fn children_of(&self, id: crate::SpanId) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Structural sanity: span ids unique, every parent reference
+    /// resolves to a recorded span. Dropped records legitimately break
+    /// parent resolution, so a lossy timeline (`dropped > 0`) only checks
+    /// id uniqueness.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut ids = std::collections::BTreeSet::new();
+        for s in &self.spans {
+            if !ids.insert(s.id) {
+                return Err(format!("duplicate span id {}", s.id));
+            }
+        }
+        if self.dropped == 0 {
+            for s in &self.spans {
+                if let Some(p) = s.parent {
+                    if !ids.contains(&p) {
+                        return Err(format!("span {} parent {p} not recorded", s.id));
+                    }
+                }
+            }
+            for e in &self.events {
+                if let Some(p) = e.parent {
+                    if !ids.contains(&p) {
+                        return Err(format!("event `{}` parent {p} not recorded", e.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the wall-clock-free structure of the timeline: every span
+    /// (name, parent linkage, tags) and event, with span ids replaced by
+    /// record ordinals so two runs of the same program compare equal even
+    /// though their raw ids and timestamps differ.
+    pub fn structural_fingerprint(&self) -> String {
+        let ordinal: BTreeMap<crate::SpanId, usize> = self
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        let parent_of = |p: Option<crate::SpanId>| match p {
+            None => "root".to_string(),
+            Some(id) => match ordinal.get(&id) {
+                Some(i) => format!("#{i}"),
+                None => "dropped".to_string(),
+            },
+        };
+        let mut out = String::new();
+        for s in &self.spans {
+            let _ = write!(out, "span {} parent={}", s.name, parent_of(s.parent));
+            for (k, v) in &s.tags {
+                let _ = write!(out, " {k}={v:?}");
+            }
+            out.push('\n');
+        }
+        for e in &self.events {
+            let _ = write!(out, "event {} parent={}", e.name, parent_of(e.parent));
+            for (k, v) in &e.tags {
+                let _ = write!(out, " {k}={v:?}");
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "dropped {}", self.dropped);
+        out
+    }
+
+    /// Exports the `obs/timeline/v1` JSON document (schema in
+    /// `EXPERIMENTS.md`): `{"schema", "dropped", "spans": [...],
+    /// "events": [...]}` with nanosecond integer timestamps.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(128 + 160 * self.spans.len());
+        out.push_str("{\"schema\":");
+        push_str_lit(&mut out, TIMELINE_SCHEMA);
+        out.push_str(",\"dropped\":");
+        push_u64(&mut out, self.dropped);
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            push_u64(&mut out, s.id);
+            out.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => push_u64(&mut out, p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            push_str_lit(&mut out, s.name);
+            out.push_str(",\"tid\":");
+            push_u64(&mut out, s.tid as u64);
+            out.push_str(",\"start_ns\":");
+            push_u64(&mut out, s.start_ns);
+            out.push_str(",\"dur_ns\":");
+            push_u64(&mut out, s.dur_ns);
+            out.push_str(",\"tags\":");
+            push_tags(&mut out, &s.tags);
+            out.push('}');
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"parent\":");
+            match e.parent {
+                Some(p) => push_u64(&mut out, p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            push_str_lit(&mut out, e.name);
+            out.push_str(",\"tid\":");
+            push_u64(&mut out, e.tid as u64);
+            out.push_str(",\"ts_ns\":");
+            push_u64(&mut out, e.ts_ns);
+            out.push_str(",\"tags\":");
+            push_tags(&mut out, &e.tags);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Exports a Chrome trace-event array (`chrome://tracing` /
+    /// `ui.perfetto.dev`): one complete event (`"ph":"X"`) per span with
+    /// microsecond `ts`/`dur`, one instant event (`"ph":"i"`) per event,
+    /// tags in `args`.
+    pub fn to_chrome_trace_string(&self) -> String {
+        let mut out = String::with_capacity(128 + 160 * self.spans.len());
+        out.push('[');
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            push_str_lit(&mut out, s.name);
+            out.push_str(",\"cat\":\"insitu\",\"ph\":\"X\",\"ts\":");
+            push_f64(&mut out, s.start_ns as f64 / 1e3);
+            out.push_str(",\"dur\":");
+            push_f64(&mut out, s.dur_ns as f64 / 1e3);
+            out.push_str(",\"pid\":1,\"tid\":");
+            push_u64(&mut out, s.tid as u64);
+            out.push_str(",\"args\":");
+            push_chrome_args(&mut out, s.id, s.parent, &s.tags);
+            out.push('}');
+        }
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            push_str_lit(&mut out, e.name);
+            out.push_str(",\"cat\":\"insitu\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+            push_f64(&mut out, e.ts_ns as f64 / 1e3);
+            out.push_str(",\"pid\":1,\"tid\":");
+            push_u64(&mut out, e.tid as u64);
+            out.push_str(",\"args\":");
+            push_chrome_args(&mut out, 0, e.parent, &e.tags);
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn push_tag_value(out: &mut String, v: &TagValue) {
+    match v {
+        TagValue::Int(i) => push_i64(out, *i),
+        TagValue::Float(f) => push_f64(out, *f),
+        TagValue::Str(s) => push_str_lit(out, s),
+        TagValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn push_tags(out: &mut String, tags: &[(&'static str, TagValue)]) {
+    out.push('{');
+    for (i, (k, v)) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(out, k);
+        out.push(':');
+        push_tag_value(out, v);
+    }
+    out.push('}');
+}
+
+fn push_chrome_args(
+    out: &mut String,
+    id: crate::SpanId,
+    parent: Option<crate::SpanId>,
+    tags: &[(&'static str, TagValue)],
+) {
+    out.push('{');
+    out.push_str("\"span_id\":");
+    push_u64(out, id);
+    if let Some(p) = parent {
+        out.push_str(",\"parent\":");
+        push_u64(out, p);
+    }
+    for (k, v) in tags {
+        out.push(',');
+        push_str_lit(out, k);
+        out.push(':');
+        push_tag_value(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample() -> Timeline {
+        let t = Tracer::with_capacity(16);
+        {
+            let mut step = t.span("step");
+            step.tag("step", 1usize);
+            {
+                let mut a = t.span("analysis.analyze");
+                a.tag("analysis", 0usize);
+                a.tag("name", "rdf \"quoted\"");
+                a.tag("output", true);
+            }
+            t.event("sim.output", &[("bytes", TagValue::Float(1.5))]);
+        }
+        t.timeline()
+    }
+
+    #[test]
+    fn json_export_has_schema_and_all_records() {
+        let tl = sample();
+        let json = tl.to_json_string();
+        assert!(json.starts_with("{\"schema\":\"obs/timeline/v1\""));
+        assert!(json.contains("\"name\":\"step\""));
+        assert!(json.contains("\"name\":\"analysis.analyze\""));
+        assert!(json.contains("\"rdf \\\"quoted\\\"\""));
+        assert!(json.contains("\"output\":true"));
+        assert!(json.contains("\"ts_ns\""));
+    }
+
+    #[test]
+    fn chrome_export_is_an_array_of_complete_events() {
+        let tl = sample();
+        let chrome = tl.to_chrome_trace_string();
+        assert!(chrome.starts_with('[') && chrome.ends_with(']'));
+        assert_eq!(chrome.matches("\"ph\":\"X\"").count(), tl.spans.len());
+        assert_eq!(chrome.matches("\"ph\":\"i\"").count(), tl.events.len());
+        assert!(chrome.contains("\"cat\":\"insitu\""));
+        assert!(chrome.contains("\"span_id\":"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_reruns_and_ignores_clocks() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+        // the inner span closes (records) first, so the step span is
+        // ordinal #1 and the child points at it
+        let fp = a.structural_fingerprint();
+        assert!(fp.contains("span analysis.analyze parent=#1"), "{fp}");
+        assert!(fp.contains("span step parent=root"), "{fp}");
+        assert!(fp.contains("dropped 0"), "{fp}");
+    }
+
+    #[test]
+    fn validate_catches_dangling_parents() {
+        let mut tl = sample();
+        assert!(tl.validate().is_ok());
+        tl.spans[0].parent = Some(9999);
+        assert!(tl.validate().is_err());
+        // ...unless records were dropped, in which case dangling parents
+        // are expected
+        tl.dropped = 1;
+        assert!(tl.validate().is_ok());
+    }
+
+    #[test]
+    fn helpers_navigate_the_tree() {
+        let tl = sample();
+        let step = tl.spans_named("step").next().unwrap();
+        let kids = tl.children_of(step.id);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].name, "analysis.analyze");
+    }
+}

@@ -1,0 +1,546 @@
+//! Span and event recording.
+//!
+//! A [`Tracer`] owns a **bounded** record buffer sized once at
+//! construction. Recording a span costs one monotonic-clock read at open
+//! and one lock + `Vec` write (within pre-reserved capacity) at close;
+//! when the buffer is full, new records are counted in an explicit drop
+//! counter instead of growing the buffer — overload is observable, never
+//! silent, and the hot path never reallocates the ring.
+//!
+//! Spans parent automatically: each thread keeps a stack of its open
+//! spans (per tracer), and a new span's parent is the innermost open span
+//! on the same thread. [`SpanGuard`] closes its span on drop, so ordinary
+//! lexical scoping produces a well-formed tree.
+//!
+//! A disabled tracer ([`Tracer::disabled`], or a default
+//! [`TraceHandle`]) turns every operation into a branch-and-return no-op,
+//! which is what keeps `run_coupled`'s untraced path at its pre-tracing
+//! cost.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identifier of one recorded span, unique within its [`Tracer`].
+pub type SpanId = u64;
+
+/// A tag value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagValue {
+    /// Signed integer (step indices, analysis ids, thread counts).
+    Int(i64),
+    /// Floating-point value (residuals, fractions).
+    Float(f64),
+    /// String value (analysis names).
+    Str(String),
+    /// Boolean flag (scheduled-decision bits).
+    Bool(bool),
+}
+
+impl TagValue {
+    /// The integer payload, if this tag is an [`TagValue::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            TagValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this tag is a [`TagValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TagValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this tag is a [`TagValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TagValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for TagValue {
+    fn from(v: i64) -> Self {
+        TagValue::Int(v)
+    }
+}
+impl From<usize> for TagValue {
+    fn from(v: usize) -> Self {
+        TagValue::Int(v as i64)
+    }
+}
+impl From<f64> for TagValue {
+    fn from(v: f64) -> Self {
+        TagValue::Float(v)
+    }
+}
+impl From<bool> for TagValue {
+    fn from(v: bool) -> Self {
+        TagValue::Bool(v)
+    }
+}
+impl From<&str> for TagValue {
+    fn from(v: &str) -> Self {
+        TagValue::Str(v.to_string())
+    }
+}
+impl From<String> for TagValue {
+    fn from(v: String) -> Self {
+        TagValue::Str(v)
+    }
+}
+
+/// One closed span: a named, tagged interval on one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id, unique within the tracer; ids increase in open order.
+    pub id: SpanId,
+    /// Enclosing span open on the same thread when this one opened.
+    pub parent: Option<SpanId>,
+    /// Span name (static label, e.g. `"step"`, `"analysis.analyze"`).
+    pub name: &'static str,
+    /// Small dense per-process thread index (not the OS thread id).
+    pub tid: u32,
+    /// Open time in nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Tags in the order they were attached.
+    pub tags: Vec<(&'static str, TagValue)>,
+}
+
+impl SpanRecord {
+    /// Value of tag `key`, if present.
+    pub fn tag(&self, key: &str) -> Option<&TagValue> {
+        self.tags.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Integer value of tag `key`, if present and integral.
+    pub fn tag_i64(&self, key: &str) -> Option<i64> {
+        self.tag(key).and_then(TagValue::as_i64)
+    }
+}
+
+/// One instantaneous event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Enclosing span open on the same thread when the event fired.
+    pub parent: Option<SpanId>,
+    /// Event name.
+    pub name: &'static str,
+    /// Small dense per-process thread index.
+    pub tid: u32,
+    /// Time in nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+    /// Tags in the order they were attached.
+    pub tags: Vec<(&'static str, TagValue)>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Rec {
+    Span(SpanRecord),
+    Event(EventRecord),
+}
+
+// Dense per-process thread indices: the first thread that records gets 0,
+// the next 1, ... — stable within a process run and compact in exports.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+// Per-thread stack of open spans, as (tracer id, span id) pairs so
+// concurrently active tracers on one thread cannot cross-parent.
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<(u64, SpanId)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A bounded span/event recorder. See the [module docs](self).
+#[derive(Debug)]
+pub struct Tracer {
+    tracer_id: u64,
+    capacity: usize,
+    epoch: Instant,
+    next_span: AtomicU64,
+    dropped: AtomicU64,
+    buf: Mutex<Vec<Rec>>,
+}
+
+impl Tracer {
+    /// A tracer that can hold up to `capacity` records (spans + events).
+    /// The buffer is allocated once here; the recording path never grows
+    /// it. `capacity == 0` yields a disabled tracer.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity,
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            buf: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// A tracer that records nothing and counts nothing. All operations
+    /// are cheap no-ops; [`Tracer::enabled`] is `false`.
+    pub fn disabled() -> Tracer {
+        Tracer::with_capacity(0)
+    }
+
+    /// Whether this tracer records at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Current allocated capacity of the record buffer, in records. The
+    /// overload tests pin that this never grows past the constructor's
+    /// `capacity`.
+    pub fn ring_allocated(&self) -> usize {
+        self.buf.lock().unwrap().capacity()
+    }
+
+    /// Opens a span named `name`, parented to the innermost span open on
+    /// this thread (of this tracer). The span closes — and is recorded —
+    /// when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard {
+                tracer: self,
+                live: false,
+                id: 0,
+                parent: None,
+                name,
+                start_ns: 0,
+                tags: Vec::new(),
+            };
+        }
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map(|(_, id)| *id);
+            s.push((self.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            live: true,
+            id,
+            parent,
+            name,
+            start_ns: self.now_ns(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Records an instantaneous event, parented like a span would be.
+    pub fn event(&self, name: &'static str, tags: &[(&'static str, TagValue)]) {
+        if !self.enabled() {
+            return;
+        }
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map(|(_, id)| *id)
+        });
+        self.push(Rec::Event(EventRecord {
+            parent,
+            name,
+            tid: current_tid(),
+            ts_ns: self.now_ns(),
+            tags: tags.to_vec(),
+        }));
+    }
+
+    /// Snapshot of everything recorded so far, in record order.
+    pub fn timeline(&self) -> crate::Timeline {
+        let buf = self.buf.lock().unwrap();
+        let mut spans = Vec::new();
+        let mut events = Vec::new();
+        for rec in buf.iter() {
+            match rec {
+                Rec::Span(s) => spans.push(s.clone()),
+                Rec::Event(e) => events.push(e.clone()),
+            }
+        }
+        crate::Timeline {
+            spans,
+            events,
+            dropped: self.dropped(),
+        }
+    }
+
+    fn push(&self, rec: Rec) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() < self.capacity {
+            buf.push(rec);
+        } else {
+            drop(buf);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn close_span(&self, guard: &mut SpanGuard<'_>) {
+        // pop this span from the thread's stack; out-of-order drops (a
+        // guard outliving its scope) are tolerated by removing wherever
+        // the entry sits
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s
+                .iter()
+                .rposition(|&(t, id)| t == self.tracer_id && id == guard.id)
+            {
+                s.remove(pos);
+            }
+        });
+        let end = self.now_ns();
+        self.push(Rec::Span(SpanRecord {
+            id: guard.id,
+            parent: guard.parent,
+            name: guard.name,
+            tid: current_tid(),
+            start_ns: guard.start_ns,
+            dur_ns: end.saturating_sub(guard.start_ns),
+            tags: std::mem::take(&mut guard.tags),
+        }));
+    }
+}
+
+/// An open span; closes and records itself on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    live: bool,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    start_ns: u64,
+    tags: Vec<(&'static str, TagValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a tag. No-op on a disabled tracer.
+    pub fn tag(&mut self, key: &'static str, value: impl Into<TagValue>) {
+        if self.live {
+            self.tags.push((key, value.into()));
+        }
+    }
+
+    /// The span's id, when live (None on a disabled tracer).
+    pub fn id(&self) -> Option<SpanId> {
+        self.live.then_some(self.id)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.live {
+            self.tracer.close_span(self);
+        }
+    }
+}
+
+/// A cloneable, embed-anywhere handle to a shared [`Tracer`].
+///
+/// The default handle is disabled (every operation a no-op), so
+/// simulation states can carry one unconditionally and pay nothing when
+/// tracing is off.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<Tracer>>);
+
+impl TraceHandle {
+    /// A handle to `tracer`.
+    pub fn new(tracer: Arc<Tracer>) -> TraceHandle {
+        TraceHandle(Some(tracer))
+    }
+
+    /// A handle that records nothing.
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// The underlying tracer, if attached.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.0.as_deref()
+    }
+
+    /// Whether spans recorded through this handle go anywhere.
+    pub fn enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|t| t.enabled())
+    }
+
+    /// Opens a span (see [`Tracer::span`]); a no-op guard when disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        match &self.0 {
+            Some(t) => t.span(name),
+            None => DISABLED.span(name),
+        }
+    }
+
+    /// Records an event (see [`Tracer::event`]); no-op when disabled.
+    pub fn event(&self, name: &'static str, tags: &[(&'static str, TagValue)]) {
+        if let Some(t) = &self.0 {
+            t.event(name, tags);
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(t) => write!(f, "TraceHandle(enabled: {})", t.enabled()),
+            None => f.write_str("TraceHandle(disabled)"),
+        }
+    }
+}
+
+// Shared sink for `TraceHandle::span` on a detached handle: guards need a
+// tracer reference, and a single process-wide disabled tracer avoids
+// allocating one per call.
+static DISABLED: std::sync::LazyLock<Tracer> = std::sync::LazyLock::new(Tracer::disabled);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_tag() {
+        let t = Tracer::with_capacity(16);
+        {
+            let mut outer = t.span("outer");
+            outer.tag("step", 3usize);
+            {
+                let mut inner = t.span("inner");
+                inner.tag("analysis", 1usize);
+                inner.tag("name", "rdf");
+            }
+            t.event("tick", &[("flag", TagValue::Bool(true))]);
+        }
+        let tl = t.timeline();
+        assert_eq!(tl.dropped, 0);
+        assert_eq!(tl.spans.len(), 2);
+        // inner closed first
+        let inner = &tl.spans[0];
+        let outer = &tl.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.tag_i64("step"), Some(3));
+        assert_eq!(inner.tag("name").and_then(TagValue::as_str), Some("rdf"));
+        assert_eq!(tl.events.len(), 1);
+        assert_eq!(tl.events[0].parent, Some(outer.id));
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert!(inner.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn overload_counts_exact_drops_and_never_reallocates() {
+        let t = Tracer::with_capacity(8);
+        let allocated = t.ring_allocated();
+        assert_eq!(allocated, 8);
+        for _ in 0..20 {
+            let _g = t.span("s");
+        }
+        t.event("e", &[]);
+        let tl = t.timeline();
+        assert_eq!(tl.spans.len(), 8, "buffer holds exactly its capacity");
+        assert_eq!(tl.dropped, 13, "12 spans + 1 event dropped, exactly");
+        assert_eq!(
+            t.ring_allocated(),
+            allocated,
+            "overload must not grow the ring"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        {
+            let mut g = t.span("s");
+            g.tag("k", 1usize);
+            assert_eq!(g.id(), None);
+        }
+        t.event("e", &[]);
+        let tl = t.timeline();
+        assert!(tl.spans.is_empty() && tl.events.is_empty());
+        assert_eq!(tl.dropped, 0, "disabled tracing is not overload");
+    }
+
+    #[test]
+    fn handle_default_is_disabled_and_shared_handles_record() {
+        let h = TraceHandle::default();
+        assert!(!h.enabled());
+        let _g = h.span("noop");
+        h.event("noop", &[]);
+
+        let tracer = Arc::new(Tracer::with_capacity(8));
+        let h1 = TraceHandle::new(tracer.clone());
+        let h2 = h1.clone();
+        {
+            let _a = h1.span("a");
+            let _b = h2.span("b");
+        }
+        let tl = tracer.timeline();
+        assert_eq!(tl.spans.len(), 2);
+        // both handles feed the same tracer, and b parents under a
+        assert_eq!(tl.spans[0].name, "b");
+        assert_eq!(tl.spans[0].parent, Some(tl.spans[1].id));
+    }
+
+    #[test]
+    fn concurrent_tracers_do_not_cross_parent() {
+        let a = Tracer::with_capacity(4);
+        let b = Tracer::with_capacity(4);
+        let _ga = a.span("a.outer");
+        {
+            let _gb = b.span("b.inner");
+        }
+        let tb = b.timeline();
+        assert_eq!(tb.spans[0].parent, None, "b must not parent under a's span");
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let t = Tracer::with_capacity(8);
+        {
+            let _g = t.span("main");
+        }
+        let tid_main = t.timeline().spans[0].tid;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = t.span("worker");
+            });
+        });
+        let tl = t.timeline();
+        let worker = tl.spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_ne!(worker.tid, tid_main);
+        assert_eq!(worker.parent, None, "stacks are per-thread");
+    }
+}

@@ -2,19 +2,32 @@
 //!
 //! Profiles the water+ions analyses (A1–A4) on the actual mini-LAMMPS
 //! engine, asks the advisor for a schedule under a 10 % overhead budget,
-//! executes the coupled run, and verifies the measured overhead against
-//! the threshold — the full loop the paper proposes, at laptop scale.
+//! executes the coupled run **with the unified tracing layer attached**,
+//! and verifies the measured overhead against the threshold — the full
+//! loop the paper proposes, at laptop scale. The traced run additionally
+//! produces:
+//!
+//! * `target/md_insitu.timeline.json` — the `obs/timeline/v1` document
+//!   (schema in `EXPERIMENTS.md`),
+//! * `target/md_insitu.chrome.json` — the same timeline as Chrome
+//!   trace events, loadable in `chrome://tracing` / `ui.perfetto.dev`,
+//! * a predicted-vs-measured drift report (Eq. 2–4 replayed exactly by
+//!   `certify` against the measured span timeline),
+//! * one `obs::Registry` snapshot merging solver, kernel and coupler
+//!   telemetry.
 //!
 //! ```sh
 //! cargo run -p examples --bin md_insitu --release
 //! ```
 
-use insitu_core::runtime::{run_coupled, Analysis, CouplerConfig};
+use insitu_core::attribution::attribute;
+use insitu_core::runtime::{run_coupled_traced, Analysis, CouplerConfig};
 use insitu_core::{Advisor, AdvisorOptions};
 use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem, GIB};
 use mdsim::analysis::{a1_hydronium_rdf, a2_ion_rdf, a3_vacf, a4_msd};
 use mdsim::{water_ions, BuilderParams, System};
 use perfmodel::Stopwatch;
+use std::sync::Arc;
 
 const ATOMS: usize = 8_000;
 const STEPS: usize = 200;
@@ -90,14 +103,17 @@ fn main() {
     println!("\nrecommended schedule (10% budget = {:.2} s):", problem.resources.total_threshold());
     print!("{}", rec.schedule.summary(&problem));
 
-    // --- execute the coupled run for real ---
+    // --- execute the coupled run for real, with tracing attached ---
+    let tracer = Arc::new(obs::Tracer::with_capacity(64 * 1024));
+    let handle = obs::TraceHandle::new(tracer.clone());
+    sys.tracer = handle.clone(); // kernel spans nest under the step spans
     let mut analyses: Vec<Box<dyn Analysis<System>>> = vec![
         Box::new(a1_hydronium_rdf()),
         Box::new(a2_ion_rdf()),
         Box::new(a3_vacf(16)),
         Box::new(a4_msd()),
     ];
-    let report = run_coupled(
+    let report = run_coupled_traced(
         &mut sys,
         &mut analyses,
         &rec.schedule,
@@ -105,6 +121,7 @@ fn main() {
             steps: STEPS,
             sim_output_every: 0,
         },
+        &handle,
     );
     println!("\ncoupled run complete:");
     println!("  simulation time : {:>8.2} s", report.sim_time);
@@ -125,4 +142,39 @@ fn main() {
             at.total() * 1e3
         );
     }
+    println!("\nper-kernel attribution (run delta):");
+    print!("{}", report.kernel_telemetry.table());
+
+    // --- export the timeline and line it up against the model ---
+    let timeline = tracer.timeline();
+    timeline.validate().expect("well-formed timeline");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/md_insitu.timeline.json", timeline.to_json_string())
+        .expect("write timeline");
+    std::fs::write(
+        "target/md_insitu.chrome.json",
+        timeline.to_chrome_trace_string(),
+    )
+    .expect("write chrome trace");
+    println!(
+        "\ntimeline: {} spans, {} dropped -> target/md_insitu.timeline.json, \
+         target/md_insitu.chrome.json",
+        timeline.spans.len(),
+        timeline.dropped
+    );
+
+    let drift = attribute(&problem, &rec.schedule, &timeline).expect("drift report");
+    println!("drift vs Eq. 2-4 model: {}", drift.summary());
+    std::fs::write(
+        "target/md_insitu.drift.json",
+        drift.to_json().to_string_pretty(),
+    )
+    .expect("write drift report");
+
+    // --- one sink for solver + kernel + coupler telemetry ---
+    let registry = obs::Registry::new();
+    rec.export_into(&registry);
+    report.export_into(&registry);
+    println!("\nunified telemetry registry:");
+    print!("{}", registry.snapshot().table());
 }

@@ -39,5 +39,10 @@ run bash -c 'time ./target/release/solver_bench --smoke --out target/BENCH_milp_
 # gross kernel regressions show up too (full sweep: sim_bench)
 run bash -c 'time ./target/release/sim_bench --smoke --out target/BENCH_sim_smoke.json'
 
+# timeline smoke: traced coupled run -> export timeline JSON + Chrome
+# trace -> re-parse and validate both, and check the drift report's
+# predicted series bitwise against certify's exact replay
+run ./target/release/timeline_smoke --out target
+
 echo
 echo "verify: all green"

@@ -1,0 +1,89 @@
+//! Structural determinism of the step-indexed run timeline.
+//!
+//! Two coupled runs with identical inputs must produce **structurally
+//! identical** timelines — same span tree, same step indices, same
+//! decision tags — with only wall-clock fields (start/duration, thread
+//! ids) differing. `obs::Timeline::structural_fingerprint` encodes
+//! exactly that invariant; this file pins it at 1 and 4 worker threads,
+//! and pins that the coupler-level span structure (everything except
+//! the kernel spans, whose `threads` tag necessarily reflects the pool
+//! size) is identical *across* thread counts too.
+
+use insitu_core::runtime::{run_coupled_traced, Analysis, CouplerConfig};
+use mdsim::analysis::{a1_hydronium_rdf, a2_ion_rdf};
+use mdsim::{water_ions, BuilderParams, System};
+use parallel::Exec;
+use std::sync::Arc;
+
+const STEPS: usize = 12;
+
+fn traced_run(threads: usize) -> obs::Timeline {
+    let mut sys = water_ions(&BuilderParams {
+        n_particles: 1_500,
+        ..Default::default()
+    });
+    sys.exec = Exec::with_threads(threads);
+    let tracer = Arc::new(obs::Tracer::with_capacity(8 * 1024));
+    let handle = obs::TraceHandle::new(tracer.clone());
+    sys.tracer = handle.clone();
+
+    let mut schedule = insitu_types::Schedule::empty(2);
+    schedule.per_analysis[0] =
+        insitu_types::AnalysisSchedule::new(vec![3, 6, 9, 12], vec![6, 12]);
+    schedule.per_analysis[1] = insitu_types::AnalysisSchedule::new(vec![4, 8, 12], vec![12]);
+    let mut analyses: Vec<Box<dyn Analysis<System>>> =
+        vec![Box::new(a1_hydronium_rdf()), Box::new(a2_ion_rdf())];
+    run_coupled_traced(
+        &mut sys,
+        &mut analyses,
+        &schedule,
+        &CouplerConfig {
+            steps: STEPS,
+            sim_output_every: 4,
+        },
+        &handle,
+    );
+    let tl = tracer.timeline();
+    tl.validate().expect("well-formed timeline");
+    assert_eq!(tl.dropped, 0);
+    tl
+}
+
+/// The coupler-level slice of the fingerprint: drop kernel spans (the
+/// simulator's own `md.*` instrumentation carries a `threads` tag that
+/// legitimately differs with the pool size) and keep everything the
+/// scheduler decided — names, step indices, analysis ids, decisions.
+fn coupler_fingerprint(tl: &obs::Timeline) -> String {
+    tl.structural_fingerprint()
+        .lines()
+        .filter(|l| !l.starts_with("span md."))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn identical_runs_produce_structurally_identical_timelines() {
+    for threads in [1usize, 4] {
+        let a = traced_run(threads);
+        let b = traced_run(threads);
+        assert_eq!(
+            a.structural_fingerprint(),
+            b.structural_fingerprint(),
+            "timeline structure diverged between identical runs at {threads} threads"
+        );
+        // sanity: the fingerprint really ignores wall-clock — durations
+        // almost surely differ between the two runs
+        assert_eq!(a.spans.len(), b.spans.len());
+    }
+}
+
+#[test]
+fn coupler_span_structure_is_thread_count_invariant() {
+    let one = traced_run(1);
+    let four = traced_run(4);
+    assert_eq!(
+        coupler_fingerprint(&one),
+        coupler_fingerprint(&four),
+        "scheduled span structure must not depend on the worker pool size"
+    );
+}
