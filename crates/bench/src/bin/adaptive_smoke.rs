@@ -1,0 +1,178 @@
+//! CI smoke test for closed-loop adaptive rescheduling: reproduces the
+//! budget-blowout scenario of `docs/ADAPTIVE.md` end to end. A 40-step
+//! run is scheduled from a stale calibration (the "hog" analysis is
+//! modeled at 1 ms/analyze but spins 20 ms); the static schedule blows
+//! the 90 ms budget, the adaptive coupler catches it at the first hog
+//! run, re-solves, and finishes within budget. The exported timeline
+//! must carry the `reschedule` event and the adopted schedule must be
+//! certified.
+//!
+//! Usage: `adaptive_smoke [--out DIR]` (default `target/`). Exits
+//! non-zero (panics) on any failure; prints `adaptive smoke OK` on
+//! success — staged in `scripts/verify.sh`.
+
+use insitu_core::adaptive::{AdaptiveConfig, TriggerReason};
+use insitu_core::advisor::Advisor;
+use insitu_core::attribution::attribute_with_predicted;
+use insitu_core::runtime::{
+    run_coupled, run_coupled_adaptive, Analysis, CouplerConfig, Simulator, EVENT_RESCHEDULE,
+};
+use insitu_types::json::Value;
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
+use std::sync::Arc;
+
+const STEPS: usize = 40;
+const BUDGET_S: f64 = 0.090;
+const HOG_MODELED_S: f64 = 0.001;
+const HOG_ACTUAL_S: f64 = 0.020;
+const LITE_S: f64 = 0.0002;
+
+struct TickSim(usize);
+impl Simulator for TickSim {
+    type State = usize;
+    fn state(&self) -> &usize {
+        &self.0
+    }
+    fn advance(&mut self) {
+        self.0 += 1;
+    }
+}
+
+struct Spin {
+    name: &'static str,
+    analyze_s: f64,
+}
+impl Analysis<usize> for Spin {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn analyze(&mut self, _state: &usize) {
+        let sw = perfmodel::Stopwatch::start();
+        while sw.elapsed() < self.analyze_s {}
+    }
+}
+
+fn spinners() -> Vec<Box<dyn Analysis<usize>>> {
+    vec![
+        Box::new(Spin { name: "hog", analyze_s: HOG_ACTUAL_S }),
+        Box::new(Spin { name: "lite", analyze_s: LITE_S }),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target".into());
+
+    let problem = ScheduleProblem::new(
+        vec![
+            AnalysisProfile::new("hog")
+                .with_compute(HOG_MODELED_S, 0.0)
+                .with_interval(4),
+            AnalysisProfile::new("lite")
+                .with_compute(LITE_S, 0.0)
+                .with_interval(4),
+        ],
+        ResourceConfig::from_total_threshold(STEPS, BUDGET_S, 1e9, 1e9),
+    )
+    .expect("valid problem");
+
+    // the static schedule is PROVED under the (stale) model
+    let rec = Advisor::default().recommend(&problem).expect("solvable");
+    assert_eq!(rec.verdict, certify::Verdict::Proved);
+    assert_eq!(rec.counts, vec![10, 10], "scenario baseline moved");
+
+    // --- static leg: blows the budget in reality ---
+    let static_report = run_coupled(
+        &mut TickSim(0),
+        &mut spinners(),
+        &rec.schedule,
+        &CouplerConfig { steps: STEPS, sim_output_every: 0 },
+    );
+    let static_total = static_report.total_analysis_time();
+    assert!(
+        static_total > BUDGET_S,
+        "static leg must exceed the {BUDGET_S} s budget, spent {static_total}"
+    );
+
+    // --- adaptive leg: same workload, recovers within budget ---
+    let tracer = Arc::new(obs::Tracer::with_capacity(16 * 1024));
+    let handle = obs::TraceHandle::new(tracer.clone());
+    let adaptive = run_coupled_adaptive(
+        &mut TickSim(0),
+        &mut spinners(),
+        &problem,
+        &rec.schedule,
+        &CouplerConfig { steps: STEPS, sim_output_every: 0 },
+        &AdaptiveConfig::default(),
+        &handle,
+    )
+    .expect("adaptive run");
+    let adaptive_total = adaptive.run.total_analysis_time();
+    assert!(
+        adaptive_total <= BUDGET_S,
+        "adaptive leg must stay within {BUDGET_S} s, spent {adaptive_total}"
+    );
+    assert!(adaptive.adopted_count() >= 1, "no reschedule adopted");
+    let first = &adaptive.reschedules[0];
+    assert_eq!(first.step, 4, "first hog run trips the budget trigger");
+    assert_eq!(first.reason, TriggerReason::Budget);
+    assert!(
+        first.verdict == "PROVED" || first.verdict == "FEASIBLE-ONLY",
+        "adopted schedule must be certified, got {}",
+        first.verdict
+    );
+    assert!(
+        adaptive.schedule.per_analysis[0].count() < 10,
+        "the hog must be throttled"
+    );
+
+    // --- the reschedule event survives export and re-parse ---
+    let timeline = tracer.timeline();
+    timeline.validate().expect("well-formed timeline");
+    assert!(timeline.events_named(EVENT_RESCHEDULE).count() >= 1);
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let tl_path = format!("{out_dir}/adaptive_smoke.timeline.json");
+    std::fs::write(&tl_path, timeline.to_json_string()).expect("write timeline");
+    let doc = Value::parse(&std::fs::read_to_string(&tl_path).unwrap())
+        .expect("timeline JSON re-parses");
+    let exported_reschedules = doc
+        .get("events")
+        .and_then(Value::as_array)
+        .expect("events array")
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some(EVENT_RESCHEDULE))
+        .count();
+    assert!(exported_reschedules >= 1, "reschedule event lost in export");
+
+    // --- reschedule/v1 records and drift vs the spliced prediction ---
+    let rs_path = format!("{out_dir}/adaptive_smoke.reschedules.json");
+    std::fs::write(&rs_path, adaptive.reschedules_json().to_string_pretty())
+        .expect("write reschedule records");
+    let rs = Value::parse(&std::fs::read_to_string(&rs_path).unwrap()).expect("re-parses");
+    assert!(rs.as_array().is_some_and(|a| !a.is_empty()));
+
+    let drift = attribute_with_predicted(
+        &problem,
+        &adaptive.schedule,
+        &timeline,
+        &adaptive.predicted,
+    )
+    .expect("drift report");
+    assert!(
+        !drift.per_step.last().unwrap().threshold_violated,
+        "adaptive run must end within the pro-rated budget: {}",
+        drift.summary()
+    );
+
+    println!(
+        "adaptive smoke OK: static {static_total:.3}s > {BUDGET_S}s, adaptive \
+         {adaptive_total:.3}s <= {BUDGET_S}s after {} reschedule(s) ({}) -> {tl_path}, {rs_path}",
+        adaptive.adopted_count(),
+        first.verdict,
+    );
+}

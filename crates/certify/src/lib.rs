@@ -27,10 +27,12 @@
 pub mod certificate;
 pub mod rational;
 pub mod replay;
+pub mod suffix;
 
 pub use certificate::{check_certificate, BOUND_TOL};
 pub use rational::{Rat, RatError};
 pub use replay::{replay, replay_time_series, ReplayReport, Violation, ViolationKind};
+pub use suffix::{memory_state_at, replay_suffix, SuffixCarry};
 
 use insitu_types::{Schedule, ScheduleProblem, SearchCertificate};
 
@@ -112,6 +114,58 @@ pub fn certify(
         Err(e) => {
             return Certification::invalid(
                 vec![format!("exact replay impossible: {e}")],
+                None,
+            )
+        }
+    };
+    if !report.is_feasible() {
+        let problems = report.messages();
+        return Certification::invalid(problems, Some(report));
+    }
+    let Some(cert) = certificate else {
+        return Certification {
+            verdict: Verdict::FeasibleOnly,
+            replay: Some(report),
+            problems: Vec::new(),
+        };
+    };
+    let mut problems = certificate::check_certificate(cert, report.objective.to_f64());
+    if !cert.proven_optimal {
+        problems.push("solver did not claim proven optimality".into());
+    }
+    Certification {
+        verdict: if problems.is_empty() {
+            Verdict::Proved
+        } else {
+            Verdict::Invalid
+        },
+        replay: Some(report),
+        problems,
+    }
+}
+
+/// Certifies a mid-run reschedule: a suffix `schedule` against the suffix
+/// `problem`, seeded from the executed prefix's [`SuffixCarry`].
+///
+/// Identical to [`certify`] except that feasibility is decided by
+/// [`suffix::replay_suffix`] — the Eq. 9 interval clock and the Eqs. 5–7
+/// memory recursion start from the carried prefix state instead of zero.
+/// The certificate half is unchanged: a closing [`SearchCertificate`]
+/// upgrades the verdict to [`Verdict::Proved`] *for the suffix model the
+/// solver saw* (the solver's model is carry-oblivious; a schedule the
+/// carry rules out is still [`Verdict::Invalid`] here, whatever the
+/// certificate says).
+pub fn certify_suffix(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    carry: &suffix::SuffixCarry,
+    certificate: Option<&SearchCertificate>,
+) -> Certification {
+    let report = match suffix::replay_suffix(problem, schedule, carry) {
+        Ok(r) => r,
+        Err(e) => {
+            return Certification::invalid(
+                vec![format!("exact suffix replay impossible: {e}")],
                 None,
             )
         }
@@ -255,6 +309,29 @@ mod tests {
         let c = certify(&p, &feasible_schedule(), None);
         assert_eq!(c.verdict, Verdict::Invalid);
         assert!(c.replay.is_none());
+    }
+
+    #[test]
+    fn certify_suffix_mirrors_certify_and_respects_the_carry() {
+        let p = problem();
+        let s = feasible_schedule();
+        // fresh carry: same verdicts as plain certify
+        let fresh = suffix::SuffixCarry::fresh(1);
+        let c = certify_suffix(&p, &s, &fresh, None);
+        assert_eq!(c.verdict, Verdict::FeasibleOnly);
+        let c = certify_suffix(&p, &s, &fresh, Some(&matching_cert()));
+        assert_eq!(c.verdict, Verdict::Proved, "{:?}", c.problems);
+        // a carry that rules the schedule out overrides even a closing
+        // certificate: first run at 10 needs 0 more steps from scratch,
+        // but an interval clock at 0 elapsed + itv 10 pushes it out
+        let blocking = suffix::SuffixCarry {
+            held_mem: vec![Some(0.0)],
+            steps_since_run: vec![Some(0)],
+        };
+        let mut early = Schedule::empty(1);
+        early.per_analysis[0] = AnalysisSchedule::new(vec![5, 50, 100], vec![]);
+        let c = certify_suffix(&p, &early, &blocking, Some(&matching_cert()));
+        assert_eq!(c.verdict, Verdict::Invalid);
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl ReplayReport {
     }
 }
 
-fn hard(kind: ViolationKind, message: String) -> Violation {
+pub(crate) fn hard(kind: ViolationKind, message: String) -> Violation {
     Violation {
         kind,
         message,
@@ -86,18 +86,20 @@ fn hard(kind: ViolationKind, message: String) -> Violation {
 }
 
 /// Exact Table-1 parameters of one analysis.
-struct ExactProfile {
-    ft: Rat,
-    it: Rat,
-    ct: Rat,
-    ot: Rat,
-    fm: Rat,
-    im: Rat,
-    cm: Rat,
-    om: Rat,
+pub(crate) struct ExactProfile {
+    pub(crate) ft: Rat,
+    pub(crate) it: Rat,
+    pub(crate) ct: Rat,
+    pub(crate) ot: Rat,
+    pub(crate) fm: Rat,
+    pub(crate) im: Rat,
+    pub(crate) cm: Rat,
+    pub(crate) om: Rat,
 }
 
-fn exact_profile(a: &insitu_types::AnalysisProfile) -> Result<ExactProfile, RatError> {
+pub(crate) fn exact_profile(
+    a: &insitu_types::AnalysisProfile,
+) -> Result<ExactProfile, RatError> {
     Ok(ExactProfile {
         ft: Rat::from_f64_exact(a.fixed_time)?,
         it: Rat::from_f64_exact(a.step_time)?,
@@ -356,7 +358,7 @@ pub fn replay_time_series(
 
 /// Exact `cth * Steps` (RHS of Eq. 4); `None` when `cth` is `+inf`,
 /// meaning the time constraint is absent.
-fn time_budget(problem: &ScheduleProblem) -> Result<Option<Rat>, RatError> {
+pub(crate) fn time_budget(problem: &ScheduleProblem) -> Result<Option<Rat>, RatError> {
     if problem.resources.step_threshold == f64::INFINITY {
         return Ok(None);
     }

@@ -1,0 +1,399 @@
+//! Exact replay of a schedule **suffix**, for mid-run rescheduling.
+//!
+//! When `insitu-core`'s adaptive runtime re-solves the remaining steps of
+//! a run at simulation step `j0`, the new schedule covers only steps
+//! `j0+1..=Steps`, re-indexed to `1..=Steps-j0`, and it inherits state
+//! from the executed prefix: analyses already set up hold memory, and the
+//! Eq. 9 minimum-interval clock did not reset at the boundary. A plain
+//! [`crate::replay()`] of the suffix would miss both.
+//!
+//! [`replay_suffix`] runs the same Eqs. 2–9 recursions as
+//! [`crate::replay()`] — still entirely in exact rational arithmetic, still
+//! sharing no code with the MILP side — but seeded from a
+//! [`SuffixCarry`]: the per-analysis held memory and steps-since-last-run
+//! at the boundary. [`memory_state_at`] derives the memory half of that
+//! carry from the prefix, and [`crate::certify_suffix`] stamps a suffix
+//! schedule with the same three-way verdict as [`crate::certify`].
+//!
+//! The carry is deliberately *not* trusted blindly: a carry whose shape
+//! does not match the problem is a structural violation, exactly like a
+//! wrong-arity schedule.
+
+use crate::rational::{Rat, RatError};
+use crate::replay::{exact_profile, hard, ReplayReport, Violation, ViolationKind};
+use insitu_types::{Schedule, ScheduleProblem};
+
+/// Prefix state carried across a mid-run reschedule boundary.
+///
+/// All vectors are indexed by analysis, with one entry per analysis of
+/// the *suffix* problem (which has the same analyses as the original).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuffixCarry {
+    /// End-of-step memory footprint (the Eqs. 5–7 `mEnd` state) each
+    /// analysis holds at the boundary. `None` = the analysis was never
+    /// set up in the prefix; if the suffix schedule activates it, its
+    /// `fixed_mem` seeds the recursion exactly as in a from-scratch
+    /// replay. `Some(m)` seeds the recursion at `m` — and if the suffix
+    /// schedule *de*activates the analysis, the `m` bytes stay allocated
+    /// (the runtime does not free buffers mid-run) and count against
+    /// Eq. 8 at every remaining step.
+    pub held_mem: Vec<Option<f64>>,
+    /// Simulation steps elapsed since each analysis last ran (the Eq. 9
+    /// clock at the boundary). `None` = never ran in the prefix; the
+    /// first suffix run then must wait the full `min_interval`, as in a
+    /// from-scratch replay. `Some(g)` lets a first suffix run at local
+    /// step `j` as soon as `g + j >= min_interval`.
+    pub steps_since_run: Vec<Option<usize>>,
+}
+
+impl SuffixCarry {
+    /// A carry with no prefix state at all, for `n` analyses.
+    /// `replay_suffix` with a fresh carry is identical to [`crate::replay()`].
+    pub fn fresh(n: usize) -> Self {
+        SuffixCarry {
+            held_mem: vec![None; n],
+            steps_since_run: vec![None; n],
+        }
+    }
+}
+
+/// Derives the memory half of a [`SuffixCarry`] from an executed prefix:
+/// the exact end-of-step memory footprint (`mEnd` of Eqs. 5–7) of every
+/// set-up analysis after simulation step `step` of `schedule`.
+///
+/// `set_up[i]` says whether analysis `i` was actually set up during the
+/// prefix (the runtime sets up every analysis that is active in the plan,
+/// even ones whose first run comes later). Entries with `set_up[i] ==
+/// false` come back as `None`; set-up analyses are modeled as accruing
+/// `step_mem` on every step, which is exact for analyses that ran the
+/// whole prefix and conservative (an over-estimate) for analyses a
+/// previous reschedule deactivated mid-prefix.
+pub fn memory_state_at(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    step: usize,
+    set_up: &[bool],
+) -> Result<Vec<Option<Rat>>, RatError> {
+    if schedule.per_analysis.len() != problem.len() || set_up.len() != problem.len() {
+        return Err(RatError::NonFinite); // shape mismatch, as in replay_time_series
+    }
+    let mut mem_end: Vec<Option<Rat>> = Vec::with_capacity(problem.len());
+    for (i, up) in set_up.iter().enumerate() {
+        mem_end.push(if *up {
+            Some(Rat::from_f64_exact(problem.analyses[i].fixed_mem)?)
+        } else {
+            None
+        });
+    }
+    for j in 1..=step.min(problem.resources.steps) {
+        for (i, s) in schedule.per_analysis.iter().enumerate() {
+            let Some(m) = &mem_end[i] else { continue };
+            let p = exact_profile(&problem.analyses[i])?;
+            let mut m_start = m.add(&p.im)?;
+            if s.runs_at(j) {
+                m_start = m_start.add(&p.cm)?;
+            }
+            if s.outputs_at(j) {
+                m_start = m_start.add(&p.om)?;
+            }
+            mem_end[i] = Some(if s.outputs_at(j) { p.fm } else { m_start });
+        }
+    }
+    Ok(mem_end)
+}
+
+/// Replays a suffix `schedule` against the suffix `problem`, seeded from
+/// `carry`, exactly.
+///
+/// `problem` describes only the remaining steps: `resources.steps` is the
+/// suffix length, `step_threshold * steps` the *remaining* budget, and
+/// profiles carry whatever cost model the caller re-estimated (typically
+/// measured `it/ct/ot`, and `fixed_time = 0` for analyses already set
+/// up). Differences from [`crate::replay()`]:
+///
+/// * the Eq. 9 interval clock starts at `carry.steps_since_run` instead
+///   of zero,
+/// * the Eqs. 5–7 memory recursion is seeded at `carry.held_mem` instead
+///   of `fixed_mem`, and memory held by analyses the suffix deactivates
+///   keeps counting against Eq. 8,
+/// * a carry whose vectors do not match the problem's arity is a
+///   structural violation.
+///
+/// With [`SuffixCarry::fresh`] this is exactly [`crate::replay()`].
+pub fn replay_suffix(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    carry: &SuffixCarry,
+) -> Result<ReplayReport, RatError> {
+    let mut base = crate::replay::replay(problem, schedule)?;
+    if carry.held_mem.len() != problem.len() || carry.steps_since_run.len() != problem.len() {
+        base.violations.push(hard(
+            ViolationKind::Structure,
+            format!(
+                "carry covers {}/{} analyses, problem has {}",
+                carry.held_mem.len(),
+                carry.steps_since_run.len(),
+                problem.len()
+            ),
+        ));
+        return Ok(base);
+    }
+    if schedule.per_analysis.len() != problem.len() {
+        return Ok(base); // arity already reported by the base replay
+    }
+
+    // --- Eq. 9 with the carried clock: the base replay already enforced
+    // gaps *within* the suffix; only the boundary-crossing first run can
+    // differ, in either direction ---
+    let steps = problem.resources.steps;
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        let a = &problem.analyses[i];
+        let itv = a.min_interval.max(1);
+        let Some(&j) = s.analysis_steps.first() else {
+            continue;
+        };
+        match carry.steps_since_run[i] {
+            // never ran: the base replay's from-zero check was correct
+            None => {}
+            Some(gap) => {
+                // drop the base replay's from-zero complaint about this
+                // first run, if any, and re-check against the real clock
+                let from_zero = format!(
+                    "analysis `{}`: steps 0 -> {j} violate interval {itv}",
+                    a.name
+                );
+                base.violations
+                    .retain(|v| !(v.kind == ViolationKind::Interval && v.message == from_zero));
+                if gap.saturating_add(j) < itv {
+                    base.violations.push(hard(
+                        ViolationKind::Interval,
+                        format!(
+                            "analysis `{}`: last prefix run {gap} steps before the boundary, \
+                             first suffix run at local step {j} violates interval {itv}",
+                            a.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Eqs. 5–8 seeded from the carry. The base replay seeded active
+    // analyses at `fixed_mem` and ignored inactive ones entirely; redo the
+    // whole recursion with the carried state ---
+    let mth = if problem.resources.mem_threshold == f64::INFINITY {
+        None
+    } else {
+        Some(Rat::from_f64_exact(problem.resources.mem_threshold)?)
+    };
+    base.violations.retain(|v| v.kind != ViolationKind::Memory);
+    let mut mem_end: Vec<Option<Rat>> = Vec::with_capacity(problem.len());
+    let mut idle_held = Rat::ZERO; // held by analyses the suffix deactivates
+    for (i, s) in schedule.per_analysis.iter().enumerate() {
+        let held = match carry.held_mem[i] {
+            Some(m) => Some(Rat::from_f64_exact(m)?),
+            None => None,
+        };
+        if s.count() > 0 {
+            mem_end.push(Some(match held {
+                Some(m) => m,
+                None => Rat::from_f64_exact(problem.analyses[i].fixed_mem)?,
+            }));
+        } else {
+            mem_end.push(None);
+            if let Some(m) = held {
+                idle_held = idle_held.add(&m)?;
+            }
+        }
+    }
+    let mut peak_memory = idle_held;
+    for m in mem_end.iter().flatten() {
+        peak_memory = peak_memory.add(m)?;
+    }
+    for j in 1..=steps {
+        let mut step_total = idle_held;
+        for (i, s) in schedule.per_analysis.iter().enumerate() {
+            let Some(m) = &mem_end[i] else { continue };
+            let p = exact_profile(&problem.analyses[i])?;
+            let mut m_start = m.add(&p.im)?;
+            if s.runs_at(j) {
+                m_start = m_start.add(&p.cm)?;
+            }
+            if s.outputs_at(j) {
+                m_start = m_start.add(&p.om)?;
+            }
+            mem_end[i] = Some(if s.outputs_at(j) { p.fm } else { m_start });
+            step_total = step_total.add(&m_start)?;
+        }
+        if let Some(mth) = &mth {
+            if !step_total.le(mth)? {
+                let excess = step_total.sub(mth)?;
+                base.violations.push(Violation {
+                    kind: ViolationKind::Memory,
+                    message: format!(
+                        "suffix step {j}: memory {} exceeds mth {} (exact excess {excess})",
+                        step_total.to_f64(),
+                        mth.to_f64(),
+                    ),
+                    excess: excess.to_f64(),
+                });
+            }
+        }
+        peak_memory = peak_memory.max(&step_total)?;
+    }
+    base.peak_memory = peak_memory;
+    Ok(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay;
+    use insitu_types::{AnalysisProfile, AnalysisSchedule, ResourceConfig};
+
+    fn problem(steps: usize, budget: f64) -> ScheduleProblem {
+        ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_fixed(1.0, 100.0)
+                .with_per_step(0.0, 1.0)
+                .with_compute(2.0, 10.0)
+                .with_output(0.5, 5.0, 1)
+                .with_interval(10)],
+            ResourceConfig::from_total_threshold(steps, budget, 1000.0, 1e9),
+        )
+        .unwrap()
+    }
+
+    fn schedule(analysis: Vec<usize>, output: Vec<usize>) -> Schedule {
+        let mut s = Schedule::empty(1);
+        s.per_analysis[0] = AnalysisSchedule::new(analysis, output);
+        s
+    }
+
+    #[test]
+    fn fresh_carry_matches_plain_replay() {
+        let p = problem(50, 20.0);
+        let s = schedule(vec![10, 20, 40], vec![40]);
+        let plain = replay(&p, &s).unwrap();
+        let suffix = replay_suffix(&p, &s, &SuffixCarry::fresh(1)).unwrap();
+        assert_eq!(plain, suffix);
+    }
+
+    #[test]
+    fn carried_interval_clock_admits_an_early_first_run() {
+        let p = problem(50, 20.0);
+        // first run at local step 4: from scratch this violates itv=10...
+        let s = schedule(vec![4, 14], vec![]);
+        assert!(!replay(&p, &s).unwrap().is_feasible());
+        // ...but with 6 steps already elapsed before the boundary, 6+4=10
+        // satisfies the clock exactly
+        let carry = SuffixCarry {
+            held_mem: vec![Some(100.0)],
+            steps_since_run: vec![Some(6)],
+        };
+        let r = replay_suffix(&p, &s, &carry).unwrap();
+        assert!(r.is_feasible(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn carried_interval_clock_rejects_a_too_early_first_run() {
+        let p = problem(50, 20.0);
+        let s = schedule(vec![4, 14], vec![]);
+        let carry = SuffixCarry {
+            held_mem: vec![Some(100.0)],
+            steps_since_run: vec![Some(5)], // 5 + 4 < 10
+        };
+        let r = replay_suffix(&p, &s, &carry).unwrap();
+        assert!(!r.is_feasible());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Interval && v.message.contains("boundary")));
+    }
+
+    #[test]
+    fn never_ran_carry_keeps_the_from_zero_clock() {
+        let p = problem(50, 20.0);
+        let s = schedule(vec![4], vec![]);
+        let carry = SuffixCarry {
+            held_mem: vec![Some(100.0)],
+            steps_since_run: vec![None],
+        };
+        assert!(!replay_suffix(&p, &s, &carry).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn held_memory_seeds_the_recursion() {
+        let mut p = problem(30, 20.0);
+        p.resources.mem_threshold = 150.0;
+        let s = schedule(vec![10], vec![]);
+        // from scratch: seed fm 100, step 10 start = 100 + 10*im + cm = 120
+        let fresh = replay_suffix(&p, &s, &SuffixCarry::fresh(1)).unwrap();
+        assert!(fresh.is_feasible(), "{:?}", fresh.violations);
+        // carrying 141 bytes: step 10 start = 141 + 10 + 10 = 161 > 150
+        let carry = SuffixCarry {
+            held_mem: vec![Some(141.0)],
+            steps_since_run: vec![Some(20)],
+        };
+        let r = replay_suffix(&p, &s, &carry).unwrap();
+        assert!(!r.is_feasible());
+        assert!(r.violations.iter().any(|v| v.kind == ViolationKind::Memory));
+    }
+
+    #[test]
+    fn deactivated_analyses_keep_holding_their_memory() {
+        let two = ScheduleProblem::new(
+            vec![
+                AnalysisProfile::new("kept").with_compute(1.0, 10.0).with_interval(5),
+                AnalysisProfile::new("dropped").with_fixed(0.0, 900.0).with_interval(5),
+            ],
+            ResourceConfig::from_total_threshold(20, 100.0, 1000.0, 1e9),
+        )
+        .unwrap();
+        let mut s = Schedule::empty(2);
+        s.per_analysis[0] = AnalysisSchedule::new(vec![5, 10], vec![]);
+        // `dropped` is inactive in the suffix but still holds 900 bytes;
+        // kept accumulates cm with no output reset (10 after step 5, 20
+        // after step 10), so the peak is 900 + 20 = 920 <= 1000 — where a
+        // plain replay, blind to the held memory, would report only 20
+        let carry = SuffixCarry {
+            held_mem: vec![None, Some(900.0)],
+            steps_since_run: vec![None, Some(3)],
+        };
+        let r = replay_suffix(&two, &s, &carry).unwrap();
+        assert!(r.is_feasible(), "{:?}", r.violations);
+        assert_eq!(r.peak_memory, Rat::from_int(920));
+        let plain = replay(&two, &s).unwrap();
+        assert_eq!(plain.peak_memory, Rat::from_int(20));
+    }
+
+    #[test]
+    fn mismatched_carry_is_a_structural_violation() {
+        let p = problem(20, 20.0);
+        let s = schedule(vec![10], vec![]);
+        let r = replay_suffix(&p, &s, &SuffixCarry::fresh(3)).unwrap();
+        assert!(!r.is_feasible());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Structure && v.message.contains("carry")));
+    }
+
+    #[test]
+    fn memory_state_tracks_the_prefix_recursion() {
+        let p = problem(100, 1e9);
+        let s = schedule(vec![20, 40], vec![40]);
+        // after step 30: fm 100 + 30*im 1 + cm 10 (run at 20, no output) = 140
+        let m = memory_state_at(&p, &s, 30, &[true]).unwrap();
+        assert_eq!(m[0], Some(Rat::from_int(140)));
+        // after step 40 the output resets to fm
+        let m = memory_state_at(&p, &s, 40, &[true]).unwrap();
+        assert_eq!(m[0], Some(Rat::from_int(100)));
+        // a never-set-up analysis has no footprint
+        let m = memory_state_at(&p, &s, 30, &[false]).unwrap();
+        assert_eq!(m[0], None);
+        // shape mismatches are errors
+        assert!(memory_state_at(&p, &s, 30, &[true, false]).is_err());
+        assert!(memory_state_at(&p, &Schedule::empty(2), 30, &[true]).is_err());
+    }
+}

@@ -4,8 +4,8 @@
 use insitu_types::{Schedule, ScheduleProblem};
 use milp::{SolveError, SolveOptions, SolveStats};
 
-use crate::aggregate::solve_aggregate_counts;
-use crate::formulation::solve_exact_with_stats;
+use crate::aggregate::{solve_aggregate_counts, solve_aggregate_counts_with_hint};
+use crate::formulation::{solve_exact_with_hint, solve_exact_with_stats};
 use crate::placement::place_schedule;
 use crate::validate::{validate_schedule, ValidationReport};
 
@@ -108,6 +108,27 @@ impl Recommendation {
     }
 }
 
+/// Result of a mid-run re-solve over the remaining steps of a coupled run.
+///
+/// Produced by [`Advisor::recommend_remaining`]. Unlike a fresh
+/// [`Recommendation`], the schedule here is certified *with* the carry-in
+/// state from the already-executed prefix (held memory, last-run gaps), so
+/// the stamp covers exactly the situation the runtime will splice it into.
+#[derive(Debug, Clone)]
+pub struct RescheduleOutcome {
+    /// The re-solved schedule, indexed in remaining-problem steps (step 1
+    /// is the first step after the reschedule point).
+    pub schedule: Schedule,
+    /// Exact-replay objective of the new schedule (Eq. 1 over the suffix).
+    pub objective: f64,
+    /// Solver telemetry for the warm-started re-solve.
+    pub stats: SolveStats,
+    /// Carry-aware certification stamp from [`certify::certify_suffix`];
+    /// never [`certify::Verdict::Invalid`] — that surfaces as
+    /// [`AdvisorError::CertificationFailed`] instead.
+    pub certification: certify::Certification,
+}
+
 /// The scheduling advisor.
 #[derive(Debug, Clone, Default)]
 pub struct Advisor {
@@ -173,6 +194,70 @@ impl Advisor {
             report,
             schedule,
             solver_stats,
+        })
+    }
+
+    /// Re-solves the scheduling problem over the *remaining* steps of a
+    /// partially executed run, warm-started from the incumbent schedule.
+    ///
+    /// `remaining` is the suffix problem (measured profiles, remaining
+    /// steps, remaining pro-rated budget); `incumbent` is the not-yet-run
+    /// tail of the current schedule *re-indexed into suffix steps* and is
+    /// offered to the MILP as a seed incumbent (see
+    /// [`milp::solve_with_hint`]) — a bad hint only costs the solver its
+    /// head start, never correctness. `carry` is the exact mid-run state
+    /// (held memory per set-up analysis, steps since each last ran) taken
+    /// from [`certify::memory_state_at`].
+    ///
+    /// The solver itself is carry-oblivious: its model assumes a fresh
+    /// start, so the returned schedule is independently re-certified via
+    /// [`certify::certify_suffix`] *with* the carry before it is returned.
+    /// A schedule the carry rules out (e.g. held memory pushes a step over
+    /// the memory threshold) is rejected as
+    /// [`AdvisorError::CertificationFailed`] — the caller keeps the
+    /// incumbent in that case.
+    pub fn recommend_remaining(
+        &self,
+        remaining: &ScheduleProblem,
+        incumbent: &Schedule,
+        carry: &certify::SuffixCarry,
+    ) -> Result<RescheduleOutcome, AdvisorError> {
+        let mut solver_opts = self.opts.solver.clone();
+        solver_opts.certificate = true;
+        let (schedule, stats) = if remaining.resources.steps <= self.opts.exact_steps_limit {
+            let (s, _, stats) = solve_exact_with_hint(remaining, &solver_opts, incumbent)
+                .map_err(AdvisorError::Solver)?;
+            (s, stats)
+        } else {
+            let counts: Vec<usize> = incumbent.per_analysis.iter().map(|s| s.count()).collect();
+            let output_counts: Vec<usize> = incumbent
+                .per_analysis
+                .iter()
+                .map(|s| s.output_count())
+                .collect();
+            let agg =
+                solve_aggregate_counts_with_hint(remaining, &solver_opts, &counts, &output_counts)
+                    .map_err(AdvisorError::Solver)?;
+            let s = place_schedule(remaining, &agg.counts, &agg.output_counts);
+            (s, agg.stats)
+        };
+        let certification =
+            certify::certify_suffix(remaining, &schedule, carry, stats.certificate.as_ref());
+        if certification.verdict == certify::Verdict::Invalid {
+            return Err(AdvisorError::CertificationFailed(
+                certification.problems.clone(),
+            ));
+        }
+        let objective = certification
+            .replay
+            .as_ref()
+            .map(|r| r.objective.to_f64())
+            .unwrap_or(0.0);
+        Ok(RescheduleOutcome {
+            schedule,
+            objective,
+            stats,
+            certification,
         })
     }
 }
@@ -328,6 +413,38 @@ mod tests {
         let rec = Advisor::default().recommend(&p).unwrap();
         assert_eq!(rec.verdict, certify::Verdict::FeasibleOnly);
         assert!(rec.solver_stats.certificate.is_none());
+    }
+
+    #[test]
+    fn recommend_remaining_matches_fresh_solve_and_rejects_bad_carries() {
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_compute(1.0, 0.1 * GIB)
+                .with_output(0.5, 0.0, 1)
+                .with_interval(4)],
+            ResourceConfig::from_total_threshold(24, 12.0, GIB, GIB),
+        )
+        .unwrap();
+        let advisor = Advisor::default();
+        let fresh = advisor.recommend(&p).unwrap();
+        // with a fresh carry, the suffix solve is just a warm-started
+        // full solve and must land on the same objective
+        let out = advisor
+            .recommend_remaining(&p, &fresh.schedule, &certify::SuffixCarry::fresh(1))
+            .unwrap();
+        assert_eq!(out.objective, fresh.objective);
+        assert_ne!(out.certification.verdict, certify::Verdict::Invalid);
+        // a carry already holding more memory than the threshold rules
+        // out every schedule: the carry-aware certification must reject
+        // what the carry-oblivious solver proposed
+        let bad = certify::SuffixCarry {
+            held_mem: vec![Some(10.0 * GIB)],
+            steps_since_run: vec![Some(0)],
+        };
+        let err = advisor
+            .recommend_remaining(&p, &fresh.schedule, &bad)
+            .unwrap_err();
+        assert!(matches!(err, AdvisorError::CertificationFailed(_)));
     }
 
     #[test]

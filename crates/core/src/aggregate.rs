@@ -104,6 +104,41 @@ impl AggregateModel {
         }
     }
 
+    /// Inverse of [`Self::counts_from`]: maps per-analysis counts onto a
+    /// full model-variable vector, for warm-starting a re-solve via
+    /// [`milp::solve_with_hint`]. Counts that the model cannot represent —
+    /// no matching `(k, q)` pair in a unary expansion, or an analysis with
+    /// `k_max == 0` — leave that analysis inactive in the hint (which is
+    /// always representable); an altogether infeasible hint is simply
+    /// ignored by the solver.
+    pub fn hint_values(&self, counts: &[usize], output_counts: &[usize]) -> Vec<f64> {
+        let mut values = vec![0.0; self.model.num_vars()];
+        for (i, pa) in self.per_analysis.iter().enumerate() {
+            let k = counts.get(i).copied().unwrap_or(0);
+            let q = output_counts.get(i).copied().unwrap_or(0);
+            if k == 0 {
+                continue;
+            }
+            match (&pa.unary, &pa.ints) {
+                (Some(pairs), _) => {
+                    if let Some(&(_, _, y)) =
+                        pairs.iter().find(|&&(pk, pq, _)| pk == k && pq == q)
+                    {
+                        values[y.index()] = 1.0;
+                        values[pa.run.index()] = 1.0;
+                    }
+                }
+                (_, Some((kv, qv))) => {
+                    values[kv.index()] = k as f64;
+                    values[qv.index()] = q as f64;
+                    values[pa.run.index()] = 1.0;
+                }
+                _ => {} // kmax == 0: the analysis cannot run at all
+            }
+        }
+        values
+    }
+
     /// Extracts `(counts, output_counts)` from a solution vector of
     /// [`Self::model`] (from any solver — branch & bound or brute force).
     pub fn counts_from(&self, values: &[f64]) -> (Vec<usize>, Vec<usize>) {
@@ -302,6 +337,33 @@ pub fn solve_aggregate_counts(
     })
 }
 
+/// Like [`solve_aggregate_counts`], but warm-starts branch & bound from a
+/// known count vector (typically the incumbent schedule's suffix during a
+/// mid-run reschedule) via [`AggregateModel::hint_values`] +
+/// [`milp::solve_with_hint`]. An infeasible hint is ignored; the optimum
+/// is unaffected either way.
+pub fn solve_aggregate_counts_with_hint(
+    problem: &ScheduleProblem,
+    opts: &SolveOptions,
+    counts: &[usize],
+    output_counts: &[usize],
+) -> Result<AggregateSolution, SolveError> {
+    if problem.is_empty() {
+        return solve_aggregate_counts(problem, opts);
+    }
+    let built = build_aggregate(problem)?;
+    let hint = built.hint_values(counts, output_counts);
+    let sol = milp::solve_with_hint(&built.model, opts, &hint)?;
+    let (counts, output_counts) = built.counts_from(&sol.values);
+    Ok(AggregateSolution {
+        counts,
+        output_counts,
+        objective: sol.objective,
+        nodes: sol.nodes,
+        stats: sol.stats,
+    })
+}
+
 /// Solves the aggregate model and places the counts into a concrete
 /// [`Schedule`] (even spacing, outputs distributed across analyses).
 pub fn solve_aggregate(
@@ -458,6 +520,37 @@ mod tests {
         let agg = solve_aggregate_counts(&p, &opts()).unwrap();
         let (k_bb, _) = built.counts_from(&bb.values);
         assert_eq!(agg.counts, k_bb);
+    }
+
+    #[test]
+    fn hinted_aggregate_solve_round_trips_counts() {
+        // memory pressure forces the unary (k, q) expansion, so both hint
+        // encodings get exercised against the same instance family
+        let p = ScheduleProblem::new(
+            vec![
+                AnalysisProfile::new("temporal")
+                    .with_per_step(0.0, 1.0)
+                    .with_compute(0.1, 0.0)
+                    .with_output(0.1, 0.0, 1)
+                    .with_interval(100),
+                AnalysisProfile::new("plain").with_compute(0.5, 0.0).with_interval(100),
+            ],
+            ResourceConfig::from_total_threshold(1000, 100.0, 250.0, 1e9),
+        )
+        .unwrap();
+        let cold = solve_aggregate_counts(&p, &opts()).unwrap();
+        // the optimum as hint: identical result, incumbent seeded at node 0
+        let hot = solve_aggregate_counts_with_hint(&p, &opts(), &cold.counts, &cold.output_counts)
+            .unwrap();
+        assert_eq!(cold.counts, hot.counts);
+        assert_eq!(cold.output_counts, hot.output_counts);
+        assert_eq!(cold.objective.to_bits(), hot.objective.to_bits());
+        let first = hot.stats.incumbent_updates.first().expect("incumbent event");
+        assert_eq!(first.node, 0);
+        // a nonsense hint (counts beyond kmax) degrades to the cold solve
+        let silly = solve_aggregate_counts_with_hint(&p, &opts(), &[999, 999], &[999, 0]).unwrap();
+        assert_eq!(silly.counts, cold.counts);
+        assert_eq!(silly.objective.to_bits(), cold.objective.to_bits());
     }
 
     #[test]

@@ -175,9 +175,61 @@ pub fn attribute(
     schedule: &Schedule,
     timeline: &obs::Timeline,
 ) -> Result<DriftReport, String> {
+    attribute_inner(problem, schedule, timeline, None)
+}
+
+/// [`attribute`] with a caller-supplied predicted cumulative series
+/// instead of the static Eq. 2–4 replay of `schedule`.
+///
+/// This is the attribution entry point for **adaptive** runs: a
+/// [`crate::runtime::run_coupled_adaptive`] report carries the composite
+/// executed schedule *and* the spliced prediction the control loop
+/// actually held the run against
+/// ([`crate::runtime::AdaptiveReport::predicted`]) — replaying the
+/// composite schedule from scratch would mis-state what the model
+/// predicted at the time. `predicted[j]` is the cumulative analysis time
+/// after step `j` (`predicted[0]` = the setup seed), so the slice must
+/// have `Steps + 1` entries; anything else is an error.
+pub fn attribute_with_predicted(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    timeline: &obs::Timeline,
+    predicted: &[f64],
+) -> Result<DriftReport, String> {
+    attribute_inner(problem, schedule, timeline, Some(predicted))
+}
+
+fn attribute_inner(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    timeline: &obs::Timeline,
+    predicted: Option<&[f64]>,
+) -> Result<DriftReport, String> {
     let steps = problem.resources.steps;
-    let series = certify::replay_time_series(problem, schedule)
-        .map_err(|e| format!("exact replay failed: {e:?}"))?;
+    if schedule.per_analysis.len() != problem.analyses.len() {
+        return Err(format!(
+            "schedule covers {} analyses, problem has {}",
+            schedule.per_analysis.len(),
+            problem.analyses.len()
+        ));
+    }
+    let series: Vec<f64> = match predicted {
+        Some(p) => {
+            if p.len() != steps + 1 {
+                return Err(format!(
+                    "predicted series has {} entries, expected Steps+1 = {}",
+                    p.len(),
+                    steps + 1
+                ));
+            }
+            p.to_vec()
+        }
+        None => certify::replay_time_series(problem, schedule)
+            .map_err(|e| format!("exact replay failed: {e:?}"))?
+            .iter()
+            .map(|r| r.to_f64())
+            .collect(),
+    };
 
     // measured components, indexed by step (index 0 unused except setup)
     let it_meas = measured_by_step(timeline, SPAN_ANALYSIS_PER_STEP, steps);
@@ -217,7 +269,7 @@ pub fn attribute(
             }
         }
         measured_cum += it_meas[j] + ct_meas[j] + ot_meas[j];
-        let predicted_cum = series[j].to_f64();
+        let predicted_cum = series[j];
         let divergence = measured_cum - predicted_cum;
         max_abs_divergence = max_abs_divergence.max(divergence.abs());
         let threshold_violated = cth.is_finite() && measured_cum > cth * j as f64;
@@ -238,7 +290,7 @@ pub fn attribute(
 
     Ok(DriftReport {
         per_step,
-        predicted_total: series.last().map(|r| r.to_f64()).unwrap_or(0.0),
+        predicted_total: series.last().copied().unwrap_or(0.0),
         measured_total: measured_cum,
         max_abs_divergence,
         violation_steps,
@@ -385,6 +437,22 @@ mod tests {
         let report = attribute(&p, &schedule, &tl).unwrap();
         assert!(report.violation_steps.is_empty());
         assert!(report.per_step.iter().all(|d| !d.threshold_violated));
+    }
+
+    #[test]
+    fn predicted_override_replaces_the_replay_series() {
+        let p = problem(4, 0.001);
+        let mut schedule = Schedule::empty(1);
+        schedule.per_analysis[0] = AnalysisSchedule::new(vec![2], vec![]);
+        let tl = traced_run(&p, &schedule, 0.001);
+        let spliced = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let report = attribute_with_predicted(&p, &schedule, &tl, &spliced).unwrap();
+        for (d, &pc) in report.per_step.iter().zip(&spliced[1..]) {
+            assert_eq!(d.predicted_cum, pc);
+        }
+        assert_eq!(report.predicted_total, 4.0);
+        // the override must cover Steps+1 entries
+        assert!(attribute_with_predicted(&p, &schedule, &tl, &[0.0; 3]).is_err());
     }
 
     #[test]

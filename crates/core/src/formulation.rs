@@ -41,6 +41,26 @@ pub struct ExactVars {
     pub analysis: Vec<Vec<(usize, Var)>>,
     /// `o_{i,j}` parallel to `analysis`.
     pub output: Vec<Vec<(usize, Var)>>,
+    /// `mEnd_{i,j}` — `mend[i][j - 1]` maps to step `j`; empty for
+    /// analyses with no memory recursion (all dynamic memory zero). The
+    /// values are in units of [`mem_scale`], like the model's memory rows.
+    pub mend: Vec<Vec<Var>>,
+}
+
+/// The memory unit used inside the exact and aggregate models: raw byte
+/// counts (1e9..1e12) against an O(1) objective destroy the simplex's
+/// reduced-cost tolerances, so all memory rows are divided by this scale.
+/// The memory constraints are homogeneous in memory, so the rescaling is
+/// exact. Exposed so warm-start hints can express `mEnd` values in the
+/// model's own units.
+pub fn mem_scale(problem: &ScheduleProblem) -> f64 {
+    let steps = problem.resources.steps;
+    problem
+        .analyses
+        .iter()
+        .map(|a| a.fixed_mem + a.step_mem * steps as f64 + a.compute_mem + a.output_mem)
+        .fold(problem.resources.mem_threshold, f64::max)
+        .max(1.0)
 }
 
 /// Builds the exact time-indexed model for `problem`.
@@ -52,16 +72,7 @@ pub fn build_exact(problem: &ScheduleProblem) -> (Model, ExactVars) {
     let mut output: Vec<Vec<(usize, Var)>> = Vec::new();
     let mut mend: Vec<Vec<Var>> = Vec::new(); // mEnd_{i,j} for j=1..steps
 
-    // Memory quantities are expressed in units of `mem_scale` inside the
-    // model: raw byte counts (1e9..1e12) against an O(1) objective destroy
-    // the simplex's reduced-cost tolerances. The memory constraints are
-    // homogeneous in memory, so the rescaling is exact.
-    let mem_scale = problem
-        .analyses
-        .iter()
-        .map(|a| a.fixed_mem + a.step_mem * steps as f64 + a.compute_mem + a.output_mem)
-        .fold(problem.resources.mem_threshold, f64::max)
-        .max(1.0);
+    let mem_scale = mem_scale(problem);
 
     for (i, a) in problem.analyses.iter().enumerate() {
         run.push(m.binary(&format!("run_{i}")));
@@ -260,8 +271,79 @@ pub fn build_exact(problem: &ScheduleProblem) -> (Model, ExactVars) {
             run,
             analysis,
             output,
+            mend,
         },
     )
+}
+
+/// Maps a concrete [`Schedule`] onto the exact model's variable space, for
+/// warm-starting a re-solve via [`milp::solve_with_hint`].
+///
+/// Analysis steps the formulation cannot represent (`j < itv`, or beyond
+/// the horizon) are dropped, along with their outputs; `run_i` is set only
+/// when at least one representable step survives. The `mEnd` continuous
+/// variables are filled by replaying Eqs. 5–7 in floating point over the
+/// *kept* decisions, in the model's [`mem_scale`] units. The result is a
+/// candidate, not a guarantee: if the drops (or a cadence constraint the
+/// clipped schedule no longer meets) make the point infeasible, the solver
+/// simply ignores the hint.
+pub fn schedule_hint(
+    problem: &ScheduleProblem,
+    model: &Model,
+    vars: &ExactVars,
+    schedule: &Schedule,
+) -> Vec<f64> {
+    let steps = problem.resources.steps;
+    let scale = mem_scale(problem);
+    let mut values = vec![0.0; model.num_vars()];
+    for (i, s) in schedule
+        .per_analysis
+        .iter()
+        .enumerate()
+        .take(problem.len())
+    {
+        let a = &problem.analyses[i];
+        let itv = a.min_interval.max(1);
+        let runs: Vec<usize> = s
+            .analysis_steps
+            .iter()
+            .copied()
+            .filter(|&j| j >= itv && j <= steps)
+            .collect();
+        let outs: Vec<usize> = s
+            .output_steps
+            .iter()
+            .copied()
+            .filter(|&j| runs.binary_search(&j).is_ok())
+            .collect();
+        if runs.is_empty() {
+            continue;
+        }
+        values[vars.run[i].index()] = 1.0;
+        for &j in &runs {
+            values[vars.analysis[i][j - itv].1.index()] = 1.0;
+        }
+        for &j in &outs {
+            values[vars.output[i][j - itv].1.index()] = 1.0;
+        }
+        if !vars.mend[i].is_empty() {
+            let mut mend_prev = a.fixed_mem / scale; // Eq. 7 seed
+            for j in 1..=steps {
+                let mut mstart = mend_prev + a.step_mem / scale;
+                if runs.binary_search(&j).is_ok() {
+                    mstart += a.compute_mem / scale;
+                }
+                let out_here = outs.binary_search(&j).is_ok();
+                if out_here {
+                    mstart += a.output_mem / scale;
+                }
+                let me = if out_here { a.fixed_mem / scale } else { mstart };
+                values[vars.mend[i][j - 1].index()] = me;
+                mend_prev = me;
+            }
+        }
+    }
+    values
 }
 
 /// Extracts a [`Schedule`] from a solved exact model.
@@ -308,6 +390,25 @@ pub fn solve_exact_with_stats(
         .map_err(|e| SolveError::BadModel(e.to_string()))?;
     let (model, vars) = build_exact(problem);
     let sol = milp::solve(&model, opts)?;
+    let schedule = extract_schedule(problem, &vars, &sol);
+    Ok((schedule, sol.objective, sol.stats))
+}
+
+/// Like [`solve_exact_with_stats`], but warm-starts branch & bound from a
+/// known schedule (typically the incumbent's suffix during a mid-run
+/// reschedule) via [`schedule_hint`] + [`milp::solve_with_hint`]. An
+/// infeasible hint is ignored; the optimum is unaffected either way.
+pub fn solve_exact_with_hint(
+    problem: &ScheduleProblem,
+    opts: &SolveOptions,
+    hint: &Schedule,
+) -> Result<(Schedule, f64, milp::SolveStats), SolveError> {
+    problem
+        .validate()
+        .map_err(|e| SolveError::BadModel(e.to_string()))?;
+    let (model, vars) = build_exact(problem);
+    let values = schedule_hint(problem, &model, &vars, hint);
+    let sol = milp::solve_with_hint(&model, opts, &values)?;
     let schedule = extract_schedule(problem, &vars, &sol);
     Ok((schedule, sol.objective, sol.stats))
 }
@@ -473,6 +574,52 @@ mod tests {
             assert!(o - last <= 5, "memory would exceed cap between {last} and {o}");
             last = o;
         }
+    }
+
+    #[test]
+    fn hinted_exact_solve_accepts_the_incumbent_and_matches_cold() {
+        // memory recursion active, so the mEnd half of the hint is exercised
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("temporal")
+                .with_per_step(0.0, 1e9)
+                .with_compute(0.1, 0.0)
+                .with_output(0.1, 0.0, 1)
+                .with_interval(2)],
+            ResourceConfig::from_total_threshold(12, 100.0, 5e9, 1e9),
+        )
+        .unwrap();
+        let (cold_s, cold_obj, _) = solve_exact_with_stats(&p, &opts()).unwrap();
+        let (hot_s, hot_obj, stats) = solve_exact_with_hint(&p, &opts(), &cold_s).unwrap();
+        assert_eq!(cold_obj.to_bits(), hot_obj.to_bits());
+        assert_eq!(cold_s, hot_s);
+        // the hint (the cold optimum itself) must be the first incumbent,
+        // offered before any node was explored
+        let first = stats.incumbent_updates.first().expect("incumbent event");
+        assert_eq!(first.node, 0);
+        assert_eq!(first.objective.to_bits(), cold_obj.to_bits());
+    }
+
+    #[test]
+    fn hint_with_unrepresentable_steps_degrades_gracefully() {
+        let p = ScheduleProblem::new(
+            vec![AnalysisProfile::new("a")
+                .with_compute(1.0, 0.0)
+                .with_interval(5)],
+            ResourceConfig::from_total_threshold(20, 100.0, 1e9, 1e9),
+        )
+        .unwrap();
+        // steps 2 and 3 are below itv=5 and don't exist in the model; the
+        // hint keeps only step 10 and the solve still reaches the optimum
+        let mut bad = Schedule::empty(1);
+        bad.per_analysis[0] = AnalysisSchedule::new(vec![2, 3, 10], vec![]);
+        let (model, vars) = build_exact(&p);
+        let values = schedule_hint(&p, &model, &vars, &bad);
+        assert_eq!(values[vars.run[0].index()], 1.0);
+        assert_eq!(values[vars.analysis[0][10 - 5].1.index()], 1.0);
+        assert_eq!(values.iter().filter(|&&v| v != 0.0).count(), 2);
+        let (s, obj, _) = solve_exact_with_hint(&p, &opts(), &bad).unwrap();
+        assert_eq!(s.per_analysis[0].count(), 4);
+        assert_eq!(obj.round(), 5.0);
     }
 
     #[test]

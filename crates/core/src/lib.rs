@@ -18,7 +18,10 @@
 //!   user-chosen frequencies, plus a greedy heuristic,
 //! * [`runtime`] — a coupler that executes a schedule against a live
 //!   simulation (used by the mdsim/amrsim mini-apps),
-//! * [`advisor`] — the high-level "recommend me a schedule" API.
+//! * [`advisor`] — the high-level "recommend me a schedule" API,
+//! * [`adaptive`] + [`runtime::run_coupled_adaptive`] — the closed
+//!   control loop that re-solves mid-run when the measured costs drift
+//!   from the model (`docs/ADAPTIVE.md`).
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,9 @@
 //! assert!(rec.predicted_time <= 30.0 + 1e-6); // within the threshold
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod adaptive;
 pub mod advisor;
 pub mod aggregate;
 pub mod attribution;
@@ -50,8 +56,10 @@ pub mod placement;
 pub mod runtime;
 pub mod validate;
 
-pub use advisor::{Advisor, AdvisorOptions, Recommendation};
-pub use attribution::{attribute, DriftReport, StepDrift};
+pub use adaptive::{AdaptiveConfig, RescheduleRecord, TriggerReason};
+pub use advisor::{Advisor, AdvisorOptions, Recommendation, RescheduleOutcome};
+pub use attribution::{attribute, attribute_with_predicted, DriftReport, StepDrift};
 pub use aggregate::{build_aggregate, solve_aggregate, AggregateModel};
 pub use formulation::{solve_exact, solve_exact_with_stats};
+pub use runtime::{run_coupled, run_coupled_adaptive, run_coupled_traced, AdaptiveReport};
 pub use validate::{validate_schedule, ValidationReport};

@@ -446,6 +446,55 @@ fn worker(sh: &Shared<'_>, total: usize) {
 /// assert_eq!(sol.stats.nodes_explored, sol.nodes);
 /// ```
 pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    solve_seeded(model, opts, None)
+}
+
+/// [`solve`], seeded with a known-feasible starting point.
+///
+/// `hint` is a full values vector in model-variable order (one entry per
+/// variable, length checked against [`Model::num_vars`]). Its integer
+/// entries are rounded and the point is re-verified against every
+/// constraint; if it passes, it is offered as the initial incumbent
+/// *before* the search starts, so branch & bound begins pruning against
+/// its objective from node zero. An infeasible or wrong-length hint is
+/// silently ignored — the solve proceeds exactly like [`solve`].
+///
+/// This is the mid-run rescheduling entry point: the incumbent schedule's
+/// suffix, mapped back into model variables, warm-starts the re-solve over
+/// the remaining steps. Optimality guarantees are unchanged — the hint can
+/// only tighten pruning, never steer the search away from a better
+/// solution — and the emitted [`SearchCertificate`] still closes, because
+/// certificate checking accepts incumbents that arrive from outside the
+/// node tree (the dual bound and prune records are what get audited).
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Model, Sense, Cmp, LinExpr, SolveOptions, solve, solve_with_hint};
+///
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.int_var("x", 0.0, 10.0);
+/// let y = m.int_var("y", 0.0, 10.0);
+/// m.add_con(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Le, 5.0);
+/// m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+/// // seed the search with the feasible point (x, y) = (1, 1)
+/// let sol = solve_with_hint(&m, &SolveOptions::default(), &[1.0, 1.0]).unwrap();
+/// assert_eq!(sol.objective.round(), 2.0);
+/// assert!(sol.proven_optimal);
+/// ```
+pub fn solve_with_hint(
+    model: &Model,
+    opts: &SolveOptions,
+    hint: &[f64],
+) -> Result<Solution, SolveError> {
+    solve_seeded(model, opts, Some(hint))
+}
+
+fn solve_seeded(
+    model: &Model,
+    opts: &SolveOptions,
+    hint: Option<&[f64]>,
+) -> Result<Solution, SolveError> {
     model.validate()?;
     let t_presolve = Instant::now();
     let presolved;
@@ -496,6 +545,17 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         search_start: Instant::now(),
     };
     let root_bound = root.objective;
+    // a caller-supplied warm-start point becomes the incumbent before any
+    // node is explored; presolve only tightens bounds (the variable set is
+    // unchanged and every feasible integer point survives propagation), so
+    // the hint vector stays aligned and checkable against `model` here
+    if let Some(h) = hint {
+        if h.len() == model.num_vars() {
+            if let Some((values, objective)) = rounded_candidate(model, h, opts.tol) {
+                sh.offer_incumbent(values, objective);
+            }
+        }
+    }
     if opts.rounding_heuristic {
         if let Some((values, objective)) = rounded_candidate(model, &root.values, opts.tol) {
             sh.offer_incumbent(values, objective);
@@ -849,6 +909,63 @@ mod tests {
         assert!(improves(&m, 10.0, &[0.0, 1.0, 1.0, 0.0], Some(&cand_hi)));
         assert!(!improves(&m, 10.0, &[1.0, 1.0, 0.0, 0.0], Some(&cand_hi)));
         assert!(improves(&m, 11.0, &[1.0, 1.0, 1.0, 0.0], Some(&cand_hi)));
+    }
+
+    #[test]
+    fn hint_seeds_the_incumbent_before_search() {
+        let m = tied_knapsack();
+        let quiet = SolveOptions {
+            rounding_heuristic: false,
+            ..opts()
+        };
+        // the optimal point itself as hint: the first incumbent event must
+        // land at node 0 (before any node was explored)
+        let s = solve_with_hint(&m, &quiet, &[1.0, 1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(s.objective.round(), 10.0);
+        assert!(s.proven_optimal);
+        let first = s.stats.incumbent_updates.first().expect("hint recorded");
+        assert_eq!(first.node, 0, "hint must arrive before the search");
+        assert_eq!(first.objective.round(), 10.0);
+    }
+
+    #[test]
+    fn hint_does_not_change_the_optimum() {
+        let m = tied_knapsack();
+        let plain = solve(&m, &opts()).unwrap();
+        // suboptimal but feasible hint: same proven optimum and same
+        // lex-smallest argmax as the unseeded search
+        let hinted = solve_with_hint(&m, &opts(), &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(plain.objective.to_bits(), hinted.objective.to_bits());
+        assert_eq!(plain.values, hinted.values);
+    }
+
+    #[test]
+    fn infeasible_or_malformed_hints_are_ignored() {
+        let m = tied_knapsack();
+        // violates the knapsack row
+        let s = solve_with_hint(&m, &opts(), &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(s.objective.round(), 10.0);
+        // wrong length
+        let s = solve_with_hint(&m, &opts(), &[1.0]).unwrap();
+        assert_eq!(s.objective.round(), 10.0);
+        // fractional entries on integer vars get rounded, then checked
+        let s = solve_with_hint(&m, &opts(), &[0.9, 1.1, 0.0, 0.0]).unwrap();
+        assert_eq!(s.objective.round(), 10.0);
+        assert!(s.proven_optimal);
+    }
+
+    #[test]
+    fn hinted_solve_still_emits_a_closing_certificate() {
+        let m = tied_knapsack();
+        let with_cert = SolveOptions {
+            certificate: true,
+            rounding_heuristic: false,
+            ..opts()
+        };
+        let s = solve_with_hint(&m, &with_cert, &[0.0, 1.0, 1.0, 0.0]).unwrap();
+        let cert = s.stats.certificate.as_ref().expect("certificate emitted");
+        assert!(cert.proven_optimal);
+        check_cert_closure(cert, s.objective);
     }
 
     /// Structural invariants every emitted certificate must satisfy; the

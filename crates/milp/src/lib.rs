@@ -77,7 +77,7 @@ pub mod solution;
 pub mod standard;
 pub mod stats;
 
-pub use branch::solve;
+pub use branch::{solve, solve_with_hint};
 pub use error::SolveError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Model, Sense, VarKind};

@@ -41,6 +41,14 @@ impl Timeline {
         self.spans.iter().filter(move |s| s.name == name)
     }
 
+    /// Events named `name`, in record order.
+    pub fn events_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a crate::EventRecord> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
     /// Direct children of span `id`, in record order.
     pub fn children_of(&self, id: crate::SpanId) -> Vec<&SpanRecord> {
         self.spans.iter().filter(|s| s.parent == Some(id)).collect()

@@ -47,6 +47,14 @@ impl TagValue {
         }
     }
 
+    /// The float payload, if this tag is a [`TagValue::Float`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TagValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The boolean payload, if this tag is a [`TagValue::Bool`].
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -139,6 +147,23 @@ pub struct EventRecord {
     pub ts_ns: u64,
     /// Tags in the order they were attached.
     pub tags: Vec<(&'static str, TagValue)>,
+}
+
+impl EventRecord {
+    /// Value of tag `key`, if present.
+    pub fn tag(&self, key: &str) -> Option<&TagValue> {
+        self.tags.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Integer value of tag `key`, if present and integral.
+    pub fn tag_i64(&self, key: &str) -> Option<i64> {
+        self.tag(key).and_then(TagValue::as_i64)
+    }
+
+    /// Float value of tag `key`, if present and floating-point.
+    pub fn tag_f64(&self, key: &str) -> Option<f64> {
+        self.tag(key).and_then(TagValue::as_f64)
+    }
 }
 
 #[derive(Debug, Clone)]

@@ -20,8 +20,9 @@
 //! cargo run -p examples --bin md_insitu --release
 //! ```
 
-use insitu_core::attribution::attribute;
-use insitu_core::runtime::{run_coupled_traced, Analysis, CouplerConfig};
+use insitu_core::adaptive::AdaptiveConfig;
+use insitu_core::attribution::{attribute, attribute_with_predicted};
+use insitu_core::runtime::{run_coupled_adaptive, run_coupled_traced, Analysis, CouplerConfig};
 use insitu_core::{Advisor, AdvisorOptions};
 use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem, GIB};
 use mdsim::analysis::{a1_hydronium_rdf, a2_ion_rdf, a3_vacf, a4_msd};
@@ -177,4 +178,80 @@ fn main() {
     report.export_into(&registry);
     println!("\nunified telemetry registry:");
     print!("{}", registry.snapshot().table());
+
+    // --- adaptive leg: what if the calibration had been stale? ---
+    // Re-solve with a4's compute cost modeled 20x too cheap — the
+    // schedule over-commits — then let the closed control loop
+    // (docs/ADAPTIVE.md) catch the blowout mid-run and re-solve from the
+    // measured costs.
+    let mut stale = problem.clone();
+    stale.analyses[3].compute_time /= 20.0;
+    let stale_rec = Advisor::new(AdvisorOptions::default())
+        .recommend(&stale)
+        .expect("solvable");
+    println!(
+        "\nadaptive leg: a4 modeled at {:.3} ms (actually ~{:.3} ms), schedule over-commits to {} runs",
+        stale.analyses[3].compute_time * 1e3,
+        problem.analyses[3].compute_time * 1e3,
+        stale_rec.counts[3],
+    );
+    let tracer = Arc::new(obs::Tracer::with_capacity(64 * 1024));
+    let handle = obs::TraceHandle::new(tracer.clone());
+    sys.tracer = handle.clone();
+    let mut analyses: Vec<Box<dyn Analysis<System>>> = vec![
+        Box::new(a1_hydronium_rdf()),
+        Box::new(a2_ion_rdf()),
+        Box::new(a3_vacf(16)),
+        Box::new(a4_msd()),
+    ];
+    let adaptive = run_coupled_adaptive(
+        &mut sys,
+        &mut analyses,
+        &stale,
+        &stale_rec.schedule,
+        &CouplerConfig {
+            steps: STEPS,
+            sim_output_every: 0,
+        },
+        &AdaptiveConfig::default(),
+        &handle,
+    )
+    .expect("adaptive run");
+    println!("adaptive run: {} reschedule(s) adopted", adaptive.adopted_count());
+    for r in &adaptive.reschedules {
+        println!(
+            "  step {:>3}: {} trigger, measured {:.2} s vs predicted {:.2} s, \
+             re-solve {:.1} ms, remaining objective {:.1} -> {:.1}, {}",
+            r.step,
+            r.reason,
+            r.measured_cum,
+            r.predicted_cum,
+            r.solve_ms,
+            r.old_objective,
+            r.new_objective,
+            if r.adopted {
+                format!("adopted ({})", r.verdict)
+            } else {
+                format!("kept incumbent ({})", r.verdict)
+            }
+        );
+    }
+    println!(
+        "  analysis time   : {:>8.2} s (budget {:.2} s)",
+        adaptive.run.total_analysis_time(),
+        stale.resources.total_threshold()
+    );
+    let timeline = tracer.timeline();
+    let adrift = attribute_with_predicted(&stale, &adaptive.schedule, &timeline, &adaptive.predicted)
+        .expect("adaptive drift report");
+    println!("  drift vs spliced prediction: {}", adrift.summary());
+    std::fs::write(
+        "target/md_insitu.reschedules.json",
+        adaptive.reschedules_json().to_string_pretty(),
+    )
+    .expect("write reschedule records");
+    println!(
+        "  {} reschedule event(s) -> target/md_insitu.reschedules.json",
+        adaptive.reschedules.len()
+    );
 }

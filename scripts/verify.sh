@@ -44,5 +44,11 @@ run bash -c 'time ./target/release/sim_bench --smoke --out target/BENCH_sim_smok
 # predicted series bitwise against certify's exact replay
 run ./target/release/timeline_smoke --out target
 
+# adaptive smoke: the docs/ADAPTIVE.md budget-blowout scenario — the
+# static schedule exceeds the budget, the closed-loop adaptive run must
+# recover within it, with the reschedule event in the exported timeline
+# and the adopted schedule certified
+run ./target/release/adaptive_smoke --out target
+
 echo
 echo "verify: all green"
