@@ -1,0 +1,51 @@
+//! Solve-service throughput benchmark: replays a Zipf request stream
+//! against a fresh [`service::SolveService`] at each worker count and
+//! writes `BENCH_service.json` (schema documented in `EXPERIMENTS.md`).
+//!
+//! Usage: `service_bench [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs the reduced CI grid; `--out` overrides the JSON path
+//! (default `BENCH_service.json` in the current directory).
+
+use bench::experiments::service_bench::{run, STREAM_FULL, STREAM_SMOKE, WORKERS_FULL, WORKERS_SMOKE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".into());
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            a != "--smoke" && a != "--out" && !(i > 0 && args[i - 1] == "--out")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown argument {bad}; usage: service_bench [--smoke] [--out PATH]");
+        std::process::exit(2);
+    }
+
+    let outcome = if smoke {
+        run(&WORKERS_SMOKE, &STREAM_SMOKE)
+    } else {
+        run(&WORKERS_FULL, &STREAM_FULL)
+    };
+    println!("{}", outcome.report);
+    let json = outcome.to_json().to_string_pretty();
+    std::fs::write(&out, json + "\n").expect("write BENCH_service.json");
+    if let (Some(first), Some(last)) = (outcome.points.first(), outcome.points.last()) {
+        println!(
+            "hit rate {:.3}; {:.0} req/s at {} workers vs {:.0} at {} -> {out}",
+            last.hit_rate,
+            last.requests_per_sec,
+            last.workers,
+            first.requests_per_sec,
+            first.workers,
+        );
+    }
+}

@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod fig2_interp;
 pub mod fig4_profiles;
 pub mod fig5_moldable;
+pub mod service_bench;
 pub mod sim_bench;
 pub mod solver_bench;
 pub mod table4_postproc;

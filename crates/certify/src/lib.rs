@@ -25,11 +25,13 @@
 //! `docs/CERTIFY.md` for the format and the exact trust boundary.
 
 pub mod certificate;
+pub mod fingerprint;
 pub mod rational;
 pub mod replay;
 pub mod suffix;
 
 pub use certificate::{check_certificate, BOUND_TOL};
+pub use fingerprint::{fingerprint, Fingerprint};
 pub use rational::{Rat, RatError};
 pub use replay::{replay, replay_time_series, ReplayReport, Violation, ViolationKind};
 pub use suffix::{memory_state_at, replay_suffix, SuffixCarry};

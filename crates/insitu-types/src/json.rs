@@ -171,28 +171,28 @@ impl Value {
         Ok(v)
     }
 
-    fn expect_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, TypeError> {
+    pub(crate) fn expect_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, TypeError> {
         match self {
             Value::Object(m) => Ok(m),
             _ => Err(TypeError::Parse(format!("{what}: expected object"))),
         }
     }
 
-    fn expect_array(&self, what: &str) -> Result<&[Value], TypeError> {
+    pub(crate) fn expect_array(&self, what: &str) -> Result<&[Value], TypeError> {
         match self {
             Value::Array(a) => Ok(a),
             _ => Err(TypeError::Parse(format!("{what}: expected array"))),
         }
     }
 
-    fn expect_f64(&self, what: &str) -> Result<f64, TypeError> {
+    pub(crate) fn expect_f64(&self, what: &str) -> Result<f64, TypeError> {
         match self {
             Value::Number(n) => Ok(*n),
             _ => Err(TypeError::Parse(format!("{what}: expected number"))),
         }
     }
 
-    fn expect_usize(&self, what: &str) -> Result<usize, TypeError> {
+    pub(crate) fn expect_usize(&self, what: &str) -> Result<usize, TypeError> {
         let n = self.expect_f64(what)?;
         if n < 0.0 || n.fract() != 0.0 || n > usize::MAX as f64 {
             return Err(TypeError::Parse(format!(
@@ -202,7 +202,7 @@ impl Value {
         Ok(n as usize)
     }
 
-    fn expect_str(&self, what: &str) -> Result<&str, TypeError> {
+    pub(crate) fn expect_str(&self, what: &str) -> Result<&str, TypeError> {
         match self {
             Value::String(s) => Ok(s),
             _ => Err(TypeError::Parse(format!("{what}: expected string"))),

@@ -11,6 +11,7 @@
 //! model, the performance model and both mini-apps depend on them without
 //! depending on each other.
 
+pub mod canonical;
 pub mod cert;
 pub mod error;
 pub mod json;
@@ -18,6 +19,7 @@ pub mod problem;
 pub mod profile;
 pub mod resources;
 pub mod schedule;
+pub mod service;
 pub mod telemetry;
 pub mod trace;
 pub mod units;
@@ -28,6 +30,7 @@ pub use problem::ScheduleProblem;
 pub use profile::{AnalysisId, AnalysisProfile};
 pub use resources::ResourceConfig;
 pub use schedule::{AnalysisSchedule, Schedule};
+pub use service::{ResponseSource, ServiceRequest, ServiceResponse, SERVICE_SCHEMA};
 pub use telemetry::{KernelRecord, KernelTelemetry};
 pub use trace::{CouplingTrace, StepEvent};
 pub use units::{Bytes, Seconds, GIB, KIB, MIB};

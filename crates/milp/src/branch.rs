@@ -549,10 +549,12 @@ fn solve_seeded(
     // node is explored; presolve only tightens bounds (the variable set is
     // unchanged and every feasible integer point survives propagation), so
     // the hint vector stays aligned and checkable against `model` here
+    let mut hint_accepted = false;
     if let Some(h) = hint {
         if h.len() == model.num_vars() {
             if let Some((values, objective)) = rounded_candidate(model, h, opts.tol) {
                 sh.offer_incumbent(values, objective);
+                hint_accepted = true;
             }
         }
     }
@@ -598,6 +600,7 @@ fn solve_seeded(
                 nodes_pruned_infeasible: sh.pruned_infeasible.load(AtOrd::Relaxed),
                 lp_pivots: sol.iterations,
                 warm_started: sh.warm_started.load(AtOrd::Relaxed),
+                hint_accepted,
                 refactorizations: sh.refactorizations.load(AtOrd::Relaxed),
                 max_eta_len: sh.max_eta_len.load(AtOrd::Relaxed),
                 ftran_time: std::time::Duration::from_nanos(sh.ftran_ns.load(AtOrd::Relaxed)),

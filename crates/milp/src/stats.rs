@@ -81,6 +81,11 @@ pub struct SolveStats {
     /// Child LPs warm-started from the parent basis (vs. solved cold with
     /// two phases).
     pub warm_started: usize,
+    /// Whether a caller-supplied hint (via [`crate::solve_with_hint`])
+    /// rounded to a feasible point and seeded the incumbent before any
+    /// node was explored. `false` when no hint was given, the hint had
+    /// the wrong length, or rounding it violated a constraint.
+    pub hint_accepted: bool,
     /// Basis refactorizations across every LP solve (revised engine only;
     /// zero when the dense oracle ran).
     pub refactorizations: usize,
@@ -119,7 +124,7 @@ impl SolveStats {
     /// ```
     pub fn summary(&self) -> String {
         format!(
-            "nodes {} (pruned {} bound / {} infeas), pivots {} ({} warm), \
+            "nodes {} (pruned {} bound / {} infeas), pivots {} ({} warm{}), \
              refactor {} (eta peak {}), ftran {:.1?} + btran {:.1?}, \
              incumbents {}, t {:.1?} presolve + {:.1?} root + {:.1?} search, {} thread{}",
             self.nodes_explored,
@@ -127,6 +132,7 @@ impl SolveStats {
             self.nodes_pruned_infeasible,
             self.lp_pivots,
             self.warm_started,
+            if self.hint_accepted { ", hint seeded" } else { "" },
             self.refactorizations,
             self.max_eta_len,
             self.ftran_time,
@@ -152,6 +158,7 @@ impl SolveStats {
         );
         registry.add("milp.lp_pivots", self.lp_pivots as u64);
         registry.add("milp.warm_started", self.warm_started as u64);
+        registry.add("milp.hint_accepted", self.hint_accepted as u64);
         registry.add("milp.lp.refactorizations", self.refactorizations as u64);
         registry.add("milp.incumbents", self.incumbent_updates.len() as u64);
         registry.observe("milp.lp.max_eta_len", self.max_eta_len as f64);
@@ -194,6 +201,7 @@ mod tests {
             nodes_pruned_infeasible: 2,
             lp_pivots: 99,
             warm_started: 4,
+            hint_accepted: true,
             refactorizations: 11,
             max_eta_len: 8,
             threads: 2,
@@ -211,6 +219,7 @@ mod tests {
             "2 infeas",
             "pivots 99",
             "4 warm",
+            "hint seeded",
             "refactor 11",
             "eta peak 8",
             "ftran",

@@ -1,0 +1,681 @@
+//! The solve server: fingerprint → dedup → cache → warm-start → certify.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use certify::{Fingerprint, Verdict};
+use insitu_core::aggregate::{solve_aggregate_counts, solve_aggregate_counts_with_hint};
+use insitu_core::placement::place_schedule;
+use insitu_types::canonical::{canonicalize, from_canonical, from_canonical_schedule};
+use insitu_types::json::{self, Value};
+use insitu_types::{
+    ResponseSource, Schedule, ScheduleProblem, SearchCertificate, ServiceRequest, ServiceResponse,
+};
+use milp::SolveOptions;
+
+use crate::lru::Lru;
+
+/// Configuration of a [`SolveService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of solved instances kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Solver options for fresh solves. [`SolveOptions::certificate`] is
+    /// forced on regardless of this value: the cache stores certificates
+    /// so hits can be re-proved. Defaults to a serial solver — the
+    /// service parallelizes *across* requests, not within one.
+    pub solver: SolveOptions,
+    /// Warm-start cache misses from the optimal counts of their nearest
+    /// cached neighbor (same analysis count). Never changes the returned
+    /// optimum — an unhelpful or infeasible hint is ignored by the
+    /// solver — it only prunes the search earlier.
+    pub warm_start: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 256,
+            solver: SolveOptions {
+                threads: 1,
+                certificate: true,
+                ..SolveOptions::default()
+            },
+            warm_start: true,
+        }
+    }
+}
+
+/// Why a request could not be served. Cloneable so one in-flight
+/// failure can fan out to every deduplicated waiter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The submitted problem failed [`ScheduleProblem::validate`].
+    InvalidProblem(String),
+    /// The underlying MILP solve failed (e.g. infeasible instance).
+    Solve(String),
+    /// The result failed the independent certification gate; the
+    /// payload lists the certifier's complaints. Returned only when even
+    /// the fallback fresh solve could not be certified.
+    Certification(Vec<String>),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InvalidProblem(e) => write!(f, "invalid problem: {e}"),
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::Certification(problems) => {
+                write!(f, "certification failed: {}", problems.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One solved canonical instance, as stored in the cache and shared
+/// with deduplicated waiters.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The canonical problem that was solved (analyses name-sorted).
+    pub problem: ScheduleProblem,
+    /// Optimal analysis counts, canonical order.
+    pub counts: Vec<usize>,
+    /// Optimal output counts, canonical order.
+    pub output_counts: Vec<usize>,
+    /// The placed optimal schedule, canonical order.
+    pub schedule: Schedule,
+    /// Optimal Eq. 1 objective.
+    pub objective: f64,
+    /// The solver's machine-checkable optimality certificate — cached so
+    /// hits can be re-proved against the requester's instance.
+    pub certificate: SearchCertificate,
+    /// Branch-and-bound nodes of the producing solve.
+    pub nodes: usize,
+    /// Whether the producing solve was warm-started and the hint seeded
+    /// the incumbent.
+    pub hint_accepted: bool,
+    /// Whether the producing solve was given a warm-start hint at all.
+    pub solved_warm: bool,
+}
+
+/// One served response, in the **requester's** analysis order.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Canonical fingerprint the instance was keyed under.
+    pub fingerprint: Fingerprint,
+    /// How the result was produced.
+    pub source: ResponseSource,
+    /// Re-certification verdict against the requester's own instance:
+    /// always [`Verdict::Proved`] or [`Verdict::FeasibleOnly`] — an
+    /// `INVALID` result is an error, never a reply.
+    pub verdict: Verdict,
+    /// Optimal Eq. 1 objective.
+    pub objective: f64,
+    /// Optimal schedule, requester order.
+    pub schedule: Schedule,
+    /// Optimal analysis counts, requester order.
+    pub counts: Vec<usize>,
+    /// Optimal output counts, requester order.
+    pub output_counts: Vec<usize>,
+    /// The optimality certificate the verdict was checked against
+    /// (`None` only for the trivial zero-analysis instance).
+    pub certificate: Option<SearchCertificate>,
+    /// Branch-and-bound nodes of the producing solve (also for hits:
+    /// the nodes the *cached* solve cost).
+    pub nodes: usize,
+    /// Whether the producing solve's warm-start hint seeded the incumbent.
+    pub hint_accepted: bool,
+}
+
+impl Reply {
+    /// Renders the reply as a `service/v1` wire response.
+    pub fn to_response(&self, id: u64) -> ServiceResponse {
+        ServiceResponse {
+            id,
+            fingerprint: self.fingerprint.to_hex(),
+            source: self.source,
+            verdict: self.verdict.to_string(),
+            objective: self.objective,
+            schedule: self.schedule.clone(),
+            counts: self.counts.clone(),
+            output_counts: self.output_counts.clone(),
+            solver_nodes: self.nodes,
+            hint_accepted: self.hint_accepted,
+        }
+    }
+}
+
+/// An in-flight solve: the leader publishes into `slot`, waiters block
+/// on `ready`.
+struct InFlight {
+    slot: Mutex<Option<Result<Arc<CacheEntry>, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<CacheEntry>, ServiceError>) {
+        *self.slot.lock().expect("in-flight slot poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CacheEntry>, ServiceError> {
+        let mut guard = self.slot.lock().expect("in-flight slot poisoned");
+        while guard.is_none() {
+            guard = self.ready.wait(guard).expect("in-flight slot poisoned");
+        }
+        guard.as_ref().expect("checked above").clone()
+    }
+}
+
+struct State {
+    cache: Lru<Fingerprint, Arc<CacheEntry>>,
+    in_flight: HashMap<Fingerprint, Arc<InFlight>>,
+}
+
+/// What the state lock told us to do for one request.
+enum Action {
+    Serve(Arc<CacheEntry>),
+    Wait(Arc<InFlight>),
+    Lead(Arc<InFlight>, Option<(Vec<usize>, Vec<usize>)>),
+}
+
+/// The multi-tenant solve server. Cheap to share: all methods take
+/// `&self`, so wrap it in an [`Arc`] (or borrow it from scoped threads)
+/// and call [`SolveService::solve`] from as many client threads as you
+/// like.
+pub struct SolveService {
+    config: ServiceConfig,
+    state: Mutex<State>,
+    registry: Arc<obs::Registry>,
+    trace: obs::TraceHandle,
+}
+
+impl SolveService {
+    /// A new service with its own (empty) cache and telemetry registry.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache_capacity = config.cache_capacity;
+        SolveService {
+            config,
+            state: Mutex::new(State {
+                cache: Lru::new(cache_capacity),
+                in_flight: HashMap::new(),
+            }),
+            registry: Arc::new(obs::Registry::new()),
+            trace: obs::TraceHandle::disabled(),
+        }
+    }
+
+    /// Replaces the telemetry sinks: `service.*` counters and the
+    /// per-solve `milp.*` stats go to `registry`, per-request
+    /// `service.request` spans to `trace`.
+    pub fn with_observability(
+        mut self,
+        registry: Arc<obs::Registry>,
+        trace: obs::TraceHandle,
+    ) -> Self {
+        self.registry = registry;
+        self.trace = trace;
+        self
+    }
+
+    /// The telemetry registry this service reports into.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
+    /// Solves one instance, in the caller's own analysis order.
+    ///
+    /// Thread-safe; blocks only while an identical instance is already
+    /// being solved by another caller (and then shares that solve's
+    /// result). Every reply is re-certified against `problem` before it
+    /// is returned — see the crate docs for the gate.
+    pub fn solve(&self, problem: &ScheduleProblem) -> Result<Reply, ServiceError> {
+        let mut span = self.trace.span("service.request");
+        problem
+            .validate()
+            .map_err(|e| ServiceError::InvalidProblem(e.to_string()))?;
+        self.registry.add("service.requests", 1);
+        let fp = certify::fingerprint(problem);
+        let (canon, perm) = canonicalize(problem);
+        span.tag("fingerprint", fp.to_hex());
+
+        if canon.is_empty() {
+            // the trivial instance: nothing to schedule, nothing to cache
+            span.tag("source", "fresh");
+            return Ok(Reply {
+                fingerprint: fp,
+                source: ResponseSource::Fresh,
+                verdict: Verdict::FeasibleOnly,
+                objective: 0.0,
+                schedule: Schedule::empty(0),
+                counts: Vec::new(),
+                output_counts: Vec::new(),
+                certificate: None,
+                nodes: 0,
+                hint_accepted: false,
+            });
+        }
+
+        let action = {
+            let mut state = self.state.lock().expect("service state poisoned");
+            if let Some(entry) = state.cache.get(&fp) {
+                self.registry.add("service.hits", 1);
+                Action::Serve(entry.clone())
+            } else if let Some(in_flight) = state.in_flight.get(&fp) {
+                self.registry.add("service.dedup_waits", 1);
+                Action::Wait(in_flight.clone())
+            } else {
+                self.registry.add("service.misses", 1);
+                let hint = if self.config.warm_start {
+                    nearest_neighbor(&state.cache, &canon)
+                } else {
+                    None
+                };
+                let in_flight = Arc::new(InFlight::new());
+                state.in_flight.insert(fp, in_flight.clone());
+                Action::Lead(in_flight, hint)
+            }
+        };
+
+        let (entry, source) = match action {
+            Action::Serve(entry) => (entry, ResponseSource::Hit),
+            Action::Wait(in_flight) => (in_flight.wait()?, ResponseSource::Dedup),
+            Action::Lead(in_flight, hint) => {
+                let result = self.solve_fresh(&canon, hint.as_ref());
+                {
+                    let mut state = self.state.lock().expect("service state poisoned");
+                    state.in_flight.remove(&fp);
+                    if let Ok(entry) = &result {
+                        if let Some((evicted_fp, _)) = state.cache.insert(fp, entry.clone()) {
+                            if evicted_fp != fp {
+                                self.registry.add("service.evictions", 1);
+                            }
+                        }
+                    }
+                }
+                in_flight.publish(result.clone());
+                let entry = result?;
+                let source = if entry.solved_warm {
+                    ResponseSource::Warm
+                } else {
+                    ResponseSource::Fresh
+                };
+                (entry, source)
+            }
+        };
+        span.tag("source", source.as_str());
+
+        match self.serve(problem, &perm, fp, &entry, source) {
+            Ok(reply) => Ok(reply),
+            Err(ServiceError::Certification(_))
+                if matches!(source, ResponseSource::Hit | ResponseSource::Dedup) =>
+            {
+                // the certification gate tripped: the cached entry does not
+                // certify against *this* requester's instance (fingerprint
+                // collision or cache corruption). Degrade to a fresh solve
+                // of the requester's own canonical form and replace the
+                // poisoned entry.
+                self.registry.add("service.certify_rejects", 1);
+                span.tag("certify_reject", true);
+                let entry = self.solve_fresh(&canon, None)?;
+                let mut state = self.state.lock().expect("service state poisoned");
+                state.cache.insert(fp, entry.clone());
+                drop(state);
+                self.serve(problem, &perm, fp, &entry, ResponseSource::Fresh)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Solves a batch, fanning the requests over `workers` service
+    /// threads with dynamic work claiming (reusing [`parallel::Exec`]'s
+    /// thread accounting). Results come back in request order.
+    pub fn process_batch(
+        &self,
+        problems: &[ScheduleProblem],
+        workers: usize,
+    ) -> Vec<Result<Reply, ServiceError>> {
+        let exec = parallel::Exec::with_threads(workers);
+        let mut slots: Vec<Option<Result<Reply, ServiceError>>> = vec![None; problems.len()];
+        parallel::for_each_mut(&exec, &mut slots, |i, slot| {
+            *slot = Some(self.solve(&problems[i]));
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("for_each_mut visits every slot"))
+            .collect()
+    }
+
+    /// Parses a `service/v1` request, solves it, and renders the
+    /// `service/v1` response (or an error object carrying the request id
+    /// when one could be parsed).
+    pub fn handle_json(&self, request: &str) -> String {
+        match json::from_str::<ServiceRequest>(request) {
+            Ok(req) => match self.solve(&req.problem) {
+                Ok(reply) => json::to_string(&reply.to_response(req.id)),
+                Err(e) => error_json(Some(req.id), &e.to_string()),
+            },
+            Err(e) => error_json(None, &e.to_string()),
+        }
+    }
+
+    /// Solves the canonical instance cold (or warm-started from a
+    /// neighbor's counts) and certifies the result before anyone sees it.
+    fn solve_fresh(
+        &self,
+        canon: &ScheduleProblem,
+        hint: Option<&(Vec<usize>, Vec<usize>)>,
+    ) -> Result<Arc<CacheEntry>, ServiceError> {
+        let mut opts = self.config.solver.clone();
+        opts.certificate = true;
+        let mut solve_span = self.trace.span("service.solve");
+        let agg = match hint {
+            Some((counts, output_counts)) => {
+                self.registry.add("service.warm_starts", 1);
+                solve_aggregate_counts_with_hint(canon, &opts, counts, output_counts)
+            }
+            None => solve_aggregate_counts(canon, &opts),
+        }
+        .map_err(|e| ServiceError::Solve(e.to_string()))?;
+        self.registry.add("service.solves", 1);
+        agg.stats.export_into(&self.registry);
+        solve_span.tag("nodes", agg.nodes);
+        solve_span.tag("warm", hint.is_some());
+        drop(solve_span);
+
+        let schedule = place_schedule(canon, &agg.counts, &agg.output_counts);
+        let certificate = agg
+            .stats
+            .certificate
+            .clone()
+            .ok_or_else(|| ServiceError::Solve("solver returned no certificate".into()))?;
+        // leader-side gate: a result that does not certify against the
+        // canonical instance never reaches the cache or any waiter
+        let cert = certify::certify(canon, &schedule, Some(&certificate));
+        if cert.verdict == Verdict::Invalid {
+            return Err(ServiceError::Certification(cert.problems));
+        }
+        Ok(Arc::new(CacheEntry {
+            problem: canon.clone(),
+            counts: agg.counts,
+            output_counts: agg.output_counts,
+            schedule,
+            objective: agg.objective,
+            certificate,
+            nodes: agg.nodes,
+            hint_accepted: agg.stats.hint_accepted,
+            solved_warm: hint.is_some(),
+        }))
+    }
+
+    /// Permutes a canonical entry into the requester's order and passes
+    /// it through the certification gate.
+    fn serve(
+        &self,
+        problem: &ScheduleProblem,
+        perm: &[usize],
+        fp: Fingerprint,
+        entry: &Arc<CacheEntry>,
+        source: ResponseSource,
+    ) -> Result<Reply, ServiceError> {
+        let schedule = from_canonical_schedule(&entry.schedule, perm);
+        let cert = certify::certify(problem, &schedule, Some(&entry.certificate));
+        if cert.verdict == Verdict::Invalid {
+            return Err(ServiceError::Certification(cert.problems));
+        }
+        Ok(Reply {
+            fingerprint: fp,
+            source,
+            verdict: cert.verdict,
+            objective: entry.objective,
+            schedule,
+            counts: from_canonical(&entry.counts, perm),
+            output_counts: from_canonical(&entry.output_counts, perm),
+            certificate: Some(entry.certificate.clone()),
+            nodes: entry.nodes,
+            hint_accepted: entry.hint_accepted,
+        })
+    }
+}
+
+/// Scale-free distance between two field values; `0` for identical,
+/// bounded by `1` per field.
+fn rel(x: f64, y: f64) -> f64 {
+    if x == y {
+        return 0.0;
+    }
+    if !x.is_finite() || !y.is_finite() {
+        return 1.0;
+    }
+    (x - y).abs() / (1.0 + x.abs() + y.abs())
+}
+
+/// Structural distance between two canonical instances with the same
+/// analysis count; `None` when the shapes are incomparable.
+fn distance(a: &ScheduleProblem, b: &ScheduleProblem) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let (ra, rb) = (&a.resources, &b.resources);
+    let mut d = rel(ra.steps as f64, rb.steps as f64)
+        + rel(ra.step_threshold, rb.step_threshold)
+        + rel(ra.mem_threshold, rb.mem_threshold)
+        + rel(ra.io_bandwidth, rb.io_bandwidth);
+    for (x, y) in a.analyses.iter().zip(&b.analyses) {
+        if x.name != y.name {
+            d += 1.0;
+        }
+        d += rel(x.fixed_time, y.fixed_time)
+            + rel(x.step_time, y.step_time)
+            + rel(x.compute_time, y.compute_time)
+            + rel(x.output_time, y.output_time)
+            + rel(x.fixed_mem, y.fixed_mem)
+            + rel(x.step_mem, y.step_mem)
+            + rel(x.compute_mem, y.compute_mem)
+            + rel(x.output_mem, y.output_mem)
+            + rel(x.weight, y.weight)
+            + rel(x.min_interval as f64, y.min_interval as f64)
+            + rel(x.output_every as f64, y.output_every as f64);
+    }
+    Some(d)
+}
+
+/// The optimal counts of the cached instance nearest to `canon`
+/// (most-recently-used wins ties), for warm-starting a miss.
+fn nearest_neighbor(
+    cache: &Lru<Fingerprint, Arc<CacheEntry>>,
+    canon: &ScheduleProblem,
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let mut best: Option<(f64, &Arc<CacheEntry>)> = None;
+    // MRU → LRU, strict `<`: among equal distances the hottest entry wins
+    for (_, entry) in cache.iter().rev() {
+        if let Some(d) = distance(canon, &entry.problem) {
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, entry));
+            }
+        }
+    }
+    best.map(|(_, e)| (e.counts.clone(), e.output_counts.clone()))
+}
+
+fn error_json(id: Option<u64>, message: &str) -> String {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert(
+        "schema".to_string(),
+        Value::String(insitu_types::SERVICE_SCHEMA.into()),
+    );
+    if let Some(id) = id {
+        m.insert("id".to_string(), Value::Number(id as f64));
+    }
+    m.insert("error".to_string(), Value::String(message.into()));
+    Value::Object(m).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_types::{AnalysisProfile, ResourceConfig};
+
+    fn problem(names_ct: &[(&str, f64)]) -> ScheduleProblem {
+        ScheduleProblem::new(
+            names_ct
+                .iter()
+                .map(|&(n, ct)| {
+                    AnalysisProfile::new(n)
+                        .with_compute(ct, 0.0)
+                        .with_interval(10)
+                        .with_output(0.1, 0.0, 1)
+                })
+                .collect(),
+            ResourceConfig::from_total_threshold(100, 8.0, 1e9, 1e9),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_after_miss_and_identical_results() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let p = problem(&[("rdf", 0.5), ("msd", 1.0)]);
+        let a = svc.solve(&p).unwrap();
+        let b = svc.solve(&p).unwrap();
+        assert_eq!(a.source, ResponseSource::Fresh);
+        assert_eq!(b.source, ResponseSource::Hit);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.objective, b.objective);
+        assert_ne!(a.verdict, Verdict::Invalid);
+        let snap = svc.registry().snapshot();
+        assert_eq!(snap.counter("service.requests"), Some(2));
+        assert_eq!(snap.counter("service.hits"), Some(1));
+        assert_eq!(snap.counter("service.solves"), Some(1));
+    }
+
+    #[test]
+    fn permuted_request_hits_and_gets_its_own_order_back() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let p = problem(&[("rdf", 0.5), ("msd", 1.0)]);
+        let q = problem(&[("msd", 1.0), ("rdf", 0.5)]);
+        let a = svc.solve(&p).unwrap();
+        let b = svc.solve(&q).unwrap();
+        assert_eq!(b.source, ResponseSource::Hit);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        // same schedules, each in its requester's order
+        assert_eq!(a.schedule.per_analysis[0], b.schedule.per_analysis[1]);
+        assert_eq!(a.schedule.per_analysis[1], b.schedule.per_analysis[0]);
+        assert_eq!(a.counts[0], b.counts[1]);
+        // and each certifies against its own instance
+        let cert = certify::certify(&q, &b.schedule, b.certificate.as_ref());
+        assert_eq!(cert.verdict, Verdict::Proved);
+    }
+
+    #[test]
+    fn near_miss_is_warm_started_and_optimum_matches_cold() {
+        let cold = SolveService::new(ServiceConfig {
+            warm_start: false,
+            ..ServiceConfig::default()
+        });
+        let warm = SolveService::new(ServiceConfig::default());
+        let base = problem(&[("rdf", 0.5), ("msd", 1.0)]);
+        let near = problem(&[("rdf", 0.55), ("msd", 1.0)]);
+        warm.solve(&base).unwrap();
+        let w = warm.solve(&near).unwrap();
+        assert_eq!(w.source, ResponseSource::Warm);
+        let c = cold.solve(&near).unwrap();
+        assert_eq!(c.source, ResponseSource::Fresh);
+        assert_eq!(w.objective, c.objective);
+        assert_eq!(w.schedule, c.schedule);
+        let snap = warm.registry().snapshot();
+        assert_eq!(snap.counter("service.warm_starts"), Some(1));
+    }
+
+    #[test]
+    fn invalid_problem_is_rejected() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let mut p = problem(&[("a", 0.5)]);
+        p.analyses.push(p.analyses[0].clone()); // duplicate name
+        assert!(matches!(
+            svc.solve(&p),
+            Err(ServiceError::InvalidProblem(_))
+        ));
+    }
+
+    #[test]
+    fn empty_problem_served_without_caching() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let p = ScheduleProblem::new(Vec::new(), ResourceConfig::default()).unwrap();
+        let r = svc.solve(&p).unwrap();
+        assert_eq!(r.verdict, Verdict::FeasibleOnly);
+        assert_eq!(r.objective, 0.0);
+        assert!(r.certificate.is_none());
+        assert_eq!(svc.registry().snapshot().counter("service.solves"), None);
+    }
+
+    #[test]
+    fn json_round_trip_through_the_service() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let req = ServiceRequest {
+            id: 9,
+            problem: problem(&[("rdf", 0.5)]),
+        };
+        let out = svc.handle_json(&json::to_string(&req));
+        let resp: ServiceResponse = json::from_str(&out).unwrap();
+        assert_eq!(resp.id, 9);
+        assert_eq!(resp.source, ResponseSource::Fresh);
+        assert_eq!(resp.verdict, "PROVED");
+        assert_eq!(resp.counts.len(), 1);
+
+        let err = svc.handle_json("{\"schema\":\"service/v1\"}");
+        assert!(err.contains("\"error\""));
+    }
+
+    #[test]
+    fn eviction_is_counted_and_capacity_respected() {
+        let svc = SolveService::new(ServiceConfig {
+            cache_capacity: 1,
+            warm_start: false,
+            ..ServiceConfig::default()
+        });
+        svc.solve(&problem(&[("a", 0.5)])).unwrap();
+        svc.solve(&problem(&[("b", 0.7)])).unwrap(); // evicts a
+        let r = svc.solve(&problem(&[("a", 0.5)])).unwrap(); // miss again
+        assert_eq!(r.source, ResponseSource::Fresh);
+        let snap = svc.registry().snapshot();
+        assert_eq!(snap.counter("service.evictions"), Some(2));
+        assert_eq!(snap.counter("service.solves"), Some(3));
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let problems: Vec<_> = (0..6)
+            .map(|i| problem(&[("rdf", 0.5 + 0.1 * (i % 3) as f64)]))
+            .collect();
+        let batch = svc.process_batch(&problems, 3);
+        let sequential = SolveService::new(ServiceConfig::default());
+        for (p, r) in problems.iter().zip(&batch) {
+            let r = r.as_ref().unwrap();
+            let s = sequential.solve(p).unwrap();
+            assert_eq!(r.objective, s.objective);
+            assert_ne!(r.verdict, Verdict::Invalid);
+        }
+    }
+
+    #[test]
+    fn distance_prefers_closer_instances() {
+        let a = problem(&[("rdf", 0.5)]);
+        let near = problem(&[("rdf", 0.51)]);
+        let far = problem(&[("rdf", 3.0)]);
+        let other = problem(&[("rdf", 0.5), ("msd", 1.0)]);
+        assert_eq!(distance(&a, &a), Some(0.0));
+        assert!(distance(&a, &near).unwrap() < distance(&a, &far).unwrap());
+        assert_eq!(distance(&a, &other), None);
+    }
+}

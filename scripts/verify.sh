@@ -25,6 +25,12 @@ run cargo test --doc --workspace
 run env CERTIFY_FUZZ_CASES="${CERTIFY_FUZZ_CASES:-200}" \
     cargo test -q -p integration-tests --test certify_differential
 
+# solve-service concurrency stress: 8 client threads, duplicate/near-miss
+# mix, client-side re-certification of every reply, dedup single-solve,
+# worker-count independence. Deeper soaks: SERVICE_STRESS_ITERS=200
+run env SERVICE_STRESS_ITERS="${SERVICE_STRESS_ITERS:-50}" \
+    cargo test -q -p integration-tests --test service_stress
+
 # rustdoc must be warning-free (broken intra-doc links, bad code fences)
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -38,6 +44,11 @@ run bash -c 'time ./target/release/solver_bench --smoke --out target/BENCH_milp_
 # sim-kernel smoke: the (size x threads) proxy sweep's CI grid, timed so
 # gross kernel regressions show up too (full sweep: sim_bench)
 run bash -c 'time ./target/release/sim_bench --smoke --out target/BENCH_sim_smoke.json'
+
+# solve-service smoke: the Zipf request-stream sweep's CI grid, timed —
+# cache hit-rate, dedup, and warm-start accounting on the reduced stream
+# (full sweep: service_bench, committed as BENCH_service.json)
+run bash -c 'time ./target/release/service_bench --smoke --out target/BENCH_service_smoke.json'
 
 # timeline smoke: traced coupled run -> export timeline JSON + Chrome
 # trace -> re-parse and validate both, and check the drift report's

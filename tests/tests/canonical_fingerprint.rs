@@ -1,0 +1,154 @@
+//! Property tests for the canonical instance fingerprint.
+//!
+//! The serving tier keys its cache on [`certify::fingerprint`], so three
+//! properties are load-bearing:
+//!
+//! 1. **Reorder invariance** — the same instance submitted in any
+//!    analysis order fingerprints identically (otherwise duplicates miss
+//!    the cache),
+//! 2. **Encoding invariance** — rational-equal `f64` encodings (`0.0`
+//!    vs `-0.0`) fingerprint identically, matching the exact replay's
+//!    view of the inputs,
+//! 3. **No collisions** — across the same 200-instance seeded corpus
+//!    the differential fuzz harness uses, equal fingerprints only ever
+//!    come from equal canonical instances; distinct instances (and
+//!    therefore distinct-optimal instances) never collide.
+//!
+//! Knobs: `CERTIFY_FUZZ_CASES` / `CERTIFY_FUZZ_SEED`, shared with
+//! `certify_differential.rs` so both suites sweep the same corpus.
+
+use std::collections::HashMap;
+
+use certify::{fingerprint, Fingerprint};
+use insitu_types::canonical::{canonicalize, from_canonical_schedule, to_canonical_schedule};
+use insitu_types::ScheduleProblem;
+use integration_tests::fuzz;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn case_rng(seed: u64, case: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9))
+}
+
+/// Fisher–Yates shuffle of the analysis list (the vendored rand shim has
+/// no `shuffle`, so roll it by hand).
+fn shuffled(problem: &ScheduleProblem, rng: &mut StdRng) -> ScheduleProblem {
+    let mut q = problem.clone();
+    for i in (1..q.analyses.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        q.analyses.swap(i, j);
+    }
+    q
+}
+
+#[test]
+fn fingerprint_invariant_under_analysis_reordering() {
+    let cases = env_u64("CERTIFY_FUZZ_CASES", 200) as usize;
+    let seed = env_u64("CERTIFY_FUZZ_SEED", 20_150_815);
+    for case in 0..cases {
+        let mut rng = case_rng(seed, case);
+        let p = fuzz::gen_problem(&mut rng, case);
+        let fp = fingerprint(&p);
+        for _ in 0..3 {
+            let q = shuffled(&p, &mut rng);
+            assert_eq!(
+                fingerprint(&q),
+                fp,
+                "case {case}: reordered analyses changed the fingerprint"
+            );
+            assert_eq!(
+                canonicalize(&q).0,
+                canonicalize(&p).0,
+                "case {case}: reordering changed the canonical form"
+            );
+        }
+    }
+}
+
+#[test]
+fn fingerprint_invariant_under_rational_equal_encodings() {
+    let cases = env_u64("CERTIFY_FUZZ_CASES", 200).min(200) as usize;
+    let seed = env_u64("CERTIFY_FUZZ_SEED", 20_150_815);
+    let mut flipped = 0usize;
+    for case in 0..cases {
+        let mut rng = case_rng(seed, case);
+        let p = fuzz::gen_problem(&mut rng, case);
+        // -0.0 is a different bit pattern but the same rational number;
+        // gen_problem leaves many fields at 0.0, so this exercises real
+        // instances, not a synthetic corner
+        let mut q = p.clone();
+        for a in &mut q.analyses {
+            for field in [
+                &mut a.fixed_time,
+                &mut a.step_time,
+                &mut a.compute_time,
+                &mut a.output_time,
+                &mut a.fixed_mem,
+                &mut a.step_mem,
+                &mut a.compute_mem,
+                &mut a.output_mem,
+            ] {
+                if *field == 0.0 {
+                    *field = -0.0;
+                    flipped += 1;
+                }
+            }
+        }
+        assert_eq!(
+            fingerprint(&q),
+            fingerprint(&p),
+            "case {case}: -0.0 encoding changed the fingerprint"
+        );
+    }
+    assert!(flipped > 0, "corpus never exercised the -0.0 property");
+}
+
+#[test]
+fn no_collisions_across_the_fuzz_corpus() {
+    let cases = env_u64("CERTIFY_FUZZ_CASES", 200) as usize;
+    let seed = env_u64("CERTIFY_FUZZ_SEED", 20_150_815);
+    let mut seen: HashMap<Fingerprint, (usize, ScheduleProblem)> = HashMap::new();
+    for case in 0..cases {
+        let mut rng = case_rng(seed, case);
+        let p = fuzz::gen_problem(&mut rng, case);
+        let (canon, _) = canonicalize(&p);
+        let fp = fingerprint(&p);
+        if let Some((prev_case, prev)) = seen.get(&fp) {
+            // equal fingerprints must mean equal canonical instances —
+            // anything else would let the cache serve case A to case B
+            // (caught by re-certification, but it must never happen here)
+            assert_eq!(
+                *prev, canon,
+                "cases {prev_case} and {case}: distinct instances collided on {fp}"
+            );
+        } else {
+            seen.insert(fp, (case, canon));
+        }
+    }
+    assert!(seen.len() > cases / 2, "corpus unexpectedly degenerate");
+}
+
+#[test]
+fn schedule_permutation_round_trips_on_fuzz_instances() {
+    let seed = env_u64("CERTIFY_FUZZ_SEED", 20_150_815);
+    for case in 0..40 {
+        let mut rng = case_rng(seed, case);
+        let p = fuzz::gen_problem(&mut rng, case);
+        let q = shuffled(&p, &mut rng);
+        let (_, perm) = canonicalize(&q);
+        // a synthetic per-analysis schedule survives the order round-trip
+        let mut sched = insitu_types::Schedule::empty(q.len());
+        for (i, s) in sched.per_analysis.iter_mut().enumerate() {
+            *s = insitu_types::AnalysisSchedule::new(vec![i + 1], vec![]);
+        }
+        let round = from_canonical_schedule(&to_canonical_schedule(&sched, &perm), &perm);
+        assert_eq!(round, sched, "case {case}: permutation round-trip broke");
+    }
+}

@@ -1,0 +1,325 @@
+//! Concurrency stress suite for the solve service.
+//!
+//! Many client threads hammer one [`service::SolveService`] with a
+//! seeded mix of exact duplicates (shuffled analysis orders), near
+//! misses, and fresh instances. The properties under test:
+//!
+//! * **Nothing unproved is ever served** — every `Ok` reply is
+//!   re-certified *client-side* against the exact problem that client
+//!   submitted, independent of the service's own gate.
+//! * **Dedup never double-solves** — a burst of identical requests
+//!   costs exactly one solver invocation; everyone gets the same
+//!   optimum.
+//! * **Determinism** — equal instances get bitwise-equal objectives no
+//!   matter which thread asked, and batch results do not depend on the
+//!   worker-thread count.
+//! * **Cache churn is harmless** — an instance evicted and re-admitted
+//!   (now warm-started from a neighbor) returns the same optimum as a
+//!   cold solve, bit for bit.
+//!
+//! `SERVICE_STRESS_ITERS` scales the per-thread request count (default
+//! 25; CI raises it via `scripts/verify.sh`).
+
+use std::collections::HashMap;
+use std::sync::{Barrier, Mutex};
+
+use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
+use integration_tests::fuzz;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use service::{ServiceConfig, ServiceError, SolveService};
+
+const CLIENTS: usize = 8;
+
+fn iters() -> usize {
+    std::env::var("SERVICE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25)
+}
+
+/// Seeded, solvable base instances the duplicate/near-miss mix draws
+/// from. Filtered to non-empty problems the aggregate solver accepts,
+/// so every derived request has a well-defined optimum.
+fn bases(seed: u64) -> Vec<ScheduleProblem> {
+    let mut out = Vec::new();
+    let mut case = 0usize;
+    while out.len() < 8 && case < 64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        let p = fuzz::gen_problem(&mut rng, case);
+        case += 1;
+        if p.len() >= 2
+            && insitu_core::aggregate::solve_aggregate_counts(&p, &fuzz::serial_opts()).is_ok()
+        {
+            out.push(p);
+        }
+    }
+    assert!(out.len() >= 4, "fuzz corpus too degenerate for stress mix");
+    out
+}
+
+fn shuffled(p: &ScheduleProblem, rng: &mut StdRng) -> ScheduleProblem {
+    let mut q = p.clone();
+    for i in (1..q.analyses.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        q.analyses.swap(i, j);
+    }
+    q
+}
+
+/// Draws one request: 60% shuffled duplicate of a base, 25% near miss
+/// (one compute time nudged), 15% fresh (unique compute times).
+fn draw(bases: &[ScheduleProblem], rng: &mut StdRng, uniq: u64) -> ScheduleProblem {
+    let pick = rng.gen_range(0..bases.len());
+    let roll: f64 = rng.gen();
+    if roll < 0.60 {
+        shuffled(&bases[pick], rng)
+    } else if roll < 0.85 {
+        let mut q = shuffled(&bases[pick], rng);
+        let k = rng.gen_range(0..q.analyses.len());
+        q.analyses[k].compute_time *= 1.0 + rng.gen_range(1..=5) as f64 / 100.0;
+        q
+    } else {
+        let mut q = bases[pick].clone();
+        for (i, a) in q.analyses.iter_mut().enumerate() {
+            a.compute_time += (uniq % 997 + 1) as f64 / 1e4 + i as f64 / 1e6;
+        }
+        q
+    }
+}
+
+#[test]
+fn hammered_service_serves_only_certified_results() {
+    let service = SolveService::new(ServiceConfig {
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    });
+    let bases = bases(0x57E5);
+    let per_thread = iters();
+    // fingerprint -> objective bits, shared across clients: equal
+    // instances must get bitwise-equal optima no matter who asked
+    let seen: Mutex<HashMap<service::Fingerprint, u64>> = Mutex::new(HashMap::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let service = &service;
+            let bases = &bases;
+            let seen = &seen;
+            let errors = &errors;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC11E_4700 + t as u64);
+                for i in 0..per_thread {
+                    let uniq = (t * per_thread + i) as u64;
+                    let p = draw(bases, &mut rng, uniq);
+                    match service.solve(&p) {
+                        Ok(reply) => {
+                            // client-side proof: the reply must certify
+                            // against *this* request, in *this* order
+                            let cert =
+                                certify::certify(&p, &reply.schedule, reply.certificate.as_ref());
+                            if cert.verdict != certify::Verdict::Proved {
+                                errors.lock().unwrap().push(format!(
+                                    "thread {t} iter {i}: served {} result: {:?}",
+                                    cert.verdict, cert.problems
+                                ));
+                                continue;
+                            }
+                            let mut seen = seen.lock().unwrap();
+                            let bits = reply.objective.to_bits();
+                            if let Some(&prev) = seen.get(&reply.fingerprint) {
+                                if prev != bits {
+                                    errors.lock().unwrap().push(format!(
+                                        "thread {t} iter {i}: objective drift on {}",
+                                        reply.fingerprint
+                                    ));
+                                }
+                            } else {
+                                seen.insert(reply.fingerprint, bits);
+                            }
+                        }
+                        // a nudged instance may legitimately be infeasible;
+                        // anything else is a bug
+                        Err(ServiceError::Solve(_)) => {}
+                        Err(e) => errors
+                            .lock()
+                            .unwrap()
+                            .push(format!("thread {t} iter {i}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+
+    let errors = errors.into_inner().unwrap();
+    assert!(errors.is_empty(), "stress violations:\n{}", errors.join("\n"));
+
+    let snap = service.registry().snapshot();
+    let requests = snap.counter("service.requests").unwrap_or(0);
+    let hits = snap.counter("service.hits").unwrap_or(0);
+    let dedup = snap.counter("service.dedup_waits").unwrap_or(0);
+    let misses = snap.counter("service.misses").unwrap_or(0);
+    let solves = snap.counter("service.solves").unwrap_or(0);
+    assert_eq!(requests, (CLIENTS * iters()) as u64);
+    assert_eq!(
+        requests,
+        hits + dedup + misses,
+        "every request is exactly one of hit/dedup/miss"
+    );
+    // dedup/caching must have saved real work: with a 60% duplicate mix
+    // the solver runs far fewer times than requests arrive
+    assert!(
+        solves < requests,
+        "no deduplication happened ({solves} solves for {requests} requests)"
+    );
+    assert_eq!(snap.counter("service.certify_rejects").unwrap_or(0), 0);
+}
+
+#[test]
+fn duplicate_burst_is_solved_exactly_once() {
+    let service = SolveService::new(ServiceConfig::default());
+    let base = bases(0xB0B5).remove(0);
+    let barrier = Barrier::new(CLIENTS);
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let service = &service;
+                let base = &base;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xD0_0D + t as u64);
+                    let p = shuffled(base, &mut rng);
+                    barrier.wait(); // maximize the in-flight collision window
+                    (p.clone(), service.solve(&p).expect("burst solve failed"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let snap = service.registry().snapshot();
+    assert_eq!(
+        snap.counter("service.solves"),
+        Some(1),
+        "a burst of {CLIENTS} identical requests must cost exactly one solve"
+    );
+    let fresh = replies
+        .iter()
+        .filter(|(_, r)| r.source == service::ResponseSource::Fresh)
+        .count();
+    assert_eq!(fresh, 1, "exactly one client leads the solve");
+
+    let bits = replies[0].1.objective.to_bits();
+    for (p, reply) in &replies {
+        assert_eq!(reply.objective.to_bits(), bits, "burst optimum drifted");
+        let cert = certify::certify(p, &reply.schedule, reply.certificate.as_ref());
+        assert_eq!(cert.verdict, certify::Verdict::Proved, "{:?}", cert.problems);
+    }
+}
+
+#[test]
+fn batch_results_are_independent_of_worker_count() {
+    let bases = bases(0x3A7C);
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let stream: Vec<ScheduleProblem> = (0..40).map(|i| draw(&bases, &mut rng, i)).collect();
+
+    let run = |workers: usize| {
+        let service = SolveService::new(ServiceConfig {
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        });
+        service.process_batch(&stream, workers)
+    };
+    let serial = run(1);
+    let wide = run(4);
+
+    for (i, (a, b)) in serial.iter().zip(&wide).enumerate() {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                // schedules may differ when optima tie (cache timing
+                // changes which tied solution is cached first), but the
+                // optimum itself is worker-count invariant, bit for bit
+                assert_eq!(
+                    a.objective.to_bits(),
+                    b.objective.to_bits(),
+                    "request {i}: optimum depends on worker count"
+                );
+                assert_eq!(a.verdict, certify::Verdict::Proved);
+                assert_eq!(b.verdict, certify::Verdict::Proved);
+            }
+            (Err(ServiceError::Solve(_)), Err(ServiceError::Solve(_))) => {}
+            (a, b) => panic!("request {i}: worker counts disagree: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn evicted_then_readmitted_warm_start_matches_cold_solve() {
+    // handcrafted instances with a provably unique optimum: counts are
+    // capped at 10 (100 steps, interval 10) and weights are 16 vs 1, so
+    // `(1 + 16·c_a) + (1 + c_b)` separates every count vector — no two
+    // feasible schedules share an objective. Capacity 2 forces the
+    // first instance out of the cache.
+    let mk = |ct: f64| {
+        ScheduleProblem::new(
+            vec![
+                AnalysisProfile::new("a")
+                    .with_compute(ct, 0.0)
+                    .with_interval(10)
+                    .with_weight(16.0)
+                    .with_output(0.1, 0.0, 1),
+                AnalysisProfile::new("b")
+                    .with_compute(ct * 1.5, 0.0)
+                    .with_interval(10)
+                    .with_output(0.1, 0.0, 1),
+            ],
+            ResourceConfig::from_total_threshold(100, 8.0, 1e9, 1e9),
+        )
+        .unwrap()
+    };
+    let p0 = mk(1.0);
+    let p1 = mk(1.1);
+    let p2 = mk(1.2);
+
+    let service = SolveService::new(ServiceConfig {
+        cache_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let cold = service.solve(&p0).unwrap();
+    assert_eq!(cold.source, service::ResponseSource::Fresh);
+    service.solve(&p1).unwrap();
+    service.solve(&p2).unwrap(); // p0 is now evicted
+    assert_eq!(
+        service.registry().snapshot().counter("service.evictions"),
+        Some(1)
+    );
+
+    let readmitted = service.solve(&p0).unwrap();
+    // a miss again — and with neighbors p1/p2 cached, a warm-started one
+    assert!(
+        matches!(
+            readmitted.source,
+            service::ResponseSource::Fresh | service::ResponseSource::Warm
+        ),
+        "evicted instance served from cache: {:?}",
+        readmitted.source
+    );
+    assert_eq!(
+        readmitted.objective.to_bits(),
+        cold.objective.to_bits(),
+        "warm-started re-solve changed the optimum"
+    );
+    assert_eq!(readmitted.counts, cold.counts);
+    assert_eq!(readmitted.output_counts, cold.output_counts);
+    assert_eq!(
+        readmitted.schedule, cold.schedule,
+        "unique-optimum instance must reproduce the cold schedule exactly"
+    );
+    assert_eq!(readmitted.verdict, certify::Verdict::Proved);
+
+    // and the re-solve repopulated the cache: next ask is a pure hit
+    let hit = service.solve(&p0).unwrap();
+    assert_eq!(hit.source, service::ResponseSource::Hit);
+    assert_eq!(hit.objective.to_bits(), cold.objective.to_bits());
+}
