@@ -10,7 +10,7 @@
 use crate::block::{Block, FlowVar, GHOST};
 use crate::mesh::Mesh;
 use insitu_types::KernelTelemetry;
-use parallel::Exec;
+use parallel::{Exec, ScratchPool};
 use std::time::Instant;
 
 /// Ratio of specific heats (FLASH's default ideal gamma for Sedov).
@@ -172,26 +172,60 @@ pub fn cfl_dt_ex(mesh: &Mesh, cfl: f64, exec: &Exec) -> f64 {
 /// Advances the mesh by `dt` with one unsplit first-order HLL step.
 /// Ghost layers must be current; they are refreshed at the end.
 pub fn step(mesh: &mut Mesh, dt: f64) {
-    step_ex(mesh, dt, &Exec::from_env(), &mut KernelTelemetry::new());
+    step_ex(
+        mesh,
+        dt,
+        &Exec::from_env(),
+        &mut KernelTelemetry::new(),
+        &ScratchPool::new(),
+    );
 }
 
 /// [`step`] on an explicit execution context, recording telemetry.
 ///
 /// Blocks read only their own cells + ghost layers and write only their
 /// own cells, so the block sweep is embarrassingly parallel and trivially
-/// deterministic; ghost exchanges stay serial.
-pub fn step_ex(mesh: &mut Mesh, dt: f64, exec: &Exec, telemetry: &mut KernelTelemetry) {
+/// deterministic; the ghost exchanges run the two-phase parallel
+/// gather/scatter of [`Mesh::exchange_ghosts_ex`]. All per-step buffers
+/// (ghost gather planes, per-block flux deltas) come from `pool`, so after
+/// the first step a steady-state step allocates nothing.
+pub fn step_ex(
+    mesh: &mut Mesh,
+    dt: f64,
+    exec: &Exec,
+    telemetry: &mut KernelTelemetry,
+    pool: &ScratchPool,
+) {
     let g0 = Instant::now();
-    mesh.exchange_ghosts();
+    let s0 = pool.counters();
+    mesh.exchange_ghosts_ex(exec, pool);
     let d = mesh.dx();
     let n = mesh.block_cells;
+    let s1 = pool.counters();
+    // Pre-warm the delta shelf to the worst-case number of concurrently
+    // held buffers (one per worker thread). The sweep takes and returns a
+    // buffer inside each block's closure, so without this the shelf depth
+    // would depend on thread scheduling and a timed steady-state step could
+    // still allocate; warming up-front makes steady state deterministic.
+    let warm: Vec<_> = (0..exec.threads().min(mesh.blocks.len()))
+        .map(|_| pool.take(5 * n * n * n))
+        .collect();
+    for buf in warm {
+        pool.put(buf);
+    }
     let stats = parallel::for_each_mut(exec, &mut mesh.blocks, |_, b| {
-        update_block(b, n, d, dt);
+        let mut delta = pool.take(5 * n * n * n);
+        update_block(b, n, d, dt, &mut delta);
+        pool.put(delta);
     });
-    mesh.exchange_ghosts();
-    // ghost time = total minus the block sweep (both serial exchanges)
+    let s2 = pool.counters();
+    mesh.exchange_ghosts_ex(exec, pool);
+    let s3 = pool.counters();
+    // ghost time = total minus the block sweep
     let ghosts = (g0.elapsed().as_secs_f64() - stats.wall_s()).max(0.0);
     telemetry.record("hydro.ghosts", 1, 1, ghosts, 0.0);
+    let (ga, gr) = (s1.since(&s0), s3.since(&s2));
+    telemetry.record_scratch("hydro.ghosts", ga.allocs + gr.allocs, ga.reuses + gr.reuses);
     telemetry.record(
         "hydro.step",
         stats.threads_used,
@@ -199,13 +233,17 @@ pub fn step_ex(mesh: &mut Mesh, dt: f64, exec: &Exec, telemetry: &mut KernelTele
         stats.wall_s(),
         0.0,
     );
+    let sw = s2.since(&s1);
+    telemetry.record_scratch("hydro.step", sw.allocs, sw.reuses);
 }
 
-/// One HLL update of a single block's interior cells.
-fn update_block(b: &mut Block, n: usize, d: [f64; 3], dt: f64) {
+/// One HLL update of a single block's interior cells. `delta` is pooled
+/// scratch of at least `5·n³` floats (one conservative update per cell);
+/// every slot is overwritten before it is read.
+fn update_block(b: &mut Block, n: usize, d: [f64; 3], dt: f64, delta: &mut [f64]) {
     {
         // snapshot conservative update per interior cell
-        let mut delta: Vec<Cons> = Vec::with_capacity(n * n * n);
+        let mut idx = 0;
         for k in 0..n {
             for j in 0..n {
                 for i in 0..n {
@@ -235,7 +273,12 @@ fn update_block(b: &mut Block, n: usize, d: [f64; 3], dt: f64) {
                         du.mz -= (f_plus.mz - f_minus.mz) * inv_dx;
                         du.e -= (f_plus.e - f_minus.e) * inv_dx;
                     }
-                    delta.push(du);
+                    delta[idx] = du.rho;
+                    delta[idx + 1] = du.mx;
+                    delta[idx + 2] = du.my;
+                    delta[idx + 3] = du.mz;
+                    delta[idx + 4] = du.e;
+                    idx += 5;
                 }
             }
         }
@@ -247,13 +290,12 @@ fn update_block(b: &mut Block, n: usize, d: [f64; 3], dt: f64) {
                     let (gi, gj, gk) = (i + GHOST, j + GHOST, k + GHOST);
                     let q = prim_at(b, gi, gj, gk);
                     let mut c = q.to_cons();
-                    let du = delta[idx];
-                    idx += 1;
-                    c.rho += dt * du.rho;
-                    c.mx += dt * du.mx;
-                    c.my += dt * du.my;
-                    c.mz += dt * du.mz;
-                    c.e += dt * du.e;
+                    c.rho += dt * delta[idx];
+                    c.mx += dt * delta[idx + 1];
+                    c.my += dt * delta[idx + 2];
+                    c.mz += dt * delta[idx + 3];
+                    c.e += dt * delta[idx + 4];
+                    idx += 5;
                     let p = c.to_prim();
                     *b.at_mut(FlowVar::Dens, gi, gj, gk) = p.rho;
                     *b.at_mut(FlowVar::Velx, gi, gj, gk) = p.u;

@@ -1,6 +1,7 @@
 //! The block-structured mesh: block grid, ghost exchange, boundaries.
 
 use crate::block::{Block, FlowVar, GHOST, NVARS};
+use parallel::{Exec, ScratchPool};
 
 /// A block-structured uniform mesh over an orthorhombic domain.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,85 +108,101 @@ impl Mesh {
     /// Fills the ghost layers of every block: interior faces copy the
     /// neighbouring block's edge cells; domain faces use outflow
     /// (zero-gradient) boundaries.
+    ///
+    /// Serial convenience wrapper over [`Mesh::exchange_ghosts_ex`] with a
+    /// transient scratch pool.
     pub fn exchange_ghosts(&mut self) {
+        self.exchange_ghosts_ex(&Exec::serial(), &ScratchPool::new());
+    }
+
+    /// [`Mesh::exchange_ghosts`] on an explicit execution context, with
+    /// gather buffers drawn from `pool`.
+    ///
+    /// Runs in two phases: **gather** reads, for every block, the six
+    /// source planes (neighbour far-interior plane, or the block's own
+    /// boundary plane for outflow faces) of all exchanged hydro variables
+    /// into one pooled buffer per block; **scatter** writes each block's
+    /// buffer into its own ghost planes. The gather phase reads *interior*
+    /// cells only and the scatter phase writes *ghost* cells only, so the
+    /// result is bitwise identical to the serial exchange at any thread
+    /// count — no write is visible to any read.
+    pub fn exchange_ghosts_ex(&mut self, exec: &Exec, pool: &ScratchPool) {
         let n = self.block_cells;
         let [nbx, nby, nbz] = self.block_dims;
-        // process per face direction to keep borrows simple: take a copy of
-        // the source plane values first, then write.
-        for var in EXCHANGED {
-            for bz in 0..nbz {
-                for by in 0..nby {
-                    for bx in 0..nbx {
-                        let b = self.block_index(bx, by, bz);
-                        // six faces: (axis, negative side?)
-                        for (axis, neg) in
-                            [(0, true), (0, false), (1, true), (1, false), (2, true), (2, false)]
-                        {
-                            let nb_coord = |c: usize, dim: usize| -> Option<usize> {
-                                if neg {
-                                    c.checked_sub(1)
-                                } else if c + 1 < dim {
-                                    Some(c + 1)
-                                } else {
-                                    None
-                                }
+        let plane = n * n;
+        // six faces: (axis, negative side?)
+        const FACES: [(usize, bool); 6] =
+            [(0, true), (0, false), (1, true), (1, false), (2, true), (2, false)];
+        // phase 1: gather. One flat buffer per block, laid out face-major
+        // then variable-major: offset ((face*nvars + var)*n + row)*n + col.
+        // Every slot is overwritten, so stale pooled contents are fine.
+        let blocks = &self.blocks;
+        let (gathered, _) = parallel::map_chunks(exec, blocks.len(), |b| {
+            let bx = b % nbx;
+            let by = (b / nbx) % nby;
+            let bz = b / (nbx * nby);
+            let mut buf = pool.take(6 * EXCHANGED.len() * plane);
+            for (fi, &(axis, neg)) in FACES.iter().enumerate() {
+                let nb_coord = |c: usize, dim: usize| -> Option<usize> {
+                    if neg {
+                        c.checked_sub(1)
+                    } else if c + 1 < dim {
+                        Some(c + 1)
+                    } else {
+                        None
+                    }
+                };
+                let neighbor = match axis {
+                    0 => nb_coord(bx, nbx).map(|x| (bz * nby + by) * nbx + x),
+                    1 => nb_coord(by, nby).map(|y| (bz * nby + y) * nbx + bx),
+                    _ => nb_coord(bz, nbz).map(|z| (z * nby + by) * nbx + bx),
+                };
+                // interior source plane: the neighbour's far plane, or our
+                // own boundary plane (outflow / zero-gradient)
+                let (src, sc) = match neighbor {
+                    Some(s) => (s, if neg { n - 1 } else { 0 }),
+                    None => (b, if neg { 0 } else { n - 1 }),
+                };
+                let sb = &blocks[src];
+                for (vi, &var) in EXCHANGED.iter().enumerate() {
+                    let base = (fi * EXCHANGED.len() + vi) * plane;
+                    for v in 0..n {
+                        for u in 0..n {
+                            let (i, j, k) = match axis {
+                                0 => (sc, u, v),
+                                1 => (u, sc, v),
+                                _ => (u, v, sc),
                             };
-                            let neighbor = match axis {
-                                0 => nb_coord(bx, nbx).map(|x| self.block_index(x, by, bz)),
-                                1 => nb_coord(by, nby).map(|y| self.block_index(bx, y, bz)),
-                                _ => nb_coord(bz, nbz).map(|z| self.block_index(bx, by, z)),
-                            };
-                            // gather the source plane
-                            let mut plane = vec![0.0; n * n];
-                            match neighbor {
-                                Some(src) => {
-                                    // neighbour's far interior plane
-                                    let sc = if neg { n - 1 } else { 0 };
-                                    let sb = &self.blocks[src];
-                                    for v in 0..n {
-                                        for u in 0..n {
-                                            let (i, j, k) = match axis {
-                                                0 => (sc, u, v),
-                                                1 => (u, sc, v),
-                                                _ => (u, v, sc),
-                                            };
-                                            plane[v * n + u] = sb.cell(var, i, j, k);
-                                        }
-                                    }
-                                }
-                                None => {
-                                    // outflow: copy own boundary interior plane
-                                    let sc = if neg { 0 } else { n - 1 };
-                                    let sb = &self.blocks[b];
-                                    for v in 0..n {
-                                        for u in 0..n {
-                                            let (i, j, k) = match axis {
-                                                0 => (sc, u, v),
-                                                1 => (u, sc, v),
-                                                _ => (u, v, sc),
-                                            };
-                                            plane[v * n + u] = sb.cell(var, i, j, k);
-                                        }
-                                    }
-                                }
-                            }
-                            // scatter into the ghost plane
-                            let gc = if neg { 0 } else { n + GHOST };
-                            let db = &mut self.blocks[b];
-                            for v in 0..n {
-                                for u in 0..n {
-                                    let (gi, gj, gk) = match axis {
-                                        0 => (gc, u + GHOST, v + GHOST),
-                                        1 => (u + GHOST, gc, v + GHOST),
-                                        _ => (u + GHOST, v + GHOST, gc),
-                                    };
-                                    *db.at_mut(var, gi, gj, gk) = plane[v * n + u];
-                                }
-                            }
+                            buf[base + v * n + u] = sb.cell(var, i, j, k);
                         }
                     }
                 }
             }
+            buf
+        });
+        // phase 2: scatter each block's gathered planes into its ghosts
+        let gathered_ref = &gathered;
+        parallel::for_each_mut(exec, &mut self.blocks, |b, db| {
+            let buf = &gathered_ref[b];
+            for (fi, &(axis, neg)) in FACES.iter().enumerate() {
+                let gc = if neg { 0 } else { n + GHOST };
+                for (vi, &var) in EXCHANGED.iter().enumerate() {
+                    let base = (fi * EXCHANGED.len() + vi) * plane;
+                    for v in 0..n {
+                        for u in 0..n {
+                            let (gi, gj, gk) = match axis {
+                                0 => (gc, u + GHOST, v + GHOST),
+                                1 => (u + GHOST, gc, v + GHOST),
+                                _ => (u + GHOST, v + GHOST, gc),
+                            };
+                            *db.at_mut(var, gi, gj, gk) = buf[base + v * n + u];
+                        }
+                    }
+                }
+            }
+        });
+        for buf in gathered {
+            pool.put(buf);
         }
         let _ = NVARS; // (documented: only the hydro state is exchanged)
     }
@@ -236,6 +253,34 @@ mod tests {
         let b = &m.blocks[0];
         assert_eq!(b.at(FlowVar::Pres, 0, GHOST, GHOST), 0.0); // -x ghost = cell 0
         assert_eq!(b.at(FlowVar::Pres, 5, GHOST, GHOST), 3.0); // +x ghost = cell 3
+    }
+
+    #[test]
+    fn parallel_ghost_exchange_matches_serial() {
+        let mut serial = Mesh::new([2, 2, 2], 4, [1.0, 1.0, 1.0]);
+        for (bi, b) in serial.blocks.iter_mut().enumerate() {
+            for (vi, &var) in EXCHANGED.iter().enumerate() {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        for k in 0..4 {
+                            *b.cell_mut(var, i, j, k) =
+                                (bi * 1000 + vi * 100 + i * 16 + j * 4 + k) as f64 * 0.375;
+                        }
+                    }
+                }
+            }
+        }
+        let mut par = serial.clone();
+        serial.exchange_ghosts();
+        let pool = ScratchPool::new();
+        par.exchange_ghosts_ex(&Exec::with_threads(4), &pool);
+        assert_eq!(serial, par, "ghost exchange must be thread-count invariant");
+        // a second exchange reuses every gather buffer
+        let before = pool.counters();
+        par.exchange_ghosts_ex(&Exec::with_threads(4), &pool);
+        let after = pool.counters();
+        assert_eq!(after.allocs, before.allocs, "warm exchange must not allocate");
+        assert_eq!(after.reuses, before.reuses + par.blocks.len());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! `--smoke` runs the reduced CI grid; `--out` overrides the JSON path
 //! (default `BENCH_milp.json` in the current directory).
 
-use bench::experiments::solver_bench::{run, FULL_GRID, SMOKE_GRID};
+use bench::experiments::solver_bench::{
+    run, ABLATION_FULL_GRID, ABLATION_SMOKE_GRID, FULL_GRID, SMOKE_GRID,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +35,12 @@ fn main() {
     }
 
     let grid: &[(usize, usize)] = if smoke { &SMOKE_GRID } else { &FULL_GRID };
-    let outcome = run(grid);
+    let ablation: &[(usize, usize)] = if smoke {
+        &ABLATION_SMOKE_GRID
+    } else {
+        &ABLATION_FULL_GRID
+    };
+    let outcome = run(grid, ablation);
     println!("{}", outcome.report);
     let json = outcome.to_json().to_string_pretty();
     std::fs::write(&out, json + "\n").expect("write BENCH_milp.json");
@@ -44,6 +51,15 @@ fn main() {
         largest.analyses,
         largest.lp_speedup()
     );
+    if let Some(flagship) = outcome.branching.last() {
+        println!(
+            "flagship ablation (Steps={}, |A|={}): node ratio {:.1}x, wall ratio {:.1}x",
+            flagship.steps,
+            flagship.analyses,
+            flagship.node_ratio(),
+            flagship.wall_ratio()
+        );
+    }
 
     // unified sink: both engines' sweep totals through one registry (same
     // milp.* names SolveStats::export_into uses for a single solve)

@@ -232,6 +232,8 @@ fn kernel_json(r: &KernelRecord) -> Value {
     o.insert("chunks".into(), Value::Number(r.chunks as f64));
     o.insert("wall_ms".into(), Value::Number(r.wall_s * 1e3));
     o.insert("merge_ms".into(), Value::Number(r.merge_s * 1e3));
+    o.insert("scratch_allocs".into(), Value::Number(r.scratch_allocs as f64));
+    o.insert("scratch_reuses".into(), Value::Number(r.scratch_reuses as f64));
     Value::Object(o)
 }
 
@@ -287,6 +289,10 @@ mod tests {
             assert!(p.step_ms > 0.0 && p.analysis_ms > 0.0, "{p:?}");
             assert_eq!(p.step_kernel.calls, TIMED_STEPS, "{p:?}");
             assert!(p.step_kernel.chunks > 0, "telemetry flows: {p:?}");
+            // the timed window starts after a warm-up step, so the scratch
+            // pools must already be at steady state: zero allocations.
+            assert_eq!(p.step_kernel.scratch_allocs, 0, "{p:?}");
+            assert!(p.step_kernel.scratch_reuses > 0, "{p:?}");
         }
         // chunk counts are a function of size only, never of threads
         for w in o.points.chunks(THREADS_SMOKE.len()) {

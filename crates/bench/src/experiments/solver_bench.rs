@@ -11,7 +11,26 @@
 //!   pivots, plus revised-engine telemetry: refactorizations, eta peak,
 //!   FTRAN/BTRAN time).
 //!
-//! [`Outcome::to_json`] serializes the sweep in the `BENCH_milp.json`
+//! A second sweep ablates the **branching rule** on the paper's
+//! production formulation — the count-based **aggregate model**
+//! (`insitu_core::build_aggregate`, the model `certify`, the service tier
+//! and the fuzz harness all solve) — over memory-tight instances
+//! ([`ablation_instance`]) whose unary `(k, q)` expansions form a
+//! multidimensional knapsack, the structure where variable selection
+//! actually decides tree size. (The exact time-indexed formulation is a
+//! poor branching testbed: its telescoped per-step binaries are so
+//! symmetric and its LPs so degenerate that every rule explores
+//! near-identical trees — root-solved or uniformly hopeless.) Every
+//! ablation instance is solved with the legacy most-fractional rule and
+//! with the default two-tier pseudocost/strong-branching rule
+//! (`docs/SOLVER.md`), both on the revised engine at one thread,
+//! reporting node counts, wall time and proof status. The flagship point
+//! (`Steps=512, |A|=16`) is the 10×-scale acceptance measurement: the
+//! two-tier rule must at least halve the node count or the wall time.
+//! Node counts are deterministic and machine-independent, so the
+//! committed ratios are comparable across hosts.
+//!
+//! [`Outcome::to_json`] serializes both sweeps in the `BENCH_milp.json`
 //! schema documented in `EXPERIMENTS.md`.
 
 use std::time::Instant;
@@ -19,13 +38,27 @@ use std::time::Instant;
 use insitu_core::formulation::build_exact;
 use insitu_types::json::Value;
 use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
-use milp::{solve_lp_relaxation, SimplexEngine, SolveOptions};
+use milp::{solve_lp_relaxation, BranchRule, SimplexEngine, SolveError, SolveOptions};
 
 /// Sweep grid for the full benchmark: `(Steps, |A|)`.
 pub const FULL_GRID: [(usize, usize); 6] = [(16, 2), (32, 2), (32, 4), (64, 2), (64, 4), (96, 4)];
 
 /// Sweep grid for `--smoke` (CI): small but still two sizes per axis.
 pub const SMOKE_GRID: [(usize, usize); 2] = [(8, 2), (16, 3)];
+
+/// Branching-ablation grid for the full benchmark. The last point is the
+/// 10×-scale flagship (`Steps=512, |A|=16`).
+pub const ABLATION_FULL_GRID: [(usize, usize); 4] =
+    [(64, 4), (128, 8), (256, 12), (512, 16)];
+
+/// Branching-ablation grid for `--smoke`: three paper-shaped instances.
+pub const ABLATION_SMOKE_GRID: [(usize, usize); 3] = [(16, 2), (32, 4), (64, 4)];
+
+/// Node budget for ablation solves: big enough that the two-tier rule
+/// proves every grid point, small enough that a most-fractional blowup
+/// terminates. A capped run reports `proven: false` with `nodes` at the
+/// cap — an honest lower bound on its tree size.
+pub const ABLATION_NODE_CAP: usize = 50_000;
 
 /// Per-engine measurements on one instance.
 #[derive(Debug, Clone, Copy)]
@@ -74,11 +107,55 @@ impl SweepPoint {
     }
 }
 
+/// One branching rule's run on one ablation instance.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchRun {
+    /// Full MILP solve wall time (milliseconds).
+    pub wall_ms: f64,
+    /// Branch & bound nodes explored (the cap if `proven` is false).
+    pub nodes: usize,
+    /// Child LPs solved by strong-branching probes.
+    pub strong_branch_lps: usize,
+    /// Nodes branched from pseudocost estimates alone.
+    pub pseudocost_branches: usize,
+    /// True when optimality was proven within [`ABLATION_NODE_CAP`].
+    pub proven: bool,
+}
+
+/// One branching-ablation grid point: both rules on the same instance.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchPoint {
+    /// Simulation steps (`Steps`).
+    pub steps: usize,
+    /// Number of analyses (`|A|`).
+    pub analyses: usize,
+    /// Legacy rule: branch on the most-fractional variable.
+    pub most_fractional: BranchRun,
+    /// Default two-tier rule: pseudocosts + shallow strong branching.
+    pub pseudocost: BranchRun,
+}
+
+impl BranchPoint {
+    /// Most-fractional over two-tier node ratio (>1 = two-tier searched a
+    /// smaller tree). When most-fractional hit the node cap this is a
+    /// lower bound.
+    pub fn node_ratio(&self) -> f64 {
+        self.most_fractional.nodes as f64 / self.pseudocost.nodes.max(1) as f64
+    }
+
+    /// Most-fractional over two-tier wall-time ratio.
+    pub fn wall_ratio(&self) -> f64 {
+        self.most_fractional.wall_ms / self.pseudocost.wall_ms.max(1e-3)
+    }
+}
+
 /// Sweep result.
 #[derive(Debug)]
 pub struct Outcome {
     /// One entry per grid point, in sweep order (largest last).
     pub points: Vec<SweepPoint>,
+    /// One entry per branching-ablation grid point, in sweep order.
+    pub branching: Vec<BranchPoint>,
     /// Printable report.
     pub report: String,
 }
@@ -146,8 +223,100 @@ fn run_engine(problem: &ScheduleProblem, engine: SimplexEngine) -> EngineRun {
     }
 }
 
-/// Runs the sweep over `grid`.
-pub fn run(grid: &[(usize, usize)]) -> Outcome {
+/// A memory-tight paper-shaped ablation instance: |A| analyses with
+/// deterministically spread compute/output costs, **accumulating memory**
+/// (per-step state and compute buffers that Eq. 6 frees only at outputs)
+/// and a memory threshold at 35 % of the rough peak, so the aggregate
+/// model's unary `(k, q)` expansion becomes a multidimensional knapsack —
+/// time budget against memory peaks. Weights are half-integer, so the
+/// objective lives on a 0.5 grid and `abs_gap = 0.499` is still an exact
+/// optimality proof.
+pub fn ablation_instance(steps: usize, n: usize) -> ScheduleProblem {
+    let mut analyses = Vec::with_capacity(n);
+    let mut rough_cost = 0.0;
+    let mut rough_peak = 0.0;
+    for i in 0..n {
+        let kmax = 4 + 4 * (i % 4);
+        let itv = (steps / kmax).max(1);
+        let k = (steps / itv) as f64;
+        let ct = 0.5 * (1 + (i * 7) % 11) as f64;
+        let cm = 4.0 * ((i * 5) % 9) as f64;
+        let ot = 0.25 * (1 + i % 3) as f64;
+        let om = 3.0 * ((i * 3) % 7) as f64;
+        let im = 0.5 * ((i * 2) % 5) as f64;
+        let weight = 0.5 * (1 + (i * 3) % 6) as f64;
+        rough_cost += k * (ct + ot);
+        rough_peak += im * steps as f64 + k * cm + om;
+        analyses.push(
+            AnalysisProfile::new(format!("A{i}"))
+                .with_per_step(0.0, im)
+                .with_compute(ct, cm)
+                .with_output(ot, om, 1)
+                .with_weight(weight)
+                .with_interval(itv),
+        );
+    }
+    ScheduleProblem::new(
+        analyses,
+        ResourceConfig::from_total_threshold(
+            steps,
+            rough_cost * 0.6,
+            rough_peak * 0.35,
+            1e6,
+        ),
+    )
+    .expect("valid instance")
+}
+
+fn run_branch_rule(problem: &ScheduleProblem, rule: BranchRule) -> BranchRun {
+    let model = insitu_core::build_aggregate(problem)
+        .expect("aggregate model builds")
+        .model;
+    let o = SolveOptions {
+        branch_rule: rule,
+        max_nodes: ABLATION_NODE_CAP,
+        // half-integer weights => objective on a 0.5 grid => exact
+        abs_gap: 0.499,
+        ..opts(SimplexEngine::Revised)
+    };
+    let t0 = Instant::now();
+    match milp::solve(&model, &o) {
+        Ok(sol) => BranchRun {
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            nodes: sol.nodes,
+            strong_branch_lps: sol.stats.strong_branch_lps,
+            pseudocost_branches: sol.stats.pseudocost_branches,
+            proven: true,
+        },
+        Err(SolveError::NodeLimit { nodes, .. }) => BranchRun {
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            nodes,
+            strong_branch_lps: 0,
+            pseudocost_branches: 0,
+            proven: false,
+        },
+        Err(e) => panic!("ablation instance failed: {e}"),
+    }
+}
+
+/// Runs the branching ablation over `grid`.
+pub fn run_ablation(grid: &[(usize, usize)]) -> Vec<BranchPoint> {
+    grid.iter()
+        .map(|&(steps, n)| {
+            let problem = ablation_instance(steps, n);
+            BranchPoint {
+                steps,
+                analyses: n,
+                most_fractional: run_branch_rule(&problem, BranchRule::MostFractional),
+                pseudocost: run_branch_rule(&problem, BranchRule::Pseudocost),
+            }
+        })
+        .collect()
+}
+
+/// Runs the engine sweep over `grid` and the branching ablation over
+/// `ablation_grid`.
+pub fn run(grid: &[(usize, usize)], ablation_grid: &[(usize, usize)]) -> Outcome {
     let mut points = Vec::with_capacity(grid.len());
     let mut t = crate::table::TextTable::new(&[
         "Steps",
@@ -187,13 +356,58 @@ pub fn run(grid: &[(usize, usize)]) -> Outcome {
         ]);
         points.push(p);
     }
+    let branching = run_ablation(ablation_grid);
+    let mut bt = crate::table::TextTable::new(&[
+        "Steps",
+        "|A|",
+        "MF nodes",
+        "PC nodes",
+        "node ratio",
+        "MF wall (ms)",
+        "PC wall (ms)",
+        "wall ratio",
+        "sb lps / pc nodes",
+    ]);
+    for b in &branching {
+        let status = |r: &BranchRun| {
+            if r.proven {
+                r.nodes.to_string()
+            } else {
+                format!("{}+ (cap)", r.nodes)
+            }
+        };
+        bt.row(&[
+            b.steps.to_string(),
+            b.analyses.to_string(),
+            status(&b.most_fractional),
+            status(&b.pseudocost),
+            format!("{:.1}x", b.node_ratio()),
+            format!("{:.2}", b.most_fractional.wall_ms),
+            format!("{:.2}", b.pseudocost.wall_ms),
+            format!("{:.1}x", b.wall_ratio()),
+            format!(
+                "{} / {}",
+                b.pseudocost.strong_branch_lps, b.pseudocost.pseudocost_branches
+            ),
+        ]);
+    }
     let report = format!(
         "Exact time-indexed formulation (2*|A|*Steps binaries), both LP\n\
          engines; LP columns time the root relaxation, MILP columns the\n\
-         full branch & bound. nodes column is revised/dense.\n{}",
-        t.render()
+         full branch & bound. nodes column is revised/dense.\n{}\n\
+         Branching ablation (revised engine): legacy most-fractional (MF)\n\
+         vs default pseudocost + strong branching (PC); ratios are MF/PC,\n\
+         so >1 favours the two-tier rule. '+ (cap)' marks node-capped\n\
+         unproven runs ({} nodes).\n{}",
+        t.render(),
+        ABLATION_NODE_CAP,
+        bt.render()
     );
-    Outcome { points, report }
+    Outcome {
+        points,
+        branching,
+        report,
+    }
 }
 
 fn engine_json(r: &EngineRun) -> Value {
@@ -210,6 +424,22 @@ fn engine_json(r: &EngineRun) -> Value {
     o.insert("max_eta_len".into(), Value::Number(r.max_eta_len as f64));
     o.insert("ftran_ms".into(), Value::Number(r.ftran_ms));
     o.insert("btran_ms".into(), Value::Number(r.btran_ms));
+    Value::Object(o)
+}
+
+fn branch_run_json(r: &BranchRun) -> Value {
+    let mut o = std::collections::BTreeMap::new();
+    o.insert("wall_ms".into(), Value::Number(r.wall_ms));
+    o.insert("nodes".into(), Value::Number(r.nodes as f64));
+    o.insert(
+        "strong_branch_lps".into(),
+        Value::Number(r.strong_branch_lps as f64),
+    );
+    o.insert(
+        "pseudocost_branches".into(),
+        Value::Number(r.pseudocost_branches as f64),
+    );
+    o.insert("proven".into(), Value::Bool(r.proven));
     Value::Object(o)
 }
 
@@ -242,6 +472,28 @@ impl Outcome {
             "largest_lp_speedup".into(),
             Value::Number(self.points.last().map_or(0.0, |p| p.lp_speedup())),
         );
+        let branching: Vec<Value> = self
+            .branching
+            .iter()
+            .map(|b| {
+                let mut o = std::collections::BTreeMap::new();
+                o.insert("steps".into(), Value::Number(b.steps as f64));
+                o.insert("analyses".into(), Value::Number(b.analyses as f64));
+                o.insert(
+                    "most_fractional".into(),
+                    branch_run_json(&b.most_fractional),
+                );
+                o.insert("pseudocost".into(), branch_run_json(&b.pseudocost));
+                o.insert("node_ratio".into(), Value::Number(b.node_ratio()));
+                o.insert("wall_ratio".into(), Value::Number(b.wall_ratio()));
+                Value::Object(o)
+            })
+            .collect();
+        root.insert("branching".into(), Value::Array(branching));
+        root.insert(
+            "flagship_node_ratio".into(),
+            Value::Number(self.branching.last().map_or(0.0, |b| b.node_ratio())),
+        );
         Value::Object(root)
     }
 }
@@ -252,7 +504,7 @@ mod tests {
 
     #[test]
     fn smoke_grid_runs_and_serializes() {
-        let o = run(&SMOKE_GRID);
+        let o = run(&SMOKE_GRID, &ABLATION_SMOKE_GRID[..1]);
         assert_eq!(o.points.len(), SMOKE_GRID.len());
         for p in &o.points {
             // both engines reached the same search outcome
@@ -260,9 +512,18 @@ mod tests {
             assert!(p.revised.refactorizations > 0, "revised telemetry flows");
             assert_eq!(p.dense.refactorizations, 0, "dense has no eta file");
         }
+        assert_eq!(o.branching.len(), 1);
+        for b in &o.branching {
+            assert!(b.most_fractional.proven && b.pseudocost.proven);
+            // a root-solved instance legitimately reports 0 nodes
+            assert!(b.pseudocost.nodes <= b.most_fractional.nodes.max(1));
+            assert!(b.pseudocost.wall_ms > 0.0);
+        }
         let json = o.to_json().to_string_pretty();
         assert!(json.contains("bench/milp-engine-sweep/v1"));
         assert!(json.contains("largest_lp_speedup"));
+        assert!(json.contains("flagship_node_ratio"));
+        assert!(json.contains("most_fractional"));
         // the schema round-trips through the vendored parser
         insitu_types::json::Value::parse(&json).expect("valid JSON");
     }

@@ -22,6 +22,12 @@ pub struct KernelRecord {
     pub wall_s: f64,
     /// Total seconds spent in ordered merges across all invocations.
     pub merge_s: f64,
+    /// Scratch buffers freshly allocated across all invocations (pool
+    /// misses). Zero in steady state once the kernel's scratch pool is
+    /// warm.
+    pub scratch_allocs: usize,
+    /// Scratch buffers served from the pool across all invocations.
+    pub scratch_reuses: usize,
 }
 
 impl KernelRecord {
@@ -62,6 +68,16 @@ impl KernelTelemetry {
         r.merge_s += merge_s;
     }
 
+    /// Adds scratch-pool activity to `kernel` without counting a call.
+    /// Kernels call this right after [`KernelTelemetry::record`] with the
+    /// pool-counter delta of the invocation, so `BENCH_sim.json` can show
+    /// steady-state allocations reaching zero.
+    pub fn record_scratch(&mut self, kernel: &str, allocs: usize, reuses: usize) {
+        let r = self.kernels.entry(kernel.to_string()).or_default();
+        r.scratch_allocs += allocs;
+        r.scratch_reuses += reuses;
+    }
+
     /// Record for `kernel`, if any invocation has been recorded.
     pub fn get(&self, kernel: &str) -> Option<&KernelRecord> {
         self.kernels.get(kernel)
@@ -77,6 +93,8 @@ impl KernelTelemetry {
             mine.chunks = r.chunks;
             mine.wall_s += r.wall_s;
             mine.merge_s += r.merge_s;
+            mine.scratch_allocs += r.scratch_allocs;
+            mine.scratch_reuses += r.scratch_reuses;
         }
     }
 
@@ -106,6 +124,8 @@ impl KernelTelemetry {
                         chunks: r.chunks,
                         wall_s: r.wall_s - base.wall_s,
                         merge_s: r.merge_s - base.merge_s,
+                        scratch_allocs: r.scratch_allocs - base.scratch_allocs,
+                        scratch_reuses: r.scratch_reuses - base.scratch_reuses,
                     },
                 );
             }
@@ -142,15 +162,19 @@ impl KernelTelemetry {
 
     /// Plain-text table: one line per kernel.
     pub fn table(&self) -> String {
-        let mut out = String::from("kernel                 calls thr chk   wall(ms)  merge(ms)\n");
+        let mut out = String::from(
+            "kernel                 calls thr chk   wall(ms)  merge(ms)  alloc reuse\n",
+        );
         for (name, r) in &self.kernels {
             out.push_str(&format!(
-                "{name:<22} {:>5} {:>3} {:>3} {:>10.3} {:>10.3}\n",
+                "{name:<22} {:>5} {:>3} {:>3} {:>10.3} {:>10.3} {:>6} {:>5}\n",
                 r.calls,
                 r.threads,
                 r.chunks,
                 r.wall_s * 1e3,
                 r.merge_s * 1e3,
+                r.scratch_allocs,
+                r.scratch_reuses,
             ));
         }
         out
@@ -167,6 +191,8 @@ impl KernelTelemetry {
             o.insert("chunks".into(), Value::Number(r.chunks as f64));
             o.insert("wall_ms".into(), Value::Number(r.wall_s * 1e3));
             o.insert("merge_ms".into(), Value::Number(r.merge_s * 1e3));
+            o.insert("scratch_allocs".into(), Value::Number(r.scratch_allocs as f64));
+            o.insert("scratch_reuses".into(), Value::Number(r.scratch_reuses as f64));
             root.insert(name.clone(), Value::Object(o));
         }
         Value::Object(root)
@@ -232,6 +258,26 @@ mod tests {
         let wall = snap.meter("sim.md.force.wall_s").unwrap();
         assert_eq!(wall.count, 2);
         assert!((wall.sum - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_counters_accumulate_and_delta() {
+        let mut t = KernelTelemetry::new();
+        t.record("md.force", 1, 8, 0.1, 0.0);
+        t.record_scratch("md.force", 24, 0); // cold step: all misses
+        let baseline = t.clone();
+        t.record("md.force", 1, 8, 0.1, 0.0);
+        t.record_scratch("md.force", 0, 24); // warm step: all reuses
+        let r = t.get("md.force").unwrap();
+        assert_eq!((r.scratch_allocs, r.scratch_reuses), (24, 24));
+        let d = t.delta_since(&baseline);
+        let dr = d.get("md.force").unwrap();
+        assert_eq!((dr.scratch_allocs, dr.scratch_reuses), (0, 24));
+        let mut merged = KernelTelemetry::new();
+        merged.merge_from(&t);
+        assert_eq!(merged.get("md.force").unwrap().scratch_allocs, 24);
+        assert!(t.table().contains("alloc"));
+        assert!(t.to_json().to_string_pretty().contains("\"scratch_allocs\""));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use crate::analysis::sink::OutputSink;
 use crate::system::{Species, System};
 use insitu_core::runtime::Analysis;
+use parallel::ScratchPool;
+use std::collections::VecDeque;
 
 /// VACF kernel over a set of tracked species.
 #[derive(Debug)]
@@ -18,8 +20,13 @@ pub struct Vacf {
     species: Vec<Species>,
     tracked: Vec<usize>,
     /// Ring buffer of velocity snapshots, each 3×N_tracked flattened.
-    window: Vec<Vec<f64>>,
+    /// A `VecDeque` so eviction at capacity is O(1), not an O(window)
+    /// front-shift.
+    window: VecDeque<Vec<f64>>,
     capacity: usize,
+    /// Evicted/flushed snapshot buffers, reused for new snapshots: in
+    /// steady state the per-step `record` allocates nothing.
+    pool: ScratchPool,
     /// Most recent correlation curve.
     pub correlation: Vec<f64>,
     /// Output destination.
@@ -33,36 +40,50 @@ impl Vacf {
             name: name.to_string(),
             species,
             tracked: Vec::new(),
-            window: Vec::new(),
+            window: VecDeque::new(),
             capacity: capacity.max(2),
+            pool: ScratchPool::new(),
             correlation: Vec::new(),
             sink: OutputSink::null(),
         }
     }
 
     fn snapshot(&self, system: &System) -> Vec<f64> {
-        let mut v = Vec::with_capacity(3 * self.tracked.len());
-        for &i in &self.tracked {
+        // pooled buffer, overwritten in full below
+        let mut v = self.pool.take(3 * self.tracked.len());
+        for (k, &i) in self.tracked.iter().enumerate() {
             let vel = system.velocity(i);
-            v.extend_from_slice(&vel);
+            v[3 * k] = vel[0];
+            v[3 * k + 1] = vel[1];
+            v[3 * k + 2] = vel[2];
         }
         v
     }
 
     /// Appends the current velocities to the history window.
     pub fn record(&mut self, system: &System) {
-        let snap = self.snapshot(system);
+        // evict BEFORE snapshotting so the freed buffer serves the new
+        // snapshot — steady state then cycles one buffer with zero allocs
         if self.window.len() == self.capacity {
-            self.window.remove(0);
+            if let Some(old) = self.window.pop_front() {
+                self.pool.put(old);
+            }
         }
-        self.window.push(snap);
+        let snap = self.snapshot(system);
+        self.window.push_back(snap);
+    }
+
+    /// Scratch-pool counters: `(allocations, reuses)` since construction.
+    pub fn scratch_counters(&self) -> (usize, usize) {
+        let c = self.pool.counters();
+        (c.allocs, c.reuses)
     }
 
     /// Computes the normalized correlation `C(τ)` for `τ = 0..window-1`,
     /// referenced to the oldest snapshot in the window.
     pub fn compute(&mut self) -> &[f64] {
         self.correlation.clear();
-        let Some(reference) = self.window.first() else {
+        let Some(reference) = self.window.front() else {
             return &self.correlation;
         };
         let norm: f64 = reference.iter().map(|v| v * v).sum();
@@ -83,6 +104,13 @@ impl Vacf {
     pub fn window_len(&self) -> usize {
         self.window.len()
     }
+
+    /// Empties the window, returning every snapshot buffer to the pool.
+    fn drain_window_to_pool(&mut self) {
+        while let Some(b) = self.window.pop_front() {
+            self.pool.put(b);
+        }
+    }
 }
 
 impl Analysis<System> for Vacf {
@@ -96,7 +124,9 @@ impl Analysis<System> for Vacf {
             .iter()
             .flat_map(|&s| state.of_species(s))
             .collect();
-        self.window.clear();
+        // tracked-set (and hence snapshot length) may change: drop the
+        // window but keep the buffers — the pool shelves by size
+        self.drain_window_to_pool();
     }
 
     fn per_step(&mut self, state: &System) {
@@ -113,7 +143,7 @@ impl Analysis<System> for Vacf {
             text.push_str(&format!("{tau} {c:.8}\n"));
         }
         self.sink.emit(text.as_bytes());
-        self.window.clear(); // history freed at output
+        self.drain_window_to_pool(); // history released at output
     }
 }
 
@@ -194,5 +224,31 @@ mod tests {
     fn empty_window_is_safe() {
         let mut vacf = Vacf::new("t", vec![Species::Water], 4);
         assert!(vacf.compute().is_empty());
+    }
+
+    #[test]
+    fn snapshot_pool_reaches_steady_state() {
+        let s = free_system();
+        let mut vacf = Vacf::new("t", vec![Species::Water], 5);
+        vacf.setup(&s);
+        // fill the window: one fresh buffer per snapshot
+        for _ in 0..5 {
+            vacf.record(&s);
+        }
+        let (cold, _) = vacf.scratch_counters();
+        assert_eq!(cold, 5);
+        // steady state: every eviction feeds the next snapshot
+        for _ in 0..50 {
+            vacf.record(&s);
+        }
+        let (allocs, reuses) = vacf.scratch_counters();
+        assert_eq!(allocs, cold, "steady-state record must allocate nothing");
+        assert_eq!(reuses, 50);
+        // output drains the window into the pool; refills reuse it all
+        vacf.output(&s);
+        for _ in 0..5 {
+            vacf.record(&s);
+        }
+        assert_eq!(vacf.scratch_counters().0, cold);
     }
 }

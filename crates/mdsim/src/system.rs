@@ -7,7 +7,7 @@ use crate::force::ForceField;
 use crate::neighbor::CellList;
 use insitu_core::runtime::Simulator;
 use insitu_types::KernelTelemetry;
-use parallel::Exec;
+use parallel::{Exec, ScratchPool};
 use std::time::Instant;
 
 /// Number of species understood by the builders/analyses.
@@ -155,6 +155,12 @@ pub struct System {
     /// `md.force`). Disabled by default; attach a handle to see the
     /// simulation's kernels inside a coupled-run timeline.
     pub tracer: obs::TraceHandle,
+    /// Reusable per-chunk scratch buffers for the force kernel. After the
+    /// first step every per-chunk accumulator is served from here, so
+    /// steady-state stepping performs zero scratch allocations (tracked as
+    /// `scratch_allocs` / `scratch_reuses` on the `md.force` telemetry).
+    /// Cloning a `System` starts the clone with an empty pool.
+    pub scratch: ScratchPool,
     cells: Option<CellList>,
 }
 
@@ -178,6 +184,7 @@ impl System {
             exec: Exec::from_env(),
             telemetry: KernelTelemetry::new(),
             tracer: obs::TraceHandle::disabled(),
+            scratch: ScratchPool::new(),
             cells: None,
         }
     }
@@ -302,17 +309,20 @@ impl System {
             );
             // cap chunks below pair_chunks' bound: every chunk carries a
             // 3·N scratch accumulator, and the ordered merge is O(chunks·N)
-            let chunks = cells.pair_chunks().min(8);
+            let chunks = cells.pair_chunks().min(self.exec.chunk_cap());
             let ncells = cells.num_cells();
             let pos = &self.pos;
             let cells_ref = &cells;
+            let pool = &self.scratch;
+            let scratch0 = pool.counters();
             let mut force_span = tracer.span("md.force");
             force_span.tag("threads", self.exec.threads());
             force_span.tag("chunks", chunks);
+            force_span.tag("chunk_cap", self.exec.chunk_cap());
             let (parts, stats) = parallel::map_chunks(&self.exec, chunks, move |c| {
-                let mut cfx = vec![0.0f64; n];
-                let mut cfy = vec![0.0f64; n];
-                let mut cfz = vec![0.0f64; n];
+                let mut cfx = pool.take_zeroed(n);
+                let mut cfy = pool.take_zeroed(n);
+                let mut cfz = pool.take_zeroed(n);
                 let mut cpot = 0.0f64;
                 let range = parallel::chunk_bounds(ncells, chunks, c);
                 cells_ref.for_each_pair_in(&bounds, pos, range, |i, j, r2| {
@@ -342,6 +352,9 @@ impl System {
                 for (dst, src) in fz.iter_mut().zip(&cfz) {
                     *dst += src;
                 }
+                self.scratch.put(cfx);
+                self.scratch.put(cfy);
+                self.scratch.put(cfz);
             }
             let merge = m0.elapsed();
             drop(force_span);
@@ -352,6 +365,8 @@ impl System {
                 stats.wall_s() + merge.as_secs_f64(),
                 merge.as_secs_f64(),
             );
+            let ds = self.scratch.counters().since(&scratch0);
+            self.telemetry.record_scratch("md.force", ds.allocs, ds.reuses);
             self.cells = Some(cells);
         }
         // bonds
@@ -376,37 +391,71 @@ impl System {
     }
 
     /// One velocity-Verlet step (with optional Berendsen velocity rescale).
+    ///
+    /// The integrator and thermostat loops run on `self.exec`,
+    /// parallelized over the three dimensions: each dimension owns its
+    /// coordinate arrays exclusively and the per-particle arithmetic is
+    /// unchanged, so any thread count is bitwise identical to the serial
+    /// loop. Recorded as the `md.integrate` kernel.
     pub fn step(&mut self) {
         let n = self.len();
         if self.step_count == 0 {
             self.compute_forces();
         }
         let dt = self.dt;
+        let masses = self.masses;
+        let lengths = self.bounds.lengths;
+        let mut integrate_s = 0.0;
+        let mut threads_used = 1;
         // half kick + drift
-        for i in 0..n {
-            let inv_m = 1.0 / self.mass(i);
-            for d in 0..3 {
-                self.vel[d][i] += 0.5 * dt * self.force[d][i] * inv_m;
-                let mut x = self.pos[d][i] + dt * self.vel[d][i];
-                let l = self.bounds.lengths[d];
-                if x < 0.0 {
-                    x += l;
-                    self.image[d][i] -= 1;
-                } else if x >= l {
-                    x -= l;
-                    self.image[d][i] += 1;
-                }
-                // guard against large excursions (should not happen at sane dt)
-                self.pos[d][i] = self.bounds.wrap(d, x);
-            }
+        {
+            let species = &self.species;
+            let [px, py, pz] = &mut self.pos;
+            let [vx, vy, vz] = &mut self.vel;
+            let [ix, iy, iz] = &mut self.image;
+            let [fx, fy, fz] = &self.force;
+            let mut dims: [(usize, &mut [f64], &mut [f64], &mut [i32], &[f64]); 3] = [
+                (0, px, vx, ix, fx),
+                (1, py, vy, iy, fy),
+                (2, pz, vz, iz, fz),
+            ];
+            let stats =
+                parallel::for_each_mut(&self.exec, &mut dims, |_, (d, pos, vel, image, force)| {
+                    let l = lengths[*d];
+                    for i in 0..n {
+                        let inv_m = 1.0 / masses[species[i] as usize];
+                        vel[i] += 0.5 * dt * force[i] * inv_m;
+                        let mut x = pos[i] + dt * vel[i];
+                        if x < 0.0 {
+                            x += l;
+                            image[i] -= 1;
+                        } else if x >= l {
+                            x -= l;
+                            image[i] += 1;
+                        }
+                        // guard against large excursions (should not
+                        // happen at sane dt)
+                        pos[i] = x.rem_euclid(l);
+                    }
+                });
+            integrate_s += stats.wall_s();
+            threads_used = threads_used.max(stats.threads_used);
         }
         self.compute_forces();
         // second half kick
-        for i in 0..n {
-            let inv_m = 1.0 / self.mass(i);
-            for d in 0..3 {
-                self.vel[d][i] += 0.5 * dt * self.force[d][i] * inv_m;
-            }
+        {
+            let species = &self.species;
+            let [vx, vy, vz] = &mut self.vel;
+            let [fx, fy, fz] = &self.force;
+            let mut dims: [(&mut [f64], &[f64]); 3] = [(vx, fx), (vy, fy), (vz, fz)];
+            let stats = parallel::for_each_mut(&self.exec, &mut dims, |_, (vel, force)| {
+                for i in 0..n {
+                    let inv_m = 1.0 / masses[species[i] as usize];
+                    vel[i] += 0.5 * dt * force[i] * inv_m;
+                }
+            });
+            integrate_s += stats.wall_s();
+            threads_used = threads_used.max(stats.threads_used);
         }
         // Berendsen thermostat
         if self.target_temp > 0.0 {
@@ -414,11 +463,15 @@ impl System {
             if t > 1e-12 {
                 let lambda =
                     (1.0 + self.thermostat_coupling * (self.target_temp / t - 1.0)).sqrt();
-                for d in 0..3 {
-                    self.vel[d].iter_mut().for_each(|v| *v *= lambda);
-                }
+                let stats = parallel::for_each_mut(&self.exec, &mut self.vel, |_, v| {
+                    v.iter_mut().for_each(|x| *x *= lambda);
+                });
+                integrate_s += stats.wall_s();
+                threads_used = threads_used.max(stats.threads_used);
             }
         }
+        self.telemetry
+            .record("md.integrate", threads_used, 3, integrate_s, 0.0);
         self.step_count += 1;
     }
 }
@@ -553,6 +606,69 @@ mod tests {
         // record into
         let t: &dyn Simulator<State = System> = &s;
         assert!(t.kernel_telemetry().unwrap().get("md.force").is_some());
+    }
+
+    #[test]
+    fn force_scratch_pool_reaches_steady_state() {
+        let mut s = two_body();
+        s.step();
+        let cold = s.telemetry.get("md.force").unwrap().scratch_allocs;
+        assert!(cold > 0, "first step must populate the pool");
+        s.step();
+        s.step();
+        let r = s.telemetry.get("md.force").unwrap();
+        assert_eq!(
+            r.scratch_allocs, cold,
+            "steady-state steps must allocate nothing"
+        );
+        assert!(r.scratch_reuses > 0, "warm steps must reuse the pool");
+    }
+
+    #[test]
+    fn integrator_is_bitwise_identical_across_thread_counts() {
+        let build = |threads: usize| {
+            let mut s = System::new(SimBox::cubic(12.0), ForceField::default(), 0.002);
+            for i in 0..27 {
+                let p = i as f64;
+                s.add_particle(
+                    Species::Water,
+                    [
+                        1.3 * (i % 3) as f64 + 0.7,
+                        1.3 * ((i / 3) % 3) as f64 + 0.7,
+                        1.3 * (i / 9) as f64 + 0.7,
+                    ],
+                    [0.1 * p.sin(), 0.1 * p.cos(), 0.05],
+                );
+            }
+            s.target_temp = 0.8;
+            s.exec = Exec::with_threads(threads);
+            s
+        };
+        let mut serial = build(1);
+        let mut par = build(4);
+        for _ in 0..25 {
+            serial.step();
+            par.step();
+        }
+        for d in 0..3 {
+            assert_eq!(serial.pos[d], par.pos[d], "pos dim {d} diverged");
+            assert_eq!(serial.vel[d], par.vel[d], "vel dim {d} diverged");
+            assert_eq!(serial.image[d], par.image[d], "image dim {d} diverged");
+        }
+        assert!(par.telemetry.get("md.integrate").unwrap().calls > 0);
+    }
+
+    #[test]
+    fn chunk_cap_is_tunable_and_tagged() {
+        let mut s = two_body();
+        s.exec = s.exec.with_chunk_cap(2);
+        let tracer = std::sync::Arc::new(obs::Tracer::with_capacity(64));
+        s.tracer = obs::TraceHandle::new(tracer.clone());
+        s.step();
+        let tl = tracer.timeline();
+        let force = tl.spans_named("md.force").next().unwrap();
+        assert_eq!(force.tag_i64("chunk_cap"), Some(2));
+        assert!(s.telemetry.get("md.force").unwrap().chunks <= 2);
     }
 
     #[test]

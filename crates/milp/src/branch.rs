@@ -1,7 +1,31 @@
 //! Branch & bound for mixed-integer programs.
 //!
-//! Best-first search on LP-relaxation bounds with most-fractional
-//! branching, plunging dives, and an optional multi-threaded node pool.
+//! Best-first search on LP-relaxation bounds with two-tier variable
+//! selection — reliability pseudocost branching falling back to parallel
+//! strong branching ([`crate::BranchRule`]) — plunging dives, and an
+//! optional multi-threaded node pool.
+//!
+//! # Branching
+//!
+//! At every fractional node the search picks the branching variable with
+//! the configured [`crate::BranchRule`]:
+//!
+//! * **MostFractional** — the variable whose LP value is closest to 0.5
+//!   (ties to the lowest index); no extra LPs.
+//! * **Pseudocost** (default) — per-variable up/down *pseudocosts* (mean
+//!   per-unit LP-bound degradation, learned from every child LP the search
+//!   solves) rank the candidates by the product of their estimated
+//!   degradations. Candidates whose pseudocosts are not yet reliable
+//!   (`pseudocost_reliability`), or all of them near the root
+//!   (`strong_branch_depth`), are *strong branched*: both child LPs are
+//!   solved — concurrently via `parallel::map_chunks`, warm-started from
+//!   the node basis — and scored by actual degradation. The winner's probe
+//!   LPs are reused as the real children, so no LP is ever solved twice;
+//!   probes are not search nodes and never appear in the certificate.
+//!
+//! The pseudocost table is shared across workers under one mutex and
+//! updated in deterministic within-node order (down before up, ascending
+//! variable index), so the serial search evolves it reproducibly.
 //!
 //! # Search architecture
 //!
@@ -45,10 +69,11 @@ use insitu_types::{NodeCert, NodeOutcome, SearchCertificate};
 
 use crate::error::SolveError;
 use crate::model::{Model, Sense};
-use crate::options::SolveOptions;
-use crate::simplex::{solve_lp_relaxation_warm, Basis};
+use crate::options::{BranchRule, SolveOptions};
+use crate::simplex::{solve_lp_relaxation_warm, Basis, LpPoint};
 use crate::solution::Solution;
 use crate::stats::{IncumbentEvent, SolveStats};
+use parallel::{map_chunks, Exec};
 
 /// A live search node: bound overrides relative to the original model plus
 /// the LP optimum of the node.
@@ -100,21 +125,296 @@ fn apply_overrides(model: &Model, overrides: &[(usize, f64, f64)]) -> Model {
     m
 }
 
-/// Most fractional integer variable of an LP point, if any.
-fn fractional_var(model: &Model, values: &[f64], tol: f64) -> Option<(usize, f64)> {
-    let mut best: Option<(usize, f64, f64)> = None; // (var, value, dist-to-half)
+/// One fractional integer variable of a node's LP point.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    var: usize,
+    value: f64,
+    /// Fractional part, in `(tol, 1 - tol)`.
+    frac: f64,
+    /// Distance to 0.5 (smaller = more fractional).
+    dist: f64,
+}
+
+/// Every fractional integer variable of an LP point, in ascending
+/// variable order. Empty means the point is integral.
+fn fractional_candidates(model: &Model, values: &[f64], tol: f64) -> Vec<Candidate> {
+    let mut out = Vec::new();
     for i in model.integer_vars() {
         let v = values[i];
         let frac = v - v.floor();
         if frac > tol && frac < 1.0 - tol {
-            let dist = (frac - 0.5).abs();
-            match best {
-                Some((_, _, d)) if d <= dist => {}
-                _ => best = Some((i, v, dist)),
+            out.push(Candidate {
+                var: i,
+                value: v,
+                frac,
+                dist: (frac - 0.5).abs(),
+            });
+        }
+    }
+    out
+}
+
+/// The historical most-fractional rule: minimum distance to 0.5, ties to
+/// the lowest variable index (candidates arrive in ascending order, so
+/// strict `<` keeps the first).
+fn most_fractional(cands: &[Candidate]) -> Candidate {
+    let mut best = cands[0];
+    for c in &cands[1..] {
+        if c.dist < best.dist {
+            best = *c;
+        }
+    }
+    best
+}
+
+/// Per-variable branching pseudocosts: mean per-unit LP-bound degradation
+/// observed when branching the variable down (toward `floor`) or up
+/// (toward `floor + 1`), plus direction-wide totals for the standard
+/// global-average fallback on never-branched variables.
+///
+/// Shared across workers under one mutex; every update batch is applied
+/// in deterministic within-node order (down before up, ascending variable
+/// index), so the serial search evolves the table reproducibly. In
+/// parallel the interleaving of *nodes* may vary — that can change which
+/// variable a later node picks (and hence node counts), never the optimum.
+#[derive(Debug)]
+struct Pseudocosts {
+    down_sum: Vec<f64>,
+    down_cnt: Vec<u32>,
+    up_sum: Vec<f64>,
+    up_cnt: Vec<u32>,
+    total_down: (f64, u64),
+    total_up: (f64, u64),
+}
+
+impl Pseudocosts {
+    fn new(num_vars: usize) -> Self {
+        Pseudocosts {
+            down_sum: vec![0.0; num_vars],
+            down_cnt: vec![0; num_vars],
+            up_sum: vec![0.0; num_vars],
+            up_cnt: vec![0; num_vars],
+            total_down: (0.0, 0),
+            total_up: (0.0, 0),
+        }
+    }
+
+    /// Records one observed per-unit degradation for a branch direction.
+    fn observe(&mut self, var: usize, up: bool, per_unit: f64) {
+        if up {
+            self.up_sum[var] += per_unit;
+            self.up_cnt[var] += 1;
+            self.total_up.0 += per_unit;
+            self.total_up.1 += 1;
+        } else {
+            self.down_sum[var] += per_unit;
+            self.down_cnt[var] += 1;
+            self.total_down.0 += per_unit;
+            self.total_down.1 += 1;
+        }
+    }
+
+    /// A pseudocost is reliable once both directions have been observed
+    /// at least `reliability` times (`0` = always reliable).
+    fn reliable(&self, var: usize, reliability: usize) -> bool {
+        self.down_cnt[var].min(self.up_cnt[var]) as usize >= reliability
+    }
+
+    /// `(down, up)` per-unit degradation estimates. An unobserved
+    /// direction falls back to the global average of that direction, then
+    /// to 1.0 — which reduces the product score to `frac * (1 - frac)`,
+    /// i.e. most-fractional ordering, before any history exists.
+    fn rates(&self, var: usize) -> (f64, f64) {
+        let avg = |t: (f64, u64)| if t.1 == 0 { 1.0 } else { t.0 / t.1 as f64 };
+        let down = if self.down_cnt[var] > 0 {
+            self.down_sum[var] / self.down_cnt[var] as f64
+        } else {
+            avg(self.total_down)
+        };
+        let up = if self.up_cnt[var] > 0 {
+            self.up_sum[var] / self.up_cnt[var] as f64
+        } else {
+            avg(self.total_up)
+        };
+        (down, up)
+    }
+}
+
+/// Result of one strong-branch child LP (also the shape a regular child
+/// solve is normalized into, so materialization handles both uniformly).
+enum Probe {
+    /// The branching bounds crossed: the child domain is empty (no LP).
+    Empty,
+    /// The child LP is infeasible.
+    Infeasible,
+    /// The child LP optimum, reusable as the real child node.
+    Solved(Box<(Solution, LpPoint)>),
+    /// A fatal LP error to propagate.
+    Fatal(SolveError),
+}
+
+/// Solves one strong-branch child LP, warm-started from the node basis,
+/// accounting pivots/telemetry exactly like a regular child solve (the
+/// chosen candidate's probes become the real children, so nothing is
+/// counted twice).
+fn probe_side(sh: &Shared<'_>, node: &Node, var: usize, lo: f64, hi: f64) -> Probe {
+    let mut overrides = node.overrides.clone();
+    overrides.push((var, lo, hi));
+    let child = apply_overrides(sh.model, &overrides);
+    if child.vars[var].lower > child.vars[var].upper {
+        return Probe::Empty;
+    }
+    match solve_lp_relaxation_warm(&child, sh.opts, node.basis.as_ref()) {
+        Ok((relax, point)) => {
+            sh.lp_pivots.fetch_add(relax.iterations, AtOrd::Relaxed);
+            sh.absorb_telemetry(&point.telemetry);
+            if point.warm {
+                sh.warm_started.fetch_add(1, AtOrd::Relaxed);
+            }
+            Probe::Solved(Box::new((relax, point)))
+        }
+        Err(SolveError::Infeasible) => Probe::Infeasible,
+        Err(e) => Probe::Fatal(e),
+    }
+}
+
+/// Sense-adjusted LP-bound degradation of a probed child vs. its parent
+/// (`>= 0`; fathomed sides count as infinite — branching there closes a
+/// whole subtree).
+fn probe_degradation(sign: f64, parent_bound: f64, probe: &Probe) -> f64 {
+    match probe {
+        Probe::Solved(b) => (sign * (parent_bound - b.0.objective)).max(0.0),
+        _ => f64::INFINITY,
+    }
+}
+
+/// Outcome of variable selection at a fractional node: the branching
+/// variable plus — when the winner was strong-branched — its two probe
+/// results, reused as the real children.
+struct BranchChoice {
+    var: usize,
+    value: f64,
+    /// `[down, up]` probes of the chosen candidate, if it was in the
+    /// strong set.
+    probes: Option<[Probe; 2]>,
+}
+
+/// Degradation products compare with this floor so a zero-degradation
+/// direction cannot erase the other direction's signal.
+const SCORE_EPS: f64 = 1e-6;
+
+/// Picks the branching variable per `opts.branch_rule`. See the module
+/// docs for the scheme; score ties break to the most fractional candidate
+/// and then the lowest variable index, which keeps the serial search
+/// bitwise-reproducible.
+fn select_branch(
+    sh: &Shared<'_>,
+    node: &Node,
+    cands: &[Candidate],
+) -> Result<BranchChoice, SolveError> {
+    let mf = most_fractional(cands);
+    if matches!(sh.opts.branch_rule, BranchRule::MostFractional) {
+        return Ok(BranchChoice {
+            var: mf.var,
+            value: mf.value,
+            probes: None,
+        });
+    }
+
+    // --- tier 2: strong-branch the unreliable (or shallow-depth) set ---
+    let strong_all = node.overrides.len() < sh.opts.strong_branch_depth;
+    let mut strong: Vec<usize> = {
+        let pc = sh.pseudo.lock().unwrap();
+        (0..cands.len())
+            .filter(|&ci| {
+                strong_all || !pc.reliable(cands[ci].var, sh.opts.pseudocost_reliability)
+            })
+            .collect()
+    };
+    // the most fractional candidates win the probe slots (stable sort
+    // keeps ascending variable order on distance ties)...
+    strong.sort_by(|&a, &b| cands[a].dist.total_cmp(&cands[b].dist));
+    strong.truncate(sh.opts.strong_branch_limit.max(1));
+    // ...and probes/updates run in ascending variable order
+    strong.sort_unstable();
+
+    let mut probes: Vec<Option<[Probe; 2]>> = (0..cands.len()).map(|_| None).collect();
+    if !strong.is_empty() {
+        sh.strong_branch_calls.fetch_add(1, AtOrd::Relaxed);
+        let exec = Exec::with_threads(sh.opts.effective_threads());
+        let (evals, _) = map_chunks(&exec, strong.len(), |k| {
+            let c = &cands[strong[k]];
+            let floor = c.value.floor();
+            [
+                probe_side(sh, node, c.var, f64::NEG_INFINITY, floor),
+                probe_side(sh, node, c.var, floor + 1.0, f64::INFINITY),
+            ]
+        });
+        let mut lps = 0usize;
+        for (k, pair) in evals.into_iter().enumerate() {
+            for p in &pair {
+                match p {
+                    Probe::Fatal(e) => return Err(e.clone()),
+                    Probe::Solved(_) | Probe::Infeasible => lps += 1,
+                    Probe::Empty => {}
+                }
+            }
+            probes[strong[k]] = Some(pair);
+        }
+        sh.strong_branch_lps.fetch_add(lps, AtOrd::Relaxed);
+
+        // batch-apply pseudocost observations in deterministic order
+        let mut pc = sh.pseudo.lock().unwrap();
+        for &ci in &strong {
+            let c = &cands[ci];
+            let pair = probes[ci].as_ref().expect("probed candidate");
+            if let Probe::Solved(b) = &pair[0] {
+                let deg = (sh.sign * (node.bound - b.0.objective)).max(0.0);
+                pc.observe(c.var, false, deg / c.frac);
+            }
+            if let Probe::Solved(b) = &pair[1] {
+                let deg = (sh.sign * (node.bound - b.0.objective)).max(0.0);
+                pc.observe(c.var, true, deg / (1.0 - c.frac));
             }
         }
     }
-    best.map(|(i, v, _)| (i, v))
+
+    // --- tier 1: score everyone (probed by actual degradation, the rest
+    // by pseudocost estimate), highest product wins. Ties go to the most
+    // fractional candidate, then the lowest variable index: the telescoped
+    // scheduling LPs are heavily degenerate (most branchings do not move
+    // the bound at all), so whole nodes can tie at the score floor — and
+    // falling back to index order there branches on whatever variable was
+    // created first, which is far worse than most-fractional.
+    let (mut best_ci, mut best_score, mut best_dist) = (0usize, f64::NEG_INFINITY, f64::INFINITY);
+    {
+        let pc = sh.pseudo.lock().unwrap();
+        for (ci, c) in cands.iter().enumerate() {
+            let (deg_dn, deg_up) = match &probes[ci] {
+                Some(pair) => (
+                    probe_degradation(sh.sign, node.bound, &pair[0]),
+                    probe_degradation(sh.sign, node.bound, &pair[1]),
+                ),
+                None => {
+                    let (rd, ru) = pc.rates(c.var);
+                    (rd * c.frac, ru * (1.0 - c.frac))
+                }
+            };
+            let score = deg_dn.max(SCORE_EPS) * deg_up.max(SCORE_EPS);
+            if score > best_score || (score == best_score && c.dist < best_dist) {
+                (best_ci, best_score, best_dist) = (ci, score, c.dist);
+            }
+        }
+    }
+    if probes[best_ci].is_none() {
+        sh.pseudocost_branches.fetch_add(1, AtOrd::Relaxed);
+    }
+    Ok(BranchChoice {
+        var: cands[best_ci].var,
+        value: cands[best_ci].value,
+        probes: probes.swap_remove(best_ci),
+    })
 }
 
 /// Rounds the integer variables of an LP point and keeps it if feasible.
@@ -182,6 +482,11 @@ struct Shared<'m> {
     pruned_infeasible: AtomicUsize,
     lp_pivots: AtomicUsize,
     warm_started: AtomicUsize,
+    strong_branch_calls: AtomicUsize,
+    strong_branch_lps: AtomicUsize,
+    pseudocost_branches: AtomicUsize,
+    /// Branching pseudocosts shared by every worker; see [`Pseudocosts`].
+    pseudo: Mutex<Pseudocosts>,
     /// Revised-engine counters, aggregated across workers (all zero when
     /// the dense oracle engine is selected).
     refactorizations: AtomicUsize,
@@ -321,34 +626,96 @@ fn worker(sh: &Shared<'_>, total: usize) {
                 sh.record(node.seq, node.parent, node.bound, NodeOutcome::PrunedBound);
                 continue 'outer; // this dive is dominated; pick next best
             }
-            match fractional_var(sh.model, &node.values, sh.opts.tol) {
-                None => {
-                    // integral: candidate incumbent (snap values to integers)
-                    let mut values = node.values.clone();
-                    for i in sh.model.integer_vars() {
-                        values[i] = values[i].round();
-                    }
-                    let objective = sh.model.objective_value(&values);
-                    sh.record(
-                        node.seq,
-                        node.parent,
-                        node.bound,
-                        NodeOutcome::Integral { objective },
-                    );
-                    sh.offer_incumbent(values, objective);
+            let cands = fractional_candidates(sh.model, &node.values, sh.opts.tol);
+            if cands.is_empty() {
+                // integral: candidate incumbent (snap values to integers)
+                let mut values = node.values.clone();
+                for i in sh.model.integer_vars() {
+                    values[i] = values[i].round();
                 }
-                Some((var, value)) => {
-                    sh.record(node.seq, node.parent, node.bound, NodeOutcome::Branched);
-                    let floor = value.floor();
-                    let mut children: Vec<Node> = Vec::with_capacity(2);
-                    for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
-                        let mut overrides = node.overrides.clone();
-                        overrides.push((var, lo, hi));
-                        let child_model = apply_overrides(sh.model, &overrides);
-                        if child_model.vars[var].lower > child_model.vars[var].upper {
+                let objective = sh.model.objective_value(&values);
+                sh.record(
+                    node.seq,
+                    node.parent,
+                    node.bound,
+                    NodeOutcome::Integral { objective },
+                );
+                sh.offer_incumbent(values, objective);
+            } else {
+                // pick the branching variable BEFORE recording Branched:
+                // strong-branch probes are not nodes and a fatal probe LP
+                // must abort without a dangling Branched record
+                let choice = match select_branch(sh, &node, &cands) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        sh.fail(e);
+                        return;
+                    }
+                };
+                sh.record(node.seq, node.parent, node.bound, NodeOutcome::Branched);
+                let var = choice.var;
+                let floor = choice.value.floor();
+                let learn = matches!(sh.opts.branch_rule, BranchRule::Pseudocost);
+                let mut cached = choice.probes.map(|[down, up]| [Some(down), Some(up)]);
+                let mut children: Vec<Node> = Vec::with_capacity(2);
+                for (side, (lo, hi)) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let mut overrides = node.overrides.clone();
+                    overrides.push((var, lo, hi));
+                    // a strong-branched winner reuses its probe LPs as the
+                    // real children (pivots/telemetry/pseudocosts already
+                    // accounted at probe time); otherwise solve fresh
+                    let probe = match cached.as_mut() {
+                        Some(pair) => pair[side].take().expect("probe consumed once"),
+                        None => {
+                            let child_model = apply_overrides(sh.model, &overrides);
+                            if child_model.vars[var].lower > child_model.vars[var].upper {
+                                Probe::Empty
+                            } else {
+                                match solve_lp_relaxation_warm(
+                                    &child_model,
+                                    sh.opts,
+                                    node.basis.as_ref(),
+                                ) {
+                                    Ok((relax, point)) => {
+                                        sh.lp_pivots.fetch_add(relax.iterations, AtOrd::Relaxed);
+                                        sh.absorb_telemetry(&point.telemetry);
+                                        if point.warm {
+                                            sh.warm_started.fetch_add(1, AtOrd::Relaxed);
+                                        }
+                                        if learn {
+                                            // child solves feed the table too
+                                            let deg = (sh.sign * (node.bound - relax.objective))
+                                                .max(0.0);
+                                            let c = cands
+                                                .iter()
+                                                .find(|c| c.var == var)
+                                                .expect("chosen var is a candidate");
+                                            let width =
+                                                if side == 0 { c.frac } else { 1.0 - c.frac };
+                                            sh.pseudo
+                                                .lock()
+                                                .unwrap()
+                                                .observe(var, side == 1, deg / width);
+                                        }
+                                        Probe::Solved(Box::new((relax, point)))
+                                    }
+                                    Err(SolveError::Infeasible) => Probe::Infeasible,
+                                    Err(e) => {
+                                        sh.fail(e);
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    match probe {
+                        Probe::Empty | Probe::Infeasible => {
                             sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
-                            // no LP was solved; the parent bound is still a
-                            // valid relaxation bound for this empty child
+                            // no feasible LP; the parent bound is still a
+                            // valid relaxation bound for this child
                             let id = sh.next_seq.fetch_add(1, AtOrd::Relaxed);
                             sh.record(
                                 id,
@@ -356,63 +723,47 @@ fn worker(sh: &Shared<'_>, total: usize) {
                                 node.bound,
                                 NodeOutcome::PrunedInfeasible,
                             );
-                            continue;
                         }
-                        match solve_lp_relaxation_warm(&child_model, sh.opts, node.basis.as_ref())
-                        {
-                            Ok((relax, point)) => {
-                                sh.lp_pivots.fetch_add(relax.iterations, AtOrd::Relaxed);
-                                sh.absorb_telemetry(&point.telemetry);
-                                if point.warm {
-                                    sh.warm_started.fetch_add(1, AtOrd::Relaxed);
-                                }
-                                // bound-based pruning at generation time
-                                if sh.dominated(relax.objective) {
-                                    sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
-                                    let id = sh.next_seq.fetch_add(1, AtOrd::Relaxed);
-                                    sh.record(
-                                        id,
-                                        Some(node.seq),
-                                        relax.objective,
-                                        NodeOutcome::PrunedBound,
-                                    );
-                                    continue;
-                                }
-                                children.push(Node {
-                                    overrides,
-                                    key: sh.sign * relax.objective,
-                                    bound: relax.objective,
-                                    values: relax.values,
-                                    seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
-                                    parent: Some(node.seq),
-                                    basis: Some(point.basis),
-                                });
-                            }
-                            Err(SolveError::Infeasible) => {
-                                sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
+                        Probe::Solved(boxed) => {
+                            let (relax, point) = *boxed;
+                            // bound-based pruning at generation time (also
+                            // re-checks cached probes against incumbents
+                            // that arrived after the probe was solved)
+                            if sh.dominated(relax.objective) {
+                                sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
                                 let id = sh.next_seq.fetch_add(1, AtOrd::Relaxed);
                                 sh.record(
                                     id,
                                     Some(node.seq),
-                                    node.bound,
-                                    NodeOutcome::PrunedInfeasible,
+                                    relax.objective,
+                                    NodeOutcome::PrunedBound,
                                 );
+                                continue;
                             }
-                            Err(e) => {
-                                sh.fail(e);
-                                return;
-                            }
+                            children.push(Node {
+                                overrides,
+                                key: sh.sign * relax.objective,
+                                bound: relax.objective,
+                                values: relax.values,
+                                seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
+                                parent: Some(node.seq),
+                                basis: Some(point.basis),
+                            });
+                        }
+                        Probe::Fatal(e) => {
+                            sh.fail(e);
+                            return;
                         }
                     }
-                    // dive into the better child, park the other (or park
-                    // both when plunging is disabled — pure best-first)
-                    children.sort(); // ascending: last = best (key, FIFO seq)
-                    if sh.opts.plunge {
-                        cur = children.pop();
-                    }
-                    for sibling in children {
-                        sh.push_node(sibling);
-                    }
+                }
+                // dive into the better child, park the other (or park
+                // both when plunging is disabled — pure best-first)
+                children.sort(); // ascending: last = best (key, FIFO seq)
+                if sh.opts.plunge {
+                    cur = children.pop();
+                }
+                for sibling in children {
+                    sh.push_node(sibling);
                 }
             }
         }
@@ -534,6 +885,10 @@ fn solve_seeded(
         pruned_infeasible: AtomicUsize::new(0),
         lp_pivots: AtomicUsize::new(root.iterations),
         warm_started: AtomicUsize::new(0),
+        strong_branch_calls: AtomicUsize::new(0),
+        strong_branch_lps: AtomicUsize::new(0),
+        pseudocost_branches: AtomicUsize::new(0),
+        pseudo: Mutex::new(Pseudocosts::new(model.num_vars())),
         refactorizations: AtomicUsize::new(root_point.telemetry.refactorizations),
         max_eta_len: AtomicUsize::new(root_point.telemetry.max_eta_len),
         ftran_ns: AtomicU64::new(root_point.telemetry.ftran_ns),
@@ -600,6 +955,9 @@ fn solve_seeded(
                 nodes_pruned_infeasible: sh.pruned_infeasible.load(AtOrd::Relaxed),
                 lp_pivots: sol.iterations,
                 warm_started: sh.warm_started.load(AtOrd::Relaxed),
+                strong_branch_calls: sh.strong_branch_calls.load(AtOrd::Relaxed),
+                strong_branch_lps: sh.strong_branch_lps.load(AtOrd::Relaxed),
+                pseudocost_branches: sh.pseudocost_branches.load(AtOrd::Relaxed),
                 hint_accepted,
                 refactorizations: sh.refactorizations.load(AtOrd::Relaxed),
                 max_eta_len: sh.max_eta_len.load(AtOrd::Relaxed),

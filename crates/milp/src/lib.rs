@@ -81,7 +81,7 @@ pub use branch::{solve, solve_with_hint};
 pub use error::SolveError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Model, Sense, VarKind};
-pub use options::{SimplexEngine, SolveOptions};
+pub use options::{BranchRule, SimplexEngine, SolveOptions};
 pub use presolve::{presolve, PresolveStats};
 pub use simplex::{solve_lp_relaxation, Basis};
 pub use solution::Solution;

@@ -20,6 +20,33 @@ pub enum SimplexEngine {
     DenseTableau,
 }
 
+/// Variable-selection rule used by branch & bound at every fractional
+/// node.
+///
+/// Both rules explore a valid search tree and return the identical
+/// lexicographic optimum — the choice only affects how many nodes the
+/// search visits before closing the tree. See `docs/SOLVER.md` for the
+/// branching contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchRule {
+    /// The historical rule: branch on the integer variable whose LP value
+    /// is closest to 0.5 (ties to the lowest variable index). No extra
+    /// LPs are solved to pick the variable. Kept for the ablation bench
+    /// and as the conservative baseline.
+    MostFractional,
+    /// Reliability pseudocost branching with a strong-branching fallback
+    /// (the default). Per-variable up/down degradation averages are
+    /// learned from every child LP the search solves; candidates whose
+    /// pseudocosts are not yet reliable — or every candidate at depths
+    /// shallower than [`SolveOptions::strong_branch_depth`] — are *strong
+    /// branched*: both child LPs are solved (concurrently, warm-started
+    /// from the node basis) and scored by their actual bound degradation.
+    /// The chosen candidate's probe LPs are reused as the real children,
+    /// so strong branching never solves the same LP twice.
+    #[default]
+    Pseudocost,
+}
+
 /// Tunable limits and tolerances for [`crate::solve`].
 ///
 /// Construct with struct-update syntax so future knobs don't break callers:
@@ -73,6 +100,24 @@ pub struct SolveOptions {
     /// updates. Smaller = more numerically conservative, larger = fewer
     /// (expensive) factorizations. Clamped to at least 1.
     pub refactor_interval: usize,
+    /// Variable-selection rule at fractional nodes. See [`BranchRule`].
+    pub branch_rule: BranchRule,
+    /// [`BranchRule::Pseudocost`] only: a variable's pseudocost is
+    /// *reliable* once both its down- and up-branch have been observed at
+    /// least this many times; unreliable candidates are strong-branched.
+    /// `0` trusts pseudocost estimates immediately (pure pseudocost
+    /// branching — combined with `strong_branch_depth: 0` no strong
+    /// branching ever runs).
+    pub pseudocost_reliability: usize,
+    /// [`BranchRule::Pseudocost`] only: at node depths shallower than
+    /// this, *every* candidate is strong-branched regardless of
+    /// reliability — the top of the tree is where a bad branching
+    /// variable costs the most nodes.
+    pub strong_branch_depth: usize,
+    /// [`BranchRule::Pseudocost`] only: at most this many candidates are
+    /// strong-branched per node (the most fractional ones win the slots).
+    /// Clamped to at least 1 whenever the strong set is non-empty.
+    pub strong_branch_limit: usize,
 }
 
 impl Default for SolveOptions {
@@ -90,6 +135,10 @@ impl Default for SolveOptions {
             certificate: false,
             engine: SimplexEngine::default(),
             refactor_interval: 64,
+            branch_rule: BranchRule::default(),
+            pseudocost_reliability: 4,
+            strong_branch_depth: 4,
+            strong_branch_limit: 8,
         }
     }
 }
@@ -130,6 +179,24 @@ mod tests {
         assert!(o.warm_start);
         assert_eq!(o.engine, SimplexEngine::Revised);
         assert!(o.refactor_interval >= 1);
+        assert_eq!(o.branch_rule, BranchRule::Pseudocost);
+        assert!(o.pseudocost_reliability >= 1);
+        assert!(o.strong_branch_depth >= 1);
+        assert!(o.strong_branch_limit >= 1);
+    }
+
+    #[test]
+    fn pure_pseudocost_config_disables_strong_branching() {
+        // The knob combination the ablation bench and the knob-matrix test
+        // rely on: reliability 0 + depth 0 means no strong-branch LPs.
+        let o = SolveOptions {
+            pseudocost_reliability: 0,
+            strong_branch_depth: 0,
+            ..SolveOptions::default()
+        };
+        assert_eq!(o.branch_rule, BranchRule::Pseudocost);
+        assert_eq!(o.pseudocost_reliability, 0);
+        assert_eq!(o.strong_branch_depth, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Presolve: constraint propagation before the search starts.
 //!
-//! Three classic, always-safe reductions run to a fixed point:
+//! Four classic, always-safe reductions run to a fixed point:
 //!
 //! 1. **Activity-based infeasibility**: if a row's minimum possible
 //!    activity already exceeds its rhs (`<=` rows) the model is infeasible.
@@ -9,17 +9,26 @@
 //! 3. **Bound tightening**: for each variable in a row, the residual
 //!    activity of the other variables implies a bound; integer variables'
 //!    bounds are rounded inward.
+//! 4. **Dominated-row elimination**: among inequality rows over the *same*
+//!    variable support, a row implied by another under the current bounds
+//!    is dropped. The scheduling formulation produces these in bulk: the
+//!    telescoped per-step time/memory threshold rows (paper Eqs. 2–8)
+//!    share one `o_{i,j}` support, and a step whose cumulative budget is
+//!    uniformly looser than a later step's can never bind.
 //!
 //! Variables are never eliminated, so solutions map back one-to-one.
 
 use crate::error::SolveError;
 use crate::model::{Cmp, Model, VarKind};
+use std::collections::{BTreeMap, HashMap};
 
 /// What presolve did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PresolveStats {
     /// Constraints removed as redundant.
     pub rows_dropped: usize,
+    /// Constraints removed because a same-support row implies them.
+    pub rows_dominated: usize,
     /// Individual bound tightenings applied.
     pub bounds_tightened: usize,
     /// Variables whose domain collapsed to a single value.
@@ -43,6 +52,43 @@ fn activity_bounds(model: &Model, row: usize) -> (f64, f64) {
         }
     }
     (lo, hi)
+}
+
+/// Aggregated coefficients of a row, keyed by variable index.
+fn row_coeffs(model: &Model, row: usize) -> BTreeMap<usize, f64> {
+    let mut coeffs = BTreeMap::new();
+    for &(v, c) in &model.cons[row].expr.terms {
+        *coeffs.entry(v.index()).or_insert(0.0) += c;
+    }
+    coeffs
+}
+
+/// True when `cand` is implied by `keeper` (same sense, same support)
+/// under the current variable bounds: for `<=` rows, the maximum possible
+/// activity of `A_cand − A_keeper` stays within the rhs slack; for `>=`
+/// rows, the minimum does.
+fn row_dominates(model: &Model, keeper: usize, cand: usize, tol: f64) -> bool {
+    let mut diff = row_coeffs(model, cand);
+    for (i, c) in row_coeffs(model, keeper) {
+        *diff.entry(i).or_insert(0.0) -= c;
+    }
+    let slack = model.cons[cand].rhs - model.cons[keeper].rhs;
+    let (mut lo, mut hi) = (0.0f64, 0.0f64);
+    for (&i, &d) in &diff {
+        let (l, u) = (model.vars[i].lower, model.vars[i].upper);
+        if d >= 0.0 {
+            lo += d * l;
+            hi += d * u;
+        } else {
+            lo += d * u;
+            hi += d * l;
+        }
+    }
+    match model.cons[cand].cmp {
+        Cmp::Le => hi <= slack + tol,
+        Cmp::Ge => lo >= slack - tol,
+        Cmp::Eq => false,
+    }
 }
 
 /// Runs presolve in place. Returns statistics, or an infeasibility proof.
@@ -182,15 +228,53 @@ pub fn presolve(model: &mut Model, tol: f64) -> Result<PresolveStats, SolveError
                 }
             }
         }
-        if keep.iter().any(|&k| !k) {
+        // dominated-row elimination: bucket surviving inequality rows by
+        // variable support, then compare pairs within each bucket. Bucket
+        // contents are in ascending row order and buckets never interact,
+        // so the outcome is deterministic despite the hash map.
+        let mut dominated = vec![false; model.cons.len()];
+        let mut buckets: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
+        for (r, con) in model.cons.iter().enumerate() {
+            if !keep[r] || con.cmp == Cmp::Eq {
+                continue;
+            }
+            let mut support: Vec<usize> =
+                con.expr.terms.iter().map(|&(v, _)| v.index()).collect();
+            support.sort_unstable();
+            support.dedup();
+            buckets.entry(support).or_default().push(r);
+        }
+        for rows in buckets.values() {
+            for a in 0..rows.len() {
+                for b in (a + 1)..rows.len() {
+                    let (r1, r2) = (rows[a], rows[b]);
+                    if dominated[r1]
+                        || dominated[r2]
+                        || model.cons[r1].cmp != model.cons[r2].cmp
+                    {
+                        continue;
+                    }
+                    // prefer keeping the earlier row so mutually-dominating
+                    // (identical) pairs resolve deterministically
+                    if row_dominates(model, r1, r2, tol) {
+                        dominated[r2] = true;
+                    } else if row_dominates(model, r2, r1, tol) {
+                        dominated[r1] = true;
+                    }
+                }
+            }
+        }
+        if keep.iter().any(|&k| !k) || dominated.iter().any(|&d| d) {
             let mut idx = 0;
             model.cons.retain(|_| {
-                let k = keep[idx];
+                let (k, dom) = (keep[idx], dominated[idx]);
                 idx += 1;
                 if !k {
                     stats.rows_dropped += 1;
+                } else if dom {
+                    stats.rows_dominated += 1;
                 }
-                k
+                k && !dom
             });
             changed = true;
         }
@@ -243,6 +327,108 @@ mod tests {
         let stats = presolve(&mut m, 1e-9).unwrap();
         assert_eq!(m.cons.len(), 0);
         assert_eq!(stats.rows_dropped, 2);
+    }
+
+    #[test]
+    fn drops_dominated_le_row() {
+        // x + y <= 5 dominates x + 2y <= 8 when y <= 3: the extra y of
+        // slack can never exceed the extra 3 of rhs. Neither row is
+        // redundant on its own (max activities 6 and 9).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 3.0);
+        let y = m.int_var("y", 0.0, 3.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 5.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 2.0), Cmp::Le, 8.0);
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(stats.rows_dominated, 1);
+        assert_eq!(m.cons.len(), 1);
+        assert_eq!(m.cons[0].rhs, 5.0);
+    }
+
+    #[test]
+    fn drops_dominated_ge_row() {
+        // x + y >= 1 dominates x + 2y >= 0.5
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 3.0);
+        let y = m.num_var("y", 0.0, 3.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 1.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 2.0), Cmp::Ge, 0.5);
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(stats.rows_dominated, 1);
+        assert_eq!(m.cons.len(), 1);
+        assert_eq!(m.cons[0].rhs, 1.0);
+    }
+
+    #[test]
+    fn identical_rows_keep_exactly_one() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 3.0);
+        let y = m.int_var("y", 0.0, 3.0);
+        for _ in 0..3 {
+            m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 5.0);
+        }
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(m.cons.len(), 1);
+        assert_eq!(stats.rows_dominated, 2);
+    }
+
+    #[test]
+    fn different_support_rows_are_not_compared() {
+        // same-looking slack but different supports: both must survive
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 3.0);
+        let y = m.int_var("y", 0.0, 3.0);
+        let z = m.int_var("z", 0.0, 3.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 5.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(z, 1.0), Cmp::Le, 5.0);
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        assert_eq!(stats.rows_dominated, 0);
+        assert_eq!(m.cons.len(), 2);
+    }
+
+    #[test]
+    fn equality_rows_are_never_dominated() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 3.0);
+        let y = m.num_var("y", 0.0, 3.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Eq, 2.0);
+        m.add_con(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 2.5);
+        let stats = presolve(&mut m, 1e-9).unwrap();
+        // the Le row may tighten/survive, but the Eq row must remain
+        assert!(m.cons.iter().any(|c| c.cmp == Cmp::Eq));
+        assert_eq!(stats.rows_dominated, 0);
+    }
+
+    #[test]
+    fn dominated_elimination_preserves_optimum() {
+        // a scheduling-shaped model: telescoped cumulative-budget rows
+        // over the same support where the earlier step is uniformly looser
+        let build = |with_dominated: bool| {
+            let mut m = Model::new(Sense::Maximize);
+            let o: Vec<_> = (0..4).map(|i| m.binary(&format!("o{i}"))).collect();
+            let costs = [3.0, 5.0, 2.0, 4.0];
+            m.add_con(
+                LinExpr::sum(o.iter().zip(costs).map(|(&v, c)| (v, c))),
+                Cmp::Le,
+                8.0,
+            );
+            if with_dominated {
+                // same support, looser rhs: can never bind
+                m.add_con(
+                    LinExpr::sum(o.iter().zip(costs).map(|(&v, c)| (v, c))),
+                    Cmp::Le,
+                    11.0,
+                );
+            }
+            m.set_objective(LinExpr::sum(o.iter().map(|&v| (v, 1.0))));
+            m
+        };
+        let mut with = build(true);
+        let stats = presolve(&mut with, 1e-9).unwrap();
+        assert_eq!(stats.rows_dominated, 1);
+        let a = crate::solve(&with, &crate::SolveOptions::default()).unwrap();
+        let b = crate::solve(&build(false), &crate::SolveOptions::default()).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
     }
 
     #[test]

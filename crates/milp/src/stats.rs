@@ -81,6 +81,16 @@ pub struct SolveStats {
     /// Child LPs warm-started from the parent basis (vs. solved cold with
     /// two phases).
     pub warm_started: usize,
+    /// Nodes where strong branching evaluated at least one candidate
+    /// ([`crate::BranchRule::Pseudocost`] only).
+    pub strong_branch_calls: usize,
+    /// Candidate child LPs solved by strong branching. Each is counted in
+    /// [`SolveStats::lp_pivots`] too; probes for the chosen candidate are
+    /// reused as the real children, so they are never solved twice.
+    pub strong_branch_lps: usize,
+    /// Nodes whose branching variable was chosen from pseudocost
+    /// estimates alone (no strong-branch probe of the chosen variable).
+    pub pseudocost_branches: usize,
     /// Whether a caller-supplied hint (via [`crate::solve_with_hint`])
     /// rounded to a feasible point and seeded the incumbent before any
     /// node was explored. `false` when no hint was given, the hint had
@@ -125,6 +135,7 @@ impl SolveStats {
     pub fn summary(&self) -> String {
         format!(
             "nodes {} (pruned {} bound / {} infeas), pivots {} ({} warm{}), \
+             sb {} nodes ({} lps), pc {} nodes, \
              refactor {} (eta peak {}), ftran {:.1?} + btran {:.1?}, \
              incumbents {}, t {:.1?} presolve + {:.1?} root + {:.1?} search, {} thread{}",
             self.nodes_explored,
@@ -133,6 +144,9 @@ impl SolveStats {
             self.lp_pivots,
             self.warm_started,
             if self.hint_accepted { ", hint seeded" } else { "" },
+            self.strong_branch_calls,
+            self.strong_branch_lps,
+            self.pseudocost_branches,
             self.refactorizations,
             self.max_eta_len,
             self.ftran_time,
@@ -158,6 +172,9 @@ impl SolveStats {
         );
         registry.add("milp.lp_pivots", self.lp_pivots as u64);
         registry.add("milp.warm_started", self.warm_started as u64);
+        registry.add("milp.strong_branch_calls", self.strong_branch_calls as u64);
+        registry.add("milp.strong_branch_lps", self.strong_branch_lps as u64);
+        registry.add("milp.pseudocost_branches", self.pseudocost_branches as u64);
         registry.add("milp.hint_accepted", self.hint_accepted as u64);
         registry.add("milp.lp.refactorizations", self.refactorizations as u64);
         registry.add("milp.incumbents", self.incumbent_updates.len() as u64);
@@ -201,6 +218,9 @@ mod tests {
             nodes_pruned_infeasible: 2,
             lp_pivots: 99,
             warm_started: 4,
+            strong_branch_calls: 5,
+            strong_branch_lps: 12,
+            pseudocost_branches: 6,
             hint_accepted: true,
             refactorizations: 11,
             max_eta_len: 8,
@@ -219,6 +239,8 @@ mod tests {
             "2 infeas",
             "pivots 99",
             "4 warm",
+            "sb 5 nodes (12 lps)",
+            "pc 6 nodes",
             "hint seeded",
             "refactor 11",
             "eta peak 8",
@@ -256,6 +278,7 @@ mod tests {
         let s = SolveStats {
             nodes_explored: 7,
             lp_pivots: 99,
+            strong_branch_lps: 12,
             threads: 2,
             search_time: Duration::from_millis(10),
             ..Default::default()
@@ -272,6 +295,7 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("milp.nodes_explored"), Some(7));
         assert_eq!(snap.counter("milp.lp_pivots"), Some(99));
+        assert_eq!(snap.counter("milp.strong_branch_lps"), Some(12));
         assert_eq!(snap.counter("milp.lp.refactorizations"), Some(3));
         let search = snap.meter("milp.search_s").unwrap();
         assert!((search.sum - 0.01).abs() < 1e-9);

@@ -3,7 +3,9 @@
 //! dominate the integer optimum.
 
 use milp::brute::brute_force;
-use milp::{solve, solve_lp_relaxation, Cmp, LinExpr, Model, Sense, SolveError, SolveOptions};
+use milp::{
+    presolve, solve, solve_lp_relaxation, Cmp, LinExpr, Model, Sense, SolveError, SolveOptions,
+};
 use proptest::prelude::*;
 
 /// A random small integer program: n vars in [0, ub], m `<=` rows with
@@ -70,6 +72,44 @@ proptest! {
             match model.sense {
                 Sense::Maximize => prop_assert!(relax.objective >= ip.objective - 1e-5),
                 Sense::Minimize => prop_assert!(relax.objective <= ip.objective + 1e-5),
+            }
+        }
+    }
+
+    #[test]
+    fn presolve_dominance_preserves_optimum(
+        model in arb_model(),
+        slacks in prop::collection::vec(0i32..6, 4),
+    ) {
+        // duplicate every row with a loosened rhs: each duplicate is
+        // dominated by its original (or both are redundant), so presolve
+        // must remove at least one per pair and keep the optimum intact
+        let mut loose = model.clone();
+        let rows: Vec<_> = model
+            .cons
+            .iter()
+            .map(|c| (c.expr.clone(), c.cmp, c.rhs))
+            .collect();
+        for (i, (expr, cmp, rhs)) in rows.iter().enumerate() {
+            loose.add_con(expr.clone(), *cmp, rhs + slacks[i % slacks.len()] as f64);
+        }
+        let mut pre = loose.clone();
+        let presolved = presolve(&mut pre, 1e-9);
+        let direct = solve(&loose, &SolveOptions::default());
+        match presolved {
+            Err(SolveError::Infeasible) => {
+                prop_assert!(direct.is_err(), "presolve proved infeasible, direct solved");
+            }
+            Err(e) => prop_assert!(false, "unexpected presolve failure: {e:?}"),
+            Ok(_) => {
+                prop_assert!(pre.cons.len() <= model.cons.len(),
+                    "every dominated duplicate must be eliminated");
+                match (solve(&pre, &SolveOptions::default()), direct) {
+                    (Ok(p), Ok(d)) => prop_assert!((p.objective - d.objective).abs() < 1e-6,
+                        "presolved {} vs direct {}", p.objective, d.objective),
+                    (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+                    (p, d) => prop_assert!(false, "status mismatch: pre={p:?} direct={d:?}"),
+                }
             }
         }
     }

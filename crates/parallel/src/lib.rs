@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -31,28 +32,42 @@ use std::time::{Duration, Instant};
 /// enough slack for dynamic load balancing on oversubscribed machines.
 pub const MAX_CHUNKS: usize = 32;
 
-/// An execution context: how many worker threads kernels may use.
+/// Default [`Exec::chunk_cap`]: kernels that carry a full-size scratch
+/// accumulator per chunk (the MD force loop) cap their chunk count here,
+/// because every extra chunk costs an O(N) buffer plus O(N) merge work.
+pub const DEFAULT_CHUNK_CAP: usize = 8;
+
+/// An execution context: how many worker threads kernels may use, plus the
+/// per-kernel scratch-chunk policy.
 ///
 /// Carried by value on simulation state (`System`, `FlashSim`) so analyses
 /// that only see `&state` inherit the choice without new plumbing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Exec {
     threads: usize,
+    chunk_cap: usize,
 }
 
 impl Exec {
     /// Single-threaded execution (used to pin profiling anchors).
     pub fn serial() -> Self {
-        Exec { threads: 1 }
+        Exec {
+            threads: 1,
+            chunk_cap: DEFAULT_CHUNK_CAP,
+        }
     }
 
     /// Execution with exactly `n` worker threads (clamped to >= 1).
     pub fn with_threads(n: usize) -> Self {
-        Exec { threads: n.max(1) }
+        Exec {
+            threads: n.max(1),
+            chunk_cap: DEFAULT_CHUNK_CAP,
+        }
     }
 
-    /// Reads `INSITU_THREADS` from the environment; falls back to the
-    /// machine's available parallelism when unset or unparsable.
+    /// Reads `INSITU_THREADS` (worker count) and `INSITU_CHUNK_CAP`
+    /// (scratch-chunk cap) from the environment; threads fall back to the
+    /// machine's available parallelism, the cap to [`DEFAULT_CHUNK_CAP`].
     pub fn from_env() -> Self {
         let threads = std::env::var("INSITU_THREADS")
             .ok()
@@ -63,12 +78,35 @@ impl Exec {
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
-        Exec { threads }
+        let chunk_cap = std::env::var("INSITU_CHUNK_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CHUNK_CAP);
+        Exec { threads, chunk_cap }
     }
 
     /// Number of worker threads this context allows.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Chunk cap for kernels whose per-chunk scratch is proportional to
+    /// the whole problem (each chunk of the MD force loop accumulates into
+    /// a private 3·N buffer that must be merged). Changing the cap changes
+    /// the summation tree, so it must be fixed per run — like the chunk
+    /// count itself, it is policy, never derived from the thread count.
+    pub fn chunk_cap(&self) -> usize {
+        self.chunk_cap
+    }
+
+    /// Returns a copy with the scratch-chunk cap set to `n` (clamped
+    /// to >= 1).
+    pub fn with_chunk_cap(self, n: usize) -> Self {
+        Exec {
+            chunk_cap: n.max(1),
+            ..self
+        }
     }
 }
 
@@ -297,6 +335,138 @@ pub fn fill_chunks<T: Send>(
     }
 }
 
+/// Allocation/reuse counters of a [`ScratchPool`], for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchCounters {
+    /// Buffers that had to be freshly allocated (pool miss).
+    pub allocs: usize,
+    /// Buffers served from the pool (no allocation).
+    pub reuses: usize,
+}
+
+impl ScratchCounters {
+    /// Component-wise difference since an earlier snapshot (counters are
+    /// monotonic, so this is the activity between the two reads).
+    pub fn since(&self, earlier: &ScratchCounters) -> ScratchCounters {
+        ScratchCounters {
+            allocs: self.allocs - earlier.allocs,
+            reuses: self.reuses - earlier.reuses,
+        }
+    }
+}
+
+/// Bound on buffers retained per size class, so a pathological mix of
+/// sizes cannot hoard memory. Kernels use a handful of sizes, far below
+/// this.
+const MAX_POOLED_PER_SIZE: usize = 256;
+
+/// A pool of reusable `f64` scratch buffers, keyed by length.
+///
+/// Parallel kernels that need a private accumulator per chunk (the MD
+/// force loop's 3·N partial forces, the AMR sweep's per-block conservative
+/// deltas, ghost-exchange planes) would otherwise allocate and free those
+/// buffers every step. The pool hands the same allocations back out:
+/// after a warm-up step, steady-state kernel execution performs **zero**
+/// scratch allocations, which the [`ScratchCounters`] prove.
+///
+/// # Determinism
+///
+/// The pool never affects results. [`ScratchPool::take_zeroed`] returns a
+/// fully zeroed buffer — indistinguishable from `vec![0.0; len]` — and
+/// [`ScratchPool::take`] is reserved for buffers the kernel overwrites
+/// completely before reading. Which physical allocation a chunk receives
+/// is scheduling noise, exactly like which thread runs the chunk.
+///
+/// # Ownership
+///
+/// The pool lives on the owning state (`System`, `FlashSim`, a kernel
+/// struct) next to its `KernelTelemetry`. It is `Sync`: chunks running on
+/// worker threads take and return buffers concurrently through an internal
+/// lock held only for the shelf operation, never while the buffer is in
+/// use. `Clone` yields a fresh **empty** pool (clones of a simulation
+/// state must not share buffers), so cloned states simply re-warm.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    shelves: Mutex<BTreeMap<usize, Vec<Vec<f64>>>>,
+    allocs: AtomicUsize,
+    reuses: AtomicUsize,
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer of exactly `len` elements with **unspecified**
+    /// contents (stale data from a previous user). Only for kernels that
+    /// overwrite every element before reading any.
+    pub fn take(&self, len: usize) -> Vec<f64> {
+        let pooled = self
+            .shelves
+            .lock()
+            .expect("scratch pool poisoned")
+            .get_mut(&len)
+            .and_then(Vec::pop);
+        match pooled {
+            Some(buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.allocs.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Takes a buffer of exactly `len` zeros — a drop-in replacement for
+    /// `vec![0.0; len]` that reuses pooled storage.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f64> {
+        let mut buf = self.take(len);
+        buf.iter_mut().for_each(|x| *x = 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse. Buffers beyond
+    /// [`MAX_POOLED_PER_SIZE`] of the same length are dropped.
+    pub fn put(&self, buf: Vec<f64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let len = buf.len();
+        let mut shelves = self.shelves.lock().expect("scratch pool poisoned");
+        let shelf = shelves.entry(len).or_default();
+        if shelf.len() < MAX_POOLED_PER_SIZE {
+            shelf.push(buf);
+        }
+    }
+
+    /// Current allocation/reuse counters (monotonic since construction).
+    pub fn counters(&self) -> ScratchCounters {
+        ScratchCounters {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of buffers currently resting in the pool.
+    pub fn pooled(&self) -> usize {
+        self.shelves
+            .lock()
+            .expect("scratch pool poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +565,66 @@ mod tests {
         assert_eq!(Exec::with_threads(0).threads(), 1);
         assert_eq!(Exec::with_threads(6).threads(), 6);
         assert!(Exec::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn exec_chunk_cap_is_policy() {
+        assert_eq!(Exec::serial().chunk_cap(), DEFAULT_CHUNK_CAP);
+        let e = Exec::with_threads(4).with_chunk_cap(3);
+        assert_eq!(e.chunk_cap(), 3);
+        assert_eq!(e.threads(), 4);
+        assert_eq!(Exec::with_threads(1).with_chunk_cap(0).chunk_cap(), 1);
+        assert!(Exec::from_env().chunk_cap() >= 1);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let pool = ScratchPool::new();
+        let a = pool.take_zeroed(64);
+        assert!(a.iter().all(|&x| x == 0.0));
+        assert_eq!(pool.counters(), ScratchCounters { allocs: 1, reuses: 0 });
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        let mut b = pool.take_zeroed(64);
+        assert_eq!(pool.counters(), ScratchCounters { allocs: 1, reuses: 1 });
+        assert_eq!(b.len(), 64);
+        // a dirty buffer comes back zeroed from take_zeroed ...
+        b.iter_mut().for_each(|x| *x = 7.0);
+        pool.put(b);
+        let c = pool.take_zeroed(64);
+        assert!(c.iter().all(|&x| x == 0.0));
+        pool.put(c);
+        // ... and with stale contents from take
+        let d = pool.take(64);
+        assert!(d.iter().all(|&x| x == 0.0), "was zeroed on last take");
+        // different length = different shelf = fresh allocation
+        let e = pool.take_zeroed(65);
+        let counters = pool.counters();
+        assert_eq!(counters.allocs, 2);
+        assert_eq!(counters.reuses, 3);
+        assert_eq!(counters.since(&ScratchCounters { allocs: 1, reuses: 1 }).allocs, 1);
+        drop((d, e));
+    }
+
+    #[test]
+    fn scratch_pool_is_concurrent_and_clone_is_empty() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let b = pool.take_zeroed(128);
+                        pool.put(b);
+                    }
+                });
+            }
+        });
+        let c = pool.counters();
+        assert_eq!(c.allocs + c.reuses, 200);
+        assert!(c.allocs <= 4, "at most one allocation per concurrent taker");
+        let cloned = pool.clone();
+        assert_eq!(cloned.pooled(), 0);
+        assert_eq!(cloned.counters(), ScratchCounters::default());
     }
 
     #[test]

@@ -37,8 +37,9 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # lint drift: clippy clean across the workspace, warnings are errors
 run cargo clippy --workspace --all-targets -- -D warnings
 
-# perf smoke: the engine sweep's CI grid, timed so gross LP-engine
-# regressions show up in the verify log (full sweep: solver_bench)
+# perf smoke: the engine sweep's CI grid plus the branching ablation's
+# smoke instance (most-fractional vs two-tier pseudocost), timed so gross
+# LP-engine or branching regressions show up (full sweep: solver_bench)
 run bash -c 'time ./target/release/solver_bench --smoke --out target/BENCH_milp_smoke.json'
 
 # sim-kernel smoke: the (size x threads) proxy sweep's CI grid, timed so

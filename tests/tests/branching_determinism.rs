@@ -1,0 +1,157 @@
+//! Determinism and equivalence guarantees for the two-tier branching
+//! scheme (pseudocost branching with parallel strong branching at shallow
+//! depths, `docs/SOLVER.md`).
+//!
+//! Pinned here:
+//!
+//! 1. a **knob matrix** — most-fractional, pure pseudocost, and the
+//!    default strong+pseudocost configuration all return the same optimum
+//!    on a paper-shaped instance, each cross-checked through the exact
+//!    rational certifier,
+//! 2. parallel strong branching returns the **bitwise-identical optimum**
+//!    at 1 and 4 threads,
+//! 3. a serial **node-order regression**: node/probe counts under the
+//!    default rule repeat exactly across runs, and the learned-pseudocost
+//!    tree is no larger than the most-fractional tree on the exemplar.
+
+use milp::{BranchRule, SolveOptions};
+
+/// A Table-5-flavoured instance (distinct from the corpus exemplar):
+/// four analyses with mixed weights under tight time and memory budgets.
+fn paper_problem() -> insitu_types::ScheduleProblem {
+    use insitu_types::AnalysisProfile;
+    insitu_types::ScheduleProblem::new(
+        vec![
+            AnalysisProfile::new("rdf")
+                .with_compute(0.5, 64.0)
+                .with_output(0.125, 16.0, 1)
+                .with_interval(8),
+            AnalysisProfile::new("msd")
+                .with_per_step(0.0, 2.0)
+                .with_compute(1.5, 32.0)
+                .with_output(0.25, 8.0, 1)
+                .with_interval(16),
+            AnalysisProfile::new("vacf")
+                .with_compute(2.0, 48.0)
+                .with_output(0.5, 12.0, 1)
+                .with_interval(20)
+                .with_weight(1.5),
+            AnalysisProfile::new("voronoi")
+                .with_compute(6.0, 128.0)
+                .with_output(1.0, 32.0, 1)
+                .with_interval(25)
+                .with_weight(2.0),
+        ],
+        insitu_types::ResourceConfig::from_total_threshold(100, 40.0, 512.0, 1e6),
+    )
+    .expect("valid problem")
+}
+
+fn opts(rule: BranchRule, threads: usize) -> SolveOptions {
+    SolveOptions {
+        branch_rule: rule,
+        threads,
+        certificate: true,
+        ..SolveOptions::default()
+    }
+}
+
+/// Pseudocosts trusted immediately and no strong-branching depth window:
+/// the solver never probes, exercising the estimate-only scoring path.
+fn pseudocost_only_opts() -> SolveOptions {
+    SolveOptions {
+        pseudocost_reliability: 0,
+        strong_branch_depth: 0,
+        ..opts(BranchRule::Pseudocost, 1)
+    }
+}
+
+#[test]
+fn knob_matrix_agrees_and_certifies() {
+    let problem = paper_problem();
+    let built = insitu_core::build_aggregate(&problem).expect("model builds");
+    let configs = [
+        ("most-fractional", opts(BranchRule::MostFractional, 1)),
+        ("pseudocost-only", pseudocost_only_opts()),
+        ("strong+pseudocost", opts(BranchRule::Pseudocost, 1)),
+    ];
+    let mut objectives: Vec<(&str, f64)> = Vec::new();
+    for (name, o) in &configs {
+        let sol = milp::solve(&built.model, o).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        assert!(sol.proven_optimal, "{name} must prove optimality");
+        // cross-check through the independent exact-rational certifier
+        let (counts, output_counts) = built.counts_from(&sol.values);
+        let schedule =
+            insitu_core::placement::place_schedule(&problem, &counts, &output_counts);
+        let cert = sol.stats.certificate.as_ref().expect("certificate emitted");
+        let checked = certify::certify(&problem, &schedule, Some(cert));
+        assert_eq!(
+            checked.verdict,
+            certify::Verdict::Proved,
+            "{name}: {:?}",
+            checked.problems
+        );
+        objectives.push((name, sol.objective));
+    }
+    for pair in objectives.windows(2) {
+        assert!(
+            (pair[0].1 - pair[1].1).abs() < 1e-9,
+            "optima diverge: {:?} vs {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn strong_branching_optimum_is_thread_count_invariant() {
+    let problem = paper_problem();
+    let built = insitu_core::build_aggregate(&problem).expect("model builds");
+    // force probing everywhere so the parallel candidate evaluation is hot
+    let deep = |threads| SolveOptions {
+        strong_branch_depth: usize::MAX,
+        pseudocost_reliability: usize::MAX,
+        ..opts(BranchRule::Pseudocost, threads)
+    };
+    let serial = milp::solve(&built.model, &deep(1)).expect("serial solves");
+    assert!(serial.stats.strong_branch_calls > 0, "probing must engage");
+    for threads in [2usize, 4] {
+        let par = milp::solve(&built.model, &deep(threads)).expect("parallel solves");
+        assert_eq!(
+            par.objective.to_bits(),
+            serial.objective.to_bits(),
+            "threads={threads}: {} vs {}",
+            par.objective,
+            serial.objective
+        );
+        assert!(par.proven_optimal);
+    }
+}
+
+#[test]
+fn branching_node_order_regression() {
+    let problem = paper_problem();
+    let built = insitu_core::build_aggregate(&problem).expect("model builds");
+    let runs: Vec<_> = (0..3)
+        .map(|_| milp::solve(&built.model, &opts(BranchRule::Pseudocost, 1)).unwrap())
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(r.nodes, runs[0].nodes, "node count drifted between runs");
+        assert_eq!(r.iterations, runs[0].iterations, "pivot count drifted");
+        assert_eq!(r.values, runs[0].values, "argmax drifted");
+        assert_eq!(
+            r.stats.strong_branch_lps, runs[0].stats.strong_branch_lps,
+            "probe count drifted"
+        );
+        assert_eq!(r.stats.pseudocost_branches, runs[0].stats.pseudocost_branches);
+    }
+    // the learned rule must not search a larger tree than most-fractional
+    // on this instance (the headline claim of the branching rework)
+    let mf = milp::solve(&built.model, &opts(BranchRule::MostFractional, 1)).unwrap();
+    assert!(
+        runs[0].nodes <= mf.nodes,
+        "pseudocost tree ({}) larger than most-fractional tree ({})",
+        runs[0].nodes,
+        mf.nodes
+    );
+}
