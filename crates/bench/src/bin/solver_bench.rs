@@ -1,19 +1,25 @@
 //! Engine benchmark: sparse revised simplex vs the dense-tableau oracle
-//! on the paper-shaped `(Steps, |A|)` sweep. Writes `BENCH_milp.json`
-//! (schema documented in `EXPERIMENTS.md`) and prints the report table.
+//! on the paper-shaped `(Steps, |A|)` sweep, plus the branching and cut
+//! ablations. Writes `BENCH_milp.json` (schema documented in
+//! `EXPERIMENTS.md`) and prints the report tables.
 //!
-//! Usage: `solver_bench [--smoke] [--out PATH]`
+//! Usage: `solver_bench [--smoke] [--check-cuts] [--out PATH]`
 //!
-//! `--smoke` runs the reduced CI grid; `--out` overrides the JSON path
-//! (default `BENCH_milp.json` in the current directory).
+//! `--smoke` runs the reduced CI grid; `--check-cuts` exits nonzero
+//! unless the cut ablation's total cuts-on node count is no larger than
+//! cuts-off (the CI regression gate in `scripts/verify.sh`); `--out`
+//! overrides the JSON path (default `BENCH_milp.json` in the current
+//! directory).
 
 use bench::experiments::solver_bench::{
-    run, ABLATION_FULL_GRID, ABLATION_SMOKE_GRID, FULL_GRID, SMOKE_GRID,
+    geomean_node_reduction, run, ABLATION_FULL_GRID, ABLATION_SMOKE_GRID, CUTS_FULL_GRID,
+    CUTS_SMOKE_GRID, FULL_GRID, SMOKE_GRID,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let check_cuts = args.iter().any(|a| a == "--check-cuts");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -25,12 +31,15 @@ fn main() {
         .enumerate()
         .find(|&(i, a)| {
             a != "--smoke"
+                && a != "--check-cuts"
                 && a != "--out"
                 && !(i > 0 && args[i - 1] == "--out")
         })
         .map(|(_, a)| a)
     {
-        eprintln!("unknown argument {bad}; usage: solver_bench [--smoke] [--out PATH]");
+        eprintln!(
+            "unknown argument {bad}; usage: solver_bench [--smoke] [--check-cuts] [--out PATH]"
+        );
         std::process::exit(2);
     }
 
@@ -40,7 +49,12 @@ fn main() {
     } else {
         &ABLATION_FULL_GRID
     };
-    let outcome = run(grid, ablation);
+    let cuts_grid: &[(usize, usize)] = if smoke {
+        &CUTS_SMOKE_GRID
+    } else {
+        &CUTS_FULL_GRID
+    };
+    let outcome = run(grid, ablation, cuts_grid);
     println!("{}", outcome.report);
     let json = outcome.to_json().to_string_pretty();
     std::fs::write(&out, json + "\n").expect("write BENCH_milp.json");
@@ -60,6 +74,19 @@ fn main() {
             flagship.wall_ratio()
         );
     }
+    println!(
+        "cut ablation geomean node reduction @ Steps>=64: {:.2}x",
+        geomean_node_reduction(&outcome.cuts)
+    );
+    if check_cuts {
+        let off: usize = outcome.cuts.iter().map(|c| c.off.nodes).sum();
+        let on: usize = outcome.cuts.iter().map(|c| c.root.nodes).sum();
+        if on > off {
+            eprintln!("--check-cuts: cuts-on explored {on} nodes > cuts-off {off}");
+            std::process::exit(1);
+        }
+        println!("--check-cuts: cuts-on nodes {on} <= cuts-off {off}");
+    }
 
     // unified sink: both engines' sweep totals through one registry (same
     // milp.* names SolveStats::export_into uses for a single solve)
@@ -78,6 +105,17 @@ fn main() {
         registry.observe("milp.lp.max_eta_len", p.revised.max_eta_len as f64);
         registry.observe("milp.lp.ftran_s", p.revised.ftran_ms / 1e3);
         registry.observe("milp.lp.btran_s", p.revised.btran_ms / 1e3);
+    }
+    // cut-ablation totals, same milp.cuts.* names SolveStats::export_into
+    // uses for a single solve (Root-policy runs; node cuts from Full)
+    for c in &outcome.cuts {
+        registry.add("milp.cuts.gomory", c.root.gomory_generated as u64);
+        registry.add("milp.cuts.cover", c.root.cover_generated as u64);
+        registry.add("milp.cuts.applied", c.root.cuts_applied as u64);
+        registry.add("milp.cuts.aged_out", c.root.cuts_aged_out as u64);
+        registry.add("milp.cuts.node", c.full.node_cuts as u64);
+        registry.observe("milp.cuts.separation_s", c.root.separation_ms / 1e3);
+        registry.observe("milp.cuts.root_gap_closed", c.root.root_gap_closed);
     }
     println!("\nunified telemetry registry:");
     print!("{}", registry.snapshot().table());

@@ -23,22 +23,40 @@
 //! near-identical trees — root-solved or uniformly hopeless.) Every
 //! ablation instance is solved with the legacy most-fractional rule and
 //! with the default two-tier pseudocost/strong-branching rule
-//! (`docs/SOLVER.md`), both on the revised engine at one thread,
-//! reporting node counts, wall time and proof status. The flagship point
+//! (`docs/SOLVER.md`), both on the revised engine at one thread with
+//! cuts held at `CutPolicy::Off` (the default root cut pool solves
+//! these instances at the root, which would leave no tree for the
+//! branching rules to differ on), reporting node counts, wall time and
+//! proof status. The flagship point
 //! (`Steps=512, |A|=16`) is the 10×-scale acceptance measurement: the
 //! two-tier rule must at least halve the node count or the wall time.
 //! Node counts are deterministic and machine-independent, so the
 //! committed ratios are comparable across hosts.
 //!
-//! [`Outcome::to_json`] serializes both sweeps in the `BENCH_milp.json`
-//! schema documented in `EXPERIMENTS.md`.
+//! A third sweep ablates the **cut policy** (`CutPolicy::Off` vs the
+//! default `Root` Gomory + cover pool vs `Full` with node covers, see
+//! `docs/SOLVER.md`) over [`cut_instance`] — the ablation family with a
+//! tighter budget and memory threshold so the root relaxation is
+//! genuinely fractional and the knapsack-shaped memory rows carry
+//! violated covers. All three policies must agree on the optimum
+//! bitwise (half-integer weights put the objective on a 0.5 grid); the
+//! acceptance number is the geometric-mean off/root node reduction over
+//! the `Steps >= 64` points ([`geomean_node_reduction`]), which must be
+//! `>= 2x`. Node counts are deterministic, so the committed number is
+//! host-independent.
+//!
+//! [`Outcome::to_json`] serializes all three sweeps in the
+//! `BENCH_milp.json` schema documented in `EXPERIMENTS.md` (the cut
+//! ablation under the nested `bench/milp-cuts/v1` schema).
 
 use std::time::Instant;
 
 use insitu_core::formulation::build_exact;
 use insitu_types::json::Value;
 use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
-use milp::{solve_lp_relaxation, BranchRule, SimplexEngine, SolveError, SolveOptions};
+use milp::{
+    solve_lp_relaxation, BranchRule, CutPolicy, Sense, SimplexEngine, SolveError, SolveOptions,
+};
 
 /// Sweep grid for the full benchmark: `(Steps, |A|)`.
 pub const FULL_GRID: [(usize, usize); 6] = [(16, 2), (32, 2), (32, 4), (64, 2), (64, 4), (96, 4)];
@@ -59,6 +77,15 @@ pub const ABLATION_SMOKE_GRID: [(usize, usize); 3] = [(16, 2), (32, 4), (64, 4)]
 /// terminates. A capped run reports `proven: false` with `nodes` at the
 /// cap — an honest lower bound on its tree size.
 pub const ABLATION_NODE_CAP: usize = 50_000;
+
+/// Cut-ablation grid for the full benchmark. All points sit at
+/// `Steps >= 64`, the band the `>= 2x` geometric-mean node-reduction
+/// acceptance bar is measured on.
+pub const CUTS_FULL_GRID: [(usize, usize); 4] = [(64, 6), (96, 8), (128, 10), (192, 12)];
+
+/// Cut-ablation grid for `--smoke`: one small and one acceptance-band
+/// instance.
+pub const CUTS_SMOKE_GRID: [(usize, usize); 2] = [(16, 3), (64, 6)];
 
 /// Per-engine measurements on one instance.
 #[derive(Debug, Clone, Copy)]
@@ -149,6 +176,78 @@ impl BranchPoint {
     }
 }
 
+/// One cut policy's run on one cut-ablation instance.
+#[derive(Debug, Clone, Copy)]
+pub struct CutRun {
+    /// Full MILP solve wall time (milliseconds).
+    pub wall_ms: f64,
+    /// Branch & bound nodes explored (the cap if `proven` is false).
+    pub nodes: usize,
+    /// Optimal objective (0.0 when `proven` is false).
+    pub objective: f64,
+    /// Gomory mixed-integer cuts generated at the root.
+    pub gomory_generated: usize,
+    /// Knapsack cover cuts generated at the root.
+    pub cover_generated: usize,
+    /// Cuts applied in total (root pool + node cuts).
+    pub cuts_applied: usize,
+    /// Root cuts evicted by slack-based aging.
+    pub cuts_aged_out: usize,
+    /// Cover cuts separated at non-root nodes (`CutPolicy::Full` only).
+    pub node_cuts: usize,
+    /// Time inside cut separation (milliseconds).
+    pub separation_ms: f64,
+    /// Fraction of the root integrality gap closed by the cut loop.
+    pub root_gap_closed: f64,
+    /// True when optimality was proven within [`ABLATION_NODE_CAP`].
+    pub proven: bool,
+}
+
+/// One cut-ablation grid point: the same memory-tight aggregate
+/// instance solved with cuts off, root-only (the default policy), and
+/// full (root pool + per-node cover separation).
+#[derive(Debug, Clone, Copy)]
+pub struct CutPoint {
+    /// Simulation steps (`Steps`).
+    pub steps: usize,
+    /// Number of analyses (`|A|`).
+    pub analyses: usize,
+    /// `CutPolicy::Off` run.
+    pub off: CutRun,
+    /// `CutPolicy::Root` run (the solver default).
+    pub root: CutRun,
+    /// `CutPolicy::Full` run.
+    pub full: CutRun,
+}
+
+impl CutPoint {
+    /// Off-over-root node ratio (>1 = root cuts shrank the tree). When
+    /// the cuts-off run hit the node cap this is a lower bound.
+    pub fn node_reduction(&self) -> f64 {
+        self.off.nodes as f64 / self.root.nodes.max(1) as f64
+    }
+
+    /// Off-over-full node ratio.
+    pub fn node_reduction_full(&self) -> f64 {
+        self.off.nodes as f64 / self.full.nodes.max(1) as f64
+    }
+}
+
+/// Geometric mean of the off/root node reduction over the `Steps >= 64`
+/// grid points — the committed acceptance number for the cut-generating
+/// solver (node counts are deterministic, so this is host-independent).
+pub fn geomean_node_reduction(points: &[CutPoint]) -> f64 {
+    let logs: Vec<f64> = points
+        .iter()
+        .filter(|p| p.steps >= 64)
+        .map(|p| p.node_reduction().max(f64::MIN_POSITIVE).ln())
+        .collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
 /// Sweep result.
 #[derive(Debug)]
 pub struct Outcome {
@@ -156,6 +255,8 @@ pub struct Outcome {
     pub points: Vec<SweepPoint>,
     /// One entry per branching-ablation grid point, in sweep order.
     pub branching: Vec<BranchPoint>,
+    /// One entry per cut-ablation grid point, in sweep order.
+    pub cuts: Vec<CutPoint>,
     /// Printable report.
     pub report: String,
 }
@@ -277,6 +378,11 @@ fn run_branch_rule(problem: &ScheduleProblem, rule: BranchRule) -> BranchRun {
         max_nodes: ABLATION_NODE_CAP,
         // half-integer weights => objective on a 0.5 grid => exact
         abs_gap: 0.499,
+        // hold cuts fixed at Off so the ablation isolates the branching
+        // rule — the default root pool solves these instances at the
+        // root, leaving no tree for the rules to differ on (the cut
+        // ablation below measures that effect on its own axis)
+        cut_policy: CutPolicy::Off,
         ..opts(SimplexEngine::Revised)
     };
     let t0 = Instant::now();
@@ -314,9 +420,134 @@ pub fn run_ablation(grid: &[(usize, usize)]) -> Vec<BranchPoint> {
         .collect()
 }
 
-/// Runs the engine sweep over `grid` and the branching ablation over
-/// `ablation_grid`.
-pub fn run(grid: &[(usize, usize)], ablation_grid: &[(usize, usize)]) -> Outcome {
+/// A cut-friendly variant of [`ablation_instance`]: the same
+/// accumulating-memory family with a tighter time budget (45 % of the
+/// rough cost) and memory threshold (30 % of the rough peak), so the
+/// root LP sits well off the integer hull — fractional enough that GMI
+/// rounds bite and the knapsack-shaped memory rows carry violated
+/// covers. Weights stay half-integer, so `abs_gap = 0.499` is exact.
+pub fn cut_instance(steps: usize, n: usize) -> ScheduleProblem {
+    let mut analyses = Vec::with_capacity(n);
+    let mut rough_cost = 0.0;
+    let mut rough_peak = 0.0;
+    for i in 0..n {
+        let kmax = 4 + 4 * (i % 4);
+        let itv = (steps / kmax).max(1);
+        let k = (steps / itv) as f64;
+        let ct = 0.5 * (1 + (i * 7) % 11) as f64;
+        let cm = 4.0 * ((i * 5) % 9) as f64;
+        let ot = 0.25 * (1 + i % 3) as f64;
+        let om = 3.0 * ((i * 3) % 7) as f64;
+        let im = 0.5 * ((i * 2) % 5) as f64;
+        let weight = 0.5 * (1 + (i * 3) % 6) as f64;
+        rough_cost += k * (ct + ot);
+        rough_peak += im * steps as f64 + k * cm + om;
+        analyses.push(
+            AnalysisProfile::new(format!("A{i}"))
+                .with_per_step(0.0, im)
+                .with_compute(ct, cm)
+                .with_output(ot, om, 1)
+                .with_weight(weight)
+                .with_interval(itv),
+        );
+    }
+    ScheduleProblem::new(
+        analyses,
+        ResourceConfig::from_total_threshold(
+            steps,
+            rough_cost * 0.45,
+            rough_peak * 0.30,
+            1e6,
+        ),
+    )
+    .expect("valid instance")
+}
+
+fn run_cut_policy(problem: &ScheduleProblem, policy: CutPolicy) -> CutRun {
+    let model = insitu_core::build_aggregate(problem)
+        .expect("aggregate model builds")
+        .model;
+    let maximize = matches!(model.sense, Sense::Maximize);
+    let o = SolveOptions {
+        cut_policy: policy,
+        max_nodes: ABLATION_NODE_CAP,
+        // half-integer weights => objective on a 0.5 grid => exact
+        abs_gap: 0.499,
+        ..opts(SimplexEngine::Revised)
+    };
+    let t0 = Instant::now();
+    match milp::solve(&model, &o) {
+        Ok(sol) => {
+            let c = &sol.stats.cuts;
+            CutRun {
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                nodes: sol.nodes,
+                objective: sol.objective,
+                gomory_generated: c.gomory_generated,
+                cover_generated: c.cover_generated,
+                cuts_applied: c.cuts_applied,
+                cuts_aged_out: c.cuts_aged_out,
+                node_cuts: c.node_cuts,
+                separation_ms: c.separation_time.as_secs_f64() * 1e3,
+                root_gap_closed: c.root_gap_closed(sol.objective, maximize),
+                proven: true,
+            }
+        }
+        Err(SolveError::NodeLimit { nodes, .. }) => CutRun {
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            nodes,
+            objective: 0.0,
+            gomory_generated: 0,
+            cover_generated: 0,
+            cuts_applied: 0,
+            cuts_aged_out: 0,
+            node_cuts: 0,
+            separation_ms: 0.0,
+            root_gap_closed: 0.0,
+            proven: false,
+        },
+        Err(e) => panic!("cut-ablation instance failed: {e}"),
+    }
+}
+
+/// Runs the cut ablation over `grid`: each instance with
+/// `CutPolicy::{Off, Root, Full}`. Panics if two proven policies
+/// disagree on the optimum — cuts must never change the answer, and the
+/// half-integer objective grid makes "agree within `abs_gap`" bitwise.
+pub fn run_cuts(grid: &[(usize, usize)]) -> Vec<CutPoint> {
+    grid.iter()
+        .map(|&(steps, n)| {
+            let problem = cut_instance(steps, n);
+            let off = run_cut_policy(&problem, CutPolicy::Off);
+            let root = run_cut_policy(&problem, CutPolicy::Root);
+            let full = run_cut_policy(&problem, CutPolicy::Full);
+            for (name, run) in [("root", &root), ("full", &full)] {
+                assert!(
+                    !(off.proven && run.proven)
+                        || off.objective.to_bits() == run.objective.to_bits(),
+                    "Steps={steps} |A|={n}: cuts-{name} optimum {} != cuts-off {}",
+                    run.objective,
+                    off.objective
+                );
+            }
+            CutPoint {
+                steps,
+                analyses: n,
+                off,
+                root,
+                full,
+            }
+        })
+        .collect()
+}
+
+/// Runs the engine sweep over `grid`, the branching ablation over
+/// `ablation_grid`, and the cut ablation over `cuts_grid`.
+pub fn run(
+    grid: &[(usize, usize)],
+    ablation_grid: &[(usize, usize)],
+    cuts_grid: &[(usize, usize)],
+) -> Outcome {
     let mut points = Vec::with_capacity(grid.len());
     let mut t = crate::table::TextTable::new(&[
         "Steps",
@@ -391,6 +622,46 @@ pub fn run(grid: &[(usize, usize)], ablation_grid: &[(usize, usize)]) -> Outcome
             ),
         ]);
     }
+    let cuts = run_cuts(cuts_grid);
+    let mut ct = crate::table::TextTable::new(&[
+        "Steps",
+        "|A|",
+        "off nodes",
+        "root nodes",
+        "full nodes",
+        "node redn",
+        "gmy/cvr gen",
+        "applied",
+        "aged",
+        "node cuts",
+        "gap closed",
+        "off wall (ms)",
+        "root wall (ms)",
+    ]);
+    for c in &cuts {
+        let status = |r: &CutRun| {
+            if r.proven {
+                r.nodes.to_string()
+            } else {
+                format!("{}+ (cap)", r.nodes)
+            }
+        };
+        ct.row(&[
+            c.steps.to_string(),
+            c.analyses.to_string(),
+            status(&c.off),
+            status(&c.root),
+            status(&c.full),
+            format!("{:.1}x", c.node_reduction()),
+            format!("{} / {}", c.root.gomory_generated, c.root.cover_generated),
+            c.root.cuts_applied.to_string(),
+            c.root.cuts_aged_out.to_string(),
+            c.full.node_cuts.to_string(),
+            format!("{:.0}%", c.root.root_gap_closed * 100.0),
+            format!("{:.2}", c.off.wall_ms),
+            format!("{:.2}", c.root.wall_ms),
+        ]);
+    }
     let report = format!(
         "Exact time-indexed formulation (2*|A|*Steps binaries), both LP\n\
          engines; LP columns time the root relaxation, MILP columns the\n\
@@ -398,14 +669,23 @@ pub fn run(grid: &[(usize, usize)], ablation_grid: &[(usize, usize)]) -> Outcome
          Branching ablation (revised engine): legacy most-fractional (MF)\n\
          vs default pseudocost + strong branching (PC); ratios are MF/PC,\n\
          so >1 favours the two-tier rule. '+ (cap)' marks node-capped\n\
-         unproven runs ({} nodes).\n{}",
+         unproven runs ({} nodes).\n{}\n\
+         Cut ablation (revised engine, default branching): CutPolicy Off\n\
+         vs Root (default: Gomory + cover root pool) vs Full (root pool +\n\
+         node covers) on the same memory-tight aggregate instances; node\n\
+         redn is off/root, so >1 favours cuts. gen/applied/aged/gap\n\
+         columns are the Root run's CutStats; node cuts is the Full\n\
+         run's. Geometric-mean node reduction @ Steps>=64: {:.1}x.\n{}",
         t.render(),
         ABLATION_NODE_CAP,
-        bt.render()
+        bt.render(),
+        geomean_node_reduction(&cuts),
+        ct.render()
     );
     Outcome {
         points,
         branching,
+        cuts,
         report,
     }
 }
@@ -424,6 +704,34 @@ fn engine_json(r: &EngineRun) -> Value {
     o.insert("max_eta_len".into(), Value::Number(r.max_eta_len as f64));
     o.insert("ftran_ms".into(), Value::Number(r.ftran_ms));
     o.insert("btran_ms".into(), Value::Number(r.btran_ms));
+    Value::Object(o)
+}
+
+fn cut_run_json(r: &CutRun) -> Value {
+    let mut o = std::collections::BTreeMap::new();
+    o.insert("wall_ms".into(), Value::Number(r.wall_ms));
+    o.insert("nodes".into(), Value::Number(r.nodes as f64));
+    o.insert("objective".into(), Value::Number(r.objective));
+    o.insert(
+        "gomory_generated".into(),
+        Value::Number(r.gomory_generated as f64),
+    );
+    o.insert(
+        "cover_generated".into(),
+        Value::Number(r.cover_generated as f64),
+    );
+    o.insert("cuts_applied".into(), Value::Number(r.cuts_applied as f64));
+    o.insert(
+        "cuts_aged_out".into(),
+        Value::Number(r.cuts_aged_out as f64),
+    );
+    o.insert("node_cuts".into(), Value::Number(r.node_cuts as f64));
+    o.insert("separation_ms".into(), Value::Number(r.separation_ms));
+    o.insert(
+        "root_gap_closed".into(),
+        Value::Number(r.root_gap_closed),
+    );
+    o.insert("proven".into(), Value::Bool(r.proven));
     Value::Object(o)
 }
 
@@ -494,6 +802,35 @@ impl Outcome {
             "flagship_node_ratio".into(),
             Value::Number(self.branching.last().map_or(0.0, |b| b.node_ratio())),
         );
+        let cut_points: Vec<Value> = self
+            .cuts
+            .iter()
+            .map(|c| {
+                let mut o = std::collections::BTreeMap::new();
+                o.insert("steps".into(), Value::Number(c.steps as f64));
+                o.insert("analyses".into(), Value::Number(c.analyses as f64));
+                o.insert("off".into(), cut_run_json(&c.off));
+                o.insert("root".into(), cut_run_json(&c.root));
+                o.insert("full".into(), cut_run_json(&c.full));
+                o.insert(
+                    "node_reduction".into(),
+                    Value::Number(c.node_reduction()),
+                );
+                o.insert(
+                    "node_reduction_full".into(),
+                    Value::Number(c.node_reduction_full()),
+                );
+                Value::Object(o)
+            })
+            .collect();
+        let mut cuts = std::collections::BTreeMap::new();
+        cuts.insert("schema".into(), Value::String("bench/milp-cuts/v1".into()));
+        cuts.insert("instances".into(), Value::Array(cut_points));
+        cuts.insert(
+            "geomean_node_reduction_steps64".into(),
+            Value::Number(geomean_node_reduction(&self.cuts)),
+        );
+        root.insert("cuts".into(), Value::Object(cuts));
         Value::Object(root)
     }
 }
@@ -504,7 +841,7 @@ mod tests {
 
     #[test]
     fn smoke_grid_runs_and_serializes() {
-        let o = run(&SMOKE_GRID, &ABLATION_SMOKE_GRID[..1]);
+        let o = run(&SMOKE_GRID, &ABLATION_SMOKE_GRID[..1], &CUTS_SMOKE_GRID[..1]);
         assert_eq!(o.points.len(), SMOKE_GRID.len());
         for p in &o.points {
             // both engines reached the same search outcome
@@ -519,11 +856,20 @@ mod tests {
             assert!(b.pseudocost.nodes <= b.most_fractional.nodes.max(1));
             assert!(b.pseudocost.wall_ms > 0.0);
         }
+        assert_eq!(o.cuts.len(), 1);
+        for c in &o.cuts {
+            // run_cuts already asserts equal optima; proof status too
+            assert!(c.off.proven && c.root.proven && c.full.proven);
+            assert!(c.root.nodes <= c.off.nodes, "root cuts must not grow the tree");
+        }
         let json = o.to_json().to_string_pretty();
         assert!(json.contains("bench/milp-engine-sweep/v1"));
+        assert!(json.contains("bench/milp-cuts/v1"));
         assert!(json.contains("largest_lp_speedup"));
         assert!(json.contains("flagship_node_ratio"));
+        assert!(json.contains("geomean_node_reduction_steps64"));
         assert!(json.contains("most_fractional"));
+        assert!(json.contains("gomory_generated"));
         // the schema round-trips through the vendored parser
         insitu_types::json::Value::parse(&json).expect("valid JSON");
     }

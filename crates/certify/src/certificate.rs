@@ -20,7 +20,8 @@
 //! LP bounds, not on any branching or bookkeeping logic. See
 //! `docs/CERTIFY.md` for the full argument.
 
-use insitu_types::{NodeOutcome, SearchCertificate};
+use crate::rational::{Rat, RatError};
+use insitu_types::{CutProof, GomoryVar, NodeOutcome, SearchCertificate};
 use std::collections::BTreeMap;
 
 /// Absolute slack allowed on solver-attested f64 bounds. This does *not*
@@ -149,7 +150,208 @@ pub fn check_certificate(cert: &SearchCertificate, objective: f64) -> Vec<String
     if !cert.abs_gap.is_finite() || cert.abs_gap < 0.0 {
         problems.push(format!("invalid absolute gap {}", cert.abs_gap));
     }
+
+    // every recorded cutting plane must carry a closing validity proof
+    for (k, cut) in cert.cuts.iter().enumerate() {
+        if let Err(why) = check_cut(cut) {
+            problems.push(format!("cut {k}: {why}"));
+        }
+    }
     problems
+}
+
+/// Exact floor of a rational (denominator is normalized positive).
+fn floor_rat(r: &Rat) -> Result<Rat, RatError> {
+    Rat::new(r.numer().div_euclid(r.denom()), 1)
+}
+
+/// Exact fractional part in `[0, 1)`.
+fn frac_rat(r: &Rat) -> Result<Rat, RatError> {
+    r.sub(&floor_rat(r)?)
+}
+
+fn rat(x: f64, what: &str) -> Result<Rat, String> {
+    Rat::from_f64_exact(x).map_err(|e| format!("{what} {x} not exactly representable: {e:?}"))
+}
+
+fn overflow(what: &str) -> impl Fn(RatError) -> String + '_ {
+    move |e| format!("rational arithmetic failed while {what}: {e:?}")
+}
+
+/// Re-derives one cut in exact `i128` rational arithmetic and verifies the
+/// recorded cut is implied by the derivation. `Err` describes the first
+/// failure; `Ok(())` means the cut is valid *conditional on its attested
+/// source data* (base row / knapsack row, bounds, integrality flags) —
+/// the same trust class as the per-node LP bounds.
+fn check_cut(cut: &CutProof) -> Result<(), String> {
+    match cut {
+        CutProof::Cover { row, rhs, members } => check_cover(row, *rhs, members),
+        CutProof::Gomory {
+            vars,
+            base_rhs,
+            cut,
+            cut_rhs,
+        } => check_gomory(vars, *base_rhs, cut, *cut_rhs),
+    }
+}
+
+/// A cover cut `Σ_{members} x ≤ |members| − 1` is valid when the members'
+/// (positive) knapsack coefficients sum to strictly more than the row's
+/// right-hand side: all members at 1 would violate the attested row.
+fn check_cover(row: &[(usize, f64)], rhs: f64, members: &[usize]) -> Result<(), String> {
+    if members.is_empty() {
+        return Err("cover has no members".into());
+    }
+    let mut coeffs: BTreeMap<usize, Rat> = BTreeMap::new();
+    for &(v, c) in row {
+        if coeffs.insert(v, rat(c, "row coefficient")?).is_some() {
+            return Err(format!("duplicate variable {v} in cover row"));
+        }
+    }
+    let rhs = rat(rhs, "row rhs")?;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut sum = Rat::ZERO;
+    for &m in members {
+        if !seen.insert(m) {
+            return Err(format!("duplicate cover member {m}"));
+        }
+        let c = coeffs
+            .get(&m)
+            .ok_or_else(|| format!("cover member {m} not in the row"))?;
+        if c.signum() <= 0 {
+            return Err(format!("cover member {m} has non-positive coefficient"));
+        }
+        sum = sum.add(c).map_err(overflow("summing the cover"))?;
+    }
+    // strict: the full cover must overshoot the capacity
+    if sum.le(&rhs).map_err(overflow("comparing cover weight"))? {
+        return Err(format!(
+            "cover weight {sum} does not exceed the row capacity {rhs}"
+        ));
+    }
+    Ok(())
+}
+
+/// Replays a Gomory mixed-integer derivation exactly and checks dominance.
+///
+/// Shifted space: `t_j = x_j − bound_j` (or `bound_j − x_j` when
+/// `at_upper`), all `t_j ≥ 0`. The attested base equality becomes
+/// `Σ d_j t_j = b′` with `d_j = ±coeff_j`; with `f0 = frac(b′) ∈ (0,1)`
+/// the GMI cut is `Σ g_j t_j ≥ f0` where for integral `t_j`
+/// `g_j = min(frac(d_j), f0·(1−frac(d_j))/(1−f0))` and for continuous
+/// `t_j` `g_j = max(d_j,0) + f0/(1−f0)·max(−d_j,0)`. The recorded cut is
+/// valid iff its shifted coefficients dominate (`h_j ≥ g_j`) and its
+/// shifted right-hand side is no larger than `f0` — then
+/// `Σ h t ≥ Σ g t ≥ f0 ≥ rhs_t` for every feasible point.
+fn check_gomory(
+    vars: &[GomoryVar],
+    base_rhs: f64,
+    cut: &[(usize, f64)],
+    cut_rhs: f64,
+) -> Result<(), String> {
+    if vars.is_empty() {
+        return Err("gomory base row has no variables".into());
+    }
+    let mut base: BTreeMap<usize, &GomoryVar> = BTreeMap::new();
+    for g in vars {
+        if base.insert(g.var, g).is_some() {
+            return Err(format!("duplicate variable {} in base row", g.var));
+        }
+    }
+    // shifted right-hand side b' = base_rhs - sum coeff_j * bound_j
+    let mut bp = rat(base_rhs, "base rhs")?;
+    for g in vars {
+        let shift = rat(g.coeff, "base coefficient")?
+            .mul(&rat(g.bound, "shift bound")?)
+            .map_err(overflow("shifting the base row"))?;
+        bp = bp.sub(&shift).map_err(overflow("shifting the base row"))?;
+    }
+    let f0 = frac_rat(&bp).map_err(overflow("taking frac(b')"))?;
+    if f0.is_zero() {
+        return Err("base row is integral at the recorded basis (f0 = 0)".into());
+    }
+    let one = Rat::from_int(1);
+    let one_minus_f0 = one.sub(&f0).map_err(overflow("computing 1-f0"))?;
+    let ratio = f0
+        .div(&one_minus_f0)
+        .map_err(overflow("computing f0/(1-f0)"))?;
+
+    // recorded cut, indexed; every term must sit on a base-row variable
+    let mut rec: BTreeMap<usize, Rat> = BTreeMap::new();
+    for &(v, c) in cut {
+        if !base.contains_key(&v) {
+            return Err(format!("cut references variable {v} outside its base row"));
+        }
+        if rec.insert(v, rat(c, "cut coefficient")?).is_some() {
+            return Err(format!("duplicate variable {v} in cut"));
+        }
+    }
+
+    for g in vars {
+        let d = rat(g.coeff, "base coefficient")?;
+        let d = if g.at_upper {
+            Rat::ZERO.sub(&d).map_err(overflow("negating d_j"))?
+        } else {
+            d
+        };
+        let exact = if g.integral {
+            // the integer treatment is only sound when the shift keeps the
+            // variable on the integer lattice
+            if !frac_rat(&rat(g.bound, "shift bound")?)
+                .map_err(overflow("checking bound integrality"))?
+                .is_zero()
+            {
+                return Err(format!(
+                    "variable {} flagged integral but its shift bound {} is not",
+                    g.var, g.bound
+                ));
+            }
+            let fj = frac_rat(&d).map_err(overflow("taking frac(d_j)"))?;
+            let alt = ratio
+                .mul(&one.sub(&fj).map_err(overflow("computing 1-f_j"))?)
+                .map_err(overflow("scaling 1-f_j"))?;
+            if fj.le(&alt).map_err(overflow("comparing GMI branches"))? {
+                fj
+            } else {
+                alt
+            }
+        } else {
+            let pos = d.max(&Rat::ZERO).map_err(overflow("max(d,0)"))?;
+            let neg = Rat::ZERO.sub(&d).map_err(overflow("-d"))?;
+            let neg = neg.max(&Rat::ZERO).map_err(overflow("max(-d,0)"))?;
+            pos.add(&ratio.mul(&neg).map_err(overflow("scaling max(-d,0)"))?)
+                .map_err(overflow("continuous GMI coefficient"))?
+        };
+        // shifted recorded coefficient h_j = ±c_j (0 when the var is absent)
+        let c = rec.get(&g.var).copied().unwrap_or(Rat::ZERO);
+        let h = if g.at_upper {
+            Rat::ZERO.sub(&c).map_err(overflow("negating h_j"))?
+        } else {
+            c
+        };
+        if !exact.le(&h).map_err(overflow("dominance comparison"))? {
+            return Err(format!(
+                "cut coefficient on variable {} is {} in shifted space, \
+                 below the exact GMI coefficient {}",
+                g.var, h, exact
+            ));
+        }
+    }
+
+    // shifted recorded rhs must not exceed f0
+    let mut rhs_t = rat(cut_rhs, "cut rhs")?;
+    for (&v, c) in &rec {
+        let shift = c
+            .mul(&rat(base[&v].bound, "shift bound")?)
+            .map_err(overflow("shifting the cut rhs"))?;
+        rhs_t = rhs_t.sub(&shift).map_err(overflow("shifting the cut rhs"))?;
+    }
+    if !rhs_t.le(&f0).map_err(overflow("rhs dominance"))? {
+        return Err(format!(
+            "cut rhs is {rhs_t} in shifted space, above the exact GMI rhs {f0}"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -186,7 +388,200 @@ mod tests {
                     outcome: NodeOutcome::PrunedBound,
                 },
             ],
+            cuts: Vec::new(),
         }
+    }
+
+    /// The worked GMI example from `docs/CERTIFY.md`: base row
+    /// `x0 + 0.5·x1 = 2.25` with integer `x0` and continuous `x1`, both
+    /// shifted at lower bound 0. Then `f0 = 0.25`, `g0 = frac(1) = 0`,
+    /// `g1 = max(0.5, 0) = 0.5`, so the exact cut is `0.5·x1 ≥ 0.25`.
+    fn gomory_example() -> CutProof {
+        CutProof::Gomory {
+            vars: vec![
+                GomoryVar {
+                    var: 0,
+                    coeff: 1.0,
+                    bound: 0.0,
+                    integral: true,
+                    at_upper: false,
+                },
+                GomoryVar {
+                    var: 1,
+                    coeff: 0.5,
+                    bound: 0.0,
+                    integral: false,
+                    at_upper: false,
+                },
+            ],
+            base_rhs: 2.25,
+            cut: vec![(1, 0.5)],
+            cut_rhs: 0.25,
+        }
+    }
+
+    fn cover_example() -> CutProof {
+        // 3·x0 + 2·x2 ≤ 4 with both at 1 gives 5 > 4: x0 + x2 ≤ 1 valid
+        CutProof::Cover {
+            row: vec![(0, 3.0), (2, 2.0)],
+            rhs: 4.0,
+            members: vec![0, 2],
+        }
+    }
+
+    fn with_cuts(cuts: Vec<CutProof>) -> SearchCertificate {
+        let mut c = good();
+        c.cuts = cuts;
+        c
+    }
+
+    #[test]
+    fn valid_cuts_pass() {
+        let c = with_cuts(vec![gomory_example(), cover_example()]);
+        assert!(check_certificate(&c, 5.0).is_empty());
+    }
+
+    #[test]
+    fn weakened_gomory_cut_passes() {
+        // a coefficient strictly above the exact GMI value and a rhs
+        // strictly below f0 only weaken the cut — still valid
+        let weak = CutProof::Gomory {
+            vars: match gomory_example() {
+                CutProof::Gomory { vars, .. } => vars,
+                _ => unreachable!(),
+            },
+            base_rhs: 2.25,
+            cut: vec![(0, 0.25), (1, 0.75)],
+            cut_rhs: 0.125,
+        };
+        assert!(check_certificate(&with_cuts(vec![weak]), 5.0).is_empty());
+    }
+
+    #[test]
+    fn tampered_gomory_coefficient_rejected() {
+        let bad = CutProof::Gomory {
+            vars: match gomory_example() {
+                CutProof::Gomory { vars, .. } => vars,
+                _ => unreachable!(),
+            },
+            base_rhs: 2.25,
+            cut: vec![(1, 0.25)], // below the exact 0.5: claims too much
+            cut_rhs: 0.25,
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(
+            p.iter().any(|m| m.contains("below the exact GMI")),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_gomory_rhs_rejected() {
+        let bad = CutProof::Gomory {
+            vars: match gomory_example() {
+                CutProof::Gomory { vars, .. } => vars,
+                _ => unreachable!(),
+            },
+            base_rhs: 2.25,
+            cut: vec![(1, 0.5)],
+            cut_rhs: 0.5, // above f0 = 0.25: cuts off feasible points
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("above the exact GMI")), "{p:?}");
+    }
+
+    #[test]
+    fn gomory_integral_flag_needs_integral_bound() {
+        let bad = CutProof::Gomory {
+            vars: vec![GomoryVar {
+                var: 0,
+                coeff: 1.0,
+                bound: 0.5, // fractional shift breaks the integer lattice
+                integral: true,
+                at_upper: false,
+            }],
+            base_rhs: 0.75,
+            cut: vec![(0, 1.0)],
+            cut_rhs: 0.25,
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("flagged integral")), "{p:?}");
+    }
+
+    #[test]
+    fn gomory_cut_outside_base_row_rejected() {
+        let bad = CutProof::Gomory {
+            vars: match gomory_example() {
+                CutProof::Gomory { vars, .. } => vars,
+                _ => unreachable!(),
+            },
+            base_rhs: 2.25,
+            cut: vec![(1, 0.5), (7, 1.0)], // var 7 is not in the base row
+            cut_rhs: 0.25,
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("outside its base row")), "{p:?}");
+    }
+
+    #[test]
+    fn gomory_at_upper_shift_is_sign_flipped() {
+        // base row −x0 = −1.75 read with x0 shifted at upper bound 2:
+        // t = 2 − x0, d = +1 (coeff −1 negated), b′ = −1.75 + 2 = 0.25,
+        // f0 = 0.25, x0 integer ⇒ g = min(frac(1), …) = 0. In model space
+        // the cut −0.0·x0 ≥ … is trivial; record rhs ≤ f0 − 0·2 and a
+        // model coefficient of 0. A *negative* model coefficient (h = +c
+        // flipped) of −0.5 would give h = 0.5 ≥ 0: also fine. Tamper with
+        // a +0.5 model coefficient instead: h = −0.5 < 0 must fail.
+        let vars = vec![GomoryVar {
+            var: 0,
+            coeff: -1.0,
+            bound: 2.0,
+            integral: true,
+            at_upper: true,
+        }];
+        let ok = CutProof::Gomory {
+            vars: vars.clone(),
+            base_rhs: -1.75,
+            cut: vec![(0, -0.5)],
+            cut_rhs: -1.0, // shifted: −1 − (−0.5·2) = 0 ≤ f0 ✓
+        };
+        assert!(check_certificate(&with_cuts(vec![ok]), 5.0).is_empty());
+        let bad = CutProof::Gomory {
+            vars,
+            base_rhs: -1.75,
+            cut: vec![(0, 0.5)], // shifted h = −0.5 < g = 0
+            cut_rhs: -1.0,
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("below the exact GMI")), "{p:?}");
+    }
+
+    #[test]
+    fn tampered_cover_rejected() {
+        // dropping a member below the capacity threshold invalidates it
+        let bad = CutProof::Cover {
+            row: vec![(0, 3.0), (2, 2.0)],
+            rhs: 6.0, // capacity raised: 5 ≤ 6, not a cover any more
+            members: vec![0, 2],
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("does not exceed")), "{p:?}");
+        // member not on the row
+        let bad = CutProof::Cover {
+            row: vec![(0, 3.0), (2, 2.0)],
+            rhs: 4.0,
+            members: vec![0, 5],
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("not in the row")), "{p:?}");
+        // non-positive member coefficient
+        let bad = CutProof::Cover {
+            row: vec![(0, 3.0), (2, -2.0)],
+            rhs: 2.0,
+            members: vec![0, 2],
+        };
+        let p = check_certificate(&with_cuts(vec![bad]), 5.0);
+        assert!(p.iter().any(|m| m.contains("non-positive")), "{p:?}");
     }
 
     #[test]

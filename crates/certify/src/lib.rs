@@ -252,6 +252,7 @@ mod tests {
                     outcome: NodeOutcome::PrunedBound,
                 },
             ],
+            cuts: Vec::new(),
         }
     }
 

@@ -51,6 +51,72 @@ pub enum NodeOutcome {
     PrunedInfeasible,
 }
 
+/// One variable's role in the attested base row of a Gomory cut.
+///
+/// The base row is the equality `Σ coeffᵢ·xᵢ = base_rhs` the solver read
+/// from its LP basis (a tableau row with slacks substituted out). The
+/// derivation shifts each variable to a non-negative one: `t = x − bound`
+/// when `at_upper` is false, `t = bound − x` when it is true. `integral`
+/// marks variables the derivation may round on — the checker additionally
+/// requires the shift bound itself to be integral before trusting the
+/// flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GomoryVar {
+    /// Model variable index.
+    pub var: usize,
+    /// Coefficient in the attested base equality.
+    pub coeff: f64,
+    /// The finite bound the shift uses (lower bound unless `at_upper`).
+    pub bound: f64,
+    /// Whether the shifted variable is integer-valued (integer variable
+    /// with an integral shift bound).
+    pub integral: bool,
+    /// Shift from the upper bound (`t = bound − x`) instead of the lower.
+    pub at_upper: bool,
+}
+
+/// Exact-rational validity proof for one cutting plane.
+///
+/// A branch-and-cut solver records one `CutProof` per cut it appended, so
+/// the independent checker can re-derive the cut in `i128` rational
+/// arithmetic and reject any tampered coefficient. The *source data*
+/// (base row, variable bounds, integrality flags, knapsack row) is
+/// solver-attested — the same trust class as the per-node LP bounds —
+/// but the *derivation* from it is replayed exactly; see `docs/CERTIFY.md`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CutProof {
+    /// A Gomory mixed-integer cut `Σ cutᵢ·xᵢ ≥ cut_rhs` derived from one
+    /// attested base equality. The checker shifts every variable per its
+    /// [`GomoryVar`], re-derives the GMI coefficients exactly, and
+    /// verifies the recorded cut is dominated by the exact one
+    /// (shifted-space coefficients no smaller, right-hand side no
+    /// larger), which makes the recorded cut valid whenever the base row
+    /// is.
+    Gomory {
+        /// Base-row terms: one entry per variable with its shift data.
+        vars: Vec<GomoryVar>,
+        /// Right-hand side of the attested base equality.
+        base_rhs: f64,
+        /// The recorded cut's model-space coefficients `(var, coeff)`.
+        cut: Vec<(usize, f64)>,
+        /// The recorded cut's right-hand side (`≥` sense).
+        cut_rhs: f64,
+    },
+    /// A knapsack cover cut `Σ_{i ∈ members} xᵢ ≤ |members| − 1` from an
+    /// attested row `Σ rowᵢ·xᵢ ≤ rhs` over binary variables. The checker
+    /// verifies exactly that the members' coefficients are positive and
+    /// sum to strictly more than `rhs` — so not all members can be 1
+    /// simultaneously.
+    Cover {
+        /// The attested knapsack row's terms `(var, coeff)`.
+        row: Vec<(usize, f64)>,
+        /// The attested knapsack row's right-hand side.
+        rhs: f64,
+        /// Variable indices forming the cover.
+        members: Vec<usize>,
+    },
+}
+
 /// One node of the branch-and-bound tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeCert {
@@ -83,6 +149,11 @@ pub struct SearchCertificate {
     pub proven_optimal: bool,
     /// Every node the search created, in no particular order.
     pub nodes: Vec<NodeCert>,
+    /// Every cutting plane the solve appended (root pool and node-local),
+    /// each with its exact-rational validity proof. Empty for cut-free
+    /// solves; absent in serialized pre-cut certificates (parsed as
+    /// empty).
+    pub cuts: Vec<CutProof>,
 }
 
 impl SearchCertificate {
@@ -181,6 +252,180 @@ impl FromJson for NodeCert {
     }
 }
 
+fn terms_to_json(terms: &[(usize, f64)]) -> Value {
+    Value::Array(
+        terms
+            .iter()
+            .map(|&(v, c)| {
+                let mut m = BTreeMap::new();
+                m.insert("var".into(), Value::Number(v as f64));
+                m.insert("coeff".into(), Value::Number(c));
+                Value::Object(m)
+            })
+            .collect(),
+    )
+}
+
+fn terms_from_json(v: &Value, what: &str) -> Result<Vec<(usize, f64)>, TypeError> {
+    let Value::Array(items) = v else {
+        return Err(TypeError::Parse(format!("{what}: expected array")));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Value::Object(m) = item else {
+                return Err(TypeError::Parse(format!("{what}: expected object term")));
+            };
+            let var = match m.get("var") {
+                Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as usize,
+                _ => return Err(TypeError::Parse(format!("{what}: bad var"))),
+            };
+            let coeff = match m.get("coeff") {
+                Some(Value::Number(n)) => *n,
+                _ => return Err(TypeError::Parse(format!("{what}: bad coeff"))),
+            };
+            Ok((var, coeff))
+        })
+        .collect()
+}
+
+impl ToJson for CutProof {
+    fn to_json(&self) -> Value {
+        let mut m = BTreeMap::new();
+        match self {
+            CutProof::Gomory {
+                vars,
+                base_rhs,
+                cut,
+                cut_rhs,
+            } => {
+                m.insert("kind".into(), Value::String("gomory".into()));
+                m.insert(
+                    "vars".into(),
+                    Value::Array(
+                        vars.iter()
+                            .map(|g| {
+                                let mut gm = BTreeMap::new();
+                                gm.insert("var".into(), Value::Number(g.var as f64));
+                                gm.insert("coeff".into(), Value::Number(g.coeff));
+                                gm.insert("bound".into(), Value::Number(g.bound));
+                                gm.insert("integral".into(), Value::Bool(g.integral));
+                                gm.insert("at_upper".into(), Value::Bool(g.at_upper));
+                                Value::Object(gm)
+                            })
+                            .collect(),
+                    ),
+                );
+                m.insert("base_rhs".into(), Value::Number(*base_rhs));
+                m.insert("cut".into(), terms_to_json(cut));
+                m.insert("cut_rhs".into(), Value::Number(*cut_rhs));
+            }
+            CutProof::Cover { row, rhs, members } => {
+                m.insert("kind".into(), Value::String("cover".into()));
+                m.insert("row".into(), terms_to_json(row));
+                m.insert("rhs".into(), Value::Number(*rhs));
+                m.insert(
+                    "members".into(),
+                    Value::Array(
+                        members.iter().map(|&i| Value::Number(i as f64)).collect(),
+                    ),
+                );
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+impl FromJson for CutProof {
+    fn from_json(v: &Value) -> Result<Self, TypeError> {
+        const TY: &str = "CutProof";
+        let Value::Object(m) = v else {
+            return Err(TypeError::Parse(format!("{TY}: expected object")));
+        };
+        let num = |name: &str| -> Result<f64, TypeError> {
+            match m.get(name) {
+                Some(Value::Number(n)) => Ok(*n),
+                _ => Err(TypeError::Parse(format!("{TY}: bad {name}"))),
+            }
+        };
+        match m.get("kind") {
+            Some(Value::String(s)) if s == "gomory" => {
+                let vars = match m.get("vars") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|item| {
+                            let Value::Object(gm) = item else {
+                                return Err(TypeError::Parse(format!(
+                                    "{TY}: expected gomory var object"
+                                )));
+                            };
+                            let var = match gm.get("var") {
+                                Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => {
+                                    *n as usize
+                                }
+                                _ => return Err(TypeError::Parse(format!("{TY}: bad var"))),
+                            };
+                            let fetch = |name: &str| match gm.get(name) {
+                                Some(Value::Number(n)) => Ok(*n),
+                                _ => Err(TypeError::Parse(format!("{TY}: bad {name}"))),
+                            };
+                            let flag = |name: &str| match gm.get(name) {
+                                Some(Value::Bool(b)) => Ok(*b),
+                                _ => Err(TypeError::Parse(format!("{TY}: bad {name}"))),
+                            };
+                            Ok(GomoryVar {
+                                var,
+                                coeff: fetch("coeff")?,
+                                bound: fetch("bound")?,
+                                integral: flag("integral")?,
+                                at_upper: flag("at_upper")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(TypeError::Parse(format!("{TY}: bad vars"))),
+                };
+                Ok(CutProof::Gomory {
+                    vars,
+                    base_rhs: num("base_rhs")?,
+                    cut: terms_from_json(
+                        m.get("cut")
+                            .ok_or_else(|| TypeError::Parse(format!("{TY}: missing cut")))?,
+                        TY,
+                    )?,
+                    cut_rhs: num("cut_rhs")?,
+                })
+            }
+            Some(Value::String(s)) if s == "cover" => {
+                let members = match m.get("members") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|item| match item {
+                            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => {
+                                Ok(*n as usize)
+                            }
+                            _ => Err(TypeError::Parse(format!("{TY}: bad member"))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(TypeError::Parse(format!("{TY}: bad members"))),
+                };
+                Ok(CutProof::Cover {
+                    row: terms_from_json(
+                        m.get("row")
+                            .ok_or_else(|| TypeError::Parse(format!("{TY}: missing row")))?,
+                        TY,
+                    )?,
+                    rhs: num("rhs")?,
+                    members,
+                })
+            }
+            Some(Value::String(other)) => {
+                Err(TypeError::Parse(format!("{TY}: unknown kind '{other}'")))
+            }
+            _ => Err(TypeError::Parse(format!("{TY}: missing kind"))),
+        }
+    }
+}
+
 impl ToJson for SearchCertificate {
     fn to_json(&self) -> Value {
         let mut m = BTreeMap::new();
@@ -193,6 +438,12 @@ impl ToJson for SearchCertificate {
             "nodes".into(),
             Value::Array(self.nodes.iter().map(ToJson::to_json).collect()),
         );
+        if !self.cuts.is_empty() {
+            m.insert(
+                "cuts".into(),
+                Value::Array(self.cuts.iter().map(ToJson::to_json).collect()),
+            );
+        }
         Value::Object(m)
     }
 }
@@ -227,6 +478,15 @@ impl FromJson for SearchCertificate {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err(TypeError::Parse(format!("{TY}: bad nodes"))),
         };
+        // absent in pre-branch-and-cut certificates: parse as empty
+        let cuts = match m.get("cuts") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(CutProof::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(TypeError::Parse(format!("{TY}: bad cuts"))),
+        };
         Ok(SearchCertificate {
             objective: f("objective")?,
             dual_bound: f("dual_bound")?,
@@ -234,6 +494,7 @@ impl FromJson for SearchCertificate {
             maximize: b("maximize")?,
             proven_optimal: b("proven_optimal")?,
             nodes,
+            cuts,
         })
     }
 }
@@ -270,6 +531,34 @@ mod tests {
                     outcome: NodeOutcome::PrunedBound,
                 },
             ],
+            cuts: vec![
+                CutProof::Gomory {
+                    vars: vec![
+                        GomoryVar {
+                            var: 0,
+                            coeff: 1.0,
+                            bound: 0.0,
+                            integral: true,
+                            at_upper: false,
+                        },
+                        GomoryVar {
+                            var: 1,
+                            coeff: 2.5,
+                            bound: 3.0,
+                            integral: false,
+                            at_upper: true,
+                        },
+                    ],
+                    base_rhs: 4.5,
+                    cut: vec![(0, 0.5), (1, -0.25)],
+                    cut_rhs: 0.125,
+                },
+                CutProof::Cover {
+                    row: vec![(0, 3.0), (2, 2.0)],
+                    rhs: 4.0,
+                    members: vec![0, 2],
+                },
+            ],
         }
     }
 
@@ -292,9 +581,26 @@ mod tests {
     }
 
     #[test]
+    fn missing_cuts_field_parses_as_empty() {
+        // a pre-branch-and-cut certificate (no "cuts" key) must still load
+        let mut c = sample();
+        c.cuts.clear();
+        let text = json::to_string(&c);
+        assert!(!text.contains("\"cuts\""));
+        let back: SearchCertificate = json::from_str(&text).unwrap();
+        assert!(back.cuts.is_empty());
+    }
+
+    #[test]
     fn malformed_json_rejected() {
         for text in [
             "{}",
+            // unknown cut kind
+            r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"integral","objective":1}],"cuts":[{"kind":"lift"}]}"#,
+            // cover cut without members
+            r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"integral","objective":1}],"cuts":[{"kind":"cover","row":[],"rhs":1}]}"#,
+            // gomory cut with a non-boolean flag
+            r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"integral","objective":1}],"cuts":[{"kind":"gomory","vars":[{"var":0,"coeff":1,"bound":0,"integral":1,"at_upper":false}],"base_rhs":0.5,"cut":[],"cut_rhs":0.5}]}"#,
             r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":-1,"parent":null,"lp_bound":1,"outcome":"branched"}]}"#,
             r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"integral"}]}"#,
             r#"{"objective":1,"dual_bound":1,"abs_gap":0,"maximize":true,"proven_optimal":true,"nodes":[{"id":0,"parent":null,"lp_bound":1,"outcome":"nonsense"}]}"#,

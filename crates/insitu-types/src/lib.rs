@@ -24,7 +24,7 @@ pub mod telemetry;
 pub mod trace;
 pub mod units;
 
-pub use cert::{NodeCert, NodeOutcome, SearchCertificate};
+pub use cert::{CutProof, GomoryVar, NodeCert, NodeOutcome, SearchCertificate};
 pub use error::TypeError;
 pub use problem::ScheduleProblem;
 pub use profile::{AnalysisId, AnalysisProfile};

@@ -414,7 +414,11 @@ impl System {
             let [vx, vy, vz] = &mut self.vel;
             let [ix, iy, iz] = &mut self.image;
             let [fx, fy, fz] = &self.force;
-            let mut dims: [(usize, &mut [f64], &mut [f64], &mut [i32], &[f64]); 3] = [
+            // (axis, positions, velocities, images, forces): one
+            // dimension's exclusive view for the integrator
+            type AxisView<'a> =
+                (usize, &'a mut [f64], &'a mut [f64], &'a mut [i32], &'a [f64]);
+            let mut dims: [AxisView<'_>; 3] = [
                 (0, px, vx, ix, fx),
                 (1, py, vy, iy, fy),
                 (2, pz, vz, iz, fz),

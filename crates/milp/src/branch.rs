@@ -60,19 +60,20 @@
 //! `docs/SOLVER.md` for the full guarantee.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use insitu_types::{NodeCert, NodeOutcome, SearchCertificate};
+use insitu_types::{CutProof, NodeCert, NodeOutcome, SearchCertificate};
 
+use crate::cuts::{self, CutKey, NodeCut};
 use crate::error::SolveError;
 use crate::model::{Model, Sense};
-use crate::options::{BranchRule, SolveOptions};
+use crate::options::{BranchRule, CutPolicy, SolveOptions};
 use crate::simplex::{solve_lp_relaxation_warm, Basis, LpPoint};
 use crate::solution::Solution;
-use crate::stats::{IncumbentEvent, SolveStats};
+use crate::stats::{CutStats, IncumbentEvent, SolveStats};
 use parallel::{map_chunks, Exec};
 
 /// A live search node: bound overrides relative to the original model plus
@@ -94,6 +95,10 @@ struct Node {
     parent: Option<u64>,
     /// Final simplex basis of this node's LP, used to warm-start children.
     basis: Option<Basis>,
+    /// Node-local cover cuts inherited from ancestors
+    /// ([`CutPolicy::Full`] only; empty otherwise). Shared down the
+    /// subtree — children clone the `Arc`, not the rows.
+    cuts: Arc<Vec<NodeCut>>,
 }
 
 impl PartialEq for Node {
@@ -122,6 +127,15 @@ fn apply_overrides(model: &Model, overrides: &[(usize, f64, f64)]) -> Model {
         m.vars[v].lower = m.vars[v].lower.max(lo);
         m.vars[v].upper = m.vars[v].upper.min(hi);
     }
+    m
+}
+
+/// The model a child LP actually solves: the frozen root model (which
+/// already carries the root cut pool) with the node's bound overrides and
+/// its inherited node-local cut rows appended.
+fn child_model(model: &Model, overrides: &[(usize, f64, f64)], cuts: &[NodeCut]) -> Model {
+    let mut m = apply_overrides(model, overrides);
+    m.cons.extend(cuts.iter().map(|c| c.con.clone()));
     m
 }
 
@@ -261,7 +275,7 @@ enum Probe {
 fn probe_side(sh: &Shared<'_>, node: &Node, var: usize, lo: f64, hi: f64) -> Probe {
     let mut overrides = node.overrides.clone();
     overrides.push((var, lo, hi));
-    let child = apply_overrides(sh.model, &overrides);
+    let child = child_model(sh.model, &overrides, &node.cuts);
     if child.vars[var].lower > child.vars[var].upper {
         return Probe::Empty;
     }
@@ -498,6 +512,20 @@ struct Shared<'m> {
     events: Mutex<Vec<IncumbentEvent>>,
     /// Certificate node log; only written when `opts.certificate` is set.
     cert: Mutex<Vec<NodeCert>>,
+    /// Rows of `model` that belong to the original problem; rows beyond
+    /// this are frozen root pool cuts. Node separation scans only the
+    /// original rows.
+    base_rows: usize,
+    /// Dedup keys of the frozen root pool, so tree nodes never re-append
+    /// a cut the root already carries.
+    root_cut_keys: BTreeSet<CutKey>,
+    /// Remaining global budget for node-local cuts
+    /// (`max_cuts − root pool size`); reserved with a CAS loop.
+    cut_budget: AtomicUsize,
+    /// Node-local cover cuts actually appended.
+    node_cuts: AtomicUsize,
+    /// Validity proofs: root pool first, then node cuts in append order.
+    cut_proofs: Mutex<Vec<CutProof>>,
     search_start: Instant,
 }
 
@@ -574,6 +602,111 @@ impl<'m> Shared<'m> {
     }
 }
 
+/// How deep in the tree node-local cover separation still runs
+/// ([`CutPolicy::Full`]); deeper nodes branch without re-separating.
+const NODE_CUT_MAX_DEPTH: usize = 4;
+/// Cover cuts appended per separating node.
+const NODE_CUTS_PER_NODE: usize = 2;
+
+/// Reserves up to `want` units from a shared budget counter; returns how
+/// many were actually granted.
+fn reserve_budget(budget: &AtomicUsize, want: usize) -> usize {
+    let mut cur = budget.load(AtOrd::Relaxed);
+    loop {
+        let take = want.min(cur);
+        if take == 0 {
+            return 0;
+        }
+        match budget.compare_exchange(cur, cur - take, AtOrd::Relaxed, AtOrd::Relaxed) {
+            Ok(_) => return take,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// What became of a node after local cover separation.
+enum NodeCutAct {
+    /// Still open (possibly with a tightened LP point); keep plunging.
+    Kept,
+    /// Separation pruned it (bound domination or an infeasible cut LP);
+    /// its certificate record is already written.
+    Pruned,
+}
+
+/// [`CutPolicy::Full`] node separation: look for violated cover cuts at
+/// the node's LP point, append up to [`NODE_CUTS_PER_NODE`] (within the
+/// shared budget), and re-solve the node LP warm from the extended basis.
+/// The tightened point replaces the node's; domination and infeasibility
+/// prune immediately. Cuts are inherited by the whole subtree via
+/// [`Node::cuts`].
+fn try_node_cuts(sh: &Shared<'_>, node: &mut Node) -> Result<NodeCutAct, SolveError> {
+    let mut cands = cuts::node_cover_cuts(sh.model, sh.base_rows, &node.values);
+    cands.retain(|c| {
+        !sh.root_cut_keys.contains(&c.key) && !node.cuts.iter().any(|n| n.key == c.key)
+    });
+    cands.truncate(NODE_CUTS_PER_NODE);
+    let take = reserve_budget(&sh.cut_budget, cands.len());
+    cands.truncate(take);
+    if cands.is_empty() {
+        return Ok(NodeCutAct::Kept);
+    }
+    let mut new_cuts = (*node.cuts).clone();
+    let mut proofs = Vec::with_capacity(cands.len());
+    for c in cands {
+        proofs.push(c.proof);
+        new_cuts.push(NodeCut { con: c.con, key: c.key });
+    }
+    let appended = proofs.len();
+    let child = child_model(sh.model, &node.overrides, &new_cuts);
+    // extended basis hint: each appended row's slack column enters basic
+    let hint = node.basis.as_ref().map(|b| {
+        let mut h = b.clone();
+        let ncols = h.at_upper.len();
+        for i in 0..appended {
+            h.basic.push(ncols + i);
+            h.at_upper.push(false);
+        }
+        h
+    });
+    sh.node_cuts.fetch_add(appended, AtOrd::Relaxed);
+    if sh.opts.certificate {
+        sh.cut_proofs.lock().unwrap().extend(proofs);
+    }
+    match solve_lp_relaxation_warm(&child, sh.opts, hint.as_ref()) {
+        Ok((relax, point)) => {
+            sh.lp_pivots.fetch_add(relax.iterations, AtOrd::Relaxed);
+            sh.absorb_telemetry(&point.telemetry);
+            if point.warm {
+                sh.warm_started.fetch_add(1, AtOrd::Relaxed);
+            }
+            // cuts only tighten; keep the old bound if numerics nudged it
+            // the other way (certificate monotonicity depends on it)
+            if sh.sign * relax.objective < sh.sign * node.bound {
+                node.bound = relax.objective;
+                node.key = sh.sign * relax.objective;
+            }
+            node.values = relax.values;
+            node.basis = Some(point.basis);
+            node.cuts = Arc::new(new_cuts);
+            if sh.dominated(node.bound) {
+                sh.pruned_bound.fetch_add(1, AtOrd::Relaxed);
+                sh.record(node.seq, node.parent, node.bound, NodeOutcome::PrunedBound);
+                return Ok(NodeCutAct::Pruned);
+            }
+            Ok(NodeCutAct::Kept)
+        }
+        Err(SolveError::Infeasible) => {
+            // cover cuts preserve every integer point, so an empty cut LP
+            // proves the subtree holds none — same prune as a plain
+            // infeasible child, and the cut proofs above justify the rows
+            sh.pruned_infeasible.fetch_add(1, AtOrd::Relaxed);
+            sh.record(node.seq, node.parent, node.bound, NodeOutcome::PrunedInfeasible);
+            Ok(NodeCutAct::Pruned)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// One worker: pop best node, plunge to a leaf, repeat until the pool
 /// drains or the solve aborts. `total` is the number of workers, needed
 /// for the all-idle termination handshake.
@@ -626,6 +759,21 @@ fn worker(sh: &Shared<'_>, total: usize) {
                 sh.record(node.seq, node.parent, node.bound, NodeOutcome::PrunedBound);
                 continue 'outer; // this dive is dominated; pick next best
             }
+            // node-local cover separation (root already separated serially)
+            let mut node = node;
+            if matches!(sh.opts.cut_policy, CutPolicy::Full)
+                && !node.overrides.is_empty()
+                && node.overrides.len() <= NODE_CUT_MAX_DEPTH
+            {
+                match try_node_cuts(sh, &mut node) {
+                    Ok(NodeCutAct::Kept) => {}
+                    Ok(NodeCutAct::Pruned) => continue 'outer,
+                    Err(e) => {
+                        sh.fail(e);
+                        return;
+                    }
+                }
+            }
             let cands = fractional_candidates(sh.model, &node.values, sh.opts.tol);
             if cands.is_empty() {
                 // integral: candidate incumbent (snap values to integers)
@@ -670,7 +818,7 @@ fn worker(sh: &Shared<'_>, total: usize) {
                     let probe = match cached.as_mut() {
                         Some(pair) => pair[side].take().expect("probe consumed once"),
                         None => {
-                            let child_model = apply_overrides(sh.model, &overrides);
+                            let child_model = child_model(sh.model, &overrides, &node.cuts);
                             if child_model.vars[var].lower > child_model.vars[var].upper {
                                 Probe::Empty
                             } else {
@@ -748,6 +896,7 @@ fn worker(sh: &Shared<'_>, total: usize) {
                                 seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
                                 parent: Some(node.seq),
                                 basis: Some(point.basis),
+                                cuts: node.cuts.clone(),
                             });
                         }
                         Probe::Fatal(e) => {
@@ -864,8 +1013,40 @@ fn solve_seeded(
     };
 
     let t_root = Instant::now();
-    let (root, root_point) = solve_lp_relaxation_warm(model, opts, None)?;
+    let (mut root, mut root_point) = solve_lp_relaxation_warm(model, opts, None)?;
     let root_lp_time = t_root.elapsed();
+
+    // --- root cut separation (serial, so the pool is thread-count
+    // independent); the augmented model is frozen for the whole tree ---
+    let mut cut_stats = CutStats {
+        root_bound_before: root.objective,
+        root_bound_after: root.objective,
+        ..CutStats::default()
+    };
+    let base_rows = model.cons.len();
+    let mut root_proofs: Vec<CutProof> = Vec::new();
+    let mut root_keys: Vec<CutKey> = Vec::new();
+    let augmented;
+    let model = if !matches!(opts.cut_policy, CutPolicy::Off)
+        && !model.integer_vars().is_empty()
+    {
+        let t_cuts = Instant::now();
+        let rc = cuts::separate_root(model, opts, root, root_point)?;
+        cut_stats.separation_time = t_cuts.elapsed();
+        cut_stats.gomory_generated = rc.gomory_generated;
+        cut_stats.cover_generated = rc.cover_generated;
+        cut_stats.cuts_applied = rc.proofs.len();
+        cut_stats.cuts_aged_out = rc.aged_out;
+        cut_stats.root_bound_after = rc.relax.objective;
+        root = rc.relax;
+        root_point = rc.point;
+        root_proofs = rc.proofs;
+        root_keys = rc.keys;
+        augmented = rc.model;
+        &augmented
+    } else {
+        model
+    };
 
     let threads = opts.effective_threads().max(1);
     let sh = Shared {
@@ -897,6 +1078,11 @@ fn solve_seeded(
         error: Mutex::new(None),
         events: Mutex::new(Vec::new()),
         cert: Mutex::new(Vec::new()),
+        base_rows,
+        root_cut_keys: root_keys.into_iter().collect(),
+        cut_budget: AtomicUsize::new(opts.max_cuts.saturating_sub(root_proofs.len())),
+        node_cuts: AtomicUsize::new(0),
+        cut_proofs: Mutex::new(root_proofs),
         search_start: Instant::now(),
     };
     let root_bound = root.objective;
@@ -926,6 +1112,7 @@ fn solve_seeded(
         seq: sh.next_seq.fetch_add(1, AtOrd::Relaxed),
         parent: None,
         basis: Some(root_point.basis),
+        cuts: Arc::new(Vec::new()),
     });
 
     let t_search = Instant::now();
@@ -964,6 +1151,11 @@ fn solve_seeded(
                 ftran_time: std::time::Duration::from_nanos(sh.ftran_ns.load(AtOrd::Relaxed)),
                 btran_time: std::time::Duration::from_nanos(sh.btran_ns.load(AtOrd::Relaxed)),
                 incumbent_updates: sh.events.lock().unwrap().drain(..).collect(),
+                cuts: CutStats {
+                    node_cuts: sh.node_cuts.load(AtOrd::Relaxed),
+                    cuts_applied: cut_stats.cuts_applied + sh.node_cuts.load(AtOrd::Relaxed),
+                    ..cut_stats
+                },
                 presolve_time,
                 root_lp_time,
                 search_time,
@@ -979,6 +1171,7 @@ fn solve_seeded(
                         maximize: matches!(model.sense, Sense::Maximize),
                         proven_optimal: true,
                         nodes,
+                        cuts: std::mem::take(&mut *sh.cut_proofs.lock().unwrap()),
                     })
                 } else {
                     None

@@ -65,6 +65,7 @@
 
 pub mod branch;
 pub mod brute;
+mod cuts;
 pub mod error;
 pub mod expr;
 pub mod lu;
@@ -81,8 +82,8 @@ pub use branch::{solve, solve_with_hint};
 pub use error::SolveError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Model, Sense, VarKind};
-pub use options::{BranchRule, SimplexEngine, SolveOptions};
+pub use options::{BranchRule, CutPolicy, SimplexEngine, SolveOptions};
 pub use presolve::{presolve, PresolveStats};
 pub use simplex::{solve_lp_relaxation, Basis};
 pub use solution::Solution;
-pub use stats::{IncumbentEvent, LpTelemetry, SolveStats};
+pub use stats::{CutStats, IncumbentEvent, LpTelemetry, SolveStats};

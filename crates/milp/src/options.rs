@@ -47,6 +47,33 @@ pub enum BranchRule {
     Pseudocost,
 }
 
+/// Where cutting planes are separated during branch & cut.
+///
+/// Cuts tighten the LP relaxation without excluding any integer point,
+/// so — like the branching knobs — the policy changes the search tree
+/// shape (node counts, separation work) but never the returned
+/// proven-optimal objective. Every emitted cut carries an exact-rational
+/// validity proof in the certificate (`insitu_types::cert::CutProof`);
+/// see `docs/SOLVER.md` and `docs/CERTIFY.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutPolicy {
+    /// No cuts: every node solves the raw relaxation (the pre-branch-and-
+    /// cut behaviour, kept for the ablation bench and as the baseline).
+    Off,
+    /// Separate at the root only (the default): up to
+    /// [`SolveOptions::cut_rounds`] rounds of Gomory + cover separation
+    /// before the tree search starts. The surviving pool is frozen into
+    /// the model every node solves, so the root pool — and hence the
+    /// node-zero bound — is identical at any thread count.
+    #[default]
+    Root,
+    /// Root separation plus bounded cover-cut re-separation at shallow
+    /// tree nodes (locally appended, globally valid). Gomory cuts stay
+    /// root-only: a tableau row read under branching bounds is not valid
+    /// for the whole tree.
+    Full,
+}
+
 /// Tunable limits and tolerances for [`crate::solve`].
 ///
 /// Construct with struct-update syntax so future knobs don't break callers:
@@ -118,6 +145,18 @@ pub struct SolveOptions {
     /// strong-branched per node (the most fractional ones win the slots).
     /// Clamped to at least 1 whenever the strong set is non-empty.
     pub strong_branch_limit: usize,
+    /// Where cutting planes are separated. See [`CutPolicy`]; results are
+    /// policy-independent (cuts never exclude an integer point).
+    pub cut_policy: CutPolicy,
+    /// Maximum root separation rounds: each round reads Gomory rows from
+    /// the current basis, separates covers from the current fractional
+    /// point, and re-solves the enlarged LP dual-simplex-warm. Separation
+    /// stops early when a round adds no cut or the bound stalls.
+    pub cut_rounds: usize,
+    /// Hard cap on cuts applied across the whole solve (root pool plus
+    /// node-local cover cuts). The pool evicts the least-violated cuts
+    /// first when a round over-generates.
+    pub max_cuts: usize,
 }
 
 impl Default for SolveOptions {
@@ -139,6 +178,9 @@ impl Default for SolveOptions {
             pseudocost_reliability: 4,
             strong_branch_depth: 4,
             strong_branch_limit: 8,
+            cut_policy: CutPolicy::default(),
+            cut_rounds: 8,
+            max_cuts: 64,
         }
     }
 }
@@ -183,6 +225,20 @@ mod tests {
         assert!(o.pseudocost_reliability >= 1);
         assert!(o.strong_branch_depth >= 1);
         assert!(o.strong_branch_limit >= 1);
+        assert_eq!(o.cut_policy, CutPolicy::Root);
+        assert!(o.cut_rounds >= 1);
+        assert!(o.max_cuts >= 1);
+    }
+
+    #[test]
+    fn cuts_off_is_expressible() {
+        // the ablation baseline: branch & bound with no separation at all
+        let o = SolveOptions {
+            cut_policy: CutPolicy::Off,
+            ..SolveOptions::default()
+        };
+        assert_eq!(o.cut_policy, CutPolicy::Off);
+        assert_ne!(o.cut_policy, SolveOptions::default().cut_policy);
     }
 
     #[test]

@@ -589,6 +589,99 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Read-only access to the simplex tableau of an optimal basis — the
+/// Gomory separator's window into `B⁻¹A`.
+///
+/// Wraps an [`Engine`] refactorized at a caller-supplied basis (normally
+/// the final basis of the LP just solved) without running any simplex
+/// iterations, and exposes exactly what cut generation needs: which column
+/// is basic in each row, the basic values, the resting bounds, and full
+/// tableau rows computed on demand via BTRAN (`ρ = B⁻ᵀeᵣ`) plus one sparse
+/// dot product per column — the same machinery the dual-simplex pricing
+/// step uses, so reading a row costs one BTRAN, not a dense inversion.
+pub(crate) struct TableauView<'a> {
+    e: Engine<'a>,
+}
+
+impl<'a> TableauView<'a> {
+    /// Refactorizes `basis` over `sf`. `None` when the basis does not fit
+    /// this standard form (row/column counts, duplicates, artificials) or
+    /// is numerically singular — callers just skip Gomory separation then.
+    pub(crate) fn new(
+        sf: &'a StandardForm,
+        opts: &SolveOptions,
+        basis: &Basis,
+    ) -> Option<TableauView<'a>> {
+        let m = sf.nrows();
+        let n = sf.ncols();
+        if basis.basic.len() != m || basis.at_upper.len() != n {
+            return None;
+        }
+        let mut seen = vec![false; n];
+        for &j in &basis.basic {
+            if j >= n || seen[j] {
+                return None;
+            }
+            seen[j] = true;
+        }
+        let mut e = Engine::cold(sf, opts);
+        e.basis.copy_from_slice(&basis.basic);
+        e.in_basis.fill(false);
+        for &j in &basis.basic {
+            e.in_basis[j] = true;
+        }
+        for j in 0..n {
+            e.at_upper[j] = basis.at_upper[j] && e.upper[j].is_finite();
+        }
+        if !e.refactor() {
+            return None;
+        }
+        Some(TableauView { e })
+    }
+
+    /// Number of rows (= basis positions).
+    pub(crate) fn nrows(&self) -> usize {
+        self.e.m
+    }
+
+    /// Column basic in row `r`.
+    pub(crate) fn basic_col(&self, r: usize) -> usize {
+        self.e.basis[r]
+    }
+
+    /// Current value of the variable basic in row `r`.
+    pub(crate) fn basic_value(&self, r: usize) -> f64 {
+        self.e.x_basic[r]
+    }
+
+    /// Whether nonbasic column `j` rests at its upper bound.
+    pub(crate) fn at_upper(&self, j: usize) -> bool {
+        self.e.at_upper[j]
+    }
+
+    /// Whether column `j` is basic.
+    pub(crate) fn is_basic(&self, j: usize) -> bool {
+        self.e.in_basis[j]
+    }
+
+    /// Fills `alpha` with tableau row `r` of `B⁻¹A` over the structural +
+    /// slack columns and returns the row's right-hand side `(B⁻¹b)ᵣ`.
+    /// The returned equality `Σⱼ alpha[j]·xⱼ = rhs` holds for every point
+    /// with `Ax = b` — it is the base row Gomory cuts derive from.
+    pub(crate) fn row(&mut self, r: usize, alpha: &mut Vec<f64>) -> f64 {
+        self.e.inverse_row(r);
+        let n = self.e.n;
+        alpha.clear();
+        alpha.extend((0..n).map(|j| self.e.col_dot(j, &self.e.sr)));
+        self.e
+            .sr
+            .iter()
+            .zip(&self.e.sf.b)
+            .map(|(&y, &b)| y * b)
+            .sum()
+    }
+}
+
 /// Phase-2 cost vector: the standard-form objective on structural + slack
 /// columns, zero on artificials.
 fn phase2_cost(sf: &StandardForm, n_total: usize) -> Vec<f64> {

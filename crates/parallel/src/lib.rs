@@ -435,7 +435,7 @@ impl ScratchPool {
     }
 
     /// Returns a buffer to the pool for reuse. Buffers beyond
-    /// [`MAX_POOLED_PER_SIZE`] of the same length are dropped.
+    /// `MAX_POOLED_PER_SIZE` of the same length are dropped.
     pub fn put(&self, buf: Vec<f64>) {
         if buf.capacity() == 0 {
             return;

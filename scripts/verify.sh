@@ -38,9 +38,13 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 
 # perf smoke: the engine sweep's CI grid plus the branching ablation's
-# smoke instance (most-fractional vs two-tier pseudocost), timed so gross
-# LP-engine or branching regressions show up (full sweep: solver_bench)
-run bash -c 'time ./target/release/solver_bench --smoke --out target/BENCH_milp_smoke.json'
+# smoke instances (most-fractional vs two-tier pseudocost) and the cut
+# ablation's smoke instances (CutPolicy Off vs Root vs Full), timed so
+# gross LP-engine, branching or separation regressions show up.
+# --check-cuts gates on cuts-on total nodes <= cuts-off (cuts must never
+# grow the search; equal optima are asserted inside the sweep). Full
+# sweep: solver_bench, committed as BENCH_milp.json
+run bash -c 'time ./target/release/solver_bench --smoke --check-cuts --out target/BENCH_milp_smoke.json'
 
 # sim-kernel smoke: the (size x threads) proxy sweep's CI grid, timed so
 # gross kernel regressions show up too (full sweep: sim_bench)

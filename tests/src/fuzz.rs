@@ -4,11 +4,15 @@
 //! fixed/per-step/compute/output time and memory, interval constraint,
 //! weights) scaled down so that the aggregate MILP stays brute-forceable,
 //! and rotates through degenerate families every run: zero I/O bandwidth,
-//! memory-tight thresholds, `itv = Steps`, and a zero time budget.
+//! memory-tight thresholds, `itv = Steps`, a zero time budget, and a
+//! cut-heavy family (tight budget + tight memory) whose fractional LP
+//! vertices keep the Gomory/cover separators busy.
 //!
 //! [`differential_check`] is the oracle composition: the serial and
-//! parallel branch & bound, the brute-force enumerator and the independent
-//! exact-rational certifier must all agree before an instance passes. Any
+//! parallel branch & bound (both cut-generating by default), the cut-free
+//! search, the node-re-separating `CutPolicy::Full` search, the
+//! brute-force enumerator and the independent exact-rational certifier
+//! must all agree before an instance passes. Any
 //! failure is reduced by [`shrink`] and written to `tests/corpus/` as a
 //! `{"problem": ...}` case file (the same shape `certify`'s `recheck`
 //! example reads), so the next run — and the next engineer — replays it.
@@ -19,7 +23,7 @@ use insitu_types::json::{FromJson, ToJson, Value};
 use insitu_types::{
     AnalysisProfile, ResourceConfig, Schedule, ScheduleProblem, SearchCertificate,
 };
-use milp::{SimplexEngine, SolveError, SolveOptions};
+use milp::{CutPolicy, SimplexEngine, SolveError, SolveOptions};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -55,6 +59,23 @@ pub fn dense_opts() -> SolveOptions {
     }
 }
 
+/// Serial options with all cutting planes disabled — the pure
+/// branch & bound oracle the cut-generating default is checked against.
+pub fn cuts_off_opts() -> SolveOptions {
+    SolveOptions {
+        cut_policy: CutPolicy::Off,
+        ..serial_opts()
+    }
+}
+
+/// Serial options with node-local re-separation on top of the root pool.
+pub fn cuts_full_opts() -> SolveOptions {
+    SolveOptions {
+        cut_policy: CutPolicy::Full,
+        ..serial_opts()
+    }
+}
+
 /// Generates one paper-shaped instance. `case` selects the degenerate
 /// family on a fixed rotation so every run covers all of them.
 pub fn gen_problem(rng: &mut StdRng, case: usize) -> ScheduleProblem {
@@ -73,7 +94,7 @@ pub fn gen_problem(rng: &mut StdRng, case: usize) -> ScheduleProblem {
         } else {
             (steps / kmax).max(1)
         };
-        let heavy_mem = variant == 2 || rng.gen_bool(0.3);
+        let heavy_mem = variant == 2 || variant == 5 || rng.gen_bool(0.3);
         let mem = |rng: &mut StdRng, hi: f64| if heavy_mem { rng.gen_range(0.0..hi) } else { 0.0 };
         let ct = rng.gen_range(0.0..4.0);
         let ot = rng.gen_range(0.0..2.0);
@@ -108,9 +129,12 @@ pub fn gen_problem(rng: &mut StdRng, case: usize) -> ScheduleProblem {
     }
     let budget = match variant {
         4 => 0.0, // degenerate: no time at all
+        // cut-heavy family: a budget tight enough that the LP vertex is
+        // fractional, so Gomory/cover separation fires on most instances
+        5 => rough_cost * rng.gen_range(0.05..0.4),
         _ => rough_cost * rng.gen_range(0.05..1.2),
     };
-    let mem_threshold = if variant == 2 && rough_peak > 0.0 {
+    let mem_threshold = if (variant == 2 || variant == 5) && rough_peak > 0.0 {
         rough_peak * rng.gen_range(0.1..0.9) // degenerate: memory-tight
     } else {
         1e6
@@ -150,6 +174,28 @@ pub fn differential_check(problem: &ScheduleProblem) -> Result<(), String> {
         return Err(format!(
             "revised-engine objective {} != dense-engine objective {}",
             serial.objective, dense.objective
+        ));
+    }
+
+    // 2b. cut ablation: cutting planes must never move the optimum. The
+    //    default runs above already carry the root pool (CutPolicy::Root);
+    //    here the cut-free search and the node-re-separating search must
+    //    land on the same objective, and the Full policy's cut-bearing
+    //    certificate is checked against the replay in stage 5
+    let off = milp::solve(&built.model, &cuts_off_opts())
+        .map_err(|e| format!("cuts-off solve failed: {e}"))?;
+    if !close(serial.objective, off.objective) {
+        return Err(format!(
+            "cuts-on objective {} != cuts-off objective {}",
+            serial.objective, off.objective
+        ));
+    }
+    let full = milp::solve(&built.model, &cuts_full_opts())
+        .map_err(|e| format!("cuts-full solve failed: {e}"))?;
+    if !close(serial.objective, full.objective) {
+        return Err(format!(
+            "cuts-on objective {} != cuts-full objective {}",
+            serial.objective, full.objective
         ));
     }
 
@@ -196,6 +242,17 @@ pub fn differential_check(problem: &ScheduleProblem) -> Result<(), String> {
     let problems = certify::check_certificate(cert, report.objective);
     if !problems.is_empty() {
         return Err(format!("certificate does not close: {problems:?}"));
+    }
+    // the Full policy's certificate carries node-local cover cuts on top
+    // of the root pool; every recorded cut proof must re-derive exactly
+    let full_cert = full
+        .stats
+        .certificate
+        .as_ref()
+        .ok_or("cuts-full solve did not emit a certificate")?;
+    let problems = certify::check_certificate(full_cert, report.objective);
+    if !problems.is_empty() {
+        return Err(format!("cuts-full certificate does not close: {problems:?}"));
     }
 
     // 6. on small memory-free instances the exact time-indexed formulation

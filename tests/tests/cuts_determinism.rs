@@ -1,0 +1,111 @@
+//! Determinism of the cut-generating solver (see `docs/SOLVER.md`).
+//!
+//! Root separation runs serially before any worker thread spawns, so the
+//! root cut pool — order, coefficients, proofs, bit for bit — must be
+//! independent of the thread count, and the serial search must be fully
+//! bitwise-reproducible run to run.
+
+use insitu_core::build_aggregate;
+use insitu_types::CutProof;
+use integration_tests::fuzz;
+use milp::SolveOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn four_thread_opts() -> SolveOptions {
+    SolveOptions {
+        threads: 4,
+        certificate: true,
+        ..SolveOptions::default()
+    }
+}
+
+#[test]
+fn root_cut_pool_is_thread_count_invariant() {
+    let mut with_cuts = 0usize;
+    for case in 0..24usize {
+        let mut rng =
+            StdRng::seed_from_u64(0x0C07_5EED ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        let problem = fuzz::gen_problem(&mut rng, case);
+        let built = build_aggregate(&problem).expect("model builds");
+
+        let serial = milp::solve(&built.model, &fuzz::serial_opts()).expect("serial solve");
+        let par = milp::solve(&built.model, &four_thread_opts()).expect("4-thread solve");
+        // the generator emits half-integer weights, so distinct optima
+        // differ by >= 0.5 and "equal within abs_gap" means exactly equal
+        assert_eq!(
+            serial.objective.to_bits(),
+            par.objective.to_bits(),
+            "case {case}: optimum must not depend on thread count"
+        );
+        let cs = serial.stats.certificate.as_ref().expect("serial certificate");
+        let cp = par.stats.certificate.as_ref().expect("parallel certificate");
+        assert_eq!(
+            cs.cuts, cp.cuts,
+            "case {case}: root cut pool must not depend on thread count"
+        );
+        assert_eq!(cs.dual_bound.to_bits(), cp.dual_bound.to_bits());
+        if !cs.cuts.is_empty() {
+            with_cuts += 1;
+        }
+
+        // the serial search is bitwise-reproducible, node counts included
+        let again = milp::solve(&built.model, &fuzz::serial_opts()).expect("serial re-solve");
+        assert_eq!(serial.objective.to_bits(), again.objective.to_bits());
+        assert_eq!(serial.nodes, again.nodes, "case {case}: serial node count drifted");
+        assert_eq!(
+            cs.cuts,
+            again.stats.certificate.as_ref().expect("certificate").cuts,
+            "case {case}: serial cut pool drifted between runs"
+        );
+    }
+    assert!(
+        with_cuts >= 2,
+        "expected several instances to separate cuts, got {with_cuts}"
+    );
+}
+
+/// End-to-end tamper check: a solver-emitted certificate whose cut pool
+/// has one coefficient nudged in the *strengthening* direction must be
+/// rejected by the exact re-derivation (weakening is legal; claiming a
+/// stronger cut than GMI allows is not).
+#[test]
+fn tampered_cut_coefficient_is_rejected() {
+    for case in 0..24usize {
+        let mut rng =
+            StdRng::seed_from_u64(0x0C07_5EED ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        let problem = fuzz::gen_problem(&mut rng, case);
+        let built = build_aggregate(&problem).expect("model builds");
+        let sol = milp::solve(&built.model, &fuzz::serial_opts()).expect("solve");
+        let cert = sol.stats.certificate.as_ref().expect("certificate");
+        let Some(gomory_at) = cert.cuts.iter().position(|c| matches!(
+            c,
+            CutProof::Gomory { cut, .. } if !cut.is_empty()
+        )) else {
+            continue;
+        };
+        assert!(
+            certify::check_certificate(cert, sol.objective).is_empty(),
+            "untampered certificate must close"
+        );
+        let mut bad = cert.clone();
+        if let CutProof::Gomory { vars, cut, .. } = &mut bad.cuts[gomory_at] {
+            let (var, coeff) = &mut cut[0];
+            let at_upper = vars
+                .iter()
+                .find(|v| v.var == *var)
+                .expect("cut var is in the base row")
+                .at_upper;
+            // shifted coefficient is −coeff for at-upper vars: push the
+            // effective coefficient below the exact GMI value either way
+            *coeff += if at_upper { 0.25 } else { -0.25 };
+        }
+        let problems = certify::check_certificate(&bad, sol.objective);
+        assert!(
+            problems.iter().any(|p| p.contains("cut")),
+            "tampered cut must be called out, got {problems:?}"
+        );
+        return;
+    }
+    panic!("no fuzz instance produced a Gomory cut to tamper with");
+}
