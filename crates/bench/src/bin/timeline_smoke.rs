@@ -107,11 +107,26 @@ fn main() {
     let chrome = Value::parse(&std::fs::read_to_string(&chrome_path).unwrap())
         .expect("chrome trace re-parses");
     let events = chrome.as_array().expect("chrome trace is a JSON array");
-    assert_eq!(events.len(), timeline.spans.len() + timeline.events.len());
+    // spans + events as X/i records; "M" metadata records (lane names,
+    // the always-present dropped_records count) ride along on top
+    let data_events = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) != Some("M"))
+        .count();
+    assert_eq!(data_events, timeline.spans.len() + timeline.events.len());
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("dropped_records")),
+        "dropped_records metadata present"
+    );
     for e in events {
-        assert!(e.get("name").is_some() && e.get("ph").is_some() && e.get("ts").is_some());
+        assert!(e.get("name").is_some() && e.get("ph").is_some());
         let ph = e.get("ph").and_then(Value::as_str).unwrap();
-        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        assert!(ph == "X" || ph == "i" || ph == "M", "unexpected phase {ph}");
+        if ph != "M" {
+            assert!(e.get("ts").is_some());
+        }
         if ph == "X" {
             assert!(e.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
         }

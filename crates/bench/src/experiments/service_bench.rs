@@ -68,6 +68,24 @@ pub const STREAM_SMOKE: StreamParams = StreamParams {
     seed: 2015_0815,
 };
 
+/// Outcome classes a request can resolve to, in report order.
+pub const CLASSES: [&str; 4] = ["hit", "dedup", "warm", "fresh"];
+
+/// Latency quantiles of one outcome class at one worker count.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Outcome class (`hit`/`dedup`/`warm`/`fresh`).
+    pub class: &'static str,
+    /// Requests that resolved to this class.
+    pub count: u64,
+    /// Estimated median latency (seconds).
+    pub p50: f64,
+    /// Estimated 90th-percentile latency (seconds).
+    pub p90: f64,
+    /// Estimated 99th-percentile latency (seconds).
+    pub p99: f64,
+}
+
 /// One worker-count measurement.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
@@ -95,6 +113,12 @@ pub struct SweepPoint {
     pub requests_per_sec: f64,
     /// Solver invocations per second of wall time.
     pub solves_per_sec: f64,
+    /// Per-class latency quantiles (classes with zero requests omitted).
+    pub latency: Vec<LatencyRow>,
+    /// `obs/hist/v1` snapshot of the per-request objective histogram —
+    /// wall-clock-free, so it must be bitwise identical at every worker
+    /// count (asserted by [`run`]).
+    pub objective_hist: String,
 }
 
 /// Sweep result.
@@ -213,6 +237,24 @@ pub fn run(workers: &[usize], params: &StreamParams) -> Outcome {
         let served = counter(&svc, "service.requests");
         let hits = counter(&svc, "service.hits");
         let solves = counter(&svc, "service.solves");
+        let snap = svc.registry().snapshot();
+        let latency: Vec<LatencyRow> = CLASSES
+            .iter()
+            .filter_map(|&class| {
+                let h = snap.hist(&format!("service.request.latency_s.{class}"))?;
+                Some(LatencyRow {
+                    class,
+                    count: h.count,
+                    p50: h.quantile(0.50).unwrap_or(0.0),
+                    p90: h.quantile(0.90).unwrap_or(0.0),
+                    p99: h.quantile(0.99).unwrap_or(0.0),
+                })
+            })
+            .collect();
+        let objective_hist = snap
+            .hist("service.request.objective")
+            .map(|h| h.to_json_string())
+            .unwrap_or_default();
         points.push(SweepPoint {
             workers: w,
             requests: served,
@@ -226,7 +268,19 @@ pub fn run(workers: &[usize], params: &StreamParams) -> Outcome {
             wall_s,
             requests_per_sec: served as f64 / wall_s.max(1e-9),
             solves_per_sec: solves as f64 / wall_s.max(1e-9),
+            latency,
+            objective_hist,
         });
+    }
+
+    // the objective histogram depends only on the request multiset —
+    // worker count, claiming order and merge order are all invisible in
+    // it, so every sweep point must snapshot byte-identically
+    for p in &points[1..] {
+        assert_eq!(
+            p.objective_hist, points[0].objective_hist,
+            "objective histogram must be bitwise identical across worker counts"
+        );
     }
 
     let mut table = TextTable::new(&[
@@ -245,13 +299,27 @@ pub fn run(workers: &[usize], params: &StreamParams) -> Outcome {
             &format!("{:.0}", p.solves_per_sec),
         ]));
     }
+    let mut lat_table = TextTable::new(&["workers", "class", "count", "p50(s)", "p90(s)", "p99(s)"]);
+    for p in &points {
+        for row in &p.latency {
+            lat_table.row(&cells([
+                &p.workers,
+                &row.class,
+                &row.count,
+                &format!("{:.4}", row.p50),
+                &format!("{:.4}", row.p90),
+                &format!("{:.4}", row.p99),
+            ]));
+        }
+    }
     let report = format!(
-        "service sweep: {} requests over {} instances, Zipf s={}, cache {}\n{}",
+        "service sweep: {} requests over {} instances, Zipf s={}, cache {}\n{}\nper-class latency quantiles (log2-bucket estimate, <2x error):\n{}",
         params.requests,
         params.universe,
         params.zipf_s,
         params.cache_capacity,
-        table.render()
+        table.render(),
+        lat_table.render()
     );
     Outcome {
         params: *params,
@@ -286,6 +354,35 @@ impl Outcome {
                 Value::Object(o)
             })
             .collect();
+        let latency_points: Vec<Value> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut classes = BTreeMap::new();
+                for row in &p.latency {
+                    let mut c = BTreeMap::new();
+                    c.insert("count".into(), Value::Number(row.count as f64));
+                    c.insert("p50".into(), Value::Number(row.p50));
+                    c.insert("p90".into(), Value::Number(row.p90));
+                    c.insert("p99".into(), Value::Number(row.p99));
+                    classes.insert(row.class.to_string(), Value::Object(c));
+                }
+                let mut o = BTreeMap::new();
+                o.insert("workers".into(), Value::Number(p.workers as f64));
+                o.insert("classes".into(), Value::Object(classes));
+                o.insert(
+                    "objective_hist".into(),
+                    Value::parse(&p.objective_hist).unwrap_or(Value::Null),
+                );
+                Value::Object(o)
+            })
+            .collect();
+        let mut latency = BTreeMap::new();
+        latency.insert(
+            "schema".into(),
+            Value::String("bench/service-latency/v1".into()),
+        );
+        latency.insert("points".into(), Value::Array(latency_points));
         let host = std::thread::available_parallelism().map_or(1, |n| n.get());
         let mut stream = BTreeMap::new();
         stream.insert("universe".into(), Value::Number(self.params.universe as f64));
@@ -305,6 +402,7 @@ impl Outcome {
         root.insert("host_cores".into(), Value::Number(host as f64));
         root.insert("stream".into(), Value::Object(stream));
         root.insert("points".into(), Value::Array(points));
+        root.insert("latency".into(), Value::Object(latency));
         Value::Object(root)
     }
 }
@@ -325,6 +423,25 @@ mod tests {
         }
         let json = outcome.to_json().to_string_pretty();
         assert!(json.contains("bench/service-sweep/v1"));
+        assert!(json.contains("bench/service-latency/v1"));
+        assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    fn latency_rows_cover_every_served_class_and_objective_hist_reproduces() {
+        let outcome = run(&[1, 2], &STREAM_SMOKE);
+        for p in &outcome.points {
+            let lat_total: u64 = p.latency.iter().map(|r| r.count).sum();
+            assert_eq!(lat_total, p.requests, "every request lands in a class hist");
+            for r in &p.latency {
+                assert!(r.p50 <= r.p90 && r.p90 <= r.p99, "quantiles must be monotone");
+                assert!(r.p99 > 0.0);
+            }
+            // wall-clock-free histogram: identical across worker counts
+            // (run() also asserts this internally)
+            assert_eq!(p.objective_hist, outcome.points[0].objective_hist);
+            assert!(p.objective_hist.contains("obs/hist/v1"));
+        }
     }
 
     #[test]

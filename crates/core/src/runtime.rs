@@ -516,9 +516,15 @@ pub fn run_coupled_adaptive<Sim: Simulator>(
     let mut last_attempt: Option<usize> = None;
 
     let telemetry_baseline = sim.kernel_telemetry().cloned().unwrap_or_default();
+    // the whole adaptive run shares one deterministic trace context
+    // (instance fingerprint, sequence 0), so its spans land in one lane
+    // of the Chrome export and carry ids that reproduce across runs
+    let run_ctx = obs::TraceContext::derive(certify::fingerprint(problem).0, 0);
+    let _run_ctx_guard = run_ctx.enter();
     let mut run_span = trace.span(SPAN_RUN);
     run_span.tag("steps", steps);
     run_span.tag("analyses", n);
+    run_span.tag("trace_id", run_ctx.trace_id_hex());
 
     let mut measured_cum = 0.0f64;
     for (i, a) in analyses.iter_mut().enumerate() {
@@ -625,9 +631,14 @@ pub fn run_coupled_adaptive<Sim: Simulator>(
         let Some(reason) = reason else { continue };
         last_attempt = Some(j);
 
+        // each attempt gets a derived child context: same lane (trace
+        // id), a distinct deterministic span id per attempt ordinal
+        let attempt_ctx = run_ctx.child(reschedules.len() as u64 + 1);
+        let _attempt_guard = attempt_ctx.enter();
         let mut resched_span = trace.span(SPAN_RESCHEDULE);
         resched_span.tag("step", j);
         resched_span.tag("reason", reason.to_string().as_str());
+        resched_span.tag("attempt_span", format!("{:016x}", attempt_ctx.span_id));
         let mut record = RescheduleRecord {
             step: j,
             reason,
@@ -1104,6 +1115,11 @@ mod tests {
             Some("budget")
         );
         assert!(ev.tag_f64("solve_ms").is_some());
+        // every adaptive span/event carries the run's deterministic
+        // trace id (fingerprint-derived, so stable across reruns)
+        let expected = obs::TraceContext::derive(certify::fingerprint(&p).0, 0).trace_id;
+        assert!(tl.spans.iter().all(|s| s.trace_id == Some(expected)));
+        assert_eq!(ev.trace_id, Some(expected));
         // the spliced prediction holds the run to the *measured* baseline
         assert!(report.predicted[2] >= 0.005);
         // a reschedule JSON export carries the v1 schema

@@ -995,6 +995,7 @@ fn solve_seeded(
     opts: &SolveOptions,
     hint: Option<&[f64]>,
 ) -> Result<Solution, SolveError> {
+    let mut solve_span = opts.trace.span("milp.solve");
     model.validate()?;
     let t_presolve = Instant::now();
     let presolved;
@@ -1177,9 +1178,16 @@ fn solve_seeded(
                     None
                 },
             };
+            solve_span.tag("nodes", sol.nodes);
+            solve_span.tag("objective", sol.objective);
+            solve_span.tag("threads", threads);
+            solve_span.tag("cuts", sol.stats.cuts.cuts_applied);
             Ok(sol)
         }
-        None => Err(SolveError::Infeasible),
+        None => {
+            solve_span.tag("infeasible", true);
+            Err(SolveError::Infeasible)
+        }
     }
 }
 

@@ -77,6 +77,7 @@ pub mod simplex;
 pub mod solution;
 pub mod standard;
 pub mod stats;
+pub mod trace;
 
 pub use branch::{solve, solve_with_hint};
 pub use error::SolveError;
@@ -87,3 +88,4 @@ pub use presolve::{presolve, PresolveStats};
 pub use simplex::{solve_lp_relaxation, Basis};
 pub use solution::Solution;
 pub use stats::{CutStats, IncumbentEvent, LpTelemetry, SolveStats};
+pub use trace::{SearchTrace, TraceNode, SEARCHTRACE_SCHEMA};

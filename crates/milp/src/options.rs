@@ -157,6 +157,12 @@ pub struct SolveOptions {
     /// node-local cover cuts). The pool evicts the least-violated cuts
     /// first when a round over-generates.
     pub max_cuts: usize,
+    /// Span sink for solver tracing: [`crate::solve`] opens a
+    /// `milp.solve` span (tagged with node/cut counts and the objective)
+    /// on this handle, nested under whatever span — and request
+    /// [`obs::TraceContext`] — the caller currently has open. The
+    /// default handle is disabled and costs nothing.
+    pub trace: obs::TraceHandle,
 }
 
 impl Default for SolveOptions {
@@ -181,6 +187,7 @@ impl Default for SolveOptions {
             cut_policy: CutPolicy::default(),
             cut_rounds: 8,
             max_cuts: 64,
+            trace: obs::TraceHandle::disabled(),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! is the meeting point: a **std-only, zero-dependency** tracing and
 //! metrics layer the rest of the workspace adopts.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`Tracer`] — cheap span/event recording: monotonic timestamps from a
 //!   per-tracer epoch, thread-id tagging, automatic parenting through a
@@ -16,15 +16,29 @@
 //!   drop counter, so overload is observable instead of silent and the
 //!   hot path never reallocates. [`TraceHandle`] is the cloneable
 //!   embed-anywhere form (a disabled handle is a no-op).
-//! * [`Registry`] — one sink for counters and meters (count/sum/min/max),
-//!   with deterministic snapshots, a plain-text table and a JSON export.
-//!   `KernelTelemetry`, `LpTelemetry` and `SolveStats` all gain
-//!   `export_into(&Registry)` adapters in their own crates, so a coupled
-//!   run, a solve and the bench binaries report through this one sink.
+//! * [`Registry`] — one sink for counters, meters (count/sum/min/max)
+//!   and latency histograms, with deterministic snapshots, a plain-text
+//!   table and a JSON export. `KernelTelemetry`, `LpTelemetry` and
+//!   `SolveStats` all gain `export_into(&Registry)` adapters in their own
+//!   crates, so a coupled run, a solve and the bench binaries report
+//!   through this one sink.
 //! * [`Timeline`] — the recorded span tree of a run, with exporters to a
 //!   stable JSON schema (`obs/timeline/v1`, documented in
 //!   `EXPERIMENTS.md`) and to the Chrome trace-event format
-//!   (loadable in `chrome://tracing` / `ui.perfetto.dev`).
+//!   (loadable in `chrome://tracing` / `ui.perfetto.dev`), with one
+//!   lane per request trace id.
+//! * [`Hist`] — deterministic log₂-bucket histograms (`obs/hist/v1`):
+//!   mergeable across threads with bitwise-identical snapshots for the
+//!   same multiset of observations, and quantile estimates with a
+//!   documented <2× error bound.
+//! * [`TraceContext`] — request-scoped trace identity derived
+//!   deterministically from an instance fingerprint + request sequence
+//!   (no clocks, no randomness), stamped on every span/event recorded
+//!   while [entered](TraceContext::enter).
+//! * [`FlightRecorder`] — an always-on bounded ring of recent
+//!   spans/events/counter deltas that renders the `flightrec/v1`
+//!   post-mortem artifact on demand (the solve service dumps it on
+//!   certify-reject and solver-error paths).
 //!
 //! The step-indexed run timeline emitted by
 //! `insitu_core::runtime::run_coupled_traced` — one span per simulation
@@ -37,10 +51,17 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod flight;
+pub mod hist;
 pub mod registry;
 pub mod timeline;
 pub mod tracer;
 
+pub use flight::{FlightEntry, FlightRecorder, FLIGHTREC_SCHEMA};
+pub use hist::{Hist, HIST_SCHEMA};
 pub use registry::{Meter, Registry, Snapshot};
-pub use timeline::Timeline;
-pub use tracer::{EventRecord, SpanGuard, SpanId, SpanRecord, TagValue, TraceHandle, Tracer};
+pub use timeline::{Timeline, TIMELINE_SCHEMA};
+pub use tracer::{
+    trace_id_hex, ContextGuard, EventRecord, SpanGuard, SpanId, SpanRecord, TagValue, TraceContext,
+    TraceHandle, Tracer,
+};

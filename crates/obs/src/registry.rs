@@ -1,4 +1,4 @@
-//! One sink for the workspace's counters and meters.
+//! One sink for the workspace's counters, meters, and histograms.
 //!
 //! Every telemetry struct in the workspace (`KernelTelemetry`,
 //! `LpTelemetry`, `SolveStats`, the coupler's `RunReport`) gains an
@@ -8,10 +8,12 @@
 //! `"milp.nodes_explored"`); snapshots iterate them in sorted order, so
 //! output is deterministic.
 
+use crate::flight::FlightRecorder;
+use crate::hist::Hist;
 use crate::json::{push_f64, push_str_lit, push_u64};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Aggregate of an observed f64 series: count, sum, min, max.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,13 +66,16 @@ impl Meter {
 struct Inner {
     counters: BTreeMap<String, u64>,
     meters: BTreeMap<String, Meter>,
+    hists: BTreeMap<String, Hist>,
 }
 
-/// Thread-safe sink for named counters (u64, additive) and meters
-/// (f64 observations aggregated as count/sum/min/max).
+/// Thread-safe sink for named counters (u64, additive), meters
+/// (f64 observations aggregated as count/sum/min/max), and log₂-bucket
+/// histograms ([`Hist`], full distribution with quantile estimates).
 #[derive(Debug, Default)]
 pub struct Registry {
     inner: Mutex<Inner>,
+    flight: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl Registry {
@@ -79,15 +84,44 @@ impl Registry {
         Self::default()
     }
 
+    /// Tees every subsequent counter increment into `flight` as a
+    /// [`crate::FlightEntry::Delta`]. One recorder per registry; later
+    /// calls are ignored.
+    pub fn attach_flight(&self, flight: Arc<FlightRecorder>) {
+        let _ = self.flight.set(flight);
+    }
+
     /// Adds `v` to the counter `name` (created at zero on first use).
     pub fn add(&self, name: &str, v: u64) {
-        let mut inner = self.inner.lock().unwrap();
-        match inner.counters.get_mut(name) {
-            Some(c) => *c += v,
-            None => {
-                inner.counters.insert(name.to_string(), v);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.counters.get_mut(name) {
+                Some(c) => *c += v,
+                None => {
+                    inner.counters.insert(name.to_string(), v);
+                }
             }
         }
+        if let Some(flight) = self.flight.get() {
+            flight.record_delta(name, v);
+        }
+    }
+
+    /// Folds one observation `v` into the histogram `name`.
+    pub fn observe_hist(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hists.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Merges a locally-accumulated histogram shard into `name` — the
+    /// cheap path for per-thread or per-batch shards (one lock per
+    /// shard instead of one per observation).
+    pub fn merge_hist(&self, name: &str, shard: &Hist) {
+        if shard.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.hists.entry(name.to_string()).or_default().merge(shard);
     }
 
     /// Folds one observation `v` into the meter `name`.
@@ -132,6 +166,7 @@ impl Registry {
         Snapshot {
             counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             meters: inner.meters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            hists: inner.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
     }
 }
@@ -143,6 +178,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, meter)` pairs, sorted by name.
     pub meters: Vec<(String, Meter)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub hists: Vec<(String, Hist)>,
 }
 
 impl Snapshot {
@@ -157,6 +194,14 @@ impl Snapshot {
     /// Meter `name`, if present.
     pub fn meter(&self, name: &str) -> Option<&Meter> {
         self.meters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Histogram `name`, if present.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
@@ -184,6 +229,23 @@ impl Snapshot {
                     m.mean(),
                     m.min,
                     m.max
+                );
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str(
+                "  hist                                     count        p50        p90        p99        min        max\n",
+            );
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    h.count,
+                    h.quantile(0.50).unwrap_or(0.0),
+                    h.quantile(0.90).unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0),
+                    if h.is_empty() { 0.0 } else { h.min },
+                    if h.is_empty() { 0.0 } else { h.max },
                 );
             }
         }
@@ -220,6 +282,15 @@ impl Snapshot {
             out.push_str(",\"max\":");
             push_f64(&mut out, m.max);
             out.push('}');
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_lit(&mut out, name);
+            out.push(':');
+            out.push_str(&h.to_json_string());
         }
         out.push_str("}}");
         out
@@ -285,6 +356,49 @@ mod tests {
         assert!(json.contains("\"milp.nodes_explored\":12"));
         assert!(json.contains("\"md.force.wall_s\":{\"count\":1"));
         assert!(Registry::new().snapshot().table().contains("registry empty"));
+    }
+
+    #[test]
+    fn hists_register_next_to_counters_and_meters() {
+        let r = Registry::new();
+        r.observe_hist("service.request.latency_s.fresh", 0.25);
+        r.observe_hist("service.request.latency_s.fresh", 3.0);
+        let mut shard = Hist::new();
+        shard.observe(0.75);
+        r.merge_hist("service.request.latency_s.fresh", &shard);
+        r.merge_hist("ignored.empty", &Hist::new()); // no-op, not registered
+        let snap = r.snapshot();
+        let h = snap.hist("service.request.latency_s.fresh").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 0.25);
+        assert_eq!(h.max, 3.0);
+        assert!(snap.hist("ignored.empty").is_none());
+        assert!(snap.table().contains("p50"));
+        let json = snap.to_json_string();
+        assert!(json.contains(
+            "\"hists\":{\"service.request.latency_s.fresh\":{\"schema\":\"obs/hist/v1\""
+        ));
+    }
+
+    #[test]
+    fn hist_snapshot_is_order_invariant() {
+        // same multiset of observations, different arrival orders and
+        // shard splits -> byte-identical snapshot JSON
+        let values = [0.1, 0.4, 0.4, 1.7, 2.0, 9.5];
+        let a = Registry::new();
+        for &v in &values {
+            a.observe_hist("h", v);
+        }
+        let b = Registry::new();
+        let mut shard = Hist::new();
+        for &v in values.iter().rev().take(3) {
+            shard.observe(v);
+        }
+        b.merge_hist("h", &shard);
+        for &v in values.iter().take(3).rev() {
+            b.observe_hist("h", v);
+        }
+        assert_eq!(a.snapshot().to_json_string(), b.snapshot().to_json_string());
     }
 
     #[test]

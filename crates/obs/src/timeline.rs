@@ -85,9 +85,11 @@ impl Timeline {
     }
 
     /// Renders the wall-clock-free structure of the timeline: every span
-    /// (name, parent linkage, tags) and event, with span ids replaced by
-    /// record ordinals so two runs of the same program compare equal even
-    /// though their raw ids and timestamps differ.
+    /// (name, parent linkage, trace id, tags) and event, with span ids
+    /// replaced by record ordinals so two runs of the same program
+    /// compare equal even though their raw ids and timestamps differ.
+    /// Trace ids are kept verbatim — they are derived from instance
+    /// fingerprints, not clocks, so they too must reproduce.
     pub fn structural_fingerprint(&self) -> String {
         let ordinal: BTreeMap<crate::SpanId, usize> = self
             .spans
@@ -105,6 +107,9 @@ impl Timeline {
         let mut out = String::new();
         for s in &self.spans {
             let _ = write!(out, "span {} parent={}", s.name, parent_of(s.parent));
+            if let Some(t) = s.trace_id {
+                let _ = write!(out, " trace={}", crate::tracer::trace_id_hex(t));
+            }
             for (k, v) in &s.tags {
                 let _ = write!(out, " {k}={v:?}");
             }
@@ -112,6 +117,9 @@ impl Timeline {
         }
         for e in &self.events {
             let _ = write!(out, "event {} parent={}", e.name, parent_of(e.parent));
+            if let Some(t) = e.trace_id {
+                let _ = write!(out, " trace={}", crate::tracer::trace_id_hex(t));
+            }
             for (k, v) in &e.tags {
                 let _ = write!(out, " {k}={v:?}");
             }
@@ -135,23 +143,8 @@ impl Timeline {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("{\"id\":");
-            push_u64(&mut out, s.id);
-            out.push_str(",\"parent\":");
-            match s.parent {
-                Some(p) => push_u64(&mut out, p),
-                None => out.push_str("null"),
-            }
-            out.push_str(",\"name\":");
-            push_str_lit(&mut out, s.name);
-            out.push_str(",\"tid\":");
-            push_u64(&mut out, s.tid as u64);
-            out.push_str(",\"start_ns\":");
-            push_u64(&mut out, s.start_ns);
-            out.push_str(",\"dur_ns\":");
-            push_u64(&mut out, s.dur_ns);
-            out.push_str(",\"tags\":");
-            push_tags(&mut out, &s.tags);
+            out.push('{');
+            push_span_fields(&mut out, s);
             out.push('}');
         }
         out.push_str("],\"events\":[");
@@ -159,68 +152,144 @@ impl Timeline {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("{\"parent\":");
-            match e.parent {
-                Some(p) => push_u64(&mut out, p),
-                None => out.push_str("null"),
-            }
-            out.push_str(",\"name\":");
-            push_str_lit(&mut out, e.name);
-            out.push_str(",\"tid\":");
-            push_u64(&mut out, e.tid as u64);
-            out.push_str(",\"ts_ns\":");
-            push_u64(&mut out, e.ts_ns);
-            out.push_str(",\"tags\":");
-            push_tags(&mut out, &e.tags);
+            out.push('{');
+            push_event_fields(&mut out, e);
             out.push('}');
         }
         out.push_str("]}");
         out
     }
 
+    /// Distinct trace ids present on spans/events, ascending. The
+    /// Chrome exporter assigns lane `pid = 2 + rank` in this ordering.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .spans
+            .iter()
+            .filter_map(|s| s.trace_id)
+            .chain(self.events.iter().filter_map(|e| e.trace_id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Exports a Chrome trace-event array (`chrome://tracing` /
     /// `ui.perfetto.dev`): one complete event (`"ph":"X"`) per span with
     /// microsecond `ts`/`dur`, one instant event (`"ph":"i"`) per event,
     /// tags in `args`.
+    ///
+    /// Records are grouped into per-request lanes: every distinct
+    /// `trace_id` gets its own `pid` (2 + its rank in [`Timeline::trace_ids`]
+    /// (Timeline::trace_ids), named `request <trace_id>` via
+    /// `process_name` metadata), untraced records share `pid` 1
+    /// (`untraced`). A `dropped_records` metadata record always carries
+    /// the exact drop counter so overload is visible in the artifact.
     pub fn to_chrome_trace_string(&self) -> String {
-        let mut out = String::with_capacity(128 + 160 * self.spans.len());
-        out.push('[');
-        let mut first = true;
-        for s in &self.spans {
-            if !first {
-                out.push(',');
+        let ids = self.trace_ids();
+        let pid_of = |t: Option<u64>| -> u64 {
+            match t {
+                None => 1,
+                // ids came from the records, so the search always hits
+                Some(t) => 2 + ids.binary_search(&t).unwrap_or(0) as u64,
             }
-            first = false;
-            out.push_str("{\"name\":");
+        };
+        let mut out = String::with_capacity(256 + 160 * self.spans.len());
+        out.push('[');
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"untraced\"}}",
+        );
+        for (rank, t) in ids.iter().enumerate() {
+            out.push_str(",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+            push_u64(&mut out, 2 + rank as u64);
+            out.push_str(",\"tid\":0,\"args\":{\"name\":");
+            push_str_lit(&mut out, &format!("request {}", crate::tracer::trace_id_hex(*t)));
+            out.push_str("}}");
+        }
+        out.push_str(",{\"name\":\"dropped_records\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"count\":");
+        push_u64(&mut out, self.dropped);
+        out.push_str("}}");
+        for s in &self.spans {
+            out.push_str(",{\"name\":");
             push_str_lit(&mut out, s.name);
             out.push_str(",\"cat\":\"insitu\",\"ph\":\"X\",\"ts\":");
             push_f64(&mut out, s.start_ns as f64 / 1e3);
             out.push_str(",\"dur\":");
             push_f64(&mut out, s.dur_ns as f64 / 1e3);
-            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(",\"pid\":");
+            push_u64(&mut out, pid_of(s.trace_id));
+            out.push_str(",\"tid\":");
             push_u64(&mut out, s.tid as u64);
             out.push_str(",\"args\":");
-            push_chrome_args(&mut out, s.id, s.parent, &s.tags);
+            push_chrome_args(&mut out, s.id, s.parent, s.trace_id, &s.tags);
             out.push('}');
         }
         for e in &self.events {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str("{\"name\":");
+            out.push_str(",{\"name\":");
             push_str_lit(&mut out, e.name);
             out.push_str(",\"cat\":\"insitu\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
             push_f64(&mut out, e.ts_ns as f64 / 1e3);
-            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(",\"pid\":");
+            push_u64(&mut out, pid_of(e.trace_id));
+            out.push_str(",\"tid\":");
             push_u64(&mut out, e.tid as u64);
             out.push_str(",\"args\":");
-            push_chrome_args(&mut out, 0, e.parent, &e.tags);
+            push_chrome_args(&mut out, 0, e.parent, e.trace_id, &e.tags);
             out.push('}');
         }
         out.push(']');
         out
     }
+}
+
+/// Serializes one span's fields (no surrounding braces) — shared by the
+/// timeline JSON exporter and the flight recorder's dump.
+pub(crate) fn push_span_fields(out: &mut String, s: &SpanRecord) {
+    out.push_str("\"id\":");
+    push_u64(out, s.id);
+    out.push_str(",\"parent\":");
+    match s.parent {
+        Some(p) => push_u64(out, p),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"name\":");
+    push_str_lit(out, s.name);
+    out.push_str(",\"trace_id\":");
+    match s.trace_id {
+        Some(t) => push_str_lit(out, &crate::tracer::trace_id_hex(t)),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"tid\":");
+    push_u64(out, s.tid as u64);
+    out.push_str(",\"start_ns\":");
+    push_u64(out, s.start_ns);
+    out.push_str(",\"dur_ns\":");
+    push_u64(out, s.dur_ns);
+    out.push_str(",\"tags\":");
+    push_tags(out, &s.tags);
+}
+
+/// Serializes one event's fields (no surrounding braces) — shared by the
+/// timeline JSON exporter and the flight recorder's dump.
+pub(crate) fn push_event_fields(out: &mut String, e: &EventRecord) {
+    out.push_str("\"parent\":");
+    match e.parent {
+        Some(p) => push_u64(out, p),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"name\":");
+    push_str_lit(out, e.name);
+    out.push_str(",\"trace_id\":");
+    match e.trace_id {
+        Some(t) => push_str_lit(out, &crate::tracer::trace_id_hex(t)),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"tid\":");
+    push_u64(out, e.tid as u64);
+    out.push_str(",\"ts_ns\":");
+    push_u64(out, e.ts_ns);
+    out.push_str(",\"tags\":");
+    push_tags(out, &e.tags);
 }
 
 fn push_tag_value(out: &mut String, v: &TagValue) {
@@ -249,6 +318,7 @@ fn push_chrome_args(
     out: &mut String,
     id: crate::SpanId,
     parent: Option<crate::SpanId>,
+    trace_id: Option<u64>,
     tags: &[(&'static str, TagValue)],
 ) {
     out.push('{');
@@ -257,6 +327,10 @@ fn push_chrome_args(
     if let Some(p) = parent {
         out.push_str(",\"parent\":");
         push_u64(out, p);
+    }
+    if let Some(t) = trace_id {
+        out.push_str(",\"trace_id\":");
+        push_str_lit(out, &crate::tracer::trace_id_hex(t));
     }
     for (k, v) in tags {
         out.push(',');
@@ -298,6 +372,7 @@ mod tests {
         assert!(json.contains("\"rdf \\\"quoted\\\"\""));
         assert!(json.contains("\"output\":true"));
         assert!(json.contains("\"ts_ns\""));
+        assert!(json.contains("\"trace_id\":null"));
     }
 
     #[test]
@@ -309,6 +384,57 @@ mod tests {
         assert_eq!(chrome.matches("\"ph\":\"i\"").count(), tl.events.len());
         assert!(chrome.contains("\"cat\":\"insitu\""));
         assert!(chrome.contains("\"span_id\":"));
+        // lane metadata is always present, even with zero drops
+        assert!(chrome.contains("\"name\":\"untraced\""));
+        assert!(chrome.contains("\"name\":\"dropped_records\""));
+        assert!(chrome.contains("\"count\":0"));
+    }
+
+    #[test]
+    fn chrome_export_separates_request_lanes_and_reports_drops() {
+        use crate::TraceContext;
+        let t = Tracer::with_capacity(2);
+        let c1 = TraceContext::derive(7, 0);
+        let c2 = TraceContext::derive(7, 1);
+        {
+            let _g = c1.enter();
+            let _s = t.span("req");
+        }
+        {
+            let _g = c2.enter();
+            let _s = t.span("req");
+        }
+        {
+            let _s = t.span("overflow"); // capacity 2 -> dropped
+        }
+        let tl = t.timeline();
+        assert_eq!(tl.dropped, 1);
+        let ids = tl.trace_ids();
+        assert_eq!(ids.len(), 2);
+        let chrome = tl.to_chrome_trace_string();
+        // one named lane per request, records routed to their lane
+        for (rank, id) in ids.iter().enumerate() {
+            let lane = format!(
+                "\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"request {}\"}}",
+                2 + rank,
+                crate::tracer::trace_id_hex(*id)
+            );
+            assert!(chrome.contains(&lane), "{chrome}");
+        }
+        assert!(chrome.contains("\"pid\":2,"));
+        assert!(chrome.contains("\"pid\":3,"));
+        // the exact drop counter rides along as metadata
+        assert!(chrome.contains("\"name\":\"dropped_records\""));
+        assert!(chrome.contains("\"count\":1"));
+        // args carry the resolvable trace id
+        assert!(chrome.contains(&format!(
+            "\"trace_id\":\"{}\"",
+            crate::tracer::trace_id_hex(ids[0])
+        )));
+        // trace ids survive the structural fingerprint (they are
+        // fingerprint-derived, not clock-derived)
+        let fp = tl.structural_fingerprint();
+        assert!(fp.contains(&format!("trace={}", crate::tracer::trace_id_hex(ids[0]))));
     }
 
     #[test]

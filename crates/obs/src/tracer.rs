@@ -16,14 +16,144 @@
 //! [`TraceHandle`]) turns every operation into a branch-and-return no-op,
 //! which is what keeps `run_coupled`'s untraced path at its pre-tracing
 //! cost.
+//!
+//! Request attribution rides on [`TraceContext`]: a deterministic
+//! (fingerprint + sequence derived) trace identity that, while
+//! [entered](TraceContext::enter), stamps every span and event recorded
+//! on the thread with its `trace_id` — the key that separates
+//! concurrent requests in the exporters. A tracer can also tee every
+//! record into an always-on [`crate::FlightRecorder`]
+//! ([`Tracer::attach_flight`]) so the most recent window survives even
+//! when the bounded buffer overflows.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::flight::FlightRecorder;
 
 /// Identifier of one recorded span, unique within its [`Tracer`].
 pub type SpanId = u64;
+
+/// Request-scoped trace identity, propagated to every span and event
+/// recorded while it is [entered](TraceContext::enter).
+///
+/// A context is **derived, never random**: [`TraceContext::derive`]
+/// hashes a 128-bit base (the canonical instance fingerprint in the
+/// solve service) together with a request sequence number, so the same
+/// request stream produces bitwise-identical trace ids at any worker
+/// count — no wall clock, no RNG. `span_id` is the deterministic id of
+/// the context's root span in the same derived namespace; nested
+/// attempts (e.g. adaptive reschedules) derive children with
+/// [`TraceContext::child`].
+///
+/// Entering a context pushes it on a per-thread stack; every
+/// span/event recorded by any tracer on that thread while the guard
+/// lives carries `trace_id` (see [`SpanRecord::trace_id`]). The
+/// exporters surface it: the JSON schema writes a `trace_id` hex field
+/// and the Chrome exporter assigns each trace its own process lane, so
+/// concurrent requests separate visually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 64-bit trace identifier, shared by every span of the request.
+    pub trace_id: u64,
+    /// Deterministic root span id of the trace (same derived namespace).
+    pub span_id: u64,
+}
+
+// FNV-1a 128-bit, matching the style of certify's fingerprint hash.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+fn fnv128(domain: &str, base: u128, seq: u64) -> u128 {
+    let mut h = FNV_OFFSET;
+    for &b in domain
+        .as_bytes()
+        .iter()
+        .chain(base.to_le_bytes().iter())
+        .chain(seq.to_le_bytes().iter())
+    {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl TraceContext {
+    /// Derives the context of request number `seq` under the 128-bit
+    /// `base` (e.g. a canonical instance fingerprint). Pure function of
+    /// its inputs: the trace-id determinism tests pin that the same
+    /// `(base, seq)` yields the same context on every run and at every
+    /// thread count.
+    pub fn derive(base: u128, seq: u64) -> TraceContext {
+        let h = fnv128("obs-trace-context/v1", base, seq);
+        TraceContext {
+            trace_id: (h >> 64) as u64,
+            span_id: h as u64,
+        }
+    }
+
+    /// Derives a child context (attempt `seq` inside this trace) —
+    /// same trace lane semantics, distinct span id namespace.
+    pub fn child(&self, seq: u64) -> TraceContext {
+        let h = fnv128(
+            "obs-trace-context-child/v1",
+            ((self.trace_id as u128) << 64) | self.span_id as u128,
+            seq,
+        );
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: h as u64,
+        }
+    }
+
+    /// The trace id as 16 lowercase hex characters (the form the JSON
+    /// exporters write).
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Enters this context on the current thread: until the returned
+    /// guard drops, every span and event recorded on this thread (by
+    /// any tracer) carries [`TraceContext::trace_id`]. Contexts nest;
+    /// the innermost wins.
+    pub fn enter(self) -> ContextGuard {
+        CTX_STACK.with(|s| s.borrow_mut().push(self.trace_id));
+        ContextGuard { _priv: () }
+    }
+}
+
+/// Renders a trace id the way the exporters do (16 lowercase hex
+/// characters).
+pub fn trace_id_hex(trace_id: u64) -> String {
+    format!("{trace_id:016x}")
+}
+
+// Per-thread stack of entered trace contexts. Global (not per-tracer):
+// the context describes the *work* a thread is doing, so every sink
+// observing that work stamps the same request identity.
+thread_local! {
+    static CTX_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_trace_id() -> Option<u64> {
+    CTX_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Keeps a [`TraceContext`] entered until dropped.
+#[derive(Debug)]
+pub struct ContextGuard {
+    _priv: (),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CTX_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
 
 /// A tag value attached to a span or event.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +248,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall duration in nanoseconds.
     pub dur_ns: u64,
+    /// Trace id of the [`TraceContext`] entered when the span opened;
+    /// `None` outside any request context.
+    pub trace_id: Option<u64>,
     /// Tags in the order they were attached.
     pub tags: Vec<(&'static str, TagValue)>,
 }
@@ -145,6 +278,9 @@ pub struct EventRecord {
     pub tid: u32,
     /// Time in nanoseconds since the tracer's epoch.
     pub ts_ns: u64,
+    /// Trace id of the [`TraceContext`] entered when the event fired;
+    /// `None` outside any request context.
+    pub trace_id: Option<u64>,
     /// Tags in the order they were attached.
     pub tags: Vec<(&'static str, TagValue)>,
 }
@@ -200,6 +336,7 @@ pub struct Tracer {
     next_span: AtomicU64,
     dropped: AtomicU64,
     buf: Mutex<Vec<Rec>>,
+    flight: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl Tracer {
@@ -214,7 +351,16 @@ impl Tracer {
             next_span: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
             buf: Mutex::new(Vec::with_capacity(capacity)),
+            flight: OnceLock::new(),
         }
+    }
+
+    /// Attaches a [`FlightRecorder`]: every span/event recorded from now
+    /// on — including records the bounded buffer drops — also enters the
+    /// recorder's ring. At most one recorder can be attached; later calls
+    /// are ignored.
+    pub fn attach_flight(&self, flight: Arc<FlightRecorder>) {
+        let _ = self.flight.set(flight);
     }
 
     /// A tracer that records nothing and counts nothing. All operations
@@ -257,6 +403,7 @@ impl Tracer {
                 parent: None,
                 name,
                 start_ns: 0,
+                trace_id: None,
                 tags: Vec::new(),
             };
         }
@@ -278,6 +425,7 @@ impl Tracer {
             parent,
             name,
             start_ns: self.now_ns(),
+            trace_id: current_trace_id(),
             tags: Vec::new(),
         }
     }
@@ -299,6 +447,7 @@ impl Tracer {
             name,
             tid: current_tid(),
             ts_ns: self.now_ns(),
+            trace_id: current_trace_id(),
             tags: tags.to_vec(),
         }));
     }
@@ -322,6 +471,12 @@ impl Tracer {
     }
 
     fn push(&self, rec: Rec) {
+        if let Some(flight) = self.flight.get() {
+            match &rec {
+                Rec::Span(s) => flight.record_span(s.clone()),
+                Rec::Event(e) => flight.record_event(e.clone()),
+            }
+        }
         let mut buf = self.buf.lock().unwrap();
         if buf.len() < self.capacity {
             buf.push(rec);
@@ -352,6 +507,7 @@ impl Tracer {
             tid: current_tid(),
             start_ns: guard.start_ns,
             dur_ns: end.saturating_sub(guard.start_ns),
+            trace_id: guard.trace_id,
             tags: std::mem::take(&mut guard.tags),
         }));
     }
@@ -366,6 +522,7 @@ pub struct SpanGuard<'a> {
     parent: Option<SpanId>,
     name: &'static str,
     start_ns: u64,
+    trace_id: Option<u64>,
     tags: Vec<(&'static str, TagValue)>,
 }
 
@@ -549,6 +706,68 @@ mod tests {
         }
         let tb = b.timeline();
         assert_eq!(tb.spans[0].parent, None, "b must not parent under a's span");
+    }
+
+    #[test]
+    fn trace_context_is_derived_not_random() {
+        let a = TraceContext::derive(42, 7);
+        let b = TraceContext::derive(42, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, TraceContext::derive(42, 8));
+        assert_ne!(a, TraceContext::derive(43, 7));
+        let child = a.child(1);
+        assert_eq!(child.trace_id, a.trace_id, "children stay in the lane");
+        assert_ne!(child.span_id, a.span_id);
+        assert_ne!(child, a.child(2));
+        assert_eq!(a.trace_id_hex().len(), 16);
+    }
+
+    #[test]
+    fn entered_context_stamps_spans_and_events() {
+        let t = Tracer::with_capacity(16);
+        {
+            let _outside = t.span("outside");
+        }
+        let ctx = TraceContext::derive(1, 1);
+        let inner_ctx = TraceContext::derive(1, 2);
+        {
+            let _g = ctx.enter();
+            let _s = t.span("inside");
+            t.event("tick", &[]);
+            {
+                let _g2 = inner_ctx.enter();
+                let _s2 = t.span("nested");
+            }
+            let _after = t.span("after-nested");
+        }
+        {
+            let _post = t.span("post");
+        }
+        let tl = t.timeline();
+        let find = |n: &str| tl.spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(find("outside").trace_id, None);
+        assert_eq!(find("inside").trace_id, Some(ctx.trace_id));
+        assert_eq!(find("nested").trace_id, Some(inner_ctx.trace_id));
+        assert_eq!(find("after-nested").trace_id, Some(ctx.trace_id));
+        assert_eq!(find("post").trace_id, None);
+        assert_eq!(tl.events[0].trace_id, Some(ctx.trace_id));
+    }
+
+    #[test]
+    fn context_is_per_thread() {
+        let t = Tracer::with_capacity(8);
+        let ctx = TraceContext::derive(9, 9);
+        let _g = ctx.enter();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = t.span("worker");
+            });
+        });
+        let tl = t.timeline();
+        assert_eq!(
+            tl.spans[0].trace_id, None,
+            "contexts do not leak across threads"
+        );
     }
 
     #[test]

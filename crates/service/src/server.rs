@@ -1,7 +1,9 @@
 //! The solve server: fingerprint → dedup → cache → warm-start → certify.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use certify::{Fingerprint, Verdict};
 use insitu_core::aggregate::{solve_aggregate_counts, solve_aggregate_counts_with_hint};
@@ -30,6 +32,11 @@ pub struct ServiceConfig {
     /// optimum — an unhelpful or infeasible hint is ignored by the
     /// solver — it only prunes the search earlier.
     pub warm_start: bool,
+    /// Entries retained by the always-on flight recorder (recent
+    /// spans/events/counter deltas for the `flightrec/v1` post-mortem
+    /// dumped on certify-reject, INVALID and solver-error paths).
+    /// `0` disables the recorder entirely.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +49,7 @@ impl Default for ServiceConfig {
                 ..SolveOptions::default()
             },
             warm_start: true,
+            flight_capacity: 256,
         }
     }
 }
@@ -197,31 +205,47 @@ pub struct SolveService {
     state: Mutex<State>,
     registry: Arc<obs::Registry>,
     trace: obs::TraceHandle,
+    flight: Arc<obs::FlightRecorder>,
+    last_dump: Mutex<Option<String>>,
+    seq: AtomicU64,
 }
 
 impl SolveService {
-    /// A new service with its own (empty) cache and telemetry registry.
+    /// A new service with its own (empty) cache, telemetry registry and
+    /// flight recorder.
     pub fn new(config: ServiceConfig) -> Self {
         let cache_capacity = config.cache_capacity;
+        let flight = Arc::new(obs::FlightRecorder::with_capacity(config.flight_capacity));
+        let registry = Arc::new(obs::Registry::new());
+        registry.attach_flight(flight.clone());
         SolveService {
             config,
             state: Mutex::new(State {
                 cache: Lru::new(cache_capacity),
                 in_flight: HashMap::new(),
             }),
-            registry: Arc::new(obs::Registry::new()),
+            registry,
             trace: obs::TraceHandle::disabled(),
+            flight,
+            last_dump: Mutex::new(None),
+            seq: AtomicU64::new(0),
         }
     }
 
-    /// Replaces the telemetry sinks: `service.*` counters and the
-    /// per-solve `milp.*` stats go to `registry`, per-request
-    /// `service.request` spans to `trace`.
+    /// Replaces the telemetry sinks: `service.*` counters, latency
+    /// histograms and the per-solve `milp.*` stats go to `registry`,
+    /// per-request `service.request` spans to `trace`. Both sinks are
+    /// teed into the service's flight recorder (first recorder attached
+    /// to a shared tracer wins — the tee is set once per tracer).
     pub fn with_observability(
         mut self,
         registry: Arc<obs::Registry>,
         trace: obs::TraceHandle,
     ) -> Self {
+        registry.attach_flight(self.flight.clone());
+        if let Some(tracer) = trace.tracer() {
+            tracer.attach_flight(self.flight.clone());
+        }
         self.registry = registry;
         self.trace = trace;
         self
@@ -232,21 +256,109 @@ impl SolveService {
         &self.registry
     }
 
+    /// The always-on flight recorder (ring of recent telemetry).
+    pub fn flight(&self) -> &Arc<obs::FlightRecorder> {
+        &self.flight
+    }
+
+    /// The most recent `flightrec/v1` dump, if any failure path (or an
+    /// explicit [`SolveService::dump_flight`]) produced one.
+    pub fn last_flight_dump(&self) -> Option<String> {
+        self.last_dump.lock().expect("dump slot poisoned").clone()
+    }
+
+    /// Explicit operator hook: dumps the flight recorder with the
+    /// current registry snapshot attached, stores it as the last dump,
+    /// and returns it.
+    pub fn dump_flight(&self, reason: &str) -> String {
+        self.flight_dump(reason, None, None)
+    }
+
+    fn flight_dump(
+        &self,
+        reason: &str,
+        fp: Option<Fingerprint>,
+        verdict: Option<&str>,
+    ) -> String {
+        let snap = self.registry.snapshot();
+        let hex = fp.map(|f| f.to_hex());
+        let dump = self.flight.dump(reason, hex.as_deref(), verdict, Some(&snap));
+        *self.last_dump.lock().expect("dump slot poisoned") = Some(dump.clone());
+        dump
+    }
+
     /// Solves one instance, in the caller's own analysis order.
     ///
     /// Thread-safe; blocks only while an identical instance is already
     /// being solved by another caller (and then shares that solve's
     /// result). Every reply is re-certified against `problem` before it
     /// is returned — see the crate docs for the gate.
+    ///
+    /// The request gets a deterministic [`obs::TraceContext`] derived
+    /// from its canonical fingerprint and an internal arrival sequence
+    /// number; use [`SolveService::solve_seq`] to supply the sequence
+    /// yourself when ids must reproduce across runs (as
+    /// [`SolveService::process_batch`] does).
     pub fn solve(&self, problem: &ScheduleProblem) -> Result<Reply, ServiceError> {
-        let mut span = self.trace.span("service.request");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.solve_seq(problem, seq)
+    }
+
+    /// [`SolveService::solve`] with a caller-chosen request sequence
+    /// number. The request's trace context is
+    /// `TraceContext::derive(fingerprint, seq)` — no clocks, no
+    /// randomness — so the same `(problem, seq)` pair yields the same
+    /// `trace_id` at any worker count.
+    pub fn solve_seq(&self, problem: &ScheduleProblem, seq: u64) -> Result<Reply, ServiceError> {
+        let start = Instant::now();
         problem
             .validate()
             .map_err(|e| ServiceError::InvalidProblem(e.to_string()))?;
         self.registry.add("service.requests", 1);
         let fp = certify::fingerprint(problem);
-        let (canon, perm) = canonicalize(problem);
+        let ctx = obs::TraceContext::derive(fp.0, seq);
+        let _ctx_guard = ctx.enter();
+        let mut span = self.trace.span("service.request");
         span.tag("fingerprint", fp.to_hex());
+        span.tag("seq", seq as i64);
+
+        let result = self.solve_in_context(problem, fp, &mut span);
+        match &result {
+            Ok(reply) => {
+                let class = match reply.source {
+                    ResponseSource::Hit => "hit",
+                    ResponseSource::Dedup => "dedup",
+                    ResponseSource::Warm => "warm",
+                    ResponseSource::Fresh => "fresh",
+                };
+                span.tag("class", class);
+                self.registry
+                    .observe_hist(latency_hist_name(class), start.elapsed().as_secs_f64());
+                // wall-clock-free companion: the objective distribution
+                // depends only on the request multiset, so its snapshot
+                // is bitwise identical at any worker count
+                self.registry
+                    .observe_hist("service.request.objective", reply.objective);
+            }
+            Err(ServiceError::Solve(_)) => {
+                self.flight_dump("solver-error", Some(fp), None);
+            }
+            Err(ServiceError::Certification(_)) => {
+                self.flight_dump("invalid-verdict", Some(fp), Some("INVALID"));
+            }
+            Err(ServiceError::InvalidProblem(_)) => {}
+        }
+        result
+    }
+
+    /// The request body, run inside the request's trace context.
+    fn solve_in_context(
+        &self,
+        problem: &ScheduleProblem,
+        fp: Fingerprint,
+        span: &mut obs::SpanGuard<'_>,
+    ) -> Result<Reply, ServiceError> {
+        let (canon, perm) = canonicalize(problem);
 
         if canon.is_empty() {
             // the trivial instance: nothing to schedule, nothing to cache
@@ -326,6 +438,9 @@ impl SolveService {
                 // poisoned entry.
                 self.registry.add("service.certify_rejects", 1);
                 span.tag("certify_reject", true);
+                // leave the post-mortem before the state changes: the ring
+                // still holds the events leading up to the reject
+                self.flight_dump("certify-reject", Some(fp), Some("INVALID"));
                 let entry = self.solve_fresh(&canon, None)?;
                 let mut state = self.state.lock().expect("service state poisoned");
                 state.cache.insert(fp, entry.clone());
@@ -346,8 +461,10 @@ impl SolveService {
     ) -> Vec<Result<Reply, ServiceError>> {
         let exec = parallel::Exec::with_threads(workers);
         let mut slots: Vec<Option<Result<Reply, ServiceError>>> = vec![None; problems.len()];
+        // the stream index is the request's sequence number, so trace ids
+        // are identical at any worker count (claiming order is not)
         parallel::for_each_mut(&exec, &mut slots, |i, slot| {
-            *slot = Some(self.solve(&problems[i]));
+            *slot = Some(self.solve_seq(&problems[i], i as u64));
         });
         slots
             .into_iter()
@@ -377,6 +494,9 @@ impl SolveService {
     ) -> Result<Arc<CacheEntry>, ServiceError> {
         let mut opts = self.config.solver.clone();
         opts.certificate = true;
+        // the solver opens its own `milp.solve` span on this handle,
+        // nested under the request span and carrying its trace context
+        opts.trace = self.trace.clone();
         let mut solve_span = self.trace.span("service.solve");
         let agg = match hint {
             Some((counts, output_counts)) => {
@@ -400,7 +520,12 @@ impl SolveService {
             .ok_or_else(|| ServiceError::Solve("solver returned no certificate".into()))?;
         // leader-side gate: a result that does not certify against the
         // canonical instance never reaches the cache or any waiter
-        let cert = certify::certify(canon, &schedule, Some(&certificate));
+        let cert = {
+            let mut cspan = self.trace.span("service.certify");
+            let cert = certify::certify(canon, &schedule, Some(&certificate));
+            cspan.tag("verdict", cert.verdict.to_string());
+            cert
+        };
         if cert.verdict == Verdict::Invalid {
             return Err(ServiceError::Certification(cert.problems));
         }
@@ -428,7 +553,12 @@ impl SolveService {
         source: ResponseSource,
     ) -> Result<Reply, ServiceError> {
         let schedule = from_canonical_schedule(&entry.schedule, perm);
-        let cert = certify::certify(problem, &schedule, Some(&entry.certificate));
+        let cert = {
+            let mut cspan = self.trace.span("service.certify");
+            let cert = certify::certify(problem, &schedule, Some(&entry.certificate));
+            cspan.tag("verdict", cert.verdict.to_string());
+            cert
+        };
         if cert.verdict == Verdict::Invalid {
             return Err(ServiceError::Certification(cert.problems));
         }
@@ -444,6 +574,29 @@ impl SolveService {
             nodes: entry.nodes,
             hint_accepted: entry.hint_accepted,
         })
+    }
+
+    /// Plants `entry` in the cache under `fp`, bypassing the solve path.
+    /// Test-only: this is how the stress suite forces a certify-reject
+    /// (cache an entry that cannot certify against the fingerprint's
+    /// real instance) to exercise the fallback and the flight dump.
+    #[doc(hidden)]
+    pub fn inject_cache_entry_for_test(&self, fp: Fingerprint, entry: Arc<CacheEntry>) {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .cache
+            .insert(fp, entry);
+    }
+}
+
+/// Registry histogram name for one outcome class.
+fn latency_hist_name(class: &str) -> &'static str {
+    match class {
+        "hit" => "service.request.latency_s.hit",
+        "dedup" => "service.request.latency_s.dedup",
+        "warm" => "service.request.latency_s.warm",
+        _ => "service.request.latency_s.fresh",
     }
 }
 
@@ -666,6 +819,114 @@ mod tests {
             assert_eq!(r.objective, s.objective);
             assert_ne!(r.verdict, Verdict::Invalid);
         }
+    }
+
+    #[test]
+    fn latency_and_objective_histograms_register_by_class() {
+        let svc = SolveService::new(ServiceConfig::default());
+        let p = problem(&[("rdf", 0.5), ("msd", 1.0)]);
+        svc.solve(&p).unwrap(); // fresh
+        svc.solve(&p).unwrap(); // hit
+        let snap = svc.registry().snapshot();
+        assert_eq!(
+            snap.hist("service.request.latency_s.fresh").unwrap().count,
+            1
+        );
+        assert_eq!(snap.hist("service.request.latency_s.hit").unwrap().count, 1);
+        let obj = snap.hist("service.request.objective").unwrap();
+        assert_eq!(obj.count, 2);
+        // both requests returned the same objective -> degenerate hist
+        assert_eq!(obj.min, obj.max);
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_separate_requests() {
+        let run = |workers: usize| {
+            let tracer = Arc::new(obs::Tracer::with_capacity(4096));
+            let svc = SolveService::new(ServiceConfig::default()).with_observability(
+                Arc::new(obs::Registry::new()),
+                obs::TraceHandle::new(tracer.clone()),
+            );
+            let problems: Vec<_> = (0..4)
+                .map(|i| problem(&[("rdf", 0.5 + 0.1 * i as f64)]))
+                .collect();
+            for r in svc.process_batch(&problems, workers) {
+                r.unwrap();
+            }
+            tracer.timeline()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        // every span carries a trace id, and the id sets are bitwise
+        // identical across worker counts (fingerprint + stream index,
+        // never arrival order)
+        assert!(serial.spans.iter().all(|s| s.trace_id.is_some()));
+        assert_eq!(serial.trace_ids().len(), 4);
+        assert_eq!(serial.trace_ids(), parallel.trace_ids());
+        // the request span and its nested solve/certify spans share a lane
+        let req = serial.spans_named("service.request").next().unwrap();
+        let kids = serial.children_of(req.id);
+        assert!(!kids.is_empty());
+        assert!(kids.iter().all(|k| k.trace_id == req.trace_id));
+        assert!(serial.spans_named("milp.solve").next().is_some());
+        assert!(serial.spans_named("service.certify").next().is_some());
+    }
+
+    #[test]
+    fn forced_certify_reject_dumps_flightrec_and_recovers() {
+        let tracer = Arc::new(obs::Tracer::with_capacity(1024));
+        let svc = SolveService::new(ServiceConfig::default()).with_observability(
+            Arc::new(obs::Registry::new()),
+            obs::TraceHandle::new(tracer.clone()),
+        );
+        let target = problem(&[("rdf", 0.5), ("msd", 1.0)]);
+        let decoy = problem(&[("a", 0.9), ("b", 1.3), ("c", 0.2)]);
+        svc.solve(&decoy).unwrap();
+        // plant the decoy's entry under the target's fingerprint: the next
+        // target request hits, fails the certification gate, and must fall
+        // back to a fresh solve
+        let planted = {
+            let d = svc.solve(&decoy).unwrap();
+            assert_eq!(d.source, ResponseSource::Hit);
+            Arc::new(CacheEntry {
+                problem: decoy.clone(),
+                counts: vec![0; 3],
+                output_counts: vec![0; 3],
+                schedule: Schedule::empty(3),
+                objective: d.objective,
+                certificate: d.certificate.clone().unwrap(),
+                nodes: d.nodes,
+                hint_accepted: false,
+                solved_warm: false,
+            })
+        };
+        let fp = certify::fingerprint(&target);
+        svc.inject_cache_entry_for_test(fp, planted);
+        assert!(svc.last_flight_dump().is_none());
+        let r = svc.solve(&target).unwrap();
+        // recovered: fresh solve, valid verdict
+        assert_eq!(r.source, ResponseSource::Fresh);
+        assert_ne!(r.verdict, Verdict::Invalid);
+        let snap = svc.registry().snapshot();
+        assert_eq!(snap.counter("service.certify_rejects"), Some(1));
+        // and the reject left a parseable post-mortem naming the request
+        let dump = svc.last_flight_dump().unwrap();
+        let v = Value::parse(&dump).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("flightrec/v1"));
+        assert_eq!(
+            v.get("reason").and_then(Value::as_str),
+            Some("certify-reject")
+        );
+        assert_eq!(
+            v.get("fingerprint").and_then(Value::as_str),
+            Some(fp.to_hex().as_str())
+        );
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("INVALID"));
+        assert!(!v.get("entries").and_then(Value::as_array).unwrap().is_empty());
+        // explicit hook also works and replaces the stored dump
+        let manual = svc.dump_flight("operator");
+        assert!(manual.contains("\"reason\":\"operator\""));
+        assert_eq!(svc.last_flight_dump().unwrap(), manual);
     }
 
     #[test]

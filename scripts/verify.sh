@@ -66,5 +66,21 @@ run ./target/release/timeline_smoke --out target
 # and the adopted schedule certified
 run ./target/release/adaptive_smoke --out target
 
+# observability smoke: traced service batch at 1 vs 4 workers —
+# bitwise-identical objective histograms and trace-id sets, a trace id
+# on every span, per-request Chrome lanes, a forced certify-reject
+# dumping a parseable flightrec/v1 artifact, and a searchtrace
+# round-trip (contracts in docs/OBSERVABILITY.md)
+run ./target/release/obs_smoke --out target
+
+# trace_view smoke: render the artifacts obs_smoke just wrote, both
+# schemas, plus the Chrome re-export
+run ./target/release/trace_view target/obs_smoke_timeline.json --chrome target/obs_smoke_trace_view.chrome.json
+run ./target/release/trace_view target/obs_smoke_searchtrace.json
+
+# bench_diff smoke: self-comparison of the committed service benchmark
+# must report zero regressions (exit nonzero otherwise)
+run ./target/release/bench_diff BENCH_service.json BENCH_service.json
+
 echo
 echo "verify: all green"

@@ -21,13 +21,14 @@
 //! 25; CI raises it via `scripts/verify.sh`).
 
 use std::collections::HashMap;
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 
-use insitu_types::{AnalysisProfile, ResourceConfig, ScheduleProblem};
+use insitu_types::json::Value;
+use insitu_types::{AnalysisProfile, ResourceConfig, Schedule, ScheduleProblem};
 use integration_tests::fuzz;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use service::{ServiceConfig, ServiceError, SolveService};
+use service::{CacheEntry, ServiceConfig, ServiceError, SolveService};
 
 const CLIENTS: usize = 8;
 
@@ -322,4 +323,90 @@ fn evicted_then_readmitted_warm_start_matches_cold_solve() {
     let hit = service.solve(&p0).unwrap();
     assert_eq!(hit.source, service::ResponseSource::Hit);
     assert_eq!(hit.objective.to_bits(), cold.objective.to_bits());
+}
+
+#[test]
+fn certify_reject_under_load_dumps_a_parseable_flight_record() {
+    // Poison the cache: plant a decoy instance's solution under the
+    // target's fingerprint, then let a burst of clients request the
+    // target. The certification gate must reject the poisoned entry,
+    // every client must still receive a proved result (fresh-solve
+    // fallback), and the reject must leave a parseable `flightrec/v1`
+    // post-mortem naming the offending fingerprint.
+    let service = SolveService::new(ServiceConfig {
+        cache_capacity: 16,
+        ..ServiceConfig::default()
+    });
+    let bases = bases(0xF116);
+    let target = bases[0].clone();
+    let decoy = bases[1].clone();
+    let d = service.solve(&decoy).expect("decoy base must solve");
+    let fp = certify::fingerprint(&target);
+    service.inject_cache_entry_for_test(
+        fp,
+        Arc::new(CacheEntry {
+            problem: decoy.clone(),
+            counts: vec![0; decoy.len()],
+            output_counts: vec![0; decoy.len()],
+            schedule: Schedule::empty(decoy.len()),
+            objective: d.objective,
+            certificate: d.certificate.clone().expect("fresh solve certifies"),
+            nodes: d.nodes,
+            hint_accepted: false,
+            solved_warm: false,
+        }),
+    );
+    assert!(service.last_flight_dump().is_none());
+
+    let barrier = Barrier::new(CLIENTS);
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let service = &service;
+                let target = &target;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xF116 + t as u64);
+                    let p = shuffled(target, &mut rng);
+                    barrier.wait();
+                    (p.clone(), service.solve(&p).expect("reject must recover"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // nothing unproved escaped, despite the poisoned entry
+    for (p, reply) in &replies {
+        let cert = certify::certify(p, &reply.schedule, reply.certificate.as_ref());
+        assert_eq!(cert.verdict, certify::Verdict::Proved, "{:?}", cert.problems);
+    }
+    let snap = service.registry().snapshot();
+    let rejects = snap.counter("service.certify_rejects").unwrap_or(0);
+    assert!(rejects >= 1, "the poisoned entry must trip the gate");
+
+    // the reject left a parseable post-mortem
+    let dump = service
+        .last_flight_dump()
+        .expect("certify reject must dump the flight recorder");
+    let v = Value::parse(&dump).expect("flight dump must be valid JSON");
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some("flightrec/v1"));
+    assert_eq!(
+        v.get("reason").and_then(Value::as_str),
+        Some("certify-reject")
+    );
+    assert_eq!(
+        v.get("fingerprint").and_then(Value::as_str),
+        Some(fp.to_hex().as_str())
+    );
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("INVALID"));
+    assert!(!v.get("entries").and_then(Value::as_array).unwrap().is_empty());
+    // the dump's registry snapshot agrees with the live one on rejects
+    let dumped = v
+        .get("registry")
+        .and_then(|r| r.get("counters"))
+        .and_then(|c| c.get("service.certify_rejects"))
+        .and_then(Value::as_f64)
+        .expect("dump embeds the registry snapshot");
+    assert!(dumped >= 1.0);
 }

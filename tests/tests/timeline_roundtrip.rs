@@ -109,11 +109,23 @@ fn chrome_export_is_a_valid_trace_event_array() {
     let tl = tracer.timeline();
     let doc = Value::parse(&tl.to_chrome_trace_string()).expect("chrome export parses");
     let events = doc.as_array().expect("trace-event array");
-    assert_eq!(events.len(), tl.spans.len() + tl.events.len());
+    // spans + events as X/i records, plus "M" metadata records (lane
+    // names and the always-present dropped_records count)
+    let data_events = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) != Some("M"))
+        .count();
+    assert_eq!(data_events, tl.spans.len() + tl.events.len());
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(Value::as_str) == Some("dropped_records")));
     let mut step_events: Vec<(f64, f64)> = Vec::new();
     for e in events {
         let ph = e.get("ph").and_then(Value::as_str).expect("phase");
-        assert!(ph == "X" || ph == "i");
+        assert!(ph == "X" || ph == "i" || ph == "M");
+        if ph == "M" {
+            continue;
+        }
         assert!(e.get("ts").and_then(Value::as_f64).is_some());
         if ph == "X" && e.get("name").and_then(Value::as_str) == Some(SPAN_STEP) {
             step_events.push((
